@@ -1,0 +1,196 @@
+//! Criterion micro-benchmarks for the hot paths of the balancing stack:
+//! the IF model, the pattern analyzer's per-access update, candidate
+//! aggregation, subtree selection, and whole simulation ticks.
+//!
+//! The paper's overhead claim (Section 3.4) is that Lunule's bookkeeping is
+//! negligible next to request processing; these benches quantify each
+//! piece on this implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lunule_core::{
+    build_candidates, decide_roles, make_balancer, select_subtrees, AnalyzerConfig,
+    BalancerKind, ImbalanceFactorModel, IfModelConfig, LoadHistory, PatternAnalyzer,
+    RoleConfig, SelectorConfig,
+};
+use lunule_namespace::{build_flat_dataset, FlatDataset, InodeId, MdsRank, Namespace, SubtreeMap};
+use lunule_sim::{SimConfig, Simulation};
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_if_model(c: &mut Criterion) {
+    let model = ImbalanceFactorModel::new(IfModelConfig::default());
+    let mut group = c.benchmark_group("if_model");
+    for n in [5usize, 16, 64] {
+        let loads: Vec<f64> = (0..n).map(|i| (i * 37 % 100) as f64 * 50.0).collect();
+        group.bench_with_input(BenchmarkId::new("imbalance_factor", n), &loads, |b, l| {
+            b.iter(|| black_box(model.imbalance_factor(black_box(l))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roles(c: &mut Criterion) {
+    let cfg = RoleConfig::default();
+    let mut group = c.benchmark_group("algorithm1");
+    for n in [5usize, 16, 64] {
+        let loads: Vec<f64> = (0..n).map(|i| ((i * 61) % 97) as f64 * 40.0).collect();
+        let mut history = LoadHistory::new(6);
+        for e in 0..6u64 {
+            history.push(&lunule_core::EpochStats::new(
+                e,
+                10.0,
+                loads.iter().map(|l| (*l * 10.0) as u64).collect(),
+            ));
+        }
+        group.bench_with_input(BenchmarkId::new("decide_roles", n), &loads, |b, l| {
+            b.iter(|| black_box(decide_roles(black_box(l), &history, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn scan_fixture(dirs: usize, files: usize) -> (Namespace, Vec<InodeId>) {
+    let mut ns = Namespace::new();
+    let ds = build_flat_dataset(
+        &mut ns,
+        "bench",
+        FlatDataset {
+            dirs,
+            files_per_dir: files,
+            file_size: 1,
+        },
+    );
+    let order = ds.files_in_scan_order();
+    (ns, order)
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let (ns, files) = scan_fixture(100, 100);
+    c.bench_function("analyzer/record_access", |b| {
+        let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
+        let mut i = 0;
+        b.iter(|| {
+            an.record_access(&ns, files[i % files.len()], false);
+            i += 1;
+        })
+    });
+    c.bench_function("analyzer/mindex_of", |b| {
+        let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
+        for f in &files {
+            an.record_access(&ns, *f, false);
+        }
+        let dir = ns.inode(files[0]).parent().unwrap();
+        b.iter(|| black_box(an.mindex_of(black_box(dir))))
+    });
+}
+
+fn bench_candidates_and_selection(c: &mut Criterion) {
+    let (ns, files) = scan_fixture(200, 50);
+    let map = SubtreeMap::new(MdsRank(0));
+    let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
+    for f in &files {
+        an.record_access(&ns, *f, false);
+    }
+    c.bench_function("dirload/build_candidates_10k_inodes", |b| {
+        b.iter(|| black_box(build_candidates(&ns, &map, &|d| an.mindex_of(d))))
+    });
+    let candidates = build_candidates(&ns, &map, &|d| an.mindex_of(d));
+    c.bench_function("selector/select_subtrees", |b| {
+        b.iter(|| {
+            black_box(select_subtrees(
+                &ns,
+                black_box(&candidates),
+                black_box(500.0),
+                &SelectorConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_sim_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("zipf_100clients_60s", |b| {
+        b.iter(|| {
+            let (ns, streams) = WorkloadSpec {
+                kind: WorkloadKind::ZipfRead,
+                clients: 100,
+                scale: 0.05,
+                seed: 42,
+            }
+            .build();
+            let cfg = SimConfig {
+                n_mds: 5,
+                mds_capacity: 500.0,
+                epoch_secs: 10,
+                duration_secs: 60,
+                stop_when_done: false,
+                client_rate: 50.0,
+                ..SimConfig::default()
+            };
+            let balancer = make_balancer(BalancerKind::Lunule, cfg.mds_capacity);
+            black_box(Simulation::new(cfg, ns, balancer, streams).run())
+        })
+    });
+    group.finish();
+}
+
+fn bench_namespace(c: &mut Criterion) {
+    let (ns, files) = scan_fixture(100, 100);
+    let map = SubtreeMap::new(MdsRank(0));
+    c.bench_function("namespace/path_chain", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let id = files[i % files.len()];
+            i += 1;
+            black_box(ns.path_chain(black_box(id)))
+        })
+    });
+    c.bench_function("namespace/authority_resolution", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let id = files[i % files.len()];
+            i += 1;
+            black_box(map.authority(&ns, black_box(id)))
+        })
+    });
+    c.bench_function("namespace/create_file", |b| {
+        let mut ns = Namespace::new();
+        let dir = ns.mkdir(InodeId::ROOT, "bench").unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ns.create_file(dir, "f", 0).unwrap())
+        })
+    });
+    c.bench_function("namespace/frag_split_dir_1000", |b| {
+        b.iter_batched(
+            || {
+                let mut ns = Namespace::new();
+                let d = ns.mkdir(InodeId::ROOT, "big").unwrap();
+                for i in 0..1000 {
+                    ns.create_file(d, &format!("f{i}"), 0).unwrap();
+                }
+                (ns, d)
+            },
+            |(mut ns, d)| {
+                black_box(
+                    ns.split_frag(d, &lunule_namespace::Frag::root(), 3)
+                        .unwrap(),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_if_model,
+    bench_roles,
+    bench_analyzer,
+    bench_candidates_and_selection,
+    bench_namespace,
+    bench_sim_tick
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Developer utility: per-epoch trace of one workload × one balancer.
+
+use lunule_bench::{default_sim, run_experiment, ExperimentConfig};
+use lunule_core::BalancerKind;
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let balancer = match args.first().map(String::as_str) {
+        Some("vanilla") => BalancerKind::Vanilla,
+        Some("greedy") => BalancerKind::GreedySpill,
+        Some("light") => BalancerKind::LunuleLight,
+        Some("lunule") => BalancerKind::Lunule,
+        Some("dirhash") => BalancerKind::DirHash,
+        Some("off") => BalancerKind::Off,
+        _ => BalancerKind::Vanilla,
+    };
+    let kind = match args.get(1).map(String::as_str) {
+        Some("cnn") => WorkloadKind::Cnn,
+        Some("nlp") => WorkloadKind::Nlp,
+        Some("web") => WorkloadKind::Web,
+        Some("md") => WorkloadKind::MdCreate,
+        Some("mixed") => WorkloadKind::Mixed,
+        _ => WorkloadKind::ZipfRead,
+    };
+    let mut sim = default_sim();
+    if let Ok(cap) = std::env::var("LUNULE_CACHE_CAP") {
+        sim.client_cache_cap = cap.parse().expect("LUNULE_CACHE_CAP must be an integer");
+    }
+    let cfg = ExperimentConfig {
+        workload: WorkloadSpec {
+            kind,
+            clients: 100,
+            scale: 0.1,
+            seed: 42,
+        },
+        balancer,
+        sim,
+    };
+    let r = run_experiment(&cfg);
+    println!("balancer={} workload={kind}", r.balancer);
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>10} {:>8} | per-mds iops",
+        "t", "IF", "IOPS", "mig_cum", "fwd_cum", "inflight"
+    );
+    for e in r.epochs.iter().take(60) {
+        let mds: Vec<String> = e.per_mds_iops.iter().map(|i| format!("{i:6.0}")).collect();
+        println!(
+            "{:>6} {:>8.3} {:>8.0} {:>10} {:>10} {:>8} | {}",
+            e.time_secs,
+            e.imbalance_factor,
+            e.total_iops,
+            e.migrated_inodes_cum,
+            e.forwards_cum,
+            e.inflight_migrations,
+            mds.join(" ")
+        );
+    }
+    println!(
+        "mean_if={:.3} mean_iops={:.0} migrated={} rejected={} ops={}",
+        r.mean_if(),
+        r.mean_iops(),
+        r.migrated_inodes(),
+        r.rejected_choices,
+        r.total_ops
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 3: per-MDS instantaneous metadata throughput over time under the
+//! Vanilla balancer, for the Zipfian and CNN workloads.
+//!
+//! Zipf shows load sloshing between MDSs (the ping-pong effect); CNN shows
+//! one MDS doing all the work for the whole run.
+
+use lunule_bench::{
+    default_sim, print_series, run_experiment, write_json, CommonArgs, ExperimentConfig, Series,
+};
+use lunule_core::BalancerKind;
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let args = CommonArgs::parse();
+    for kind in [WorkloadKind::ZipfRead, WorkloadKind::Cnn] {
+        let cfg = ExperimentConfig {
+            workload: WorkloadSpec {
+                kind,
+                clients: args.clients,
+                scale: args.scale,
+                seed: args.seed,
+            },
+            balancer: BalancerKind::Vanilla,
+            sim: default_sim(),
+        };
+        let r = run_experiment(&cfg);
+        let n_mds = r
+            .epochs
+            .last()
+            .map(|e| e.per_mds_iops.len())
+            .unwrap_or(0);
+        let series: Vec<Series> = (0..n_mds)
+            .map(|rank| {
+                Series::new(
+                    format!("mds.{rank}"),
+                    r.epochs
+                        .iter()
+                        .map(|e| {
+                            (
+                                e.time_secs as f64 / 60.0,
+                                e.per_mds_iops.get(rank).copied().unwrap_or(0.0),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        print_series(
+            &format!("Fig 3 — per-MDS IOPS over time, Vanilla, {kind}"),
+            "min",
+            &series,
+        );
+        write_json(
+            &args.out_dir,
+            &format!("fig3_permds_{}", kind.label().to_lowercase()),
+            &series,
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 4: cumulative migrated inodes over time under the Vanilla
+//! balancer, Zipf and CNN workloads.
+//!
+//! Zipf shows big bursts followed by quiet periods despite persistent
+//! imbalance; CNN shows continuous migration whose subjects are never
+//! visited again (invalid migrations).
+
+use lunule_bench::{
+    default_sim, print_series, run_experiment, write_json, CommonArgs, ExperimentConfig, Series,
+};
+use lunule_core::BalancerKind;
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut series = Vec::new();
+    for kind in [WorkloadKind::ZipfRead, WorkloadKind::Cnn] {
+        let cfg = ExperimentConfig {
+            workload: WorkloadSpec {
+                kind,
+                clients: args.clients,
+                scale: args.scale,
+                seed: args.seed,
+            },
+            balancer: BalancerKind::Vanilla,
+            sim: default_sim(),
+        };
+        let r = run_experiment(&cfg);
+        series.push(Series::new(
+            format!("{kind} (Vanilla)"),
+            r.epochs
+                .iter()
+                .map(|e| (e.time_secs as f64 / 60.0, e.migrated_inodes_cum as f64))
+                .collect(),
+        ));
+    }
+    print_series("Fig 4 — cumulative migrated inodes, Vanilla", "min", &series);
+    write_json(&args.out_dir, "fig4_migrated_inodes", &series);
+}

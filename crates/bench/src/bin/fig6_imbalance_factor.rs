@@ -1,0 +1,76 @@
+//! Figure 6: imbalance factor over time for the five workloads under the
+//! four balancers (Vanilla, GreedySpill, Lunule-Light, Lunule). Lower is
+//! better; the paper's headline is that Lunule stays lowest nearly
+//! everywhere, GreedySpill sits near 1, and Vanilla only handles the
+//! temporally-local workloads.
+
+use lunule_bench::{
+    default_sim, print_series, run_grid, write_json, CommonArgs, ExperimentConfig, Series,
+};
+use lunule_core::BalancerKind;
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut summary: Vec<(String, String, f64)> = Vec::new();
+    for kind in WorkloadKind::SINGLES {
+        let cells: Vec<ExperimentConfig> = BalancerKind::FIG6_SET
+            .iter()
+            .map(|b| ExperimentConfig {
+                workload: WorkloadSpec {
+                    kind,
+                    clients: args.clients,
+                    scale: args.scale,
+                    seed: args.seed,
+                },
+                balancer: *b,
+                sim: default_sim(),
+            })
+            .collect();
+        let results = run_grid(&cells);
+        let series: Vec<Series> = results
+            .iter()
+            .map(|r| {
+                Series::new(
+                    r.balancer.clone(),
+                    r.epochs
+                        .iter()
+                        .map(|e| (e.time_secs as f64 / 60.0, e.imbalance_factor))
+                        .collect(),
+                )
+            })
+            .collect();
+        print_series(&format!("Fig 6 — imbalance factor, {kind}"), "min", &series);
+        for r in &results {
+            summary.push((kind.label().to_string(), r.balancer.clone(), r.mean_if()));
+        }
+        write_json(
+            &args.out_dir,
+            &format!("fig6_if_{}", kind.label().to_lowercase()),
+            &series,
+        );
+    }
+    println!("\n# mean IF summary (lower is better)");
+    println!("{:<6} {:>10} {:>12} {:>13} {:>8}", "wl", "Vanilla", "GreedySpill", "Lunule-Light", "Lunule");
+    for kind in WorkloadKind::SINGLES {
+        let row: Vec<f64> = BalancerKind::FIG6_SET
+            .iter()
+            .map(|b| {
+                summary
+                    .iter()
+                    .find(|(w, n, _)| w == kind.label() && n == b.label())
+                    .map(|(_, _, v)| *v)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        println!(
+            "{:<6} {:>10.3} {:>12.3} {:>13.3} {:>8.3}",
+            kind.label(),
+            row[0],
+            row[1],
+            row[2],
+            row[3]
+        );
+    }
+    write_json(&args.out_dir, "fig6_mean_if_summary", &summary);
+}

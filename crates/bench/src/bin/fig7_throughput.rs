@@ -1,0 +1,88 @@
+//! Figure 7: aggregate metadata throughput over time for the five workloads
+//! under the four balancers. The paper's headline numbers: Lunule improves
+//! CNN by ~2.8x over Vanilla, NLP by ~1.8x, and stays ahead (by smaller
+//! margins) on the temporally-local workloads.
+
+use lunule_bench::{
+    default_sim, print_series, run_grid, write_json, CommonArgs, ExperimentConfig, Series,
+};
+use lunule_core::BalancerKind;
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let mut summary: Vec<(String, String, f64, f64)> = Vec::new();
+    for kind in WorkloadKind::SINGLES {
+        let cells: Vec<ExperimentConfig> = BalancerKind::FIG6_SET
+            .iter()
+            .map(|b| ExperimentConfig {
+                workload: WorkloadSpec {
+                    kind,
+                    clients: args.clients,
+                    scale: args.scale,
+                    seed: args.seed,
+                },
+                balancer: *b,
+                sim: default_sim(),
+            })
+            .collect();
+        let results = run_grid(&cells);
+        let series: Vec<Series> = results
+            .iter()
+            .map(|r| {
+                Series::new(
+                    r.balancer.clone(),
+                    r.epochs
+                        .iter()
+                        .map(|e| (e.time_secs as f64 / 60.0, e.total_iops))
+                        .collect(),
+                )
+            })
+            .collect();
+        print_series(
+            &format!("Fig 7 — aggregate metadata throughput (IOPS), {kind}"),
+            "min",
+            &series,
+        );
+        for r in &results {
+            summary.push((
+                kind.label().to_string(),
+                r.balancer.clone(),
+                r.mean_iops(),
+                r.peak_iops(),
+            ));
+        }
+        write_json(
+            &args.out_dir,
+            &format!("fig7_iops_{}", kind.label().to_lowercase()),
+            &series,
+        );
+    }
+    println!("\n# mean IOPS summary (higher is better; x = vs Vanilla)");
+    println!(
+        "{:<6} {:>9} {:>12} {:>13} {:>9} {:>9}",
+        "wl", "Vanilla", "GreedySpill", "Lunule-Light", "Lunule", "speedup"
+    );
+    for kind in WorkloadKind::SINGLES {
+        let row: Vec<f64> = BalancerKind::FIG6_SET
+            .iter()
+            .map(|b| {
+                summary
+                    .iter()
+                    .find(|(w, n, _, _)| w == kind.label() && n == b.label())
+                    .map(|(_, _, v, _)| *v)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        println!(
+            "{:<6} {:>9.0} {:>12.0} {:>13.0} {:>9.0} {:>8.2}x",
+            kind.label(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[3] / row[0]
+        );
+    }
+    write_json(&args.out_dir, "fig7_iops_summary", &summary);
+}

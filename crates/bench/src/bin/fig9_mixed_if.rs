@@ -1,0 +1,59 @@
+//! Figure 9: imbalance factor over time for the mixed workload (four client
+//! groups running CNN/NLP/Web/Zipf concurrently), Lunule vs Vanilla.
+//!
+//! The paper's observations: Vanilla fluctuates up to ~0.6 and re-skews
+//! whenever a client group finishes, while Lunule stays near zero and
+//! finishes the whole mixture sooner.
+
+use lunule_bench::{
+    default_sim, print_series, run_grid, write_json, CommonArgs, ExperimentConfig, Series,
+};
+use lunule_core::BalancerKind;
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let cells: Vec<ExperimentConfig> = [BalancerKind::Vanilla, BalancerKind::Lunule]
+        .iter()
+        .map(|b| ExperimentConfig {
+            workload: WorkloadSpec {
+                kind: WorkloadKind::Mixed,
+                clients: args.clients,
+                scale: args.scale,
+                seed: args.seed,
+            },
+            balancer: *b,
+            sim: lunule_sim::SimConfig {
+                duration_secs: 7_200,
+                ..default_sim()
+            },
+        })
+        .collect();
+    let results = run_grid(&cells);
+    let series: Vec<Series> = results
+        .iter()
+        .map(|r| {
+            Series::new(
+                r.balancer.clone(),
+                r.epochs
+                    .iter()
+                    .map(|e| (e.time_secs as f64 / 60.0, e.imbalance_factor))
+                    .collect(),
+            )
+        })
+        .collect();
+    print_series("Fig 9 — imbalance factor, mixed workload", "min", &series);
+    for r in &results {
+        println!(
+            "{:<10} mean IF {:.3}, max IF {:.3}, finished at {} min",
+            r.balancer,
+            r.mean_if(),
+            r.epochs
+                .iter()
+                .map(|e| e.imbalance_factor)
+                .fold(0.0, f64::max),
+            r.duration_secs / 60
+        );
+    }
+    write_json(&args.out_dir, "fig9_mixed_if", &series);
+}

@@ -1,0 +1,52 @@
+//! Runs the whole experiment suite — every table and figure binary — in
+//! sequence, forwarding the common flags. `run_all --quick` is the CI smoke
+//! path.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 19] = [
+    "table1",
+    "fig2_request_distribution",
+    "fig3_permds_throughput",
+    "fig4_migrated_inodes",
+    "fig6_imbalance_factor",
+    "fig7_throughput",
+    "fig8_end_to_end",
+    "fig9_mixed_if",
+    "fig10_mixed_throughput",
+    "fig11_mixed_jct_cdf",
+    "fig12_dynamics",
+    "fig13_scalability",
+    "fig14_dirhash",
+    "latency",
+    "ablation",
+    "sweep",
+    "hetero",
+    "resilience",
+    "memory",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current_exe");
+    let bin_dir = me.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let path = bin_dir.join(exp);
+        println!("\n================ {exp} ================");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("cannot launch {exp} at {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{exp} failed with {status}");
+            failures.push(exp);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

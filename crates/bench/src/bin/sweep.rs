@@ -1,0 +1,124 @@
+//! Sensitivity sweeps over the design parameters the paper fixes by fiat:
+//! epoch length (10 s), migration bandwidth, the IF trigger threshold, and
+//! the urgency smoothness `S` (0.2). Each sweep varies one knob with the
+//! others at defaults and reports the quality/overhead trade-off, so a
+//! deployment can see how sharp each cliff is.
+
+use lunule_bench::{default_sim, write_json, CommonArgs};
+use lunule_core::{IfModelConfig, LunuleBalancer, LunuleConfig, RoleConfig};
+use lunule_sim::{SimConfig, Simulation};
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+
+fn run(spec: &WorkloadSpec, sim: SimConfig, lunule: LunuleConfig) -> lunule_sim::RunResult {
+    let (ns, streams) = spec.build();
+    Simulation::new(sim.clone(), ns, Box::new(LunuleBalancer::new(lunule)), streams).run()
+}
+
+fn lunule_cfg(sim: &SimConfig) -> LunuleConfig {
+    LunuleConfig {
+        if_model: IfModelConfig {
+            mds_capacity: sim.mds_capacity,
+            ..IfModelConfig::default()
+        },
+        roles: RoleConfig {
+            migration_capacity: sim.mds_capacity * 0.5,
+            ..RoleConfig::default()
+        },
+        ..LunuleConfig::default()
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let spec = WorkloadSpec {
+        kind: WorkloadKind::ZipfRead,
+        clients: args.clients,
+        scale: args.scale,
+        seed: args.seed,
+    };
+    let base = default_sim();
+    let mut dump: Vec<(String, f64, f64, f64, u64)> = Vec::new();
+
+    println!("# sweep: epoch length (re-balance interval)");
+    println!("{:>10} {:>9} {:>10} {:>10}", "epoch (s)", "mean IF", "mean IOPS", "migrated");
+    for epoch in [2u64, 5, 10, 20, 40] {
+        let sim = SimConfig {
+            epoch_secs: epoch,
+            ..base.clone()
+        };
+        let r = run(&spec, sim.clone(), lunule_cfg(&sim));
+        println!(
+            "{:>10} {:>9.3} {:>10.0} {:>10}",
+            epoch,
+            r.mean_if(),
+            r.mean_iops(),
+            r.migrated_inodes()
+        );
+        dump.push(("epoch_secs".into(), epoch as f64, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
+    }
+
+    println!("\n# sweep: migration bandwidth (inodes/s per exporter)");
+    println!("{:>10} {:>9} {:>10} {:>10}", "bw", "mean IF", "mean IOPS", "migrated");
+    for bw in [500.0f64, 1_000.0, 5_000.0, 20_000.0, 100_000.0] {
+        let sim = SimConfig {
+            migration_bw: bw,
+            ..base.clone()
+        };
+        let r = run(&spec, sim.clone(), lunule_cfg(&sim));
+        println!(
+            "{:>10} {:>9.3} {:>10.0} {:>10}",
+            bw,
+            r.mean_if(),
+            r.mean_iops(),
+            r.migrated_inodes()
+        );
+        dump.push(("migration_bw".into(), bw, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
+    }
+
+    println!("\n# sweep: IF trigger threshold");
+    println!("{:>10} {:>9} {:>10} {:>10}", "threshold", "mean IF", "mean IOPS", "migrated");
+    for threshold in [0.02f64, 0.05, 0.10, 0.20, 0.40] {
+        let r = run(
+            &spec,
+            base.clone(),
+            LunuleConfig {
+                if_threshold: threshold,
+                ..lunule_cfg(&base)
+            },
+        );
+        println!(
+            "{:>10} {:>9.3} {:>10.0} {:>10}",
+            threshold,
+            r.mean_if(),
+            r.mean_iops(),
+            r.migrated_inodes()
+        );
+        dump.push(("if_threshold".into(), threshold, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
+    }
+
+    println!("\n# sweep: urgency smoothness S");
+    println!("{:>10} {:>9} {:>10} {:>10}", "S", "mean IF", "mean IOPS", "migrated");
+    for s in [0.05f64, 0.1, 0.2, 0.4, 0.8] {
+        let r = run(
+            &spec,
+            base.clone(),
+            LunuleConfig {
+                if_model: IfModelConfig {
+                    mds_capacity: base.mds_capacity,
+                    smoothness: s,
+                },
+                ..lunule_cfg(&base)
+            },
+        );
+        println!(
+            "{:>10} {:>9.3} {:>10.0} {:>10}",
+            s,
+            r.mean_if(),
+            r.mean_iops(),
+            r.migrated_inodes()
+        );
+        dump.push(("smoothness".into(), s, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
+    }
+
+    write_json(&args.out_dir, "sweep", &dump);
+}

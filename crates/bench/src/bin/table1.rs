@@ -1,0 +1,38 @@
+//! Table 1: the five evaluated workloads — scenario, metadata-op ratio, and
+//! the materialised dataset shape at the chosen scale.
+
+use lunule_bench::CommonArgs;
+use lunule_namespace::NamespaceStats;
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let args = CommonArgs::parse();
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>12}  description",
+        "name", "meta_ratio", "dirs", "files", "ops/client"
+    );
+    for kind in WorkloadKind::SINGLES {
+        let spec = WorkloadSpec {
+            kind,
+            clients: args.clients,
+            scale: args.scale,
+            seed: args.seed,
+        };
+        let (ns, streams) = spec.build();
+        let ops: u64 = streams
+            .first()
+            .and_then(|s| s.len_hint())
+            .unwrap_or_default();
+        let shape = NamespaceStats::of(&ns);
+        println!(
+            "{:<6} {:>9.1}% {:>10} {:>10} {:>12}  {}",
+            kind.label(),
+            kind.meta_op_ratio() * 100.0,
+            ns.dir_count(),
+            ns.file_count(),
+            ops,
+            kind.description()
+        );
+        println!("{:<6} shape: {shape}", "");
+    }
+}

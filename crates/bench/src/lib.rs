@@ -1,0 +1,16 @@
+//! # lunule-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (see DESIGN.md's experiment index), all built on the runner
+//! in this library. Binaries print the human-readable series the paper
+//! plots and optionally dump JSON next to them for post-processing.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod report;
+pub mod runner;
+
+pub use args::CommonArgs;
+pub use report::{print_series, write_json, Series};
+pub use runner::{default_sim, run_experiment, run_grid, ExperimentConfig};

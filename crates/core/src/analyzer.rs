@@ -1,0 +1,545 @@
+//! The Pattern Analyzer: cutting windows, α/β locality factors, and the
+//! migration index (`mIndex`) — Section 3.3 of the paper.
+//!
+//! Instead of the heat counter, Lunule assigns every subtree a *migration
+//! index* predicting its future load:
+//!
+//! ```text
+//! mIndex = α · l_t + β · l_s        (Eq. 4)
+//! ```
+//!
+//! where, over the most recent *cutting windows* (we use one window per
+//! epoch):
+//! * `α` — temporal-locality inclination: the fraction of visits that were
+//!   *recurrent* (the inode had already been visited in a recent window);
+//! * `l_t` — the number of visits concentrated on the subtree;
+//! * `β` — spatial-locality inclination: the ratio of still-unvisited inodes
+//!   to recent visits (large when most of the subtree has never been
+//!   touched, i.e. a scan has not reached it or is mid-flight);
+//! * `l_s` — the number of *first* visits, plus probabilistic bumps from
+//!   sibling subtrees (scans move between siblings, so a heavily
+//!   first-visited directory predicts load on its neighbours).
+//!
+//! For a Zipfian workload α→1 and mIndex ≈ recent visit counts (classic
+//! hotness); for a scan workload α→0, β ≫ 1 and mIndex ≈ the number of
+//! unvisited inodes — exactly the "ship the unread part of the dataset
+//! elsewhere" behaviour the paper credits for the CNN/NLP wins.
+
+use lunule_namespace::{InodeId, Namespace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of cutting windows the per-inode visit mask can remember.
+const MASK_BITS: u32 = 64;
+
+/// Configuration of the pattern analyzer.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AnalyzerConfig {
+    /// `N`: number of recent cutting windows aggregated into `l_t`, `l_s`,
+    /// α and β.
+    pub recent_windows: usize,
+    /// How many windows back a repeat visit still counts as *recurrent*.
+    pub recurrence_lookback: u32,
+    /// Probability of propagating a first visit to a sibling subtree's
+    /// `l_s` (the paper's "select one of its sibling subtrees with a certain
+    /// probability").
+    pub sibling_probability: f64,
+    /// RNG seed for the sibling propagation choice.
+    pub seed: u64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            recent_windows: 4,
+            recurrence_lookback: 8,
+            sibling_probability: 0.5,
+            seed: 0x5EED_1A7E,
+        }
+    }
+}
+
+/// Per-inode visit state: a lazily shifted window bitmask.
+///
+/// Bit 0 of `mask` is "visited in window `last_window`", bit `k` is "visited
+/// `k` windows before that". Shifting happens on touch, so idle inodes cost
+/// nothing per epoch — the paper's "boolean queue of n length" per inode,
+/// packed into a word.
+#[derive(Clone, Copy, Debug, Default)]
+struct InodeVisits {
+    last_window: u64,
+    mask: u64,
+    ever_visited: bool,
+}
+
+/// Per-window counters of one directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct WindowCounters {
+    visits: u32,
+    recurrent: u32,
+    first_visits: u32,
+    sibling_bumps: u32,
+}
+
+/// Sliding per-directory statistics over the last `N` windows.
+#[derive(Clone, Debug)]
+struct DirWindows {
+    /// Ring buffer, `ring[cursor]` is the current window.
+    ring: Vec<WindowCounters>,
+    cursor: usize,
+    /// Window index the cursor corresponds to.
+    window: u64,
+    /// Direct children the directory had when first observed, plus creates.
+    total_inodes: u64,
+    /// How many of those have ever been visited.
+    visited_ever: u64,
+}
+
+impl DirWindows {
+    fn new(n: usize, window: u64, total_inodes: u64) -> Self {
+        DirWindows {
+            ring: vec![WindowCounters::default(); n],
+            cursor: 0,
+            window,
+            total_inodes,
+            visited_ever: 0,
+        }
+    }
+
+    /// Rotates the ring forward to `window`, zeroing skipped slots.
+    fn roll_to(&mut self, window: u64) {
+        let gap = window.saturating_sub(self.window);
+        if gap == 0 {
+            return;
+        }
+        let n = self.ring.len() as u64;
+        for _ in 0..gap.min(n) {
+            self.cursor = (self.cursor + 1) % self.ring.len();
+            self.ring[self.cursor] = WindowCounters::default();
+        }
+        self.window = window;
+    }
+
+    fn current(&mut self) -> &mut WindowCounters {
+        let c = self.cursor;
+        &mut self.ring[c]
+    }
+
+    /// Sums the counters of slots still inside the window span *as of*
+    /// `current` (the analyzer's window). A directory idle since its last
+    /// touch has `self.window < current`; its older slots age out without
+    /// the ring being rolled, so its statistics decay to zero naturally.
+    fn sums_at(&self, current: u64) -> (u64, u64, u64) {
+        let n = self.ring.len() as u64;
+        let base_age = current.saturating_sub(self.window);
+        let mut visits = 0u64;
+        let mut recurrent = 0u64;
+        let mut spatial = 0u64;
+        for back in 0..n {
+            if base_age + back >= n {
+                break;
+            }
+            let idx = (self.cursor + self.ring.len() - back as usize) % self.ring.len();
+            let w = &self.ring[idx];
+            visits += w.visits as u64;
+            recurrent += w.recurrent as u64;
+            spatial += (w.first_visits + w.sibling_bumps) as u64;
+        }
+        (visits, recurrent, spatial)
+    }
+}
+
+/// The locality factors and migration index of one directory.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MigrationIndex {
+    /// Temporal-locality inclination in `[0, 1]`.
+    pub alpha: f64,
+    /// Spatial-locality inclination (unbounded above).
+    pub beta: f64,
+    /// Predicted temporal load: visits over the recent windows.
+    pub l_t: f64,
+    /// Predicted spatial load: first visits + sibling bumps.
+    pub l_s: f64,
+}
+
+impl MigrationIndex {
+    /// Eq. 4: `mIndex = α·l_t + β·l_s`, with the spatial term additionally
+    /// weighted by the *non-temporal inclination* `(1 - α)`.
+    ///
+    /// The paper introduces α and β as "impact factors … indicating the
+    /// inclination of the recent workloads on subtrees to either of the two
+    /// access patterns". β alone is a ratio of unvisited inodes to recent
+    /// visits and can exceed 1 by a large margin *during the warm-up of a
+    /// temporal workload* (most files still unvisited, few visits yet) —
+    /// which would let the spatial term dominate exactly where it predicts
+    /// nothing. Scaling it by `1 - α` makes the two terms a proper
+    /// arbitration: pure scans (α = 0) keep the full unvisited-remainder
+    /// signal, pure re-access patterns (α → 1) reduce to recent-visit
+    /// hotness.
+    pub fn value(&self) -> f64 {
+        self.alpha * self.l_t + (1.0 - self.alpha) * self.beta * self.l_s
+    }
+}
+
+/// The Pattern Analyzer deployed on every MDS (here: one per cluster, keyed
+/// by directory — equivalent because directories never share MDSs).
+#[derive(Clone, Debug)]
+pub struct PatternAnalyzer {
+    cfg: AnalyzerConfig,
+    window: u64,
+    inodes: Vec<InodeVisits>,
+    dirs: HashMap<InodeId, DirWindows>,
+    rng_state: u64,
+}
+
+impl PatternAnalyzer {
+    /// Creates an analyzer starting at window 0.
+    pub fn new(cfg: AnalyzerConfig) -> Self {
+        assert!(cfg.recent_windows >= 1, "need at least one cutting window");
+        assert!(
+            cfg.recurrence_lookback >= 1 && cfg.recurrence_lookback < MASK_BITS,
+            "recurrence lookback must fit the visit mask"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.sibling_probability),
+            "sibling probability must be in [0, 1]"
+        );
+        PatternAnalyzer {
+            cfg,
+            window: 0,
+            inodes: Vec::new(),
+            dirs: HashMap::new(),
+            rng_state: cfg.seed | 1,
+        }
+    }
+
+    /// Current cutting-window index.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Advances to the next cutting window (call once per epoch).
+    pub fn advance_window(&mut self) {
+        self.window += 1;
+    }
+
+    /// xorshift64* — cheap deterministic coin for sibling propagation.
+    fn next_coin(&mut self) -> f64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn inode_state(&mut self, ino: InodeId) -> &mut InodeVisits {
+        let idx = ino.index();
+        if idx >= self.inodes.len() {
+            self.inodes.resize_with(idx + 1, InodeVisits::default);
+        }
+        &mut self.inodes[idx]
+    }
+
+    fn dir_windows(&mut self, ns: &Namespace, dir: InodeId) -> &mut DirWindows {
+        let (n, window) = (self.cfg.recent_windows, self.window);
+        self.dirs.entry(dir).or_insert_with(|| {
+            DirWindows::new(n, window, ns.inode(dir).children().len() as u64)
+        })
+    }
+
+    /// Records one metadata access to `ino`. `is_create` marks a freshly
+    /// created inode (it grows its directory's total and counts as a first
+    /// visit by definition).
+    pub fn record_access(&mut self, ns: &Namespace, ino: InodeId, is_create: bool) {
+        let window = self.window;
+        let lookback = self.cfg.recurrence_lookback;
+
+        // -- per-inode visit mask ------------------------------------------
+        let st = self.inode_state(ino);
+        let gap = window - st.last_window;
+        if gap > 0 {
+            st.mask = if gap >= MASK_BITS as u64 {
+                0
+            } else {
+                st.mask << gap
+            };
+            st.last_window = window;
+        }
+        let already_this_window = st.mask & 1 != 0;
+        let recurrent = (st.mask >> 1) & ((1u64 << lookback) - 1) != 0;
+        let first_ever = !st.ever_visited;
+        st.mask |= 1;
+        st.ever_visited = true;
+
+        // -- per-directory window counters ---------------------------------
+        let dir = ns.inode(ino).parent().unwrap_or(ino);
+        // A create grows the directory's population. Note: `dir_windows`
+        // snapshots children().len() on first sight, which at that moment
+        // already includes this create; only bump for dirs seen before.
+        let known_dir = self.dirs.contains_key(&dir);
+        let dw = self.dir_windows(ns, dir);
+        dw.roll_to(window);
+        if is_create && known_dir {
+            dw.total_inodes += 1;
+        }
+        let cur = dw.current();
+        cur.visits += 1;
+        if recurrent {
+            cur.recurrent += 1;
+        }
+        if first_ever {
+            cur.first_visits += 1;
+            dw.visited_ever += 1;
+        }
+        let _ = already_this_window; // recurrence is cross-window only
+
+        // -- sibling propagation -------------------------------------------
+        if first_ever && self.cfg.sibling_probability > 0.0 {
+            let coin = self.next_coin();
+            if coin < self.cfg.sibling_probability {
+                if let Some(sib) = next_sibling_dir(ns, dir) {
+                    let dw = self.dir_windows(ns, sib);
+                    dw.roll_to(window);
+                    dw.current().sibling_bumps += 1;
+                }
+            }
+        }
+    }
+
+    /// The locality factors of `dir` over the recent windows, or `None` if
+    /// the directory has never been observed.
+    ///
+    /// `l_t` and `l_s` are normalised to *per-window* rates so the
+    /// resulting mIndex is directly comparable with the per-epoch request
+    /// amounts Algorithm 1 hands to the subtree selector (one cutting
+    /// window per epoch).
+    pub fn index_of(&self, dir: InodeId) -> Option<MigrationIndex> {
+        let dw = self.dirs.get(&dir)?;
+        let (visits, recurrent, spatial) = dw.sums_at(self.window);
+        let alpha = if visits == 0 {
+            0.0
+        } else {
+            recurrent as f64 / visits as f64
+        };
+        let unvisited = dw.total_inodes.saturating_sub(dw.visited_ever);
+        let beta = unvisited as f64 / (visits.max(1)) as f64;
+        let n = self.cfg.recent_windows as f64;
+        Some(MigrationIndex {
+            alpha,
+            beta,
+            l_t: visits as f64 / n,
+            l_s: spatial as f64 / n,
+        })
+    }
+
+    /// `mIndex` of `dir` (0 for never-observed directories) — the local load
+    /// metric fed into candidate aggregation.
+    pub fn mindex_of(&self, dir: InodeId) -> f64 {
+        self.index_of(dir).map(|m| m.value()).unwrap_or(0.0)
+    }
+
+    /// Accounts for the removal of `ino` from its directory: the population
+    /// shrinks, and if the inode had ever been visited the visited counter
+    /// shrinks with it so the unvisited balance stays correct.
+    pub fn record_remove(&mut self, ns: &Namespace, ino: InodeId) {
+        let ever = self
+            .inodes
+            .get(ino.index())
+            .map(|s| s.ever_visited)
+            .unwrap_or(false);
+        let dir = ns.inode(ino).parent().unwrap_or(ino);
+        if let Some(dw) = self.dirs.get_mut(&dir) {
+            dw.total_inodes = dw.total_inodes.saturating_sub(1);
+            if ever {
+                dw.visited_ever = dw.visited_ever.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Visits to `dir` over the recent windows (`l_t` alone). Used as a
+    /// selection fallback when every migration index is zero — e.g. a scan
+    /// that has covered the whole namespace leaves nothing unvisited and
+    /// nothing recurrent, yet load still has to move somewhere.
+    pub fn recent_visits_of(&self, dir: InodeId) -> f64 {
+        self.index_of(dir).map(|m| m.l_t).unwrap_or(0.0)
+    }
+
+    /// Number of directories with live statistics.
+    pub fn tracked_dirs(&self) -> usize {
+        self.dirs.len()
+    }
+}
+
+/// The next sibling directory of `dir` under its parent (wrapping), if any.
+fn next_sibling_dir(ns: &Namespace, dir: InodeId) -> Option<InodeId> {
+    let parent = ns.inode(dir).parent()?;
+    let siblings: Vec<InodeId> = ns
+        .inode(parent)
+        .children()
+        .iter()
+        .copied()
+        .filter(|c| ns.inode(*c).is_dir())
+        .collect();
+    if siblings.len() < 2 {
+        return None;
+    }
+    let pos = siblings.iter().position(|s| *s == dir)?;
+    Some(siblings[(pos + 1) % siblings.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer(sibling_probability: f64) -> PatternAnalyzer {
+        PatternAnalyzer::new(AnalyzerConfig {
+            recent_windows: 4,
+            recurrence_lookback: 8,
+            sibling_probability,
+            seed: 42,
+        })
+    }
+
+    /// Builds /d0, /d1 each with `files` files; returns (ns, dirs, files).
+    fn two_dirs(files: usize) -> (Namespace, Vec<InodeId>, Vec<Vec<InodeId>>) {
+        let mut ns = Namespace::new();
+        let mut dirs = Vec::new();
+        let mut all = Vec::new();
+        for d in 0..2 {
+            let dir = ns.mkdir(InodeId::ROOT, &format!("d{d}")).unwrap();
+            let fs: Vec<_> = (0..files)
+                .map(|i| ns.create_file(dir, &format!("f{i}"), 1).unwrap())
+                .collect();
+            dirs.push(dir);
+            all.push(fs);
+        }
+        (ns, dirs, all)
+    }
+
+    #[test]
+    fn zipfian_pattern_yields_high_alpha() {
+        let (ns, dirs, files) = two_dirs(10);
+        let mut an = analyzer(0.0);
+        // Revisit the same two files over several windows.
+        for _ in 0..6 {
+            for _ in 0..20 {
+                an.record_access(&ns, files[0][0], false);
+                an.record_access(&ns, files[0][1], false);
+            }
+            an.advance_window();
+        }
+        let idx = an.index_of(dirs[0]).unwrap();
+        assert!(idx.alpha > 0.9, "repeat visits must read as temporal: {idx:?}");
+        // 40 visits/window over the 4 live windows.
+        assert!(idx.l_t > 25.0);
+        // Only 2 of 10 inodes were ever visited: beta reflects the 8 unread,
+        // but l_s is ~0, so mIndex is dominated by the temporal term.
+        assert!(idx.value() >= idx.alpha * idx.l_t);
+    }
+
+    #[test]
+    fn scan_pattern_yields_spatial_dominance() {
+        let (ns, dirs, files) = two_dirs(50);
+        let mut an = analyzer(0.0);
+        // Scan the first 10 files of d0 once, never revisiting.
+        for f in &files[0][..10] {
+            an.record_access(&ns, *f, false);
+        }
+        let idx = an.index_of(dirs[0]).unwrap();
+        assert_eq!(idx.alpha, 0.0, "a scan has no recurrence");
+        assert_eq!(idx.l_s, 10.0 / 4.0, "per-window first-visit rate");
+        // 40 unvisited / 10 visits = 4.0.
+        assert!((idx.beta - 4.0).abs() < 1e-9);
+        // mIndex ≈ unvisited count per window: the "ship the unread
+        // remainder" signal, normalised to the epoch rate.
+        assert!((idx.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_age_out() {
+        let (ns, dirs, files) = two_dirs(5);
+        let mut an = analyzer(0.0);
+        an.record_access(&ns, files[0][0], false);
+        for _ in 0..10 {
+            an.advance_window();
+        }
+        // Force the ring to roll by touching the dir again in a later window.
+        an.record_access(&ns, files[0][1], false);
+        let idx = an.index_of(dirs[0]).unwrap();
+        // Only the fresh visit remains inside the window span.
+        assert_eq!(idx.l_t, 0.25);
+    }
+
+    #[test]
+    fn recurrence_requires_cross_window_repeat() {
+        let (ns, dirs, files) = two_dirs(5);
+        let mut an = analyzer(0.0);
+        // Two visits in the same window: not recurrent.
+        an.record_access(&ns, files[0][0], false);
+        an.record_access(&ns, files[0][0], false);
+        let idx = an.index_of(dirs[0]).unwrap();
+        assert_eq!(idx.alpha, 0.0);
+        // A repeat in the next window is recurrent.
+        an.advance_window();
+        an.record_access(&ns, files[0][0], false);
+        let idx = an.index_of(dirs[0]).unwrap();
+        assert!(idx.alpha > 0.0);
+    }
+
+    #[test]
+    fn sibling_propagation_bumps_neighbor() {
+        let (ns, dirs, files) = two_dirs(20);
+        let mut an = analyzer(1.0); // always propagate
+        for f in &files[0][..10] {
+            an.record_access(&ns, *f, false);
+        }
+        let sib = an.index_of(dirs[1]).expect("sibling must have been bumped");
+        assert_eq!(sib.l_s, 2.5, "every first visit propagates at p=1");
+        assert_eq!(sib.l_t, 0.0, "bumps are not visits");
+        // The sibling has 20 unvisited inodes and no visits: beta = 20.
+        assert!(sib.value() > 0.0, "sibling must become a migration candidate");
+    }
+
+    #[test]
+    fn creates_grow_population() {
+        let mut ns = Namespace::new();
+        let dir = ns.mkdir(InodeId::ROOT, "out").unwrap();
+        let mut an = analyzer(0.0);
+        // First create: dir enters the tracker with the post-create count.
+        let f0 = ns.create_file(dir, "f0", 0).unwrap();
+        an.record_access(&ns, f0, true);
+        for i in 1..5 {
+            let f = ns.create_file(dir, &format!("f{i}"), 0).unwrap();
+            an.record_access(&ns, f, true);
+        }
+        let idx = an.index_of(dir).unwrap();
+        // All 5 created inodes were visited at creation: nothing unvisited.
+        assert_eq!(idx.beta, 0.0);
+        assert_eq!(idx.l_s, 1.25);
+        assert_eq!(idx.l_t, 1.25);
+    }
+
+    #[test]
+    fn untouched_dir_has_zero_mindex() {
+        let (ns, dirs, _) = two_dirs(5);
+        let an = analyzer(0.0);
+        assert_eq!(an.mindex_of(dirs[0]), 0.0);
+        let _ = ns;
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let (ns, _, files) = two_dirs(30);
+        let run = || {
+            let mut an = analyzer(0.5);
+            for f in files.iter().flatten() {
+                an.record_access(&ns, *f, false);
+            }
+            (0..ns.len())
+                .map(|i| an.mindex_of(InodeId::from_index(i)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

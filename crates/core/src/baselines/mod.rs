@@ -1,0 +1,9 @@
+//! Baseline balancers the paper compares Lunule against.
+
+pub mod dir_hash;
+pub mod greedy_spill;
+pub mod vanilla;
+
+pub use dir_hash::{DirHashBalancer, DirHashConfig};
+pub use greedy_spill::{GreedySpillBalancer, GreedySpillConfig};
+pub use vanilla::{VanillaBalancer, VanillaConfig};

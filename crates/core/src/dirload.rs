@@ -1,0 +1,263 @@
+//! Shared per-directory load bookkeeping and subtree aggregation.
+//!
+//! Every balancer needs the same two primitives: (a) charge each served
+//! request to the directory containing the target inode, and (b) turn those
+//! per-directory numbers into *candidate dirfrag subtrees with aggregated
+//! loads* for a given exporter rank. This module provides both, generic over
+//! the per-directory load metric (decayed heat for Vanilla/Lunule-Light,
+//! migration index for Lunule).
+//!
+//! ## Aggregation invariant
+//!
+//! Selection and migration only ever operate on *live* fragments of a
+//! directory's [`lunule_namespace::FragSet`], and authority entries are only
+//! placed on live fragments. Live fragments are pairwise disjoint, so a
+//! candidate `(dir, frag)` can never contain a deeper authority entry of the
+//! same directory, and the aggregate of a candidate is simply its local load
+//! share plus the aggregates of non-delegated child directories inside the
+//! fragment.
+
+use lunule_namespace::{FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
+
+/// A migration candidate: a dirfrag subtree with its aggregated load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    /// The dirfrag subtree.
+    pub key: FragKey,
+    /// Rank currently authoritative for the subtree.
+    pub rank: MdsRank,
+    /// Load of the whole subtree under the chosen metric (heat or mIndex).
+    pub load: f64,
+    /// The portion of `load` contributed by `key.dir`'s *direct* children
+    /// (as opposed to nested directories). The selector uses this to decide
+    /// between fragment splitting and descending.
+    pub local_load: f64,
+    /// Estimated number of inodes the subtree contains (sizes the transfer).
+    pub inodes: usize,
+}
+
+/// Computes the candidate list for the whole cluster given a per-directory
+/// local load metric.
+///
+/// `local` maps a directory to the load charged to its direct children.
+/// Directories with zero aggregate load are skipped. The returned vector is
+/// unsorted; callers filter by rank and order as their policy requires.
+pub fn build_candidates(
+    ns: &Namespace,
+    map: &SubtreeMap,
+    local: &impl Fn(InodeId) -> f64,
+) -> Vec<Candidate> {
+    // Bottom-up pass: our arenas only append, so a parent's index is always
+    // smaller than its children's — iterating indices in reverse visits
+    // children before parents.
+    let n = ns.len();
+    // agg_whole[d] = aggregate load of dir d's *non-delegated* portion,
+    // i.e. what flows up into d's parent candidate.
+    let mut agg_whole = vec![0.0f64; n];
+    let mut inodes_whole = vec![0usize; n];
+    let mut candidates = Vec::new();
+
+    for idx in (0..n).rev() {
+        let id = InodeId::from_index(idx);
+        let ino = ns.inode(id);
+        if !ino.is_dir() {
+            continue;
+        }
+        let local_load = local(id);
+        let n_children = ino.children().len();
+        let frags = ns.frags_of(id);
+
+        // Fast path: undivided directory with no frag-level delegation.
+        if frags.len() == 1 && frags[0].is_root() {
+            let frag = frags[0];
+            let mut load = local_load;
+            let mut count = n_children;
+            for &c in ino.children() {
+                if ns.inode(c).is_dir() {
+                    // agg_whole[c] is the child's *non-delegated* portion by
+                    // construction (delegated fragments were excluded when
+                    // the child itself was processed), so it always flows up.
+                    load += agg_whole[c.index()];
+                    count += inodes_whole[c.index()];
+                }
+            }
+            let rank = map.frag_authority(ns, id, &frag);
+            if load > 0.0 {
+                candidates.push(Candidate {
+                    key: FragKey { dir: id, frag },
+                    rank,
+                    load,
+                    local_load,
+                    inodes: count,
+                });
+            }
+            let delegated = map.explicit_entry_rank(id, &frag).is_some();
+            if !delegated {
+                agg_whole[idx] = load;
+                inodes_whole[idx] = count;
+            }
+            continue;
+        }
+
+        // Fragmented directory: one candidate per live fragment, local load
+        // apportioned by the share of children hashing into the fragment.
+        let mut up_load = 0.0;
+        let mut up_inodes = 0usize;
+        for frag in frags {
+            let in_frag = ns.children_in_frag(id, &frag);
+            let frac = if n_children == 0 {
+                0.0
+            } else {
+                in_frag.len() as f64 / n_children as f64
+            };
+            let mut load = local_load * frac;
+            let mut count = in_frag.len();
+            for c in &in_frag {
+                if ns.inode(*c).is_dir() {
+                    load += agg_whole[c.index()];
+                    count += inodes_whole[c.index()];
+                }
+            }
+            let rank = map.frag_authority(ns, id, &frag);
+            if load > 0.0 {
+                candidates.push(Candidate {
+                    key: FragKey { dir: id, frag },
+                    rank,
+                    load,
+                    local_load: local_load * frac,
+                    inodes: count,
+                });
+            }
+            if map.explicit_entry_rank(id, &frag).is_none() {
+                up_load += load;
+                up_inodes += count;
+            }
+        }
+        agg_whole[idx] = up_load;
+        inodes_whole[idx] = up_inodes;
+    }
+    candidates
+}
+
+/// Filters candidates down to one exporter and sorts them by descending
+/// load — the shape every selection policy starts from.
+pub fn candidates_of_rank(all: &[Candidate], rank: MdsRank) -> Vec<Candidate> {
+    let mut v: Vec<Candidate> = all.iter().filter(|c| c.rank == rank).copied().collect();
+    v.sort_by(|a, b| b.load.total_cmp(&a.load));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lunule_namespace::Frag;
+    use std::collections::HashMap;
+
+    /// Namespace:
+    /// /           (ROOT)
+    ///   a/        local 10
+    ///     a1/     local 5
+    ///   b/        local 20
+    fn fixture() -> (Namespace, InodeId, InodeId, InodeId, HashMap<InodeId, f64>) {
+        let mut ns = Namespace::new();
+        let a = ns.mkdir(InodeId::ROOT, "a").unwrap();
+        let a1 = ns.mkdir(a, "a1").unwrap();
+        let b = ns.mkdir(InodeId::ROOT, "b").unwrap();
+        for d in [a, a1, b] {
+            for i in 0..4 {
+                ns.create_file(d, &format!("f{i}"), 1).unwrap();
+            }
+        }
+        let mut loads = HashMap::new();
+        loads.insert(a, 10.0);
+        loads.insert(a1, 5.0);
+        loads.insert(b, 20.0);
+        (ns, a, a1, b, loads)
+    }
+
+    #[test]
+    fn aggregates_roll_up_to_root() {
+        let (ns, a, a1, b, loads) = fixture();
+        let map = SubtreeMap::new(MdsRank(0));
+        let local = |d: InodeId| loads.get(&d).copied().unwrap_or(0.0);
+        let cands = build_candidates(&ns, &map, &local);
+        let find = |dir| {
+            cands
+                .iter()
+                .find(|c| c.key.dir == dir)
+                .copied()
+                .unwrap_or_else(|| panic!("no candidate for {dir:?}"))
+        };
+        assert_eq!(find(a1).load, 5.0);
+        assert_eq!(find(a).load, 15.0); // 10 local + 5 nested
+        assert_eq!(find(b).load, 20.0);
+        let root = find(InodeId::ROOT);
+        assert_eq!(root.load, 35.0);
+        assert_eq!(root.local_load, 0.0);
+        // Every candidate belongs to rank 0 before any delegation.
+        assert!(cands.iter().all(|c| c.rank == MdsRank(0)));
+        // Root candidate spans all inodes except the root dir itself.
+        assert_eq!(root.inodes, ns.len() - 1);
+    }
+
+    #[test]
+    fn delegated_child_is_excluded_from_parent() {
+        let (ns, a, a1, _b, loads) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        map.set_authority(FragKey::whole(a1), MdsRank(1));
+        let local = |d: InodeId| loads.get(&d).copied().unwrap_or(0.0);
+        let cands = build_candidates(&ns, &map, &local);
+        let a_cand = cands.iter().find(|c| c.key.dir == a).unwrap();
+        // a1's subtree is delegated to rank 1, so its load no longer flows
+        // up into a's candidate; a keeps only its own local load.
+        assert_eq!(a_cand.load, 10.0);
+        let a1_cand = cands.iter().find(|c| c.key.dir == a1).unwrap();
+        assert_eq!(a1_cand.rank, MdsRank(1));
+        assert_eq!(a1_cand.load, 5.0);
+        let of_rank1 = candidates_of_rank(&cands, MdsRank(1));
+        assert_eq!(of_rank1.len(), 1);
+    }
+
+    #[test]
+    fn fragmented_dir_produces_per_frag_candidates() {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "big").unwrap();
+        for i in 0..100 {
+            ns.create_file(d, &format!("f{i}"), 0).unwrap();
+        }
+        ns.split_frag(d, &Frag::root(), 1).unwrap();
+        let map = SubtreeMap::new(MdsRank(0));
+        let local = move |x: InodeId| if x == d { 100.0 } else { 0.0 };
+        let cands = build_candidates(&ns, &map, &local);
+        let frag_cands: Vec<_> = cands.iter().filter(|c| c.key.dir == d).collect();
+        assert_eq!(frag_cands.len(), 2);
+        let total: f64 = frag_cands.iter().map(|c| c.load).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        let inodes: usize = frag_cands.iter().map(|c| c.inodes).sum();
+        assert_eq!(inodes, 100);
+        // Shares are proportional to children counts, which are roughly even.
+        for c in frag_cands {
+            assert!(c.load > 20.0 && c.load < 80.0);
+        }
+    }
+
+    #[test]
+    fn zero_load_dirs_are_skipped() {
+        let (ns, _, _, _, _) = fixture();
+        let map = SubtreeMap::new(MdsRank(0));
+        let cands = build_candidates(&ns, &map, &|_| 0.0);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn rank_filter_sorts_descending() {
+        let (ns, _, _, _, loads) = fixture();
+        let map = SubtreeMap::new(MdsRank(0));
+        let local = |d: InodeId| loads.get(&d).copied().unwrap_or(0.0);
+        let cands = build_candidates(&ns, &map, &local);
+        let sorted = candidates_of_rank(&cands, MdsRank(0));
+        for w in sorted.windows(2) {
+            assert!(w[0].load >= w[1].load);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Exponentially decaying popularity ("heat") counters.
+//!
+//! This is the load metric the built-in CephFS balancer uses for candidate
+//! selection: each served request bumps the containing directory's counter,
+//! and counters decay by a fixed factor every epoch so old activity fades.
+//! Vanilla, GreedySpill and Lunule-Light all select on this metric; full
+//! Lunule replaces it with the migration index (see [`crate::analyzer`]).
+
+use lunule_namespace::{InodeId, Namespace};
+use std::collections::HashMap;
+
+/// Per-directory decaying heat counters.
+#[derive(Clone, Debug)]
+pub struct HeatMap {
+    decay: f64,
+    heat: HashMap<InodeId, f64>,
+}
+
+impl HeatMap {
+    /// Creates a heat map whose counters are multiplied by `decay` at every
+    /// epoch boundary. CephFS's default popularity half-life of roughly one
+    /// balancing interval corresponds to `decay = 0.5`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= decay < 1.0`.
+    pub fn new(decay: f64) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
+        HeatMap {
+            decay,
+            heat: HashMap::new(),
+        }
+    }
+
+    /// Charges one request against the directory containing `ino`.
+    pub fn record(&mut self, ns: &Namespace, ino: InodeId) {
+        let dir = match ns.inode(ino).parent() {
+            Some(p) => p,
+            None => ino, // the root charges itself
+        };
+        *self.heat.entry(dir).or_insert(0.0) += 1.0;
+    }
+
+    /// Applies one epoch of decay, dropping counters that have become
+    /// negligible so the map does not grow without bound.
+    pub fn decay_epoch(&mut self) {
+        let decay = self.decay;
+        self.heat.retain(|_, h| {
+            *h *= decay;
+            *h > 1e-3
+        });
+    }
+
+    /// Current heat of a directory.
+    pub fn heat_of(&self, dir: InodeId) -> f64 {
+        self.heat.get(&dir).copied().unwrap_or(0.0)
+    }
+
+    /// Total heat across all directories.
+    pub fn total(&self) -> f64 {
+        self.heat.values().sum()
+    }
+
+    /// Number of directories with live counters.
+    pub fn len(&self) -> usize {
+        self.heat.len()
+    }
+
+    /// True when no directory carries heat.
+    pub fn is_empty(&self) -> bool {
+        self.heat.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns_with_dir() -> (Namespace, InodeId, InodeId) {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "d").unwrap();
+        let f = ns.create_file(d, "f", 1).unwrap();
+        (ns, d, f)
+    }
+
+    #[test]
+    fn record_charges_parent_dir() {
+        let (ns, d, f) = ns_with_dir();
+        let mut hm = HeatMap::new(0.5);
+        hm.record(&ns, f);
+        hm.record(&ns, f);
+        hm.record(&ns, d); // dir access charges the dir's parent (root)
+        assert_eq!(hm.heat_of(d), 2.0);
+        assert_eq!(hm.heat_of(InodeId::ROOT), 1.0);
+        assert_eq!(hm.total(), 3.0);
+    }
+
+    #[test]
+    fn decay_halves_and_evicts() {
+        let (ns, d, f) = ns_with_dir();
+        let mut hm = HeatMap::new(0.5);
+        hm.record(&ns, f);
+        hm.decay_epoch();
+        assert_eq!(hm.heat_of(d), 0.5);
+        // Enough decay rounds evict the entry entirely.
+        for _ in 0..20 {
+            hm.decay_epoch();
+        }
+        assert!(hm.is_empty());
+    }
+
+    #[test]
+    fn root_self_charge() {
+        let ns = Namespace::new();
+        let mut hm = HeatMap::new(0.5);
+        hm.record(&ns, InodeId::ROOT);
+        assert_eq!(hm.heat_of(InodeId::ROOT), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn decay_of_one_rejected() {
+        HeatMap::new(1.0);
+    }
+}

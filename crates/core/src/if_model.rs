@@ -1,0 +1,247 @@
+//! The Imbalance Factor (IF) model — Equations 1–3 of the paper.
+//!
+//! The model turns a per-rank load vector into a single number in `[0, 1]`
+//! describing how *harmfully* imbalanced the cluster is:
+//!
+//! 1. the Coefficient of Variation of the loads (corrected sample standard
+//!    deviation over the mean) measures dispersion;
+//! 2. dividing by `√n` (the CoV of the worst case — all load on one MDS)
+//!    normalises it into `[0, 1]` regardless of cluster size;
+//! 3. a logistic *urgency* term `U` scales the result down when even the
+//!    busiest MDS is far from its capacity, so benign imbalance (everyone
+//!    lightly loaded) does not trigger migration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the IF model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IfModelConfig {
+    /// `C`: the maximal IOPS a single MDS can theoretically serve.
+    pub mds_capacity: f64,
+    /// `S`: smoothness knob of the logistic urgency curve, in (0, 1).
+    /// The paper sets 0.2.
+    pub smoothness: f64,
+}
+
+impl Default for IfModelConfig {
+    fn default() -> Self {
+        IfModelConfig {
+            mds_capacity: 5_000.0,
+            smoothness: 0.2,
+        }
+    }
+}
+
+/// The analytical model computing the cluster's Imbalance Factor.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ImbalanceFactorModel {
+    cfg: IfModelConfig,
+}
+
+impl ImbalanceFactorModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    /// Panics if capacity is non-positive or smoothness is outside (0, 1).
+    pub fn new(cfg: IfModelConfig) -> Self {
+        assert!(cfg.mds_capacity > 0.0, "MDS capacity must be positive");
+        assert!(
+            cfg.smoothness > 0.0 && cfg.smoothness < 1.0,
+            "smoothness must lie in (0, 1)"
+        );
+        ImbalanceFactorModel { cfg }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> IfModelConfig {
+        self.cfg
+    }
+
+    /// Coefficient of Variation of `loads` (Eq. 1): corrected sample
+    /// standard deviation divided by the mean. Zero for degenerate inputs
+    /// (fewer than two ranks, or an idle cluster).
+    pub fn cov(loads: &[f64]) -> f64 {
+        let n = loads.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = loads.iter().sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = loads.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        var.sqrt() / mean
+    }
+
+    /// Normalised CoV in `[0, 1]`: Eq. 1 divided by its maximum `√n`.
+    pub fn normalized_cov(loads: &[f64]) -> f64 {
+        let n = loads.len();
+        if n < 2 {
+            return 0.0;
+        }
+        (Self::cov(loads) / (n as f64).sqrt()).clamp(0.0, 1.0)
+    }
+
+    /// The urgency term `U` (Eq. 2): a logistic function of
+    /// `u = l_max / C`, the busiest MDS's utilisation.
+    ///
+    /// `U → 0` when the busiest MDS idles, `U = 0.5` at 50 % utilisation,
+    /// `U → 1` as it saturates; `S` controls how sharp the transition is.
+    pub fn urgency(&self, l_max: f64) -> f64 {
+        let u = (l_max / self.cfg.mds_capacity).max(0.0);
+        1.0 / (1.0 + ((1.0 - 2.0 * u) / self.cfg.smoothness).exp())
+    }
+
+    /// The Imbalance Factor (Eq. 3): `IF = CoV/√n · U`, in `[0, 1]`.
+    pub fn imbalance_factor(&self, loads: &[f64]) -> f64 {
+        let l_max = loads.iter().copied().fold(0.0, f64::max);
+        Self::normalized_cov(loads) * self.urgency(l_max)
+    }
+
+    /// Capacity-aware Imbalance Factor (extension — the paper assumes
+    /// homogeneous MDSs, footnote 1). Dispersion and urgency are computed
+    /// over *utilisations* `u_i = l_i / C_i`: a cluster whose per-rank
+    /// utilisations are equal is balanced no matter how unequal the raw
+    /// loads are, and urgency rises as the most-utilised rank saturates.
+    pub fn imbalance_factor_hetero(&self, loads: &[f64], capacities: &[f64]) -> f64 {
+        let n = loads.len();
+        if n < 2 || capacities.len() < n {
+            return self.imbalance_factor(loads);
+        }
+        let utils: Vec<f64> = loads
+            .iter()
+            .zip(capacities)
+            .map(|(l, c)| if *c > 0.0 { l / c } else { 0.0 })
+            .collect();
+        let u_max = utils.iter().copied().fold(0.0, f64::max);
+        // The urgency logistic expects an absolute load vs the model's C;
+        // feed it the utilisation scaled back to capacity units.
+        Self::normalized_cov(&utils) * self.urgency(u_max * self.cfg.mds_capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ImbalanceFactorModel {
+        ImbalanceFactorModel::new(IfModelConfig {
+            mds_capacity: 1_000.0,
+            smoothness: 0.2,
+        })
+    }
+
+    #[test]
+    fn cov_of_uniform_is_zero() {
+        assert_eq!(ImbalanceFactorModel::cov(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn cov_of_single_hot_mds_is_sqrt_n() {
+        // All load on one of n MDSs gives CoV = sqrt(n) exactly (with the
+        // corrected sample std dev).
+        for n in [2usize, 5, 16] {
+            let mut loads = vec![0.0; n];
+            loads[0] = 100.0;
+            let cov = ImbalanceFactorModel::cov(&loads);
+            assert!(
+                (cov - (n as f64).sqrt()).abs() < 1e-9,
+                "n={n}: cov={cov}, expected sqrt(n)={}",
+                (n as f64).sqrt()
+            );
+            assert!((ImbalanceFactorModel::normalized_cov(&loads) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(ImbalanceFactorModel::cov(&[]), 0.0);
+        assert_eq!(ImbalanceFactorModel::cov(&[42.0]), 0.0);
+        assert_eq!(ImbalanceFactorModel::cov(&[0.0, 0.0]), 0.0);
+        assert_eq!(model().imbalance_factor(&[]), 0.0);
+    }
+
+    #[test]
+    fn urgency_is_logistic() {
+        let m = model();
+        // Idle cluster: far below half capacity -> near zero.
+        assert!(m.urgency(0.0) < 0.01);
+        // Exactly half capacity: the logistic midpoint.
+        assert!((m.urgency(500.0) - 0.5).abs() < 1e-12);
+        // Saturated: near one.
+        assert!(m.urgency(1_000.0) > 0.99);
+        // Monotone increasing.
+        let mut last = -1.0;
+        for i in 0..=20 {
+            let u = m.urgency(i as f64 * 100.0);
+            assert!(u > last);
+            last = u;
+        }
+    }
+
+    #[test]
+    fn benign_imbalance_is_suppressed() {
+        let m = model();
+        // Same *relative* skew, low vs high absolute load.
+        let light = [20.0, 1.0, 1.0, 1.0, 1.0];
+        let heavy = [900.0, 45.0, 45.0, 45.0, 45.0];
+        let if_light = m.imbalance_factor(&light);
+        let if_heavy = m.imbalance_factor(&heavy);
+        assert!(
+            if_light < 0.02,
+            "benign imbalance should be tolerated, got {if_light}"
+        );
+        assert!(if_heavy > 0.5, "harmful imbalance must score high, got {if_heavy}");
+    }
+
+    #[test]
+    fn if_is_bounded() {
+        let m = model();
+        for loads in [
+            vec![0.0; 5],
+            vec![1e6, 0.0, 0.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1e9],
+        ] {
+            let v = m.imbalance_factor(&loads);
+            assert!((0.0..=1.0).contains(&v), "IF {v} out of range for {loads:?}");
+        }
+    }
+
+    #[test]
+    fn hetero_if_treats_proportional_load_as_balanced() {
+        let m = model();
+        let caps = [800.0, 400.0, 400.0];
+        // Loads proportional to capacities: utilisations equal -> IF ~ 0.
+        let proportional = [800.0, 400.0, 400.0];
+        assert!(m.imbalance_factor_hetero(&proportional, &caps) < 1e-9);
+        // Even loads overload the weak ranks: IF must rise.
+        let even = [533.0, 533.0, 534.0];
+        assert!(m.imbalance_factor_hetero(&even, &caps) > 0.05);
+        // Homogeneous capacities reduce to the plain model.
+        let uniform = [1000.0; 3];
+        let loads = [900.0, 100.0, 0.0];
+        let a = m.imbalance_factor_hetero(&loads, &uniform);
+        let b = m.imbalance_factor(&[0.9, 0.1, 0.0].map(|u| u * 1000.0));
+        assert!((a - b).abs() < 0.2, "{a} vs {b}");
+    }
+
+    #[test]
+    fn hetero_if_falls_back_on_short_capacity_vector() {
+        let m = model();
+        let loads = [900.0, 100.0, 0.0];
+        assert_eq!(
+            m.imbalance_factor_hetero(&loads, &[1.0]),
+            m.imbalance_factor(&loads)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_smoothness_rejected() {
+        ImbalanceFactorModel::new(IfModelConfig {
+            mds_capacity: 100.0,
+            smoothness: 1.5,
+        });
+    }
+}

@@ -1,0 +1,88 @@
+//! Least-squares trend fitting for future-load prediction.
+//!
+//! Algorithm 1 needs each candidate importer's *future* load (`fld`) to
+//! avoid shipping work onto an MDS whose load is already climbing. The paper
+//! suggests a linear regression over the recent load history; this module
+//! implements ordinary least squares over equally spaced samples.
+
+/// Ordinary least-squares fit `y = intercept + slope * x` over samples taken
+/// at `x = 0, 1, …, y.len() - 1`.
+///
+/// Returns `(slope, intercept)`. With fewer than two samples the slope is 0
+/// and the intercept is the last sample (or 0 when empty), i.e. "assume the
+/// load stays where it is".
+pub fn fit_trend(y: &[f64]) -> (f64, f64) {
+    let n = y.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    if n == 1 {
+        return (0.0, y[0]);
+    }
+    let nf = n as f64;
+    let x_mean = (nf - 1.0) / 2.0;
+    let y_mean = y.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (i, yi) in y.iter().enumerate() {
+        let dx = i as f64 - x_mean;
+        sxy += dx * (yi - y_mean);
+        sxx += dx * dx;
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    (slope, y_mean - slope * x_mean)
+}
+
+/// Predicts the next sample (`x = y.len()`) of the series, clamped at zero —
+/// a negative predicted load is meaningless.
+pub fn predict_next(y: &[f64]) -> f64 {
+    let (slope, intercept) = fit_trend(y);
+    (intercept + slope * y.len() as f64).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(fit_trend(&[]), (0.0, 0.0));
+        assert_eq!(fit_trend(&[7.0]), (0.0, 7.0));
+        assert_close(predict_next(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn exact_line() {
+        // y = 3 + 2x
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let (slope, intercept) = fit_trend(&y);
+        assert_close(slope, 2.0);
+        assert_close(intercept, 3.0);
+        assert_close(predict_next(&y), 11.0);
+    }
+
+    #[test]
+    fn flat_series() {
+        let y = [4.0; 6];
+        let (slope, _) = fit_trend(&y);
+        assert_close(slope, 0.0);
+        assert_close(predict_next(&y), 4.0);
+    }
+
+    #[test]
+    fn decline_clamps_at_zero() {
+        let y = [10.0, 5.0, 0.0];
+        assert_eq!(predict_next(&y), 0.0);
+    }
+
+    #[test]
+    fn noisy_trend_is_between_extremes() {
+        let y = [1.0, 3.0, 2.0, 4.0, 3.5];
+        let p = predict_next(&y);
+        assert!(p > 3.0 && p < 6.0, "prediction {p} out of plausible band");
+    }
+}

@@ -1,0 +1,359 @@
+//! The Lunule balancer: IF-model-driven triggering, Algorithm 1 role and
+//! amount determination, and workload-aware subtree selection.
+//!
+//! Two variants are provided, matching the paper's evaluation:
+//! * **Lunule** — full system: selection by migration index.
+//! * **Lunule-Light** — same trigger and amounts, but the selection falls
+//!   back to decayed-heat hotspots (isolating the contribution of the
+//!   workload-aware planner in the ablation).
+
+use crate::analyzer::{AnalyzerConfig, PatternAnalyzer};
+use crate::balancer::{Access, Balancer, ExportTask, MigrationPlan, OpKind};
+use crate::dirload::{build_candidates, candidates_of_rank};
+use crate::heat::HeatMap;
+use crate::if_model::{IfModelConfig, ImbalanceFactorModel};
+use crate::roles::{decide_roles_weighted, RoleConfig};
+use crate::selector::{select_hottest, select_subtrees, subtrees_overlap, SelectorConfig};
+use crate::stats::{EpochStats, LoadHistory};
+use lunule_namespace::{Namespace, SubtreeMap};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a Lunule balancer instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LunuleConfig {
+    /// IF model parameters (capacity `C`, smoothness `S`).
+    pub if_model: IfModelConfig,
+    /// Re-balance trigger: migrate only when `IF` exceeds this.
+    pub if_threshold: f64,
+    /// Algorithm 1 parameters (deviation threshold `L`, per-epoch capacity).
+    pub roles: RoleConfig,
+    /// Pattern analyzer parameters (cutting windows, sibling probability).
+    #[serde(skip, default)]
+    pub analyzer: AnalyzerConfig,
+    /// Epochs of load history retained for future-load prediction.
+    pub history_window: usize,
+    /// Selection strategy: `true` = migration-index selection (full
+    /// Lunule), `false` = decayed-heat hotspots (Lunule-Light).
+    pub workload_aware: bool,
+    /// Heat decay factor used by the Lunule-Light selection path.
+    pub heat_decay: f64,
+    /// Ablation: treat the urgency term as 1 (trigger on raw normalised
+    /// CoV), removing the benign-imbalance tolerance.
+    pub ablate_urgency: bool,
+    /// Ablation: skip the importer future-load correction in Algorithm 1.
+    pub ablate_future_load: bool,
+    /// Per-rank capacities for heterogeneous clusters (extension — the
+    /// paper assumes homogeneous MDSs). `None` (the default) keeps the
+    /// paper's uniform-capacity model; when set, imbalance is measured
+    /// over utilisations and Algorithm 1 targets capacity shares.
+    #[serde(skip, default)]
+    pub capacities: Option<Vec<f64>>,
+}
+
+impl Default for LunuleConfig {
+    fn default() -> Self {
+        LunuleConfig {
+            if_model: IfModelConfig::default(),
+            if_threshold: 0.10,
+            roles: RoleConfig::default(),
+            analyzer: AnalyzerConfig::default(),
+            history_window: 6,
+            workload_aware: true,
+            heat_decay: 0.5,
+            ablate_urgency: false,
+            ablate_future_load: false,
+            capacities: None,
+        }
+    }
+}
+
+impl LunuleConfig {
+    /// The Lunule-Light ablation: identical trigger/amount machinery,
+    /// hotspot-based selection.
+    pub fn light() -> Self {
+        LunuleConfig {
+            workload_aware: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The Lunule metadata load balancer (see module docs).
+pub struct LunuleBalancer {
+    cfg: LunuleConfig,
+    model: ImbalanceFactorModel,
+    analyzer: PatternAnalyzer,
+    heat: HeatMap,
+    history: LoadHistory,
+    selector_cfg: SelectorConfig,
+    last_if: f64,
+}
+
+impl LunuleBalancer {
+    /// Builds a balancer from configuration.
+    pub fn new(cfg: LunuleConfig) -> Self {
+        LunuleBalancer {
+            model: ImbalanceFactorModel::new(cfg.if_model),
+            analyzer: PatternAnalyzer::new(cfg.analyzer),
+            heat: HeatMap::new(cfg.heat_decay),
+            history: LoadHistory::new(cfg.history_window.max(2)),
+            selector_cfg: SelectorConfig::default(),
+            last_if: 0.0,
+            cfg,
+        }
+    }
+
+    /// The IF value computed at the most recent epoch boundary.
+    pub fn last_imbalance_factor(&self) -> f64 {
+        self.last_if
+    }
+
+    /// Immutable access to the pattern analyzer (for tests/inspection).
+    pub fn analyzer(&self) -> &PatternAnalyzer {
+        &self.analyzer
+    }
+}
+
+impl Balancer for LunuleBalancer {
+    fn name(&self) -> &'static str {
+        if self.cfg.workload_aware {
+            "Lunule"
+        } else {
+            "Lunule-Light"
+        }
+    }
+
+    fn record_access(&mut self, ns: &Namespace, access: Access) {
+        if self.cfg.workload_aware {
+            self.analyzer
+                .record_access(ns, access.ino, access.kind == OpKind::Create);
+            if access.kind == OpKind::Remove {
+                self.analyzer.record_remove(ns, access.ino);
+            }
+        } else {
+            self.heat.record(ns, access.ino);
+        }
+    }
+
+    fn on_epoch(
+        &mut self,
+        ns: &Namespace,
+        map: &SubtreeMap,
+        stats: &EpochStats,
+    ) -> MigrationPlan {
+        let loads = stats.iops();
+        self.last_if = if self.cfg.ablate_urgency {
+            ImbalanceFactorModel::normalized_cov(&loads)
+        } else if let Some(caps) = &self.cfg.capacities {
+            self.model.imbalance_factor_hetero(&loads, caps)
+        } else {
+            self.model.imbalance_factor(&loads)
+        };
+        self.history.push(stats);
+        // Epoch boundary == cutting-window boundary.
+        if self.cfg.workload_aware {
+            self.analyzer.advance_window();
+        } else {
+            self.heat.decay_epoch();
+        }
+
+        if self.last_if <= self.cfg.if_threshold {
+            return MigrationPlan::default();
+        }
+
+        let empty_history = LoadHistory::new(2);
+        let history = if self.cfg.ablate_future_load {
+            &empty_history
+        } else {
+            &self.history
+        };
+        let decision =
+            decide_roles_weighted(&loads, self.cfg.capacities.as_deref(), history, &self.cfg.roles);
+        if decision.pairings.is_empty() {
+            return MigrationPlan::default();
+        }
+
+        // Candidate loads: migration index (Lunule) or heat (Light). Both
+        // are "per recent window" quantities; Algorithm 1 amounts are in
+        // IOPS — scale demand into the candidate unit via the epoch length.
+        let candidates = if self.cfg.workload_aware {
+            let analyzer = &self.analyzer;
+            build_candidates(ns, map, &|d| analyzer.mindex_of(d))
+        } else {
+            let heat = &self.heat;
+            build_candidates(ns, map, &|d| heat.heat_of(d))
+        };
+
+        // Fallback metric when every migration index is zero (e.g. a scan
+        // that already covered the whole namespace): recent visit counts.
+        let mut fallback: Option<Vec<crate::dirload::Candidate>> = None;
+        // Subtrees already claimed by an earlier pairing this epoch: each
+        // pairing must select from what is left, or every importer would be
+        // handed the same hottest subtrees and all but one choice would be
+        // rejected at migration time.
+        let mut used: Vec<lunule_namespace::FragKey> = Vec::new();
+        let mut exports = Vec::new();
+        for pairing in &decision.pairings {
+            let unused = |c: &&crate::dirload::Candidate| {
+                !used.iter().any(|u| subtrees_overlap(ns, u, &c.key))
+            };
+            let mut mine: Vec<crate::dirload::Candidate> =
+                candidates_of_rank(&candidates, pairing.exporter)
+                    .iter()
+                    .filter(unused)
+                    .copied()
+                    .collect();
+            let demand = pairing.amount * stats.epoch_secs;
+            let mut subtrees = if mine.is_empty() {
+                Vec::new()
+            } else if self.cfg.workload_aware {
+                select_subtrees(ns, &mine, demand, &self.selector_cfg)
+            } else {
+                select_hottest(ns, &mine, demand, pairing.exporter)
+            };
+            if subtrees.is_empty() && self.cfg.workload_aware {
+                let all = fallback.get_or_insert_with(|| {
+                    let analyzer = &self.analyzer;
+                    build_candidates(ns, map, &|d| analyzer.recent_visits_of(d))
+                });
+                mine = candidates_of_rank(all, pairing.exporter)
+                    .iter()
+                    .filter(unused)
+                    .copied()
+                    .collect();
+                if !mine.is_empty() {
+                    subtrees = select_subtrees(ns, &mine, demand, &self.selector_cfg);
+                }
+            }
+            if subtrees.is_empty() {
+                continue;
+            }
+            used.extend(subtrees.iter().map(|s| s.subtree));
+            exports.push(ExportTask {
+                from: pairing.exporter,
+                to: pairing.importer,
+                target_amount: demand,
+                subtrees,
+            });
+        }
+        MigrationPlan { exports }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lunule_namespace::{InodeId, MdsRank};
+
+    fn small_cfg() -> LunuleConfig {
+        LunuleConfig {
+            if_model: IfModelConfig {
+                mds_capacity: 100.0,
+                smoothness: 0.2,
+            },
+            if_threshold: 0.10,
+            roles: RoleConfig {
+                deviation_threshold: 0.01,
+                migration_capacity: 1_000.0,
+            },
+            ..LunuleConfig::default()
+        }
+    }
+
+    /// Namespace with two dirs of files, everything initially on mds.0.
+    fn fixture() -> (Namespace, SubtreeMap, Vec<InodeId>) {
+        let mut ns = Namespace::new();
+        let mut files = Vec::new();
+        for d in 0..4 {
+            let dir = ns.mkdir(InodeId::ROOT, &format!("d{d}")).unwrap();
+            for i in 0..25 {
+                files.push(ns.create_file(dir, &format!("f{i}"), 1).unwrap());
+            }
+        }
+        (ns, SubtreeMap::new(MdsRank(0)), files)
+    }
+
+    fn feed(b: &mut LunuleBalancer, ns: &Namespace, files: &[InodeId]) {
+        for f in files {
+            b.record_access(
+                ns,
+                Access {
+                    ino: *f,
+                    served_by: MdsRank(0),
+                    kind: OpKind::Read,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_low_load_produces_no_plan() {
+        let (ns, map, files) = fixture();
+        let mut b = LunuleBalancer::new(small_cfg());
+        feed(&mut b, &ns, &files);
+        // Even loads: IF ~ 0.
+        let plan = b.on_epoch(&ns, &map, &EpochStats::new(0, 10.0, vec![100; 3]));
+        assert!(plan.is_empty());
+        assert!(b.last_imbalance_factor() < 0.05);
+    }
+
+    #[test]
+    fn benign_imbalance_is_tolerated() {
+        let (ns, map, files) = fixture();
+        let mut b = LunuleBalancer::new(small_cfg());
+        feed(&mut b, &ns, &files);
+        // Skewed but tiny absolute load: urgency suppresses the trigger.
+        let plan = b.on_epoch(&ns, &map, &EpochStats::new(0, 10.0, vec![30, 1, 1]));
+        assert!(plan.is_empty(), "urgency must suppress benign imbalance");
+    }
+
+    #[test]
+    fn harmful_imbalance_triggers_workload_aware_plan() {
+        let (ns, map, files) = fixture();
+        let mut b = LunuleBalancer::new(small_cfg());
+        feed(&mut b, &ns, &files);
+        // mds.0 saturated, peers idle.
+        let plan = b.on_epoch(&ns, &map, &EpochStats::new(0, 10.0, vec![1000, 0, 0]));
+        assert!(!plan.is_empty(), "IF={} should trigger", b.last_imbalance_factor());
+        for task in &plan.exports {
+            assert_eq!(task.from, MdsRank(0));
+            assert_ne!(task.to, MdsRank(0));
+            assert!(!task.subtrees.is_empty());
+            assert!(task.selected_load() > 0.0);
+        }
+    }
+
+    #[test]
+    fn light_variant_uses_heat() {
+        let (ns, map, files) = fixture();
+        let mut b = LunuleBalancer::new(LunuleConfig {
+            workload_aware: false,
+            ..small_cfg()
+        });
+        assert_eq!(b.name(), "Lunule-Light");
+        feed(&mut b, &ns, &files);
+        let plan = b.on_epoch(&ns, &map, &EpochStats::new(0, 10.0, vec![1000, 0, 0]));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn plan_exports_only_owned_subtrees() {
+        let (ns, map, files) = fixture();
+        let mut b = LunuleBalancer::new(small_cfg());
+        feed(&mut b, &ns, &files);
+        let plan = b.on_epoch(&ns, &map, &EpochStats::new(0, 10.0, vec![1000, 0, 0]));
+        for task in &plan.exports {
+            for choice in &task.subtrees {
+                let auth =
+                    map.frag_authority(&ns, choice.subtree.dir, &choice.subtree.frag);
+                assert_eq!(auth, task.from, "exporter must own what it ships");
+            }
+        }
+    }
+
+    #[test]
+    fn name_reflects_variant() {
+        assert_eq!(LunuleBalancer::new(LunuleConfig::default()).name(), "Lunule");
+        assert_eq!(LunuleBalancer::new(LunuleConfig::light()).name(), "Lunule-Light");
+    }
+}

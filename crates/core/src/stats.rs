@@ -1,0 +1,164 @@
+//! Cluster load statistics exchanged between the simulator and balancers.
+//!
+//! In the real system these are the *Imbalance State* messages each MDS's
+//! Load Monitor ships to the Migration Initiator once per epoch; here they
+//! are a plain snapshot struct.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-epoch load snapshot of the whole MDS cluster.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index, starting at 0.
+    pub epoch: u64,
+    /// Epoch length in (simulated) seconds.
+    pub epoch_secs: f64,
+    /// Metadata requests served by each MDS rank during this epoch,
+    /// indexed by rank.
+    pub requests: Vec<u64>,
+}
+
+impl EpochStats {
+    /// Creates a snapshot; `requests[r]` is rank `r`'s served request count.
+    pub fn new(epoch: u64, epoch_secs: f64, requests: Vec<u64>) -> Self {
+        assert!(epoch_secs > 0.0, "epoch length must be positive");
+        EpochStats {
+            epoch,
+            epoch_secs,
+            requests,
+        }
+    }
+
+    /// Number of MDS ranks in the snapshot.
+    pub fn n_mds(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Per-rank load in requests per second (the paper's IOPS metric).
+    pub fn iops(&self) -> Vec<f64> {
+        self.requests
+            .iter()
+            .map(|r| *r as f64 / self.epoch_secs)
+            .collect()
+    }
+
+    /// IOPS of a single rank.
+    pub fn iops_of(&self, rank: usize) -> f64 {
+        self.requests[rank] as f64 / self.epoch_secs
+    }
+
+    /// Aggregate cluster IOPS.
+    pub fn total_iops(&self) -> f64 {
+        self.requests.iter().sum::<u64>() as f64 / self.epoch_secs
+    }
+
+    /// Mean per-rank IOPS.
+    pub fn mean_iops(&self) -> f64 {
+        if self.requests.is_empty() {
+            0.0
+        } else {
+            self.total_iops() / self.requests.len() as f64
+        }
+    }
+
+    /// Highest per-rank IOPS (`l_max` in the urgency model).
+    pub fn max_iops(&self) -> f64 {
+        self.requests
+            .iter()
+            .map(|r| *r as f64 / self.epoch_secs)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Rolling per-rank load history used for future-load (`fld`) prediction.
+///
+/// Keeps the most recent `window` epochs of IOPS per rank.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LoadHistory {
+    window: usize,
+    per_rank: Vec<Vec<f64>>,
+}
+
+impl LoadHistory {
+    /// History retaining up to `window` epochs per rank.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "need at least two points to fit a trend");
+        LoadHistory {
+            window,
+            per_rank: Vec::new(),
+        }
+    }
+
+    /// Appends an epoch snapshot, growing the rank set if the cluster
+    /// expanded.
+    pub fn push(&mut self, stats: &EpochStats) {
+        if self.per_rank.len() < stats.n_mds() {
+            self.per_rank.resize_with(stats.n_mds(), Vec::new);
+        }
+        for (rank, series) in self.per_rank.iter_mut().enumerate() {
+            let v = if rank < stats.n_mds() {
+                stats.iops_of(rank)
+            } else {
+                0.0
+            };
+            series.push(v);
+            if series.len() > self.window {
+                series.remove(0);
+            }
+        }
+    }
+
+    /// Recorded history of `rank` (oldest first), empty if unseen.
+    pub fn series(&self, rank: usize) -> &[f64] {
+        self.per_rank
+            .get(rank)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of ranks tracked.
+    pub fn n_ranks(&self) -> usize {
+        self.per_rank.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iops_conversion() {
+        let s = EpochStats::new(3, 10.0, vec![100, 0, 50]);
+        assert_eq!(s.iops(), vec![10.0, 0.0, 5.0]);
+        assert_eq!(s.total_iops(), 15.0);
+        assert_eq!(s.mean_iops(), 5.0);
+        assert_eq!(s.max_iops(), 10.0);
+        assert_eq!(s.n_mds(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_epoch_rejected() {
+        EpochStats::new(0, 0.0, vec![]);
+    }
+
+    #[test]
+    fn history_rolls() {
+        let mut h = LoadHistory::new(3);
+        for e in 0..5u64 {
+            h.push(&EpochStats::new(e, 1.0, vec![e * 10, 1]));
+        }
+        assert_eq!(h.series(0), &[20.0, 30.0, 40.0]);
+        assert_eq!(h.series(1), &[1.0, 1.0, 1.0]);
+        assert_eq!(h.series(7), &[] as &[f64]);
+    }
+
+    #[test]
+    fn history_handles_cluster_growth() {
+        let mut h = LoadHistory::new(4);
+        h.push(&EpochStats::new(0, 1.0, vec![5]));
+        h.push(&EpochStats::new(1, 1.0, vec![5, 7]));
+        assert_eq!(h.n_ranks(), 2);
+        assert_eq!(h.series(1), &[7.0]);
+    }
+}

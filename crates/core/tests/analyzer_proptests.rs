@@ -1,0 +1,119 @@
+//! Property-based tests for the Pattern Analyzer and migration index.
+
+use lunule_core::{AnalyzerConfig, PatternAnalyzer};
+use lunule_namespace::{InodeId, Namespace};
+use proptest::prelude::*;
+
+/// Two directories of `files` files each.
+fn fixture(files: usize) -> (Namespace, Vec<InodeId>, Vec<InodeId>) {
+    let mut ns = Namespace::new();
+    let mut dirs = Vec::new();
+    let mut all = Vec::new();
+    for d in 0..2 {
+        let dir = ns.mkdir(InodeId::ROOT, &format!("d{d}")).unwrap();
+        for i in 0..files {
+            all.push(ns.create_file(dir, &format!("f{i}"), 1).unwrap());
+        }
+        dirs.push(dir);
+    }
+    (ns, dirs, all)
+}
+
+proptest! {
+    /// Under any interleaving of accesses and window advances: α stays in
+    /// [0,1], every factor is non-negative, and the visited count never
+    /// exceeds the directory population.
+    #[test]
+    fn factors_stay_in_range(
+        ops in proptest::collection::vec((0usize..40, any::<bool>()), 1..300),
+        sibling in 0.0f64..=1.0,
+    ) {
+        let (ns, dirs, files) = fixture(20);
+        let mut an = PatternAnalyzer::new(AnalyzerConfig {
+            recent_windows: 4,
+            recurrence_lookback: 8,
+            sibling_probability: sibling,
+            seed: 7,
+        });
+        for (sel, advance) in ops {
+            an.record_access(&ns, files[sel % files.len()], false);
+            if advance {
+                an.advance_window();
+            }
+        }
+        for dir in &dirs {
+            if let Some(idx) = an.index_of(*dir) {
+                prop_assert!((0.0..=1.0).contains(&idx.alpha), "alpha {}", idx.alpha);
+                prop_assert!(idx.beta >= 0.0);
+                prop_assert!(idx.l_t >= 0.0);
+                prop_assert!(idx.l_s >= 0.0);
+                prop_assert!(idx.value() >= 0.0);
+            }
+        }
+    }
+
+    /// A directory idle for longer than the window span decays to zero
+    /// recent activity, no matter what happened before.
+    #[test]
+    fn idle_directories_decay(burst in 1usize..100) {
+        let (ns, dirs, files) = fixture(30);
+        let mut an = PatternAnalyzer::new(AnalyzerConfig {
+            sibling_probability: 0.0,
+            ..AnalyzerConfig::default()
+        });
+        for i in 0..burst {
+            an.record_access(&ns, files[i % files.len()], false);
+        }
+        for _ in 0..AnalyzerConfig::default().recent_windows + 1 {
+            an.advance_window();
+        }
+        let idx = an.index_of(dirs[0]).expect("dir was observed");
+        prop_assert_eq!(idx.l_t, 0.0);
+        prop_assert_eq!(idx.l_s, 0.0);
+        prop_assert_eq!(idx.alpha, 0.0);
+    }
+
+    /// Creates followed by removals leave the unvisited balance at zero —
+    /// β must not go negative or explode after a full create/remove cycle.
+    #[test]
+    fn create_remove_cycles_balance(count in 1usize..60) {
+        let mut ns = Namespace::new();
+        let dir = ns.mkdir(InodeId::ROOT, "out").unwrap();
+        let mut an = PatternAnalyzer::new(AnalyzerConfig {
+            sibling_probability: 0.0,
+            ..AnalyzerConfig::default()
+        });
+        let mut created = Vec::new();
+        for i in 0..count {
+            let f = ns.create_file(dir, &format!("f{i}"), 0).unwrap();
+            an.record_access(&ns, f, true);
+            created.push(f);
+        }
+        for f in &created {
+            an.record_access(&ns, *f, false);
+            an.record_remove(&ns, *f);
+            ns.unlink(*f).unwrap();
+        }
+        let idx = an.index_of(dir).expect("dir was observed");
+        prop_assert_eq!(idx.beta, 0.0, "no survivors -> nothing unvisited");
+        prop_assert!(ns.invariants_hold());
+    }
+
+    /// Determinism: the same access sequence always produces the same
+    /// migration indices, regardless of when indices are queried.
+    #[test]
+    fn analyzer_is_deterministic(ops in proptest::collection::vec(0usize..40, 1..150)) {
+        let (ns, dirs, files) = fixture(20);
+        let run = |query_midway: bool| {
+            let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
+            for (i, sel) in ops.iter().enumerate() {
+                an.record_access(&ns, files[sel % files.len()], false);
+                if query_midway && i == ops.len() / 2 {
+                    let _ = an.mindex_of(dirs[0]);
+                }
+            }
+            (an.mindex_of(dirs[0]), an.mindex_of(dirs[1]))
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}

@@ -1,0 +1,189 @@
+//! Bulk namespace construction helpers shared by workload generators.
+
+use crate::inode::InodeId;
+use crate::tree::Namespace;
+
+/// Describes a flat "N directories × M files each" dataset layout, the shape
+/// shared by the paper's CNN (ImageNet: 1000 class dirs) and NLP (14 corpus
+/// folders) datasets.
+#[derive(Clone, Copy, Debug)]
+pub struct FlatDataset {
+    /// Number of top-level directories.
+    pub dirs: usize,
+    /// Files per directory.
+    pub files_per_dir: usize,
+    /// Uniform file size in bytes.
+    pub file_size: u64,
+}
+
+/// Result of materialising a [`FlatDataset`]: the dataset root plus, per
+/// directory, the directory id and its file ids in creation order.
+#[derive(Clone, Debug)]
+pub struct BuiltDataset {
+    /// Directory under which all class dirs were created.
+    pub root: InodeId,
+    /// One entry per class dir: (dir id, file ids).
+    pub dirs: Vec<(InodeId, Vec<InodeId>)>,
+}
+
+impl BuiltDataset {
+    /// All file ids in directory-major, creation order — the order a
+    /// sequential scan visits them.
+    pub fn files_in_scan_order(&self) -> Vec<InodeId> {
+        self.dirs
+            .iter()
+            .flat_map(|(_, files)| files.iter().copied())
+            .collect()
+    }
+
+    /// Total number of files.
+    pub fn file_count(&self) -> usize {
+        self.dirs.iter().map(|(_, f)| f.len()).sum()
+    }
+}
+
+/// Creates `spec.dirs` directories named `d0000..` under a fresh dataset root
+/// `name` and fills each with `spec.files_per_dir` files.
+pub fn build_flat_dataset(ns: &mut Namespace, name: &str, spec: FlatDataset) -> BuiltDataset {
+    let root = ns
+        .mkdir(InodeId::ROOT, name)
+        .expect("root is always a directory");
+    let mut dirs = Vec::with_capacity(spec.dirs);
+    for d in 0..spec.dirs {
+        let dir = ns
+            .mkdir(root, &format!("d{d:04}"))
+            .expect("dataset root is a directory");
+        let mut files = Vec::with_capacity(spec.files_per_dir);
+        for f in 0..spec.files_per_dir {
+            files.push(
+                ns.create_file(dir, &format!("f{f:06}"), spec.file_size)
+                    .expect("class dir is a directory"),
+            );
+        }
+        dirs.push((dir, files));
+    }
+    BuiltDataset { root, dirs }
+}
+
+/// Creates one private directory per client under `name` (the shape of the
+/// Filebench-Zipfian and MDtest workloads, where clients operate on
+/// non-shared directories) and pre-populates each with `files_per_client`
+/// files of `file_size` bytes.
+pub fn build_private_dirs(
+    ns: &mut Namespace,
+    name: &str,
+    clients: usize,
+    files_per_client: usize,
+    file_size: u64,
+) -> BuiltDataset {
+    let root = ns
+        .mkdir(InodeId::ROOT, name)
+        .expect("root is always a directory");
+    let mut dirs = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let dir = ns
+            .mkdir(root, &format!("client{c:04}"))
+            .expect("dataset root is a directory");
+        let mut files = Vec::with_capacity(files_per_client);
+        for f in 0..files_per_client {
+            files.push(
+                ns.create_file(dir, &format!("f{f:06}"), file_size)
+                    .expect("client dir is a directory"),
+            );
+        }
+        dirs.push((dir, files));
+    }
+    BuiltDataset { root, dirs }
+}
+
+/// Builds a depth-`levels` tree where each internal node has `fanout`
+/// subdirectories and each leaf directory holds `files_per_leaf` files. Used
+/// for the Web-trace namespace, which spreads ~302k files over a deep
+/// document tree.
+pub fn build_deep_tree(
+    ns: &mut Namespace,
+    name: &str,
+    levels: usize,
+    fanout: usize,
+    files_per_leaf: usize,
+    file_size: u64,
+) -> BuiltDataset {
+    let root = ns
+        .mkdir(InodeId::ROOT, name)
+        .expect("root is always a directory");
+    let mut frontier = vec![root];
+    for level in 0..levels {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for (i, dir) in frontier.iter().enumerate() {
+            for j in 0..fanout {
+                next.push(
+                    ns.mkdir(*dir, &format!("l{level}_{i}_{j}"))
+                        .expect("internal node is a directory"),
+                );
+            }
+        }
+        frontier = next;
+    }
+    let mut dirs = Vec::with_capacity(frontier.len());
+    for leaf in frontier {
+        let mut files = Vec::with_capacity(files_per_leaf);
+        for f in 0..files_per_leaf {
+            files.push(
+                ns.create_file(leaf, &format!("f{f:06}"), file_size)
+                    .expect("leaf is a directory"),
+            );
+        }
+        dirs.push((leaf, files));
+    }
+    BuiltDataset { root, dirs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_dataset_shape() {
+        let mut ns = Namespace::new();
+        let built = build_flat_dataset(
+            &mut ns,
+            "imagenet",
+            FlatDataset {
+                dirs: 10,
+                files_per_dir: 20,
+                file_size: 114_300,
+            },
+        );
+        assert_eq!(built.dirs.len(), 10);
+        assert_eq!(built.file_count(), 200);
+        assert_eq!(ns.file_count(), 200);
+        assert_eq!(ns.dir_count(), 1 + 1 + 10); // root + dataset root + classes
+        assert_eq!(built.files_in_scan_order().len(), 200);
+        assert!(ns.invariants_hold());
+    }
+
+    #[test]
+    fn private_dirs_shape() {
+        let mut ns = Namespace::new();
+        let built = build_private_dirs(&mut ns, "zipf", 4, 100, 2_800);
+        assert_eq!(built.dirs.len(), 4);
+        assert_eq!(ns.file_count(), 400);
+        for (dir, files) in &built.dirs {
+            assert_eq!(ns.inode(*dir).children().len(), files.len());
+        }
+        assert!(ns.invariants_hold());
+    }
+
+    #[test]
+    fn deep_tree_shape() {
+        let mut ns = Namespace::new();
+        let built = build_deep_tree(&mut ns, "web", 3, 4, 5, 10_000);
+        assert_eq!(built.dirs.len(), 64); // 4^3 leaves
+        assert_eq!(built.file_count(), 320);
+        // Leaf depth: root(0) -> web(1) -> 3 levels -> 4.
+        let (leaf, files) = &built.dirs[0];
+        assert_eq!(ns.inode(*leaf).depth(), 4);
+        assert_eq!(ns.inode(files[0]).depth(), 5);
+        assert!(ns.invariants_hold());
+    }
+}

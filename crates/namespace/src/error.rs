@@ -1,0 +1,45 @@
+//! Typed errors for namespace operations.
+
+use crate::inode::InodeId;
+
+/// Errors raised by [`crate::Namespace`] mutations and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NsError {
+    /// The referenced inode does not exist in this namespace.
+    NoSuchInode(InodeId),
+    /// A file was used where a directory is required.
+    NotADirectory(InodeId),
+    /// A directory was used where a file is required.
+    IsADirectory(InodeId),
+    /// Attempted to re-parent or delete the root.
+    RootIsImmovable,
+    /// `rmdir` on a directory that still has children.
+    DirectoryNotEmpty(InodeId),
+    /// `rename` would move a directory into its own subtree.
+    WouldCreateCycle {
+        /// The inode being moved.
+        moved: InodeId,
+        /// The destination directory (inside `moved`'s subtree).
+        into: InodeId,
+    },
+}
+
+impl std::fmt::Display for NsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NsError::NoSuchInode(id) => write!(f, "no such inode: {id:?}"),
+            NsError::NotADirectory(id) => write!(f, "not a directory: {id:?}"),
+            NsError::IsADirectory(id) => write!(f, "is a directory: {id:?}"),
+            NsError::RootIsImmovable => write!(f, "the root inode cannot be moved or removed"),
+            NsError::DirectoryNotEmpty(id) => write!(f, "directory not empty: {id:?}"),
+            NsError::WouldCreateCycle { moved, into } => {
+                write!(f, "moving {moved:?} into {into:?} would create a cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NsError {}
+
+/// Convenience alias used throughout the crate.
+pub type NsResult<T> = Result<T, NsError>;

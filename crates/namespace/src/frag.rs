@@ -1,0 +1,423 @@
+//! Ceph-style directory fragments (`frag_t`).
+//!
+//! A directory's dentries are hashed into a 24-bit hash space. A [`Frag`]
+//! denotes the subset of that space whose top `bits` bits equal `value`.
+//! `Frag::root()` covers the whole directory; splitting a frag produces
+//! children that partition it exactly. CephFS uses the same representation to
+//! let a single huge directory be carved up and spread across MDSs; we need
+//! it for the MDtest workload, where every client creates 100k files in one
+//! directory and balance is only achievable by fragment splitting.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of significant bits in the dentry hash space.
+pub const HASH_BITS: u8 = 24;
+
+/// Mask covering the whole dentry hash space.
+pub const HASH_MASK: u32 = (1 << HASH_BITS) - 1;
+
+/// A fragment of a directory's dentry hash space.
+///
+/// Invariant: `bits <= HASH_BITS` and `value` has zeros outside its top
+/// `bits`-bit prefix (i.e. `value < 2^bits`, stored left-aligned at bit 0 of
+/// a `bits`-wide prefix, matching Ceph's `frag_t`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Frag {
+    /// Prefix value occupying the low `bits` bits.
+    value: u32,
+    /// Number of prefix bits that are significant.
+    bits: u8,
+}
+
+impl Frag {
+    /// The root fragment covering the entire hash space of a directory.
+    pub const fn root() -> Self {
+        Frag { value: 0, bits: 0 }
+    }
+
+    /// Builds a fragment from a prefix `value` of `bits` significant bits.
+    ///
+    /// # Panics
+    /// Panics if `bits > HASH_BITS` or `value` does not fit in `bits` bits.
+    pub fn new(value: u32, bits: u8) -> Self {
+        assert!(bits <= HASH_BITS, "frag bits {bits} exceed hash width");
+        assert!(
+            bits == HASH_BITS || value < (1u32 << bits),
+            "frag value {value:#x} does not fit in {bits} bits"
+        );
+        Frag { value, bits }
+    }
+
+    /// Prefix value (low `self.bits()` bits significant).
+    pub const fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Number of significant prefix bits. 0 means the whole directory.
+    pub const fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// True if this is the root fragment (the undivided directory).
+    pub const fn is_root(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Fraction of the directory's hash space this fragment covers.
+    pub fn coverage(&self) -> f64 {
+        1.0 / (1u64 << self.bits) as f64
+    }
+
+    /// True if `hash` (a dentry hash, only the low [`HASH_BITS`] bits are
+    /// used) falls inside this fragment.
+    pub fn contains_hash(&self, hash: u32) -> bool {
+        if self.bits == 0 {
+            return true;
+        }
+        let h = hash & HASH_MASK;
+        (h >> (HASH_BITS - self.bits)) == self.value
+    }
+
+    /// True if `other` is this fragment or lies strictly inside it.
+    pub fn contains_frag(&self, other: &Frag) -> bool {
+        if other.bits < self.bits {
+            return false;
+        }
+        (other.value >> (other.bits - self.bits)) == self.value
+    }
+
+    /// Splits this fragment into `2^by` equal children, in hash order.
+    ///
+    /// # Panics
+    /// Panics if the split would exceed [`HASH_BITS`] total bits or `by == 0`.
+    pub fn split(&self, by: u8) -> Vec<Frag> {
+        assert!(by > 0, "split(0) is a no-op; refuse it to catch bugs");
+        let nbits = self.bits + by;
+        assert!(nbits <= HASH_BITS, "cannot split past hash width");
+        (0..(1u32 << by))
+            .map(|i| Frag {
+                value: (self.value << by) | i,
+                bits: nbits,
+            })
+            .collect()
+    }
+
+    /// Splits into exactly two halves. Convenience for the subtree selector's
+    /// "divide it into two subtrees" path.
+    pub fn split_in_two(&self) -> (Frag, Frag) {
+        let kids = self.split(1);
+        (kids[0], kids[1])
+    }
+
+    /// The parent fragment one level up, or `None` for the root.
+    pub fn parent(&self) -> Option<Frag> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(Frag {
+                value: self.value >> 1,
+                bits: self.bits - 1,
+            })
+        }
+    }
+
+    /// The sibling sharing this fragment's parent, or `None` for the root.
+    pub fn sibling(&self) -> Option<Frag> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(Frag {
+                value: self.value ^ 1,
+                bits: self.bits,
+            })
+        }
+    }
+
+    /// True if the two fragments cover disjoint hash ranges.
+    pub fn disjoint(&self, other: &Frag) -> bool {
+        !self.contains_frag(other) && !other.contains_frag(self)
+    }
+
+    /// First hash value covered by this fragment.
+    pub fn range_start(&self) -> u32 {
+        if self.bits == 0 {
+            0
+        } else {
+            self.value << (HASH_BITS - self.bits)
+        }
+    }
+
+    /// One past the last hash value covered by this fragment.
+    pub fn range_end(&self) -> u32 {
+        if self.bits == 0 {
+            HASH_MASK + 1
+        } else {
+            (self.value + 1) << (HASH_BITS - self.bits)
+        }
+    }
+}
+
+impl Default for Frag {
+    fn default() -> Self {
+        Frag::root()
+    }
+}
+
+impl std::fmt::Debug for Frag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:x}*{}", self.value, self.bits)
+    }
+}
+
+impl std::fmt::Display for Frag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Hashes a dentry (identified by the child inode's raw id) into the
+/// [`HASH_BITS`]-wide dentry hash space.
+///
+/// A Fibonacci-style multiplicative hash: cheap, deterministic, and spreads
+/// consecutive ids uniformly, which is what we need to make frag splitting
+/// behave like Ceph's dentry-name hashing on our integer-keyed namespace.
+pub fn dentry_hash(raw_id: u64) -> u32 {
+    let h = raw_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 40) as u32) & HASH_MASK
+}
+
+/// A set of fragments that must always partition a directory's hash space.
+///
+/// Directories start with `[Frag::root()]`; splits replace one member by its
+/// children; merges do the reverse. The partition invariant is checked in
+/// debug builds after every mutation.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FragSet {
+    frags: Vec<Frag>,
+}
+
+impl FragSet {
+    /// A fresh, undivided directory: the single root fragment.
+    pub fn new_root() -> Self {
+        FragSet {
+            frags: vec![Frag::root()],
+        }
+    }
+
+    /// The current fragments, in ascending hash order.
+    pub fn frags(&self) -> &[Frag] {
+        &self.frags
+    }
+
+    /// Number of fragments.
+    pub fn len(&self) -> usize {
+        self.frags.len()
+    }
+
+    /// True when the directory is undivided.
+    pub fn is_empty(&self) -> bool {
+        self.frags.is_empty()
+    }
+
+    /// The fragment containing `hash`.
+    pub fn frag_for_hash(&self, hash: u32) -> Frag {
+        *self
+            .frags
+            .iter()
+            .find(|f| f.contains_hash(hash))
+            .expect("FragSet invariant: frags partition the hash space")
+    }
+
+    /// True if `frag` is currently one of the live fragments.
+    pub fn contains(&self, frag: &Frag) -> bool {
+        self.frags.contains(frag)
+    }
+
+    /// Splits `frag` into `2^by` children. Returns the children.
+    ///
+    /// # Panics
+    /// Panics if `frag` is not a live fragment of this set.
+    pub fn split(&mut self, frag: &Frag, by: u8) -> Vec<Frag> {
+        let idx = self
+            .frags
+            .iter()
+            .position(|f| f == frag)
+            .expect("split target must be a live fragment");
+        let children = frag.split(by);
+        self.frags.splice(idx..=idx, children.iter().copied());
+        self.debug_check();
+        children
+    }
+
+    /// Merges the children of `parent` back into `parent`.
+    ///
+    /// Returns `true` if the merge happened (i.e. all children were live).
+    pub fn merge(&mut self, parent: &Frag) -> bool {
+        let children = parent.split(1);
+        if !children.iter().all(|c| self.expandable_into(c)) {
+            return false;
+        }
+        // Remove every live frag under `parent`, then reinsert `parent`.
+        self.frags.retain(|f| !parent.contains_frag(f));
+        let pos = self
+            .frags
+            .iter()
+            .position(|f| f.range_start() > parent.range_start())
+            .unwrap_or(self.frags.len());
+        self.frags.insert(pos, *parent);
+        self.debug_check();
+        true
+    }
+
+    /// True if the live frags fully tile `target` (so a merge into `target`
+    /// is possible).
+    fn expandable_into(&self, target: &Frag) -> bool {
+        let covered: u64 = self
+            .frags
+            .iter()
+            .filter(|f| target.contains_frag(f))
+            .map(|f| (f.range_end() - f.range_start()) as u64)
+            .sum();
+        covered == (target.range_end() - target.range_start()) as u64
+    }
+
+    fn debug_check(&self) {
+        debug_assert!(self.partition_holds(), "FragSet no longer partitions");
+    }
+
+    /// Checks the partition invariant: fragments are disjoint and cover the
+    /// whole hash space. Exposed for tests.
+    pub fn partition_holds(&self) -> bool {
+        let mut sorted = self.frags.clone();
+        sorted.sort_by_key(|f| f.range_start());
+        let mut cursor = 0u64;
+        for f in &sorted {
+            if f.range_start() as u64 != cursor {
+                return false;
+            }
+            cursor = f.range_end() as u64;
+        }
+        cursor == (HASH_MASK as u64 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_covers_everything() {
+        let r = Frag::root();
+        assert!(r.contains_hash(0));
+        assert!(r.contains_hash(HASH_MASK));
+        assert_eq!(r.coverage(), 1.0);
+        assert!(r.is_root());
+    }
+
+    #[test]
+    fn split_partitions_parent() {
+        let r = Frag::root();
+        let kids = r.split(2);
+        assert_eq!(kids.len(), 4);
+        for h in [0u32, 1, 12345, HASH_MASK, HASH_MASK / 2] {
+            let owners: Vec<_> = kids.iter().filter(|k| k.contains_hash(h)).collect();
+            assert_eq!(owners.len(), 1, "hash {h} must land in exactly one child");
+        }
+        for k in &kids {
+            assert!(r.contains_frag(k));
+            assert!(!k.contains_frag(&r));
+        }
+    }
+
+    #[test]
+    fn parent_sibling_roundtrip() {
+        let r = Frag::root();
+        let (a, b) = r.split_in_two();
+        assert_eq!(a.parent(), Some(r));
+        assert_eq!(b.parent(), Some(r));
+        assert_eq!(a.sibling(), Some(b));
+        assert_eq!(b.sibling(), Some(a));
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.sibling(), None);
+        assert!(a.disjoint(&b));
+    }
+
+    #[test]
+    fn contains_frag_is_reflexive_and_ordered() {
+        let f = Frag::new(0b101, 3);
+        assert!(f.contains_frag(&f));
+        let deep = Frag::new(0b1011, 4);
+        assert!(f.contains_frag(&deep));
+        assert!(!deep.contains_frag(&f));
+        let other = Frag::new(0b100, 3);
+        assert!(f.disjoint(&other));
+    }
+
+    #[test]
+    fn ranges_are_contiguous() {
+        let kids = Frag::root().split(3);
+        let mut cursor = 0;
+        for k in kids {
+            assert_eq!(k.range_start(), cursor);
+            cursor = k.range_end();
+        }
+        assert_eq!(cursor, HASH_MASK + 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_past_width_panics() {
+        Frag::new(0, HASH_BITS).split(1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_value_panics() {
+        Frag::new(0b100, 2);
+    }
+
+    #[test]
+    fn fragset_split_and_lookup() {
+        let mut set = FragSet::new_root();
+        assert_eq!(set.len(), 1);
+        let kids = set.split(&Frag::root(), 1);
+        assert_eq!(set.len(), 2);
+        let h = 5u32;
+        let owner = set.frag_for_hash(h);
+        assert!(kids.contains(&owner));
+        assert!(set.partition_holds());
+    }
+
+    #[test]
+    fn fragset_merge_restores_root() {
+        let mut set = FragSet::new_root();
+        set.split(&Frag::root(), 2);
+        assert_eq!(set.len(), 4);
+        // Merge the left half first (needs its two children).
+        let (left, _right) = Frag::root().split_in_two();
+        assert!(set.merge(&left));
+        assert_eq!(set.len(), 3);
+        assert!(set.merge(&Frag::root()));
+        assert_eq!(set.len(), 1);
+        assert!(set.partition_holds());
+    }
+
+    #[test]
+    fn fragset_merge_refuses_partial() {
+        let mut set = FragSet::new_root();
+        let kids = set.split(&Frag::root(), 1);
+        set.split(&kids[0], 1);
+        // kids[0] now absent; merging root still works because its subtree is
+        // fully tiled by grandchildren + kids[1].
+        assert!(set.merge(&Frag::root()));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn dentry_hash_spreads() {
+        // Consecutive ids should not all land in the same half-space.
+        let (a, _b) = Frag::root().split_in_two();
+        let in_a = (0..1000u64).filter(|i| a.contains_hash(dentry_hash(*i))).count();
+        assert!(in_a > 300 && in_a < 700, "half-space share was {in_a}/1000");
+    }
+}

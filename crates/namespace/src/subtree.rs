@@ -1,0 +1,479 @@
+//! The subtree partition map: which MDS is authoritative for which dirfrag.
+//!
+//! CephFS's dynamic subtree partitioning delegates *dirfrag subtrees* to MDS
+//! ranks: an authority entry on `(dir, frag)` means "the children of `dir`
+//! whose dentry hash lies in `frag`, and everything below them, are served by
+//! rank `r` — except where a deeper entry overrides". The directory inode
+//! itself stays with the parent subtree. [`SubtreeMap`] implements exactly
+//! that resolution, plus the bookkeeping the simulator and balancers need:
+//! per-rank subtree-root enumeration, per-rank inode counts, and
+//! authority-boundary (forward) counting along metadata paths.
+
+use crate::frag::{dentry_hash, Frag};
+use crate::inode::InodeId;
+use crate::tree::Namespace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Rank (index) of a metadata server in the cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MdsRank(pub u16);
+
+impl MdsRank {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for MdsRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mds.{}", self.0)
+    }
+}
+
+impl std::fmt::Display for MdsRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a dirfrag subtree root: directory inode + fragment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct FragKey {
+    /// The directory whose children (in `frag`) this subtree covers.
+    pub dir: InodeId,
+    /// The covered fragment of the directory's dentry hash space.
+    pub frag: Frag,
+}
+
+impl FragKey {
+    /// Subtree covering the whole (undivided) directory `dir`.
+    pub fn whole(dir: InodeId) -> Self {
+        FragKey {
+            dir,
+            frag: Frag::root(),
+        }
+    }
+}
+
+/// The cluster-wide authority table.
+///
+/// Changes are tracked by a monotonically increasing `generation`, which the
+/// simulator's client caches use for invalidation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SubtreeMap {
+    /// Authority entries grouped by directory. Each directory may carry
+    /// entries for several (possibly nested) fragments; resolution picks the
+    /// deepest (most-bits) fragment containing the child's dentry hash.
+    entries: HashMap<InodeId, Vec<(Frag, MdsRank)>>,
+    /// Authority for the root directory inode `/` and the fallback for any
+    /// path with no matching entry.
+    root_rank: MdsRank,
+    generation: u64,
+}
+
+impl SubtreeMap {
+    /// A map where every inode is served by `root_rank` (the initial CephFS
+    /// state: the whole namespace is one subtree on mds.0).
+    pub fn new(root_rank: MdsRank) -> Self {
+        SubtreeMap {
+            entries: HashMap::new(),
+            root_rank,
+            generation: 0,
+        }
+    }
+
+    /// Monotonic change counter; bumps on every authority mutation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The rank serving `/` and everything not covered by an entry.
+    pub fn root_rank(&self) -> MdsRank {
+        self.root_rank
+    }
+
+    /// Number of explicit authority entries (subtree roots besides `/`).
+    pub fn entry_count(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Assigns subtree `(dir, frag)` to `rank`.
+    ///
+    /// If an entry for exactly this fragment exists it is replaced; nested
+    /// entries (deeper fragments or deeper directories) are left alone, so
+    /// previously delegated sub-subtrees keep their authority — matching
+    /// CephFS, where migrating a subtree does not recall its nested bounds.
+    pub fn set_authority(&mut self, key: FragKey, rank: MdsRank) {
+        let dir_entries = self.entries.entry(key.dir).or_default();
+        match dir_entries.iter_mut().find(|(f, _)| *f == key.frag) {
+            Some(slot) => slot.1 = rank,
+            None => dir_entries.push((key.frag, rank)),
+        }
+        self.generation += 1;
+    }
+
+    /// Removes the entry for exactly `(dir, frag)` if present, letting the
+    /// region fall back to the enclosing subtree's authority.
+    pub fn clear_authority(&mut self, key: FragKey) -> bool {
+        let Some(dir_entries) = self.entries.get_mut(&key.dir) else {
+            return false;
+        };
+        let before = dir_entries.len();
+        dir_entries.retain(|(f, _)| *f != key.frag);
+        let removed = dir_entries.len() != before;
+        if dir_entries.is_empty() {
+            self.entries.remove(&key.dir);
+        }
+        if removed {
+            self.generation += 1;
+        }
+        removed
+    }
+
+    /// Authority of the child of `dir` whose dentry hash is `hash`, assuming
+    /// `dir` itself is served by `dir_auth`.
+    fn child_authority(&self, dir: InodeId, hash: u32, dir_auth: MdsRank) -> MdsRank {
+        match self.entries.get(&dir) {
+            None => dir_auth,
+            Some(dir_entries) => dir_entries
+                .iter()
+                .filter(|(f, _)| f.contains_hash(hash))
+                .max_by_key(|(f, _)| f.bits())
+                .map(|(_, r)| *r)
+                .unwrap_or(dir_auth),
+        }
+    }
+
+    /// The MDS rank authoritative for inode `ino`.
+    pub fn authority(&self, ns: &Namespace, ino: InodeId) -> MdsRank {
+        let chain = ns.path_chain(ino);
+        let mut auth = self.root_rank;
+        for pair in chain.windows(2) {
+            let (dir, child) = (pair[0], pair[1]);
+            auth = self.child_authority(dir, dentry_hash(child.raw()), auth);
+        }
+        auth
+    }
+
+    /// Authority of every inode along the path from `/` to `ino`, inclusive.
+    pub fn authority_chain(&self, ns: &Namespace, ino: InodeId) -> Vec<MdsRank> {
+        let chain = ns.path_chain(ino);
+        let mut out = Vec::with_capacity(chain.len());
+        let mut auth = self.root_rank;
+        out.push(auth);
+        for pair in chain.windows(2) {
+            let (dir, child) = (pair[0], pair[1]);
+            auth = self.child_authority(dir, dentry_hash(child.raw()), auth);
+            out.push(auth);
+        }
+        out
+    }
+
+    /// Number of authority-boundary crossings a full path traversal from `/`
+    /// to `ino` encounters. Each crossing corresponds to a request forward
+    /// between MDSs (the metric in Fig. 14's Dir-Hash comparison).
+    pub fn forwards_on_path(&self, ns: &Namespace, ino: InodeId) -> u32 {
+        let auths = self.authority_chain(ns, ino);
+        auths.windows(2).filter(|w| w[0] != w[1]).count() as u32
+    }
+
+    /// Rank of the entry keyed on exactly `(dir, frag)`, if any.
+    pub fn explicit_entry_rank(&self, dir: InodeId, frag: &Frag) -> Option<MdsRank> {
+        self.entries
+            .get(&dir)?
+            .iter()
+            .find(|(f, _)| f == frag)
+            .map(|(_, r)| *r)
+    }
+
+    /// Rank of the deepest entry on `dir` whose fragment covers `frag`
+    /// entirely, if any.
+    pub fn covering_entry_rank(&self, dir: InodeId, frag: &Frag) -> Option<MdsRank> {
+        self.entries
+            .get(&dir)?
+            .iter()
+            .filter(|(f, _)| f.contains_frag(frag))
+            .max_by_key(|(f, _)| f.bits())
+            .map(|(_, r)| *r)
+    }
+
+    /// The rank serving the children of `dir` that fall inside `frag`:
+    /// the covering entry if one exists, otherwise the authority the
+    /// directory inode itself resolves to. This is the authority of the
+    /// dirfrag subtree `(dir, frag)` as a migration unit.
+    pub fn frag_authority(&self, ns: &Namespace, dir: InodeId, frag: &Frag) -> MdsRank {
+        self.covering_entry_rank(dir, frag)
+            .unwrap_or_else(|| self.authority(ns, dir))
+    }
+
+    /// All explicit subtree roots currently assigned to `rank`.
+    pub fn subtree_roots_of(&self, rank: MdsRank) -> Vec<FragKey> {
+        let mut out: Vec<FragKey> = self
+            .entries
+            .iter()
+            .flat_map(|(dir, v)| {
+                v.iter()
+                    .filter(move |(_, r)| *r == rank)
+                    .map(move |(f, _)| FragKey { dir: *dir, frag: *f })
+            })
+            .collect();
+        out.sort_by_key(|k| (k.dir, k.frag));
+        out
+    }
+
+    /// All explicit subtree roots with their ranks.
+    pub fn all_entries(&self) -> Vec<(FragKey, MdsRank)> {
+        let mut out: Vec<(FragKey, MdsRank)> = self
+            .entries
+            .iter()
+            .flat_map(|(dir, v)| {
+                v.iter()
+                    .map(move |(f, r)| (FragKey { dir: *dir, frag: *f }, *r))
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| (k.dir, k.frag));
+        out
+    }
+
+    /// Counts how many inodes each of the first `n_mds` ranks is
+    /// authoritative for. O(total inodes × depth); used for reporting
+    /// (Fig 14a), not on the simulation hot path.
+    pub fn inode_counts(&self, ns: &Namespace, n_mds: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_mds];
+        for idx in 0..ns.len() {
+            let ino = InodeId::from_index(idx);
+            if !ns.inode(ino).is_alive() {
+                continue;
+            }
+            let rank = self.authority(ns, ino);
+            if rank.index() < n_mds {
+                counts[rank.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Removes redundant authority entries: an entry whose rank equals the
+    /// rank its region would inherit anyway contributes nothing but path
+    /// fragmentation (extra boundary crossings on traversals). CephFS's
+    /// subtree map performs the same coalescing when bounds collapse.
+    /// Returns the number of entries removed.
+    pub fn simplify(&mut self, ns: &Namespace) -> usize {
+        let mut removed_total = 0;
+        loop {
+            let mut removed = 0;
+            for (key, rank) in self.all_entries() {
+                let inherited = self
+                    .entries
+                    .get(&key.dir)
+                    .and_then(|v| {
+                        v.iter()
+                            .filter(|(f, _)| *f != key.frag && f.contains_frag(&key.frag))
+                            .max_by_key(|(f, _)| f.bits())
+                            .map(|(_, r)| *r)
+                    })
+                    .unwrap_or_else(|| self.authority(ns, key.dir));
+                if inherited == rank {
+                    self.clear_authority(key);
+                    removed += 1;
+                }
+            }
+            removed_total += removed;
+            if removed == 0 {
+                return removed_total;
+            }
+        }
+    }
+
+    /// Checks that every explicit entry's fragment value is well-formed and
+    /// that per-directory entries never duplicate a fragment. Exposed for
+    /// property tests.
+    pub fn invariants_hold(&self) -> bool {
+        for dir_entries in self.entries.values() {
+            for (i, (f, _)) in dir_entries.iter().enumerate() {
+                for (g, _) in &dir_entries[i + 1..] {
+                    if f == g {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Namespace, InodeId, InodeId, InodeId, InodeId) {
+        // /           (mds.0)
+        //   a/        -> delegated to mds.1
+        //     a1/     -> nested delegation to mds.2
+        //       f
+        //   b/        (stays mds.0)
+        let mut ns = Namespace::new();
+        let a = ns.mkdir(InodeId::ROOT, "a").unwrap();
+        let a1 = ns.mkdir(a, "a1").unwrap();
+        let f = ns.create_file(a1, "f", 10).unwrap();
+        let b = ns.mkdir(InodeId::ROOT, "b").unwrap();
+        (ns, a, a1, f, b)
+    }
+
+    #[test]
+    fn default_everything_on_root_rank() {
+        let (ns, a, _, f, _) = fixture();
+        let map = SubtreeMap::new(MdsRank(0));
+        assert_eq!(map.authority(&ns, InodeId::ROOT), MdsRank(0));
+        assert_eq!(map.authority(&ns, a), MdsRank(0));
+        assert_eq!(map.authority(&ns, f), MdsRank(0));
+        assert_eq!(map.forwards_on_path(&ns, f), 0);
+    }
+
+    #[test]
+    fn delegation_and_nesting() {
+        let (ns, a, a1, f, b) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        // Delegate subtree rooted at dir `a` (i.e. the dirfrag (a, root)).
+        map.set_authority(FragKey::whole(a), MdsRank(1));
+        // `a` dir inode itself stays on the parent subtree's authority path:
+        // the entry is keyed on `a`, so it affects a's children, not `a`.
+        assert_eq!(map.authority(&ns, a), MdsRank(0));
+        assert_eq!(map.authority(&ns, a1), MdsRank(1));
+        assert_eq!(map.authority(&ns, f), MdsRank(1));
+        assert_eq!(map.authority(&ns, b), MdsRank(0));
+        // Nested delegation overrides below its bound.
+        map.set_authority(FragKey::whole(a1), MdsRank(2));
+        assert_eq!(map.authority(&ns, a1), MdsRank(1));
+        assert_eq!(map.authority(&ns, f), MdsRank(2));
+        // Path /a/a1/f crosses 0->1 (at a1) and 1->2 (at f): two forwards.
+        assert_eq!(map.forwards_on_path(&ns, f), 2);
+    }
+
+    #[test]
+    fn clear_falls_back_to_enclosing() {
+        let (ns, a, _, f, _) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        map.set_authority(FragKey::whole(a), MdsRank(1));
+        assert_eq!(map.authority(&ns, f), MdsRank(1));
+        assert!(map.clear_authority(FragKey::whole(a)));
+        assert_eq!(map.authority(&ns, f), MdsRank(0));
+        assert!(!map.clear_authority(FragKey::whole(a)));
+    }
+
+    #[test]
+    fn frag_level_delegation_splits_children() {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "big").unwrap();
+        let kids: Vec<_> = (0..200)
+            .map(|i| ns.create_file(d, &format!("f{i}"), 0).unwrap())
+            .collect();
+        ns.split_frag(d, &Frag::root(), 1).unwrap();
+        let (left, right) = Frag::root().split_in_two();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        map.set_authority(FragKey { dir: d, frag: left }, MdsRank(1));
+        let mut on1 = 0;
+        for k in &kids {
+            let auth = map.authority(&ns, *k);
+            let frag = ns.frag_of_child(d, *k);
+            if frag == left {
+                assert_eq!(auth, MdsRank(1));
+                on1 += 1;
+            } else {
+                assert_eq!(frag, right);
+                assert_eq!(auth, MdsRank(0));
+            }
+        }
+        assert!(on1 > 0 && on1 < 200);
+    }
+
+    #[test]
+    fn deeper_frag_wins() {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "big").unwrap();
+        let kids: Vec<_> = (0..64)
+            .map(|i| ns.create_file(d, &format!("f{i}"), 0).unwrap())
+            .collect();
+        let (left, _) = Frag::root().split_in_two();
+        let (ll, _) = left.split_in_two();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        map.set_authority(FragKey { dir: d, frag: left }, MdsRank(1));
+        map.set_authority(FragKey { dir: d, frag: ll }, MdsRank(2));
+        for k in kids {
+            let h = ns.dentry_hash_of(k);
+            let expect = if ll.contains_hash(h) {
+                MdsRank(2)
+            } else if left.contains_hash(h) {
+                MdsRank(1)
+            } else {
+                MdsRank(0)
+            };
+            assert_eq!(map.authority(&ns, k), expect);
+        }
+    }
+
+    #[test]
+    fn generation_bumps_on_change() {
+        let (_, a, _, _, _) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        let g0 = map.generation();
+        map.set_authority(FragKey::whole(a), MdsRank(1));
+        assert!(map.generation() > g0);
+        let g1 = map.generation();
+        map.clear_authority(FragKey::whole(a));
+        assert!(map.generation() > g1);
+    }
+
+    #[test]
+    fn subtree_roots_of_reports_assignments() {
+        let (_, a, a1, _, b) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        map.set_authority(FragKey::whole(a), MdsRank(1));
+        map.set_authority(FragKey::whole(a1), MdsRank(1));
+        map.set_authority(FragKey::whole(b), MdsRank(2));
+        assert_eq!(map.subtree_roots_of(MdsRank(1)).len(), 2);
+        assert_eq!(map.subtree_roots_of(MdsRank(2)), vec![FragKey::whole(b)]);
+        assert_eq!(map.entry_count(), 3);
+        assert!(map.invariants_hold());
+    }
+
+    #[test]
+    fn simplify_removes_redundant_entries() {
+        let (ns, a, a1, f, b) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        // Redundant: same rank as the fallback.
+        map.set_authority(FragKey::whole(b), MdsRank(0));
+        // Meaningful chain: a -> rank 1, nested a1 -> rank 1 (redundant),
+        // because a1 inherits rank 1 through a's entry.
+        map.set_authority(FragKey::whole(a), MdsRank(1));
+        map.set_authority(FragKey::whole(a1), MdsRank(1));
+        let before_f = map.authority(&ns, f);
+        let removed = map.simplify(&ns);
+        assert_eq!(removed, 2, "both redundant entries go");
+        assert_eq!(map.entry_count(), 1);
+        assert_eq!(map.authority(&ns, f), before_f);
+        assert_eq!(map.authority(&ns, a1), MdsRank(1));
+    }
+
+    #[test]
+    fn simplify_keeps_meaningful_nesting() {
+        let (ns, a, a1, f, _) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        map.set_authority(FragKey::whole(a), MdsRank(1));
+        map.set_authority(FragKey::whole(a1), MdsRank(2));
+        assert_eq!(map.simplify(&ns), 0);
+        assert_eq!(map.authority(&ns, f), MdsRank(2));
+    }
+
+    #[test]
+    fn inode_counts_sum_to_namespace() {
+        let (ns, a, _, _, _) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        map.set_authority(FragKey::whole(a), MdsRank(1));
+        let counts = map.inode_counts(&ns, 3);
+        assert_eq!(counts.iter().sum::<usize>(), ns.len());
+        assert_eq!(counts[1], 2); // a1 and f
+    }
+}

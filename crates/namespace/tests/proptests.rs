@@ -1,0 +1,126 @@
+//! Property-based tests for the namespace substrate.
+
+use lunule_namespace::{
+    dentry_hash, Frag, FragKey, FragSet, InodeId, MdsRank, Namespace, SubtreeMap, HASH_BITS,
+    HASH_MASK,
+};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary well-formed fragment.
+fn arb_frag() -> impl Strategy<Value = Frag> {
+    (0u8..=HASH_BITS).prop_flat_map(|bits| {
+        let max = if bits == 0 { 1u32 } else { 1u32 << bits };
+        (0..max).prop_map(move |value| Frag::new(value, bits))
+    })
+}
+
+proptest! {
+    /// Every hash lands in exactly one child of any split.
+    #[test]
+    fn split_partitions(frag in arb_frag(), hash in 0u32..=HASH_MASK, by in 1u8..=3) {
+        prop_assume!(frag.bits() + by <= HASH_BITS);
+        let kids = frag.split(by);
+        let owners = kids.iter().filter(|k| k.contains_hash(hash)).count();
+        if frag.contains_hash(hash) {
+            prop_assert_eq!(owners, 1);
+        } else {
+            prop_assert_eq!(owners, 0);
+        }
+    }
+
+    /// Containment agrees with range containment.
+    #[test]
+    fn contains_matches_ranges(a in arb_frag(), b in arb_frag()) {
+        let range_contains = a.range_start() <= b.range_start() && b.range_end() <= a.range_end();
+        prop_assert_eq!(a.contains_frag(&b), range_contains);
+    }
+
+    /// parent() inverts split().
+    #[test]
+    fn parent_inverts_split(frag in arb_frag()) {
+        prop_assume!(frag.bits() < HASH_BITS);
+        let (l, r) = frag.split_in_two();
+        prop_assert_eq!(l.parent(), Some(frag));
+        prop_assert_eq!(r.parent(), Some(frag));
+        prop_assert_eq!(l.sibling(), Some(r));
+    }
+
+    /// A FragSet subjected to a random split sequence always partitions the
+    /// hash space and routes every hash to exactly one live frag.
+    #[test]
+    fn fragset_partition_under_splits(splits in proptest::collection::vec(0u32..=HASH_MASK, 0..12),
+                                      probe in 0u32..=HASH_MASK) {
+        let mut set = FragSet::new_root();
+        for h in splits {
+            let target = set.frag_for_hash(h);
+            if target.bits() < HASH_BITS {
+                set.split(&target, 1);
+            }
+        }
+        prop_assert!(set.partition_holds());
+        let owner = set.frag_for_hash(probe);
+        prop_assert!(owner.contains_hash(probe));
+        let owners = set.frags().iter().filter(|f| f.contains_hash(probe)).count();
+        prop_assert_eq!(owners, 1);
+    }
+
+    /// Arena invariants hold under random construction sequences, and the
+    /// path chain of every inode starts at the root and descends by one
+    /// depth level per hop.
+    #[test]
+    fn namespace_invariants_under_random_builds(ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..120)) {
+        let mut ns = Namespace::new();
+        let mut dirs = vec![InodeId::ROOT];
+        for (sel, make_dir) in ops {
+            let parent = dirs[sel as usize % dirs.len()];
+            if make_dir {
+                let d = ns.mkdir(parent, "d").unwrap();
+                dirs.push(d);
+            } else {
+                ns.create_file(parent, "f", 1).unwrap();
+            }
+        }
+        prop_assert!(ns.invariants_hold());
+        for idx in 0..ns.len() {
+            let id = InodeId::from_index(idx);
+            let chain = ns.path_chain(id);
+            prop_assert_eq!(chain[0], InodeId::ROOT);
+            prop_assert_eq!(*chain.last().unwrap(), id);
+            for (i, link) in chain.iter().enumerate() {
+                prop_assert_eq!(ns.inode(*link).depth() as usize, i);
+            }
+        }
+    }
+
+    /// Authorities assigned through a SubtreeMap always resolve to a rank
+    /// that was actually assigned (or the root rank), and inode counts over
+    /// ranks always sum to the namespace size.
+    #[test]
+    fn subtree_map_total_coverage(assignments in proptest::collection::vec((0u16..64, 0u16..4), 0..10)) {
+        let mut ns = Namespace::new();
+        let mut dirs = Vec::new();
+        for i in 0..8 {
+            let d = ns.mkdir(InodeId::ROOT, &format!("d{i}")).unwrap();
+            dirs.push(d);
+            for j in 0..4 {
+                let s = ns.mkdir(d, &format!("s{j}")).unwrap();
+                dirs.push(s);
+                ns.create_file(s, "f", 1).unwrap();
+            }
+        }
+        let mut map = SubtreeMap::new(MdsRank(0));
+        for (dsel, rank) in assignments {
+            let dir = dirs[dsel as usize % dirs.len()];
+            map.set_authority(FragKey::whole(dir), MdsRank(rank));
+        }
+        prop_assert!(map.invariants_hold());
+        let counts = map.inode_counts(&ns, 4);
+        prop_assert_eq!(counts.iter().sum::<usize>(), ns.len());
+    }
+
+    /// dentry_hash stays within the hash space.
+    #[test]
+    fn dentry_hash_in_range(id in any::<u64>()) {
+        prop_assert!(dentry_hash(id) <= HASH_MASK);
+    }
+}

@@ -1,0 +1,450 @@
+//! Closed-loop client sessions with authority caching.
+//!
+//! Each client issues metadata ops back-to-back (closed loop, zero think
+//! time) up to a per-second rate cap, stalling when its target MDS has no
+//! capacity left this tick. Clients cache dirfrag→rank mappings (CephFS
+//! clients cache the subtree map the same way); the cache is flushed
+//! whenever the cluster's partition map changes, so traversals — and the
+//! inter-MDS forwards they cause — resume right after every migration.
+
+use crate::request::{MetaOp, OpStream};
+use lunule_namespace::{dentry_hash, Frag, FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
+use std::collections::HashMap;
+
+/// Outcome of resolving an op's route.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Route {
+    /// Rank that serves the op.
+    pub target: MdsRank,
+    /// Ranks that forward the request on a traversal (may repeat the
+    /// target's predecessors; empty on a cache hit).
+    pub forwards: Vec<MdsRank>,
+}
+
+/// Default maximum dirfrag→rank entries a client caches. CephFS clients
+/// hold a bounded view of the subtree map; an unbounded cache would make
+/// static pinning (Dir-Hash) artificially forward-free after warm-up,
+/// hiding the traversal cost the paper measures in Fig. 14.
+pub const CLIENT_CACHE_CAP: usize = 256;
+
+/// One simulated client.
+pub struct Client {
+    /// Client index (stable across the run).
+    pub id: usize,
+    stream: Box<dyn OpStream>,
+    /// Op returned by the stream but not yet served (stall retry buffer),
+    /// with the tick it was first attempted (for stall-latency tracking).
+    pending: Option<(MetaOp, u64)>,
+    /// Cached dirfrag→rank authority mappings.
+    cache: HashMap<InodeId, Vec<(Frag, MdsRank)>>,
+    /// FIFO of cached directories for eviction when the cap is reached.
+    cache_order: std::collections::VecDeque<InodeId>,
+    /// Total cached entries (across all directories).
+    cache_count: usize,
+    /// Ops issued in the current tick (rate limiting).
+    pub issued_this_tick: u32,
+    /// True once `next_op` returned `None`.
+    pub finished: bool,
+    /// Tick at which the stream finished (metadata side).
+    pub finished_at: Option<u64>,
+    /// Bytes of data transfer still owed before the client may proceed
+    /// (data-path model).
+    pub data_pending: u64,
+    /// Total metadata ops served for this client.
+    pub ops_done: u64,
+    /// Tick the client becomes active (for staged client arrival).
+    pub starts_at: u64,
+    /// Maximum cached dirfrag entries before FIFO eviction.
+    pub cache_cap: usize,
+    /// In-flight data window, bytes: the client stalls once `data_pending`
+    /// exceeds this. Zero means every byte blocks immediately.
+    pub data_window: u64,
+}
+
+impl Client {
+    /// Wraps an op stream into a client session starting at tick
+    /// `starts_at`.
+    pub fn new(id: usize, stream: Box<dyn OpStream>, starts_at: u64) -> Self {
+        Client {
+            id,
+            stream,
+            pending: None,
+            cache: HashMap::new(),
+            cache_order: std::collections::VecDeque::new(),
+            cache_count: 0,
+            issued_this_tick: 0,
+            finished: false,
+            finished_at: None,
+            data_pending: 0,
+            ops_done: 0,
+            starts_at,
+            cache_cap: CLIENT_CACHE_CAP,
+            data_window: 0,
+        }
+    }
+
+    /// True when the client can issue an op right now.
+    pub fn can_issue(&self, tick: u64, rate: f64) -> bool {
+        !self.finished
+            && tick >= self.starts_at
+            && self.data_pending <= self.data_window
+            && (self.issued_this_tick as f64) < rate
+    }
+
+    /// The op the client wants served next (peeks without consuming).
+    /// `tick` stamps the first attempt for stall-latency accounting.
+    pub fn peek_op(&mut self, ns: &Namespace, tick: u64) -> Option<MetaOp> {
+        if self.pending.is_none() {
+            self.pending = self.stream.next_op(ns).map(|op| (op, tick));
+            if self.pending.is_none() {
+                self.finished = true;
+            }
+        }
+        self.pending.map(|(op, _)| op)
+    }
+
+    /// Marks the pending op as served at `tick`; returns how many ticks it
+    /// spent stalled (0 = served on its first attempt).
+    pub fn consume_op(&mut self, tick: u64) -> u64 {
+        let (_, first_attempt) = self
+            .pending
+            .take()
+            .expect("consume without pending op");
+        self.issued_this_tick += 1;
+        self.ops_done += 1;
+        tick.saturating_sub(first_attempt)
+    }
+
+    /// Forwards a created-inode notification to the stream.
+    pub fn notify_created(&mut self, id: InodeId) {
+        self.stream.on_created(id);
+    }
+
+    /// Plans the route for an op targeting the child of `dir` with dentry
+    /// hash `hash` — read-only: the cache learns nothing until the op is
+    /// actually served and [`Client::learn_route`] is called. (Learning on a
+    /// stalled attempt would let the retry masquerade as a cache hit and
+    /// hide the traversal's forwarding work from the accounting.)
+    ///
+    /// Cache semantics mirror CephFS clients: a cached dirfrag→rank mapping
+    /// is used optimistically; if it has gone stale (the subtree migrated),
+    /// the stale MDS *redirects* the request — one forward charged at the
+    /// stale rank. Only genuinely unknown dirfrags pay a full path
+    /// traversal from the root.
+    ///
+    /// Returns the route and whether it was a (fresh) cache hit.
+    pub fn resolve(
+        &self,
+        ns: &Namespace,
+        map: &SubtreeMap,
+        dir: InodeId,
+        hash: u32,
+    ) -> (Route, bool) {
+        let cached = self.cache.get(&dir).and_then(|entries| {
+            entries
+                .iter()
+                .filter(|(f, _)| f.contains_hash(hash))
+                .max_by_key(|(f, _)| f.bits())
+                .map(|(_, r)| *r)
+        });
+        if let Some(cached_rank) = cached {
+            // Verify against the live map (the "send and get redirected"
+            // round-trip, collapsed to one forward).
+            let dir_auth = map.authority(ns, dir);
+            let true_auth = resolve_child(map, ns, dir, hash, dir_auth);
+            if true_auth == cached_rank {
+                return (
+                    Route {
+                        target: cached_rank,
+                        forwards: Vec::new(),
+                    },
+                    true,
+                );
+            }
+            return (
+                Route {
+                    target: true_auth,
+                    forwards: vec![cached_rank],
+                },
+                false,
+            );
+        }
+        // Cache miss: full traversal from the root. The authority chain of
+        // the *directory* plus the final hop for the dentry hash.
+        let mut auths = map.authority_chain(ns, dir);
+        let dir_auth = *auths.last().expect("chain is never empty");
+        let final_auth = resolve_child(map, ns, dir, hash, dir_auth);
+        auths.push(final_auth);
+        // Forwards: each change of authority along the way is one forward,
+        // performed by the rank that held the request before the hop.
+        let mut forwards = Vec::new();
+        for w in auths.windows(2) {
+            if w[0] != w[1] {
+                forwards.push(w[0]);
+            }
+        }
+        (
+            Route {
+                target: final_auth,
+                forwards,
+            },
+            false,
+        )
+    }
+
+    /// Records the resolved authority for `(dir, hash)` once the op was
+    /// served (the reply carries the authoritative rank).
+    pub fn learn_route(&mut self, ns: &Namespace, dir: InodeId, hash: u32, rank: MdsRank) {
+        let frag = ns.frag_for_hash(dir, hash);
+        self.update_cache(dir, frag, rank);
+    }
+
+    /// Replaces the cached rank for `(dir, frag)`, discarding entries the
+    /// new fragment supersedes (stale coarser or finer fragments) and
+    /// evicting the oldest directories once the cap is reached.
+    fn update_cache(&mut self, dir: InodeId, frag: Frag, rank: MdsRank) {
+        while self.cache_count >= self.cache_cap {
+            match self.cache_order.pop_front() {
+                Some(old) => {
+                    if let Some(removed) = self.cache.remove(&old) {
+                        self.cache_count -= removed.len();
+                    }
+                }
+                None => break,
+            }
+        }
+        let entries = self.cache.entry(dir).or_default();
+        if entries.is_empty() {
+            self.cache_order.push_back(dir);
+        }
+        let before = entries.len();
+        entries.retain(|(f, _)| f.disjoint(&frag));
+        self.cache_count -= before - entries.len();
+        entries.push((frag, rank));
+        self.cache_count += 1;
+    }
+
+    /// Applies a completed subtree migration to the cache: entries covered
+    /// by the migrated dirfrag switch to the importer in place. This models
+    /// CephFS's cap/session transfer — clients actively working in a
+    /// subtree are handed to the importer at commit rather than discovering
+    /// the move via a redirect.
+    pub fn apply_migration(&mut self, ns: &Namespace, subtree: &FragKey, new_rank: MdsRank) {
+        for (dir, entries) in self.cache.iter_mut() {
+            if *dir == subtree.dir {
+                for (f, r) in entries.iter_mut() {
+                    if subtree.frag.contains_frag(f) {
+                        *r = new_rank;
+                    }
+                }
+            } else if dir_inside_subtree(ns, *dir, subtree) {
+                for (_, r) in entries.iter_mut() {
+                    *r = new_rank;
+                }
+            }
+        }
+    }
+
+    /// Drops every cached entry pointing at `rank` — used when a rank is
+    /// drained or fails and can no longer answer (or redirect) anything.
+    /// The next access to those dirfrags pays a fresh traversal.
+    pub fn forget_rank(&mut self, rank: MdsRank) {
+        let mut removed = 0;
+        self.cache.retain(|_, entries| {
+            let before = entries.len();
+            entries.retain(|(_, r)| *r != rank);
+            removed += before - entries.len();
+            !entries.is_empty()
+        });
+        self.cache_count -= removed;
+        self.cache_order.retain(|d| self.cache.contains_key(d));
+    }
+
+    /// Number of cached dirfrag entries (test/inspection hook).
+    pub fn cache_len(&self) -> usize {
+        self.cache.values().map(Vec::len).sum()
+    }
+}
+
+/// True when directory `dir` lies strictly inside the subtree rooted at
+/// `subtree` (i.e. one of `dir`'s ancestors-or-self is a child of
+/// `subtree.dir` whose dentry hash falls in `subtree.frag`).
+fn dir_inside_subtree(ns: &Namespace, dir: InodeId, subtree: &FragKey) -> bool {
+    let chain = ns.path_chain(dir);
+    for w in chain.windows(2) {
+        if w[0] == subtree.dir {
+            return subtree.frag.contains_hash(dentry_hash(w[1].raw()));
+        }
+    }
+    false
+}
+
+/// Authority of the would-be child of `dir` with dentry hash `hash`, given
+/// the directory's own resolved authority.
+fn resolve_child(
+    map: &SubtreeMap,
+    ns: &Namespace,
+    dir: InodeId,
+    hash: u32,
+    dir_auth: MdsRank,
+) -> MdsRank {
+    let frag = ns.frag_for_hash(dir, hash);
+    map.covering_entry_rank(dir, &frag)
+        .or_else(|| {
+            // An entry deeper than the live frag (mid-split) still applies
+            // if it contains the hash.
+            map.explicit_entry_rank(dir, &frag)
+        })
+        .unwrap_or(dir_auth)
+}
+
+/// Convenience: the (dir, hash) pair an op routes by.
+pub fn routing_anchor(ns: &Namespace, op: &MetaOp) -> (InodeId, u32) {
+    match op {
+        MetaOp::Read(ino) | MetaOp::Remove(ino) => {
+            let dir = ns
+                .inode(*ino)
+                .parent()
+                .unwrap_or(*ino);
+            (dir, dentry_hash(ino.raw()))
+        }
+        MetaOp::Create { parent, .. } => {
+            // The created inode's id (and hence dentry hash) is the next
+            // arena slot.
+            let next = InodeId::from_index(ns.len());
+            (*parent, dentry_hash(next.raw()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::FixedStream;
+    use lunule_namespace::FragKey;
+
+    fn setup() -> (Namespace, SubtreeMap, InodeId, InodeId) {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "d").unwrap();
+        let f = ns.create_file(d, "f", 1).unwrap();
+        let map = SubtreeMap::new(MdsRank(0));
+        (ns, map, d, f)
+    }
+
+    #[test]
+    fn resolve_learns_only_after_serve() {
+        let (ns, map, d, f) = setup();
+        let mut c = Client::new(0, Box::new(FixedStream::new(vec![])), 0);
+        let hash = dentry_hash(f.raw());
+        let (r1, hit1) = c.resolve(&ns, &map, d, hash);
+        assert!(!hit1);
+        assert_eq!(r1.target, MdsRank(0));
+        assert!(r1.forwards.is_empty(), "single-authority path: no forwards");
+        // A retry before the op was served is still a miss (stalled ops must
+        // keep paying their traversal when eventually served).
+        let (_, hit_retry) = c.resolve(&ns, &map, d, hash);
+        assert!(!hit_retry);
+        c.learn_route(&ns, d, hash, r1.target);
+        let (r2, hit2) = c.resolve(&ns, &map, d, hash);
+        assert!(hit2);
+        assert_eq!(r2, Route { target: MdsRank(0), forwards: vec![] });
+    }
+
+    #[test]
+    fn stale_cache_entry_causes_redirect() {
+        let (ns, mut map, d, f) = setup();
+        let mut c = Client::new(0, Box::new(FixedStream::new(vec![])), 0);
+        let hash = dentry_hash(f.raw());
+        let (r0, _) = c.resolve(&ns, &map, d, hash);
+        c.learn_route(&ns, d, hash, r0.target);
+        assert!(c.cache_len() > 0);
+        map.set_authority(FragKey::whole(d), MdsRank(1));
+        let (r, hit) = c.resolve(&ns, &map, d, hash);
+        assert!(!hit, "stale entry is not a hit");
+        assert_eq!(r.target, MdsRank(1));
+        // The stale rank 0 redirects the request: one forward.
+        assert_eq!(r.forwards, vec![MdsRank(0)]);
+    }
+
+    #[test]
+    fn cap_transfer_updates_cache_in_place() {
+        let (ns, mut map, d, f) = setup();
+        let mut c = Client::new(0, Box::new(FixedStream::new(vec![])), 0);
+        let hash = dentry_hash(f.raw());
+        let (r0, _) = c.resolve(&ns, &map, d, hash);
+        c.learn_route(&ns, d, hash, r0.target);
+        map.set_authority(FragKey::whole(d), MdsRank(1));
+        c.apply_migration(&ns, &FragKey::whole(d), MdsRank(1));
+        let (r, hit) = c.resolve(&ns, &map, d, hash);
+        assert!(hit, "cap transfer keeps the cache fresh");
+        assert_eq!(r.target, MdsRank(1));
+        assert!(r.forwards.is_empty());
+    }
+
+    #[test]
+    fn cache_cap_evicts_fifo() {
+        let mut ns = Namespace::new();
+        let mut dirs = Vec::new();
+        for i in 0..6 {
+            let d = ns.mkdir(InodeId::ROOT, &format!("d{i}")).unwrap();
+            let f = ns.create_file(d, "f", 1).unwrap();
+            dirs.push((d, dentry_hash(f.raw())));
+        }
+        let map = SubtreeMap::new(MdsRank(0));
+        let mut c = Client::new(0, Box::new(FixedStream::new(vec![])), 0);
+        c.cache_cap = 4;
+        for (d, h) in &dirs {
+            c.learn_route(&ns, *d, *h, MdsRank(0));
+        }
+        assert!(c.cache_len() <= 4, "cap must bound the cache: {}", c.cache_len());
+        // The oldest entry was evicted: resolving it is a miss again.
+        let (_, hit) = c.resolve(&ns, &map, dirs[0].0, dirs[0].1);
+        assert!(!hit);
+        // The newest entry is still cached.
+        let (_, hit) = c.resolve(&ns, &map, dirs[5].0, dirs[5].1);
+        assert!(hit);
+    }
+
+    #[test]
+    fn rate_limiting_and_lifecycle() {
+        let (ns, _map, _d, f) = setup();
+        let mut c = Client::new(7, Box::new(FixedStream::new(vec![f])), 5);
+        assert!(!c.can_issue(0, 10.0), "not started yet");
+        assert!(c.can_issue(5, 10.0));
+        assert_eq!(c.peek_op(&ns, 5), Some(MetaOp::Read(f)));
+        assert_eq!(c.consume_op(7), 2, "stalled two ticks before serving");
+        assert_eq!(c.ops_done, 1);
+        assert_eq!(c.peek_op(&ns, 7), None);
+        assert!(c.finished);
+        assert!(!c.can_issue(6, 10.0));
+    }
+
+    #[test]
+    fn pending_op_survives_stall() {
+        let (ns, _map, _d, f) = setup();
+        let mut c = Client::new(0, Box::new(FixedStream::new(vec![f])), 0);
+        // Peek twice without consuming: same op, stream not advanced.
+        assert_eq!(c.peek_op(&ns, 0), Some(MetaOp::Read(f)));
+        assert_eq!(c.peek_op(&ns, 3), Some(MetaOp::Read(f)));
+        assert_eq!(c.consume_op(0), 0);
+        assert!(c.peek_op(&ns, 4).is_none());
+    }
+
+    #[test]
+    fn routing_anchor_for_create_uses_next_id() {
+        let (ns, _map, d, _f) = setup();
+        let (dir, hash) = routing_anchor(&ns, &MetaOp::Create { parent: d, size: 0 });
+        assert_eq!(dir, d);
+        assert_eq!(hash, dentry_hash(InodeId::from_index(ns.len()).raw()));
+    }
+
+    #[test]
+    fn data_pending_blocks_issuing() {
+        let (_ns, _map, _d, f) = setup();
+        let mut c = Client::new(0, Box::new(FixedStream::new(vec![f])), 0);
+        c.data_pending = 100;
+        assert!(!c.can_issue(0, 10.0));
+        c.data_pending = 0;
+        assert!(c.can_issue(0, 10.0));
+    }
+}

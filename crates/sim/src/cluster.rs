@@ -1,0 +1,674 @@
+//! The simulation driver: tick loop, request routing, balancer epochs.
+
+use crate::client::{routing_anchor, Client};
+use crate::config::SimConfig;
+use crate::datapath::DataPath;
+use crate::latency::LatencyHistogram;
+use crate::mds::MdsState;
+use crate::migration::Migrator;
+use crate::request::{MetaOp, OpStream};
+use crate::results::{EpochRecord, RunResult};
+use lunule_core::{imbalance_factor, Access, Balancer, EpochStats, OpKind};
+use lunule_namespace::{MdsRank, Namespace, SubtreeMap};
+
+/// A running MDS-cluster simulation.
+///
+/// Construct with a namespace, a balancer and per-client op streams, then
+/// either [`Simulation::run`] to completion or [`Simulation::run_until`]
+/// interleaved with [`Simulation::add_mds`] / [`Simulation::add_clients`]
+/// for the dynamic-adaptation experiments.
+pub struct Simulation {
+    cfg: SimConfig,
+    ns: Namespace,
+    map: SubtreeMap,
+    mds: Vec<MdsState>,
+    clients: Vec<Client>,
+    migrator: Migrator,
+    balancer: Box<dyn Balancer>,
+    datapath: Option<DataPath>,
+    latency: LatencyHistogram,
+    /// Resident (authoritative) inodes per rank, maintained incrementally
+    /// on creates, removes, migrations, and drains.
+    resident: Vec<u64>,
+    tick: u64,
+    epochs: Vec<EpochRecord>,
+}
+
+impl Simulation {
+    /// Builds a simulation. The balancer's `setup` hook runs here (static
+    /// policies pin the namespace now); all metadata starts on rank 0
+    /// otherwise, CephFS's initial single-subtree state.
+    pub fn new(
+        cfg: SimConfig,
+        ns: Namespace,
+        mut balancer: Box<dyn Balancer>,
+        streams: Vec<Box<dyn OpStream>>,
+    ) -> Self {
+        cfg.validate();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        balancer.setup(&ns, &mut map, cfg.n_mds);
+        let resident: Vec<u64> = map
+            .inode_counts(&ns, cfg.n_mds)
+            .into_iter()
+            .map(|c| c as u64)
+            .collect();
+        let clients = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut c = Client::new(i, s, 0);
+                c.cache_cap = cfg.client_cache_cap;
+                c.data_window = cfg.data_path.map(|dp| dp.client_window).unwrap_or(0);
+                c
+            })
+            .collect();
+        Simulation {
+            mds: (0..cfg.n_mds)
+                .map(|r| {
+                    MdsState::new(
+                        cfg.mds_capacities
+                            .get(r)
+                            .copied()
+                            .unwrap_or(cfg.mds_capacity),
+                    )
+                })
+                .collect(),
+            migrator: Migrator::new(
+                cfg.migration_bw,
+                cfg.migration_freeze_secs,
+                cfg.migration_op_cost,
+            ),
+            datapath: cfg.data_path.map(|dp| DataPath::new(dp.osd_bandwidth)),
+            latency: LatencyHistogram::new(),
+            resident,
+            clients,
+            balancer,
+            ns,
+            map,
+            tick: 0,
+            epochs: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of MDS ranks currently in the cluster.
+    pub fn n_mds(&self) -> usize {
+        self.mds.len()
+    }
+
+    /// The namespace being served (grows under create workloads).
+    pub fn namespace(&self) -> &Namespace {
+        &self.ns
+    }
+
+    /// The live partition map.
+    pub fn subtree_map(&self) -> &SubtreeMap {
+        &self.map
+    }
+
+    /// Adds one MDS rank to the cluster (Fig. 12a's expansion events).
+    pub fn add_mds(&mut self) {
+        self.mds.push(MdsState::new(self.cfg.mds_capacity));
+        self.resident.push(0);
+    }
+
+    /// Drains MDS `rank`: every subtree it is authoritative for fails over
+    /// to the surviving ranks (round-robin), in-flight migrations touching
+    /// it are abandoned, and its capacity drops to zero so it serves
+    /// nothing further. Models planned decommission or failure with
+    /// instant journal replay — an extension beyond the paper, which only
+    /// grows the cluster.
+    ///
+    /// Rank indices stay stable (CephFS ranks are also stable identifiers);
+    /// the drained rank simply goes dark in the per-epoch series.
+    pub fn drain_mds(&mut self, rank: MdsRank) {
+        assert!(rank.index() < self.mds.len(), "no such rank");
+        let survivors: Vec<MdsRank> = (0..self.mds.len())
+            .filter(|r| *r != rank.index())
+            .map(|r| MdsRank(r as u16))
+            .collect();
+        assert!(!survivors.is_empty(), "cannot drain the last MDS");
+        self.migrator.abandon_jobs_touching(rank);
+        // Fail the rank's explicit subtrees over to survivors round-robin.
+        for (i, key) in self.map.subtree_roots_of(rank).into_iter().enumerate() {
+            self.map.set_authority(key, survivors[i % survivors.len()]);
+        }
+        // If the drained rank held the implicit root subtree, re-home the
+        // remainder by planting an explicit root entry on a survivor.
+        if self.map.root_rank() == rank {
+            self.map.set_authority(
+                lunule_namespace::FragKey::whole(lunule_namespace::InodeId::ROOT),
+                survivors[0],
+            );
+        }
+        self.map.simplify(&self.ns);
+        // A dead rank cannot even answer redirects: evict it from every
+        // client's cache so the next access pays a fresh traversal instead
+        // of stalling against a zero-capacity rank forever.
+        for c in &mut self.clients {
+            c.forget_rank(rank);
+        }
+        self.mds[rank.index()].capacity = 0.0;
+        self.mds[rank.index()].budget = 0.0;
+        // Failover rewrote authorities wholesale; recompute residency.
+        self.resident = self
+            .map
+            .inode_counts(&self.ns, self.mds.len())
+            .into_iter()
+            .map(|c| c as u64)
+            .collect();
+    }
+
+    /// Adds clients mid-run; they start issuing on the next tick (Fig. 12b's
+    /// staged client arrival).
+    pub fn add_clients(&mut self, streams: Vec<Box<dyn OpStream>>) {
+        let base = self.clients.len();
+        let start = self.tick;
+        let cap = self.cfg.client_cache_cap;
+        let window = self.cfg.data_path.map(|dp| dp.client_window).unwrap_or(0);
+        self.clients.extend(streams.into_iter().enumerate().map(|(i, s)| {
+            let mut c = Client::new(base + i, s, start);
+            c.cache_cap = cap;
+            c.data_window = window;
+            c
+        }));
+    }
+
+    /// True once every client has drained its stream and data debt.
+    pub fn all_done(&self) -> bool {
+        self.clients
+            .iter()
+            .all(|c| c.finished && c.data_pending == 0)
+    }
+
+    /// Runs until `deadline` (simulated seconds) or until all clients are
+    /// done when `stop_when_done` is set.
+    pub fn run_until(&mut self, deadline: u64) {
+        while self.tick < deadline.min(self.cfg.duration_secs) {
+            if self.cfg.stop_when_done && self.all_done() {
+                break;
+            }
+            self.step_tick();
+        }
+    }
+
+    /// Runs the whole configured duration and returns the results.
+    pub fn run(mut self) -> RunResult {
+        self.run_until(self.cfg.duration_secs);
+        self.finish()
+    }
+
+    /// Finalises the run: flushes a partial epoch and assembles results.
+    pub fn finish(mut self) -> RunResult {
+        if self.mds.iter().any(|m| m.epoch_requests() > 0) {
+            self.close_epoch();
+        }
+        RunResult {
+            balancer: self.balancer.name().to_string(),
+            per_mds_requests_total: self.mds.iter().map(|m| m.served_total).collect(),
+            per_mds_forwards_total: self.mds.iter().map(|m| m.forwards_total).collect(),
+            client_completion_secs: self
+                .clients
+                .iter()
+                .map(|c| {
+                    if c.finished && c.data_pending == 0 {
+                        c.finished_at
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+            duration_secs: self.tick,
+            total_ops: self.clients.iter().map(|c| c.ops_done).sum(),
+            final_inodes: self.ns.len(),
+            rejected_choices: self.migrator.counters().rejected_choices,
+            latency: self.latency,
+            epochs: self.epochs,
+        }
+    }
+
+    /// One simulated second.
+    fn step_tick(&mut self) {
+        let tick = self.tick;
+
+        // 1. Migration progress; transfer costs drain MDS budgets. A rank
+        // whose resident metadata exceeds the memory limit thrashes its
+        // cache against the object store and serves at reduced rate.
+        let limit = self.cfg.mds_memory_inodes;
+        for (i, m) in self.mds.iter_mut().enumerate() {
+            if limit > 0 && self.resident.get(i).copied().unwrap_or(0) > limit {
+                m.refill_scaled(self.cfg.memory_thrash_factor);
+            } else {
+                m.refill();
+            }
+        }
+        for (rank, cost) in self.migrator.step(&self.ns, &mut self.map, tick) {
+            if rank.index() < self.mds.len() {
+                self.mds[rank.index()].drain(cost);
+            }
+        }
+        // Cap/session transfer: clients working in a migrated subtree are
+        // handed to the importer at commit (no per-client redirect storm).
+        // Resident accounting moves with the subtree.
+        for job in self.migrator.completed_last_step().to_vec() {
+            for c in &mut self.clients {
+                c.apply_migration(&self.ns, &job.subtree, job.to);
+            }
+            if let Some(r) = self.resident.get_mut(job.from.index()) {
+                *r = r.saturating_sub(job.total_inodes);
+            }
+            if let Some(r) = self.resident.get_mut(job.to.index()) {
+                *r += job.total_inodes;
+            }
+        }
+
+        // 2. Data-path progress frees blocked clients.
+        if let Some(dp) = &self.datapath {
+            dp.step(&mut self.clients);
+        }
+        for c in &mut self.clients {
+            c.issued_this_tick = 0;
+            if c.finished && c.data_pending == 0 && c.finished_at.is_none() {
+                c.finished_at = Some(tick);
+            }
+        }
+
+        // 3. Closed-loop issue rounds: one op per client per round, rotating
+        // the starting client for fairness, until nobody can make progress.
+        let n_clients = self.clients.len();
+        if n_clients > 0 {
+            let offset = (tick as usize) % n_clients;
+            let mut stalled = vec![false; n_clients];
+            loop {
+                let mut progressed = false;
+                for i in 0..n_clients {
+                    let idx = (offset + i) % n_clients;
+                    if stalled[idx] {
+                        continue;
+                    }
+                    match self.try_issue(idx, tick) {
+                        IssueOutcome::Served => progressed = true,
+                        IssueOutcome::Stalled | IssueOutcome::Inactive => {
+                            stalled[idx] = true;
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+
+        // 4. Epoch boundary: stats, balancer, plan execution.
+        self.tick += 1;
+        if self.tick.is_multiple_of(self.cfg.epoch_secs) {
+            self.close_epoch();
+        }
+    }
+
+    /// Attempts to issue one op for client `idx`.
+    fn try_issue(&mut self, idx: usize, tick: u64) -> IssueOutcome {
+        let client = &mut self.clients[idx];
+        if !client.can_issue(tick, self.cfg.client_rate) {
+            if client.finished && client.data_pending == 0 && client.finished_at.is_none() {
+                client.finished_at = Some(tick);
+            }
+            return IssueOutcome::Inactive;
+        }
+        let Some(op) = client.peek_op(&self.ns, tick) else {
+            if client.data_pending == 0 && client.finished_at.is_none() {
+                client.finished_at = Some(tick);
+            }
+            return IssueOutcome::Inactive;
+        };
+
+        // Frozen subtrees stall their ops for the commit window.
+        if self.migrator.is_frozen(&self.ns, op.anchor()) {
+            return IssueOutcome::Stalled;
+        }
+
+        let (dir, hash) = routing_anchor(&self.ns, &op);
+        let (route, _hit) = client.resolve(&self.ns, &self.map, dir, hash);
+
+        // Budget check across the whole route, aggregated per rank — a
+        // traversal can cross the same rank more than once (e.g. 0→1→0→2),
+        // so per-hop checks alone would over-commit a nearly drained MDS.
+        let target_idx = route.target.index();
+        if target_idx >= self.mds.len() {
+            return IssueOutcome::Stalled;
+        }
+        let mut costs: Vec<(usize, f64)> = Vec::with_capacity(route.forwards.len() + 1);
+        let add_cost = |costs: &mut Vec<(usize, f64)>, idx: usize| {
+            match costs.iter_mut().find(|(i, _)| *i == idx) {
+                Some((_, c)) => *c += 1.0,
+                None => costs.push((idx, 1.0)),
+            }
+        };
+        for r in &route.forwards {
+            if r.index() >= self.mds.len() {
+                return IssueOutcome::Stalled;
+            }
+            add_cost(&mut costs, r.index());
+        }
+        add_cost(&mut costs, target_idx);
+        if costs
+            .iter()
+            .any(|(idx, cost)| self.mds[*idx].budget < *cost)
+        {
+            return IssueOutcome::Stalled;
+        }
+        for (idx, cost) in &costs {
+            let ok = self.mds[*idx].try_consume(*cost);
+            debug_assert!(ok, "budget pre-checked per rank");
+        }
+        for r in &route.forwards {
+            self.mds[r.index()].record_forward();
+        }
+        self.mds[target_idx].record_served();
+
+        // Execute the op.
+        let (ino, kind, data_bytes) = match op {
+            MetaOp::Read(ino) => {
+                let size = self.ns.inode(ino).size();
+                (ino, OpKind::Read, size)
+            }
+            MetaOp::Create { parent, size } => {
+                let name = format!("c{}_{}", client.id, client.ops_done);
+                let id = self
+                    .ns
+                    .create_file(parent, &name, size)
+                    .expect("workload streams only create under directories");
+                client.notify_created(id);
+                (id, OpKind::Create, size)
+            }
+            MetaOp::Remove(ino) => (ino, OpKind::Remove, 0),
+        };
+        let stall_ticks = client.consume_op(tick);
+        self.latency.record(stall_ticks);
+        client.learn_route(&self.ns, dir, hash, route.target);
+        if self.datapath.is_some() && data_bytes > 0 {
+            client.data_pending += data_bytes;
+        }
+        // Record the access while the inode is still resolvable, then apply
+        // the unlink for removes. Resident metadata follows creates/removes.
+        self.balancer.record_access(
+            &self.ns,
+            Access {
+                ino,
+                served_by: route.target,
+                kind,
+            },
+        );
+        match kind {
+            OpKind::Create => {
+                if let Some(r) = self.resident.get_mut(route.target.index()) {
+                    *r += 1;
+                }
+            }
+            OpKind::Remove => {
+                self.ns
+                    .unlink(ino)
+                    .expect("workload streams only remove live files");
+                if let Some(r) = self.resident.get_mut(route.target.index()) {
+                    *r = r.saturating_sub(1);
+                }
+            }
+            OpKind::Read => {}
+        }
+        IssueOutcome::Served
+    }
+
+    /// Epoch boundary bookkeeping: record the epoch, consult the balancer,
+    /// enqueue its plan.
+    fn close_epoch(&mut self) {
+        let epoch = self.epochs.len() as u64;
+        let epoch_secs = self.cfg.epoch_secs as f64;
+        let requests: Vec<u64> = self.mds.iter().map(|m| m.epoch_requests()).collect();
+        let stats = EpochStats::new(epoch, epoch_secs, requests.clone());
+        let iops = stats.iops();
+        let record = EpochRecord {
+            epoch,
+            time_secs: self.tick,
+            per_mds_requests: requests,
+            total_iops: iops.iter().sum(),
+            imbalance_factor: imbalance_factor(&iops, self.cfg.mds_capacity),
+            per_mds_iops: iops,
+            migrated_inodes_cum: self.migrator.counters().migrated_inodes,
+            forwards_cum: self.mds.iter().map(|m| m.forwards_total).sum(),
+            active_clients: self
+                .clients
+                .iter()
+                .filter(|c| !c.finished || c.data_pending > 0)
+                .count(),
+            inflight_migrations: self.migrator.jobs().len(),
+            per_mds_resident_inodes: self.resident.clone(),
+        };
+        self.epochs.push(record);
+
+        let mut plan = self.balancer.on_epoch(&self.ns, &self.map, &stats);
+        // Never migrate into (or out of) a dead rank: a drained MDS reports
+        // zero load, which a capacity-unaware policy reads as spare room.
+        plan.exports.retain(|t| {
+            let alive = |r: lunule_namespace::MdsRank| {
+                self.mds
+                    .get(r.index())
+                    .map(|m| m.capacity > 0.0)
+                    .unwrap_or(false)
+            };
+            alive(t.from) && alive(t.to)
+        });
+        if !plan.is_empty() {
+            self.migrator.enqueue_plan(&mut self.ns, &self.map, &plan);
+        }
+        for m in &mut self.mds {
+            m.reset_epoch();
+        }
+    }
+}
+
+enum IssueOutcome {
+    Served,
+    Stalled,
+    Inactive,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::FixedStream;
+    use lunule_core::{make_balancer, BalancerKind, NoopBalancer};
+    use lunule_namespace::InodeId;
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig {
+            n_mds: 2,
+            mds_capacity: 100.0,
+            epoch_secs: 2,
+            duration_secs: 20,
+            stop_when_done: true,
+            migration_bw: 1_000.0,
+            migration_freeze_secs: 1,
+            migration_op_cost: 0.0,
+            client_rate: 50.0,
+            client_cache_cap: 256,
+            mds_capacities: Vec::new(),
+            mds_memory_inodes: 0,
+            memory_thrash_factor: 0.25,
+            data_path: None,
+            seed: 1,
+        }
+    }
+
+    fn tiny_ns(files: usize) -> (Namespace, Vec<InodeId>) {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "d").unwrap();
+        let ids = (0..files)
+            .map(|i| ns.create_file(d, &format!("f{i}"), 4).unwrap())
+            .collect();
+        (ns, ids)
+    }
+
+    #[test]
+    fn run_serves_all_ops_and_stops_early() {
+        let (ns, ids) = tiny_ns(30);
+        let streams: Vec<Box<dyn OpStream>> =
+            vec![Box::new(FixedStream::new(ids.clone()))];
+        let sim = Simulation::new(tiny_cfg(), ns, Box::new(NoopBalancer), streams);
+        let result = sim.run();
+        assert_eq!(result.total_ops, 30);
+        assert!(result.duration_secs < 20, "should stop when done");
+        assert_eq!(result.client_completion_secs.len(), 1);
+        assert!(result.client_completion_secs[0].is_some());
+        // All ops landed on rank 0 (no balancing).
+        assert_eq!(result.per_mds_requests_total[0], 30);
+        assert_eq!(result.per_mds_requests_total[1], 0);
+    }
+
+    #[test]
+    fn capacity_gates_throughput() {
+        // One client with rate 50 against capacity 10: 10 ops/tick max.
+        let (ns, ids) = tiny_ns(100);
+        let cfg = SimConfig {
+            mds_capacity: 10.0,
+            duration_secs: 4,
+            stop_when_done: false,
+            ..tiny_cfg()
+        };
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids))];
+        let sim = Simulation::new(cfg, ns, Box::new(NoopBalancer), streams);
+        let result = sim.run();
+        assert_eq!(result.total_ops, 40, "4 ticks x 10 capacity");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let (ns, ids) = tiny_ns(50);
+            let streams: Vec<Box<dyn OpStream>> = vec![
+                Box::new(FixedStream::new(ids.clone())),
+                Box::new(FixedStream::new(ids)),
+            ];
+            Simulation::new(
+                tiny_cfg(),
+                ns,
+                make_balancer(BalancerKind::Lunule, 100.0),
+                streams,
+            )
+            .run()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.per_mds_requests_total, b.per_mds_requests_total);
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.epochs.len(), b.epochs.len());
+    }
+
+    #[test]
+    fn add_mds_grows_cluster() {
+        let (ns, ids) = tiny_ns(10);
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids))];
+        let mut sim = Simulation::new(
+            SimConfig {
+                stop_when_done: false,
+                ..tiny_cfg()
+            },
+            ns,
+            Box::new(NoopBalancer),
+            streams,
+        );
+        assert_eq!(sim.n_mds(), 2);
+        sim.run_until(4);
+        sim.add_mds();
+        assert_eq!(sim.n_mds(), 3);
+        sim.run_until(8);
+        let result = sim.finish();
+        // Later epochs report three ranks.
+        assert_eq!(result.epochs.last().unwrap().per_mds_iops.len(), 3);
+    }
+
+    #[test]
+    fn add_clients_mid_run() {
+        let (ns, ids) = tiny_ns(10);
+        let streams: Vec<Box<dyn OpStream>> =
+            vec![Box::new(FixedStream::new(ids.clone()))];
+        let mut sim = Simulation::new(
+            SimConfig {
+                stop_when_done: false,
+                duration_secs: 10,
+                ..tiny_cfg()
+            },
+            ns,
+            Box::new(NoopBalancer),
+            streams,
+        );
+        sim.run_until(4);
+        sim.add_clients(vec![Box::new(FixedStream::new(ids))]);
+        sim.run_until(10);
+        let result = sim.finish();
+        assert_eq!(result.client_completion_secs.len(), 2);
+        assert_eq!(result.total_ops, 20);
+    }
+
+    #[test]
+    fn datapath_delays_completion() {
+        let run = |dp: Option<crate::config::DataPathConfig>| {
+            let (ns, ids) = tiny_ns(20);
+            let cfg = SimConfig {
+                data_path: dp,
+                duration_secs: 200,
+                ..tiny_cfg()
+            };
+            let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids))];
+            Simulation::new(cfg, ns, Box::new(NoopBalancer), streams).run()
+        };
+        let meta_only = run(None);
+        let with_data = run(Some(crate::config::DataPathConfig { osd_bandwidth: 8, client_window: 0 }));
+        let jct_meta = meta_only.client_completion_secs[0].unwrap();
+        let jct_data = with_data.client_completion_secs[0].unwrap();
+        assert!(
+            jct_data > jct_meta,
+            "data path must lengthen JCT: {jct_meta} vs {jct_data}"
+        );
+    }
+
+    #[test]
+    fn create_ops_grow_namespace() {
+        struct Creator {
+            parent: InodeId,
+            left: usize,
+            created: Vec<InodeId>,
+        }
+        impl OpStream for Creator {
+            fn next_op(&mut self, _ns: &Namespace) -> Option<MetaOp> {
+                if self.left == 0 {
+                    return None;
+                }
+                self.left -= 1;
+                Some(MetaOp::Create {
+                    parent: self.parent,
+                    size: 0,
+                })
+            }
+            fn on_created(&mut self, id: InodeId) {
+                self.created.push(id);
+            }
+        }
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "out").unwrap();
+        let before = ns.len();
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(Creator {
+            parent: d,
+            left: 25,
+            created: Vec::new(),
+        })];
+        let sim = Simulation::new(tiny_cfg(), ns, Box::new(NoopBalancer), streams);
+        let result = sim.run();
+        assert_eq!(result.total_ops, 25);
+        assert_eq!(result.final_inodes, before + 25);
+    }
+}

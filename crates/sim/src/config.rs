@@ -1,0 +1,165 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the data path (OSD cluster) model, used by the
+/// end-to-end experiments (Fig. 8). When absent, runs are metadata-only,
+/// matching the paper's default measurement mode.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DataPathConfig {
+    /// Aggregate bandwidth of the OSD cluster, bytes per simulated second.
+    /// Shared fairly among all clients currently transferring data.
+    pub osd_bandwidth: u64,
+    /// Per-client in-flight data window, bytes: a client keeps issuing
+    /// metadata ops while its outstanding data debt stays below this
+    /// (clients pipeline reads; with a 1-second tick, blocking on every
+    /// single file transfer would quantise each op to a full second).
+    /// The client blocks once the window is exceeded, which is how a slow
+    /// data path throttles metadata progress.
+    pub client_window: u64,
+}
+
+impl DataPathConfig {
+    /// A data path with the default 4 MiB per-client window.
+    pub fn with_bandwidth(osd_bandwidth: u64) -> Self {
+        DataPathConfig {
+            osd_bandwidth,
+            client_window: 4 << 20,
+        }
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of MDS ranks at start (can grow via
+    /// [`crate::Simulation::add_mds`]).
+    pub n_mds: usize,
+    /// Metadata requests one MDS can serve per simulated second. This is
+    /// `C` in the urgency model and the budget gating request processing.
+    pub mds_capacity: f64,
+    /// Per-rank capacity overrides for heterogeneous clusters (extension
+    /// beyond the paper). Ranks beyond the vector's length — and MDSs added
+    /// at runtime — use `mds_capacity`.
+    #[serde(default)]
+    pub mds_capacities: Vec<f64>,
+    /// Epoch (re-balance interval) length in simulated seconds. The paper's
+    /// default is 10 s.
+    pub epoch_secs: u64,
+    /// Maximum run length in simulated seconds.
+    pub duration_secs: u64,
+    /// Stop early once every client has finished its op stream.
+    pub stop_when_done: bool,
+    /// Inodes per second one exporter can ship (shared across its active
+    /// migration jobs).
+    pub migration_bw: f64,
+    /// Length of the final commit window during which the migrating subtree
+    /// is frozen (ops targeting it stall), in seconds.
+    pub migration_freeze_secs: u64,
+    /// MDS request-units consumed per migrated inode, charged to both
+    /// exporter and importer — the "background traffic contends with
+    /// foreground requests" cost.
+    pub migration_op_cost: f64,
+    /// Maximum metadata ops one client can issue per second.
+    pub client_rate: f64,
+    /// Maximum dirfrag→rank entries each client caches (CephFS clients hold
+    /// a bounded subtree-map view; see `lunule_sim::client`).
+    pub client_cache_cap: usize,
+    /// Metadata-cache memory limit per MDS, expressed as a resident-inode
+    /// count (0 = unlimited). The paper's MDtest runs ended when MDSs ran
+    /// out of memory; with a limit set, a rank whose authoritative inode
+    /// population exceeds it degrades (cache thrash against the object
+    /// store) by [`SimConfig::memory_thrash_factor`].
+    pub mds_memory_inodes: u64,
+    /// Effective-capacity multiplier applied while a rank is over its
+    /// memory limit, in (0, 1].
+    pub memory_thrash_factor: f64,
+    /// Optional data path; `None` = metadata-only run.
+    pub data_path: Option<DataPathConfig>,
+    /// Master seed; all stochastic components derive from it.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_mds: 5,
+            mds_capacity: 5_000.0,
+            mds_capacities: Vec::new(),
+            epoch_secs: 10,
+            duration_secs: 1_800,
+            stop_when_done: true,
+            migration_bw: 20_000.0,
+            migration_freeze_secs: 1,
+            migration_op_cost: 0.05,
+            client_rate: 500.0,
+            client_cache_cap: 256,
+            mds_memory_inodes: 0,
+            memory_thrash_factor: 0.25,
+            data_path: None,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates internal consistency; called by the simulation constructor.
+    pub fn validate(&self) {
+        assert!(self.n_mds >= 1, "need at least one MDS");
+        assert!(self.mds_capacity > 0.0, "MDS capacity must be positive");
+        assert!(
+            self.mds_capacities.iter().all(|c| *c > 0.0),
+            "per-rank capacities must be positive"
+        );
+        assert!(self.epoch_secs >= 1, "epoch must be at least one second");
+        assert!(self.duration_secs >= 1, "duration must be positive");
+        assert!(self.migration_bw >= 0.0, "migration bandwidth must be >= 0");
+        assert!(self.migration_op_cost >= 0.0, "migration op cost must be >= 0");
+        assert!(self.client_rate > 0.0, "client rate must be positive");
+        assert!(
+            self.memory_thrash_factor > 0.0 && self.memory_thrash_factor <= 1.0,
+            "thrash factor must be in (0, 1]"
+        );
+        if let Some(dp) = &self.data_path {
+            assert!(dp.osd_bandwidth > 0, "OSD bandwidth must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_mds_rejected() {
+        SimConfig {
+            n_mds: 0,
+            ..SimConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_osd_bandwidth_rejected() {
+        SimConfig {
+            data_path: Some(DataPathConfig { osd_bandwidth: 0, client_window: 0 }),
+            ..SimConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = SimConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

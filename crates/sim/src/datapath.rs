@@ -1,0 +1,105 @@
+//! The data-path (OSD cluster) model for end-to-end runs.
+//!
+//! Fig. 8 of the paper measures job completion time with data access
+//! enabled. The effect it demonstrates is dilution: the data path adds a
+//! per-op cost that is independent of metadata balance, so workloads whose
+//! time is dominated by data transfer benefit less from a better balancer.
+//! A shared bandwidth pool reproduces exactly that: after each successful
+//! metadata op, the client owes `file size` bytes, and all indebted clients
+//! share the OSD cluster's aggregate bandwidth fairly until paid off.
+
+use crate::client::Client;
+
+/// Fair-share bandwidth pool standing in for the OSD cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct DataPath {
+    /// Aggregate bytes per simulated second.
+    bandwidth: u64,
+}
+
+impl DataPath {
+    /// Pool with the given aggregate bandwidth (bytes/second).
+    pub fn new(bandwidth: u64) -> Self {
+        DataPath { bandwidth }
+    }
+
+    /// Advances one tick: distributes this second's bytes among clients
+    /// with outstanding data, equally, with leftover re-distributed to
+    /// still-indebted clients (max-min fairness within one tick).
+    pub fn step(&self, clients: &mut [Client]) {
+        let mut budget = self.bandwidth;
+        loop {
+            let waiting: Vec<usize> = clients
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.data_pending > 0)
+                .map(|(i, _)| i)
+                .collect();
+            if waiting.is_empty() || budget == 0 {
+                return;
+            }
+            let share = (budget / waiting.len() as u64).max(1);
+            let mut spent = 0u64;
+            for i in waiting {
+                let c = &mut clients[i];
+                let take = share.min(c.data_pending).min(budget - spent);
+                c.data_pending -= take;
+                spent += take;
+                if spent >= budget {
+                    break;
+                }
+            }
+            if spent == 0 {
+                return;
+            }
+            budget -= spent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::FixedStream;
+
+    fn client(id: usize, pending: u64) -> Client {
+        let mut c = Client::new(id, Box::new(FixedStream::new(vec![])), 0);
+        c.data_pending = pending;
+        c
+    }
+
+    #[test]
+    fn fair_share_split() {
+        let dp = DataPath::new(100);
+        let mut clients = vec![client(0, 500), client(1, 500)];
+        dp.step(&mut clients);
+        assert_eq!(clients[0].data_pending, 450);
+        assert_eq!(clients[1].data_pending, 450);
+    }
+
+    #[test]
+    fn leftover_redistributes() {
+        let dp = DataPath::new(100);
+        // Client 0 only needs 10; the remaining 90 goes to client 1.
+        let mut clients = vec![client(0, 10), client(1, 500)];
+        dp.step(&mut clients);
+        assert_eq!(clients[0].data_pending, 0);
+        assert_eq!(clients[1].data_pending, 410);
+    }
+
+    #[test]
+    fn drains_exactly() {
+        let dp = DataPath::new(1000);
+        let mut clients = vec![client(0, 30)];
+        dp.step(&mut clients);
+        assert_eq!(clients[0].data_pending, 0);
+    }
+
+    #[test]
+    fn idle_pool_no_waiting_clients() {
+        let dp = DataPath::new(1000);
+        let mut clients = vec![client(0, 0)];
+        dp.step(&mut clients);
+        assert_eq!(clients[0].data_pending, 0);
+    }
+}

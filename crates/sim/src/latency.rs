@@ -1,0 +1,144 @@
+//! Stall-latency accounting.
+//!
+//! In a closed-loop simulation with one-second ticks, an op's "latency" is
+//! the number of ticks it spent stalled before the cluster could serve it —
+//! waiting out a saturated MDS, a saturated forwarding path, or a frozen
+//! migrating subtree. Most ops are served on their first attempt (0 ticks);
+//! the tail of this distribution is where imbalance hurts, which is why the
+//! paper lists latency next to throughput and job completion time.
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bucket bound: stalls this long or longer land in the last bucket.
+const MAX_TRACKED: usize = 64;
+
+/// A fixed-bucket histogram of per-op stall latencies, in ticks.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// `buckets[k]` counts ops stalled exactly `k` ticks (last bucket: `>=`).
+    buckets: Vec<u64>,
+    total_ops: u64,
+    total_stall_ticks: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; MAX_TRACKED + 1],
+            total_ops: 0,
+            total_stall_ticks: 0,
+        }
+    }
+
+    /// Records one served op that stalled for `ticks`.
+    pub fn record(&mut self, ticks: u64) {
+        let idx = (ticks as usize).min(MAX_TRACKED);
+        self.buckets[idx] += 1;
+        self.total_ops += 1;
+        self.total_stall_ticks += ticks;
+    }
+
+    /// Number of ops recorded.
+    pub fn count(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Mean stall in ticks.
+    pub fn mean(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.total_stall_ticks as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Share of ops served without any stall.
+    pub fn immediate_share(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.buckets[0] as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Stall percentile (`p` in 0.0–1.0), in ticks. The last bucket is
+    /// open-ended, so the returned value saturates at its bound.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.total_ops == 0 {
+            return 0;
+        }
+        let threshold = (self.total_ops as f64 * p).ceil() as u64;
+        let mut seen = 0;
+        for (ticks, count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= threshold {
+                return ticks as u64;
+            }
+        }
+        MAX_TRACKED as u64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total_ops += other.total_ops;
+        self.total_stall_ticks += other.total_stall_ticks;
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarises() {
+        let mut h = LatencyHistogram::new();
+        for t in [0, 0, 0, 1, 2, 10] {
+            h.record(t);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - 13.0 / 6.0).abs() < 1e-9);
+        assert!((h.immediate_share() - 0.5).abs() < 1e-9);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 10);
+        assert_eq!(h.percentile(1.0), 10);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.immediate_share(), 0.0);
+    }
+
+    #[test]
+    fn oversized_stalls_saturate() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        assert_eq!(h.percentile(1.0), 64);
+        assert_eq!(h.mean(), 1_000_000.0);
+    }
+
+    #[test]
+    fn merge_adds_up() {
+        let mut a = LatencyHistogram::new();
+        a.record(0);
+        a.record(3);
+        let mut b = LatencyHistogram::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(1.0), 5);
+    }
+}

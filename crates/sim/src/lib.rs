@@ -1,0 +1,34 @@
+//! # lunule-sim
+//!
+//! A deterministic, discrete-time simulator of a CephFS-style MDS cluster:
+//! capacity-constrained metadata servers, closed-loop clients with authority
+//! caching, bandwidth-limited subtree migration with commit-window freezes,
+//! and an optional OSD data path for end-to-end runs.
+//!
+//! One tick is one simulated second. Every `epoch_secs` ticks the configured
+//! [`lunule_core::Balancer`] receives the cluster's load snapshot and may
+//! return a migration plan, which the [`migration::Migrator`] then executes
+//! with realistic lag and resource costs. The per-epoch series a run records
+//! ([`results::RunResult`]) are exactly the series the paper's figures plot.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod datapath;
+pub mod latency;
+pub mod mds;
+pub mod migration;
+pub mod request;
+pub mod results;
+
+pub use client::{Client, Route};
+pub use cluster::Simulation;
+pub use config::{DataPathConfig, SimConfig};
+pub use datapath::DataPath;
+pub use latency::LatencyHistogram;
+pub use mds::MdsState;
+pub use migration::{MigrationCounters, MigrationJob, Migrator};
+pub use request::{FixedStream, MetaOp, OpStream};
+pub use results::{EpochRecord, RunResult};

@@ -1,0 +1,395 @@
+//! The Migrator: executes migration plans with real transfer costs.
+//!
+//! CephFS ships subtrees with a two-phase protocol: the exporter freezes and
+//! packages the subtree, streams it to the importer, and authority flips at
+//! commit. The two properties of that protocol that shape the paper's
+//! findings are (a) a transfer takes *time* proportional to its inode count,
+//! during which load stays on the exporter (migration lag — the root of the
+//! ping-pong effect), and (b) the transfer consumes MDS resources that
+//! foreground requests then cannot use. Both are modelled here; the final
+//! commit window additionally freezes the subtree (ops targeting it stall).
+
+use lunule_core::{subtrees_overlap, MigrationPlan};
+use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
+use serde::{Deserialize, Serialize};
+
+/// Phase of one in-flight migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+enum Phase {
+    /// Inodes streaming from exporter to importer.
+    Transferring,
+    /// Final commit: subtree frozen until the stored tick.
+    Committing { until: u64 },
+}
+
+/// One in-flight subtree migration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MigrationJob {
+    /// Source rank.
+    pub from: MdsRank,
+    /// Destination rank.
+    pub to: MdsRank,
+    /// The migrating subtree.
+    pub subtree: FragKey,
+    /// Inodes the subtree contained when the job started.
+    pub total_inodes: u64,
+    /// Inodes shipped so far.
+    pub moved: u64,
+    phase: Phase,
+}
+
+impl MigrationJob {
+    /// True once the job entered its freeze/commit window.
+    pub fn is_committing(&self) -> bool {
+        matches!(self.phase, Phase::Committing { .. })
+    }
+}
+
+/// Counters the migrator exposes for reporting (Fig. 4's migrated-inode
+/// curves and the invalid-migration analysis).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationCounters {
+    /// Total inodes whose authority changed, cumulative.
+    pub migrated_inodes: u64,
+    /// Completed migrations.
+    pub completed_jobs: u64,
+    /// Subtree choices dropped because the exporter no longer owned them or
+    /// they overlapped an in-flight job.
+    pub rejected_choices: u64,
+}
+
+/// The migration engine.
+#[derive(Clone, Debug)]
+pub struct Migrator {
+    jobs: Vec<MigrationJob>,
+    bw_per_exporter: f64,
+    freeze_secs: u64,
+    op_cost_per_inode: f64,
+    counters: MigrationCounters,
+    /// Jobs whose authority flipped during the last `step` call — consumed
+    /// by the simulator for client cap transfer and resident accounting.
+    completed_last_step: Vec<MigrationJob>,
+}
+
+impl Migrator {
+    /// Builds the engine. `bw_per_exporter` is the inodes/second one
+    /// exporter can stream across all of its jobs.
+    pub fn new(bw_per_exporter: f64, freeze_secs: u64, op_cost_per_inode: f64) -> Self {
+        Migrator {
+            jobs: Vec::new(),
+            bw_per_exporter,
+            freeze_secs,
+            op_cost_per_inode,
+            counters: MigrationCounters::default(),
+            completed_last_step: Vec::new(),
+        }
+    }
+
+    /// Jobs whose authority flipped during the most recent
+    /// [`Migrator::step`].
+    pub fn completed_last_step(&self) -> &[MigrationJob] {
+        &self.completed_last_step
+    }
+
+    /// Reporting counters.
+    pub fn counters(&self) -> MigrationCounters {
+        self.counters
+    }
+
+    /// In-flight jobs.
+    pub fn jobs(&self) -> &[MigrationJob] {
+        &self.jobs
+    }
+
+    /// Drops every in-flight job whose exporter or importer is `rank` —
+    /// used when a rank is drained/fails. Abandoned transfers count as
+    /// rejected choices, not migrations.
+    pub fn abandon_jobs_touching(&mut self, rank: MdsRank) {
+        let before = self.jobs.len();
+        self.jobs.retain(|j| j.from != rank && j.to != rank);
+        self.counters.rejected_choices += (before - self.jobs.len()) as u64;
+    }
+
+    /// Accepts a plan, splitting namespace fragments where the selector
+    /// chose a sub-fragment, and rejecting choices that are stale (exporter
+    /// no longer authoritative) or overlap an active job.
+    pub fn enqueue_plan(&mut self, ns: &mut Namespace, map: &SubtreeMap, plan: &MigrationPlan) {
+        for task in &plan.exports {
+            for choice in &task.subtrees {
+                let key = choice.subtree;
+                if map.frag_authority(ns, key.dir, &key.frag) != task.from
+                    || task.from == task.to
+                {
+                    self.counters.rejected_choices += 1;
+                    continue;
+                }
+                if self
+                    .jobs
+                    .iter()
+                    .any(|j| subtrees_overlap(ns, &j.subtree, &key))
+                {
+                    self.counters.rejected_choices += 1;
+                    continue;
+                }
+                // Materialise the chosen fragment in the directory's live
+                // frag set if the selector split below it.
+                if !ensure_frag_live(ns, key) {
+                    self.counters.rejected_choices += 1;
+                    continue;
+                }
+                let total_inodes = ns.subtree_inode_count(key.dir, &key.frag) as u64;
+                if total_inodes == 0 {
+                    self.counters.rejected_choices += 1;
+                    continue;
+                }
+                self.jobs.push(MigrationJob {
+                    from: task.from,
+                    to: task.to,
+                    subtree: key,
+                    total_inodes,
+                    moved: 0,
+                    phase: Phase::Transferring,
+                });
+            }
+        }
+    }
+
+    /// Advances all jobs by one tick. Authority flips exactly when a job's
+    /// commit window elapses; the subtree map is re-coalesced after any
+    /// completion so traversal paths stay as short as CephFS keeps them.
+    /// Returns the per-rank migration op-cost to charge ((rank, cost) pairs
+    /// for both endpoints of each active job).
+    pub fn step(&mut self, ns: &Namespace, map: &mut SubtreeMap, tick: u64) -> Vec<(MdsRank, f64)> {
+        self.completed_last_step.clear();
+        let mut charges: Vec<(MdsRank, f64)> = Vec::new();
+        // Split bandwidth evenly among each exporter's transferring jobs.
+        let mut active_per_exporter: Vec<(MdsRank, usize)> = Vec::new();
+        for j in &self.jobs {
+            if matches!(j.phase, Phase::Transferring) {
+                match active_per_exporter.iter_mut().find(|(r, _)| *r == j.from) {
+                    Some((_, n)) => *n += 1,
+                    None => active_per_exporter.push((j.from, 1)),
+                }
+            }
+        }
+        let freeze = self.freeze_secs;
+        let bw = self.bw_per_exporter;
+        let op_cost = self.op_cost_per_inode;
+        for job in &mut self.jobs {
+            match job.phase {
+                Phase::Transferring => {
+                    let n_active = active_per_exporter
+                        .iter()
+                        .find(|(r, _)| *r == job.from)
+                        .map(|(_, n)| *n)
+                        .unwrap_or(1) as f64;
+                    let quota = (bw / n_active).max(1.0);
+                    let moved_now = quota.min((job.total_inodes - job.moved) as f64) as u64;
+                    job.moved += moved_now;
+                    let cost = moved_now as f64 * op_cost;
+                    if cost > 0.0 {
+                        charges.push((job.from, cost));
+                        charges.push((job.to, cost));
+                    }
+                    if job.moved >= job.total_inodes {
+                        job.phase = Phase::Committing {
+                            until: tick + freeze,
+                        };
+                    }
+                }
+                Phase::Committing { until } => {
+                    if tick >= until {
+                        map.set_authority(job.subtree, job.to);
+                        self.counters.migrated_inodes += job.total_inodes;
+                        self.counters.completed_jobs += 1;
+                        self.completed_last_step.push(job.clone());
+                        job.moved = u64::MAX; // mark for sweep
+                    }
+                }
+            }
+        }
+        let before = self.jobs.len();
+        self.jobs.retain(|j| j.moved != u64::MAX);
+        if self.jobs.len() != before {
+            map.simplify(ns);
+        }
+        charges
+    }
+
+    /// True when `(dir of ino's path) ∩ (a committing subtree)` is
+    /// non-empty — i.e. the op must stall because its metadata is frozen.
+    pub fn is_frozen(&self, ns: &Namespace, ino: lunule_namespace::InodeId) -> bool {
+        let committing: Vec<&MigrationJob> =
+            self.jobs.iter().filter(|j| j.is_committing()).collect();
+        if committing.is_empty() {
+            return false;
+        }
+        let chain = ns.path_chain(ino);
+        for w in chain.windows(2) {
+            let (dir, child) = (w[0], w[1]);
+            let hash = ns.dentry_hash_of(child);
+            for job in &committing {
+                if job.subtree.dir == dir && job.subtree.frag.contains_hash(hash) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Splits `key.dir`'s live fragment set until `key.frag` is live. Returns
+/// false when `key.frag` is *shallower* than the live fragmentation (cannot
+/// be represented without a merge) — callers treat that as a stale choice.
+fn ensure_frag_live(ns: &mut Namespace, key: FragKey) -> bool {
+    loop {
+        let frags = ns.frags_of(key.dir);
+        if frags.contains(&key.frag) {
+            return true;
+        }
+        // Find the live frag strictly containing the target and split it.
+        match frags.iter().find(|f| f.contains_frag(&key.frag)) {
+            Some(parent) => {
+                let parent = *parent;
+                ns.split_frag(key.dir, &parent, 1)
+                    .expect("live frag split cannot fail");
+            }
+            None => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lunule_core::{ExportTask, SubtreeChoice};
+    use lunule_namespace::{Frag, InodeId};
+
+    fn fixture() -> (Namespace, SubtreeMap, InodeId) {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "d").unwrap();
+        for i in 0..100 {
+            ns.create_file(d, &format!("f{i}"), 1).unwrap();
+        }
+        (ns, SubtreeMap::new(MdsRank(0)), d)
+    }
+
+    fn plan_for(d: InodeId, from: u16, to: u16) -> MigrationPlan {
+        MigrationPlan {
+            exports: vec![ExportTask {
+                from: MdsRank(from),
+                to: MdsRank(to),
+                target_amount: 100.0,
+                subtrees: vec![SubtreeChoice {
+                    subtree: FragKey::whole(d),
+                    estimated_load: 100.0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn transfer_takes_time_and_flips_authority() {
+        let (mut ns, mut map, d) = fixture();
+        // 100 inodes at 30 inodes/sec -> 4 ticks transfer + 1 freeze.
+        let mut mig = Migrator::new(30.0, 1, 0.0);
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
+        assert_eq!(mig.jobs().len(), 1);
+        let mut flipped_at = None;
+        for tick in 0..10u64 {
+            mig.step(&ns, &mut map, tick);
+            if map.frag_authority(&ns, d, &Frag::root()) == MdsRank(1) {
+                flipped_at = Some(tick);
+                break;
+            }
+        }
+        let t = flipped_at.expect("authority must eventually flip");
+        assert!(t >= 4, "100/30 inodes takes >= 4 ticks, flipped at {t}");
+        assert_eq!(mig.counters().migrated_inodes, 100);
+        assert_eq!(mig.counters().completed_jobs, 1);
+    }
+
+    #[test]
+    fn stale_choice_rejected() {
+        let (mut ns, map, d) = fixture();
+        let mut mig = Migrator::new(1e9, 0, 0.0);
+        // Exporter 1 does not own the subtree (rank 0 does).
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 1, 2));
+        assert!(mig.jobs().is_empty());
+        assert_eq!(mig.counters().rejected_choices, 1);
+    }
+
+    #[test]
+    fn overlapping_choice_rejected() {
+        let (mut ns, map, d) = fixture();
+        let mut mig = Migrator::new(1.0, 1, 0.0);
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 2));
+        assert_eq!(mig.jobs().len(), 1);
+        assert_eq!(mig.counters().rejected_choices, 1);
+    }
+
+    #[test]
+    fn sub_fragment_choice_splits_live_set() {
+        let (mut ns, map, d) = fixture();
+        let (left, _) = Frag::root().split_in_two();
+        let plan = MigrationPlan {
+            exports: vec![ExportTask {
+                from: MdsRank(0),
+                to: MdsRank(1),
+                target_amount: 50.0,
+                subtrees: vec![SubtreeChoice {
+                    subtree: FragKey { dir: d, frag: left },
+                    estimated_load: 50.0,
+                }],
+            }],
+        };
+        let mut mig = Migrator::new(1e9, 0, 0.0);
+        mig.enqueue_plan(&mut ns, &map, &plan);
+        assert_eq!(mig.jobs().len(), 1);
+        assert_eq!(ns.frags_of(d).len(), 2, "live set must have split");
+        let job = &mig.jobs()[0];
+        assert!(job.total_inodes > 0 && job.total_inodes < 100);
+    }
+
+    #[test]
+    fn freeze_window_blocks_subtree() {
+        let (mut ns, mut map, d) = fixture();
+        let f0 = ns.inode(d).children()[0];
+        let mut mig = Migrator::new(1e9, 5, 0.0);
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
+        // Tick 0: whole transfer completes, enters commit until tick 5.
+        mig.step(&ns, &mut map, 0);
+        assert!(mig.is_frozen(&ns, f0));
+        assert!(!mig.is_frozen(&ns, d), "the dir inode itself is outside");
+        // Ticks pass; at the commit tick the authority flips and thaw.
+        for tick in 1..=5 {
+            mig.step(&ns, &mut map, tick);
+        }
+        assert!(!mig.is_frozen(&ns, f0));
+        assert_eq!(map.frag_authority(&ns, d, &Frag::root()), MdsRank(1));
+    }
+
+    #[test]
+    fn migration_charges_both_endpoints() {
+        let (mut ns, mut map, d) = fixture();
+        let mut mig = Migrator::new(50.0, 1, 0.1);
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
+        let charges = mig.step(&ns, &mut map, 0);
+        assert_eq!(charges.len(), 2);
+        let total: f64 = charges.iter().map(|(_, c)| c).sum();
+        assert!((total - 2.0 * 50.0 * 0.1).abs() < 1e-9);
+        assert!(charges.iter().any(|(r, _)| *r == MdsRank(0)));
+        assert!(charges.iter().any(|(r, _)| *r == MdsRank(1)));
+    }
+
+    #[test]
+    fn empty_subtree_rejected() {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "empty").unwrap();
+        let map = SubtreeMap::new(MdsRank(0));
+        let mut mig = Migrator::new(1.0, 0, 0.0);
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
+        assert!(mig.jobs().is_empty());
+    }
+}

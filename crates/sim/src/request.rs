@@ -1,0 +1,114 @@
+//! Metadata operations and the op-stream interface workloads implement.
+
+use lunule_namespace::{InodeId, Namespace};
+
+/// One metadata operation a client issues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetaOp {
+    /// Read-side metadata access (lookup/getattr/open/readdir) of an
+    /// existing inode.
+    Read(InodeId),
+    /// Create a new file under `parent` with the given size in bytes.
+    Create {
+        /// Directory the new file lands in.
+        parent: InodeId,
+        /// Size of the created file (drives the data-path model).
+        size: u64,
+    },
+    /// Unlink an existing file (mdtest's remove phase).
+    Remove(InodeId),
+}
+
+impl MetaOp {
+    /// The inode whose authority serves this op. For creates this is the
+    /// parent directory (the new dentry lives there).
+    pub fn anchor(&self) -> InodeId {
+        match self {
+            MetaOp::Read(ino) | MetaOp::Remove(ino) => *ino,
+            MetaOp::Create { parent, .. } => *parent,
+        }
+    }
+}
+
+/// A client's metadata op generator.
+///
+/// Implementations live in `lunule-workloads`; the simulator pulls one op at
+/// a time and reports back created inode ids so streams can re-reference
+/// what they made (none of the paper's workloads need to, but the interface
+/// allows it).
+pub trait OpStream: Send {
+    /// The next operation, or `None` when the client's job is complete.
+    /// A returned op is only consumed once the simulator manages to serve
+    /// it; stalled ops are retried verbatim.
+    fn next_op(&mut self, ns: &Namespace) -> Option<MetaOp>;
+
+    /// Notification that the previously returned `Create` materialised as
+    /// inode `id`.
+    fn on_created(&mut self, _id: InodeId) {}
+
+    /// Total number of ops this stream will emit, if known (used for
+    /// progress reporting only).
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A trivial op stream replaying a fixed list of reads; handy in tests.
+#[derive(Debug, Clone)]
+pub struct FixedStream {
+    ops: Vec<InodeId>,
+    pos: usize,
+}
+
+impl FixedStream {
+    /// Builds the stream from inode ids to read in order.
+    pub fn new(ops: Vec<InodeId>) -> Self {
+        FixedStream { ops, pos: 0 }
+    }
+}
+
+impl OpStream for FixedStream {
+    fn next_op(&mut self, _ns: &Namespace) -> Option<MetaOp> {
+        let op = self.ops.get(self.pos).copied().map(MetaOp::Read);
+        if op.is_some() {
+            self.pos += 1;
+        }
+        op
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.ops.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_of_ops() {
+        let ino = InodeId::from_index(3);
+        assert_eq!(MetaOp::Read(ino).anchor(), ino);
+        assert_eq!(
+            MetaOp::Create {
+                parent: ino,
+                size: 10
+            }
+            .anchor(),
+            ino
+        );
+    }
+
+    #[test]
+    fn fixed_stream_drains_in_order() {
+        let ns = Namespace::new();
+        let ids: Vec<_> = (0..3).map(InodeId::from_index).collect();
+        let mut s = FixedStream::new(ids.clone());
+        assert_eq!(s.len_hint(), Some(3));
+        for id in ids {
+            assert_eq!(s.next_op(&ns), Some(MetaOp::Read(id)));
+        }
+        assert_eq!(s.next_op(&ns), None);
+        assert_eq!(s.next_op(&ns), None);
+    }
+}

@@ -1,0 +1,219 @@
+//! Run results: the per-epoch series every experiment binary plots.
+
+use crate::latency::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+/// One epoch's worth of observed cluster behaviour.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Simulated time at the end of the epoch, seconds.
+    pub time_secs: u64,
+    /// Requests handled by each MDS this epoch (served + forwards).
+    pub per_mds_requests: Vec<u64>,
+    /// Per-MDS IOPS this epoch.
+    pub per_mds_iops: Vec<f64>,
+    /// Aggregate cluster IOPS this epoch.
+    pub total_iops: f64,
+    /// Imbalance factor of the epoch's load vector (Eq. 3).
+    pub imbalance_factor: f64,
+    /// Cumulative migrated inodes up to the end of this epoch.
+    pub migrated_inodes_cum: u64,
+    /// Cumulative forwards up to the end of this epoch.
+    pub forwards_cum: u64,
+    /// Clients still running at the end of the epoch.
+    pub active_clients: usize,
+    /// Migration jobs in flight at the end of the epoch.
+    pub inflight_migrations: usize,
+    /// Resident (authoritative) inodes per MDS at the end of the epoch —
+    /// the metadata-cache footprint driving the memory model.
+    #[serde(default)]
+    pub per_mds_resident_inodes: Vec<u64>,
+}
+
+/// The complete outcome of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Policy that was driving the cluster.
+    pub balancer: String,
+    /// Per-epoch series.
+    pub epochs: Vec<EpochRecord>,
+    /// Total requests served per MDS over the whole run (Fig. 2's bars).
+    pub per_mds_requests_total: Vec<u64>,
+    /// Total forwards performed per MDS over the whole run.
+    pub per_mds_forwards_total: Vec<u64>,
+    /// Per-client job completion time in simulated seconds (`None` when the
+    /// client had not finished when the run ended).
+    pub client_completion_secs: Vec<Option<u64>>,
+    /// Simulated seconds the run lasted.
+    pub duration_secs: u64,
+    /// Total metadata ops served.
+    pub total_ops: u64,
+    /// Final number of inodes in the namespace.
+    pub final_inodes: usize,
+    /// Subtree choices the migrator rejected as stale/overlapping.
+    pub rejected_choices: u64,
+    /// Per-op stall-latency distribution across the whole run.
+    #[serde(default)]
+    pub latency: LatencyHistogram,
+}
+
+impl RunResult {
+    /// Mean imbalance factor across epochs with any load.
+    pub fn mean_if(&self) -> f64 {
+        let active: Vec<f64> = self
+            .epochs
+            .iter()
+            .filter(|e| e.total_iops > 0.0)
+            .map(|e| e.imbalance_factor)
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+
+    /// Peak aggregate IOPS over the run.
+    pub fn peak_iops(&self) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| e.total_iops)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean aggregate IOPS over epochs with any load.
+    pub fn mean_iops(&self) -> f64 {
+        let active: Vec<f64> = self
+            .epochs
+            .iter()
+            .filter(|e| e.total_iops > 0.0)
+            .map(|e| e.total_iops)
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+
+    /// Completion-time percentile (0.0–1.0) over *finished* clients, or
+    /// `None` when fewer than the requested share finished.
+    pub fn jct_percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        let mut done: Vec<u64> = self
+            .client_completion_secs
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        if done.is_empty() {
+            return None;
+        }
+        let finished_share = done.len() as f64 / self.client_completion_secs.len().max(1) as f64;
+        if finished_share < p {
+            return None;
+        }
+        done.sort_unstable();
+        let idx = ((done.len() as f64 * p).ceil() as usize)
+            .saturating_sub(1)
+            .min(done.len() - 1);
+        Some(done[idx])
+    }
+
+    /// Total migrated inodes over the run.
+    pub fn migrated_inodes(&self) -> u64 {
+        self.epochs
+            .last()
+            .map(|e| e.migrated_inodes_cum)
+            .unwrap_or(0)
+    }
+
+    /// Total forwards over the run.
+    pub fn total_forwards(&self) -> u64 {
+        self.per_mds_forwards_total.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: u64, iops: Vec<f64>, ifv: f64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            time_secs: (epoch + 1) * 10,
+            per_mds_requests: iops.iter().map(|i| (*i * 10.0) as u64).collect(),
+            total_iops: iops.iter().sum(),
+            per_mds_iops: iops,
+            imbalance_factor: ifv,
+            migrated_inodes_cum: epoch * 100,
+            forwards_cum: 0,
+            active_clients: 1,
+            inflight_migrations: 0,
+            per_mds_resident_inodes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let r = RunResult {
+            balancer: "test".into(),
+            epochs: vec![
+                record(0, vec![100.0, 0.0], 0.8),
+                record(1, vec![50.0, 50.0], 0.1),
+                record(2, vec![0.0, 0.0], 0.0), // idle epoch excluded
+            ],
+            client_completion_secs: vec![Some(10), Some(20), Some(30), None],
+            ..RunResult::default()
+        };
+        assert!((r.mean_if() - 0.45).abs() < 1e-9);
+        assert_eq!(r.peak_iops(), 100.0);
+        assert_eq!(r.mean_iops(), 100.0);
+        assert_eq!(r.migrated_inodes(), 200);
+    }
+
+    #[test]
+    fn percentiles_over_finished_clients() {
+        let r = RunResult {
+            client_completion_secs: vec![Some(10), Some(20), Some(30), Some(40)],
+            ..RunResult::default()
+        };
+        assert_eq!(r.jct_percentile(0.5), Some(20));
+        assert_eq!(r.jct_percentile(1.0), Some(40));
+        assert_eq!(r.jct_percentile(0.0), Some(10));
+    }
+
+    #[test]
+    fn percentile_unavailable_when_unfinished() {
+        let r = RunResult {
+            client_completion_secs: vec![Some(10), None, None, None],
+            ..RunResult::default()
+        };
+        assert_eq!(r.jct_percentile(0.99), None);
+        assert_eq!(r.jct_percentile(0.25), Some(10));
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = RunResult::default();
+        assert_eq!(r.mean_if(), 0.0);
+        assert_eq!(r.peak_iops(), 0.0);
+        assert_eq!(r.jct_percentile(0.5), None);
+        assert_eq!(r.migrated_inodes(), 0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = RunResult {
+            balancer: "Lunule".into(),
+            epochs: vec![record(0, vec![1.0], 0.0)],
+            ..RunResult::default()
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.balancer, "Lunule");
+        assert_eq!(back.epochs.len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the simulator's conservation invariants.
+
+use lunule_core::{ExportTask, MigrationPlan, SubtreeChoice};
+use lunule_namespace::{FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
+use lunule_sim::Migrator;
+use proptest::prelude::*;
+
+/// A namespace of `dirs` directories with `files` files each.
+fn fixture(dirs: usize, files: usize) -> (Namespace, Vec<InodeId>) {
+    let mut ns = Namespace::new();
+    let ids = (0..dirs)
+        .map(|d| {
+            let dir = ns.mkdir(InodeId::ROOT, &format!("d{d}")).unwrap();
+            for i in 0..files {
+                ns.create_file(dir, &format!("f{i}"), 1).unwrap();
+            }
+            dir
+        })
+        .collect();
+    (ns, ids)
+}
+
+proptest! {
+    /// Any sequence of (possibly conflicting, possibly stale) migration
+    /// plans leaves every inode with a valid authority, conserves the total
+    /// inode count across ranks, and keeps both map and namespace
+    /// invariants.
+    #[test]
+    fn migrations_conserve_authority(
+        moves in proptest::collection::vec((0usize..8, 0u16..4, 0u16..4), 0..24),
+        bw in 1.0f64..10_000.0,
+        freeze in 0u64..4,
+    ) {
+        let n_mds = 4;
+        let (mut ns, dirs) = fixture(8, 12);
+        let mut map = SubtreeMap::new(MdsRank(0));
+        let mut mig = Migrator::new(bw, freeze, 0.0);
+        let mut tick = 0u64;
+        for (dsel, from, to) in moves {
+            let dir = dirs[dsel % dirs.len()];
+            let plan = MigrationPlan {
+                exports: vec![ExportTask {
+                    from: MdsRank(from % n_mds),
+                    to: MdsRank(to % n_mds),
+                    target_amount: 10.0,
+                    subtrees: vec![SubtreeChoice {
+                        subtree: FragKey::whole(dir),
+                        estimated_load: 10.0,
+                    }],
+                }],
+            };
+            mig.enqueue_plan(&mut ns, &map, &plan);
+            // Advance a few ticks so some jobs finish mid-sequence.
+            for _ in 0..3 {
+                mig.step(&ns, &mut map, tick);
+                tick += 1;
+            }
+        }
+        // Drain every remaining job.
+        for _ in 0..10_000 {
+            if mig.jobs().is_empty() {
+                break;
+            }
+            mig.step(&ns, &mut map, tick);
+            tick += 1;
+        }
+        prop_assert!(mig.jobs().is_empty(), "all jobs must drain");
+        prop_assert!(map.invariants_hold());
+        prop_assert!(ns.invariants_hold());
+        let counts = map.inode_counts(&ns, n_mds as usize);
+        prop_assert_eq!(counts.iter().sum::<usize>(), ns.live_count());
+    }
+
+    /// Simplify never changes any inode's resolved authority.
+    #[test]
+    fn simplify_preserves_resolution(
+        assignments in proptest::collection::vec((0usize..8, 0u16..4), 0..16),
+    ) {
+        let (ns, dirs) = fixture(8, 4);
+        let mut map = SubtreeMap::new(MdsRank(0));
+        for (dsel, rank) in assignments {
+            map.set_authority(FragKey::whole(dirs[dsel % dirs.len()]), MdsRank(rank));
+        }
+        let before: Vec<MdsRank> = (0..ns.len())
+            .map(|i| map.authority(&ns, InodeId::from_index(i)))
+            .collect();
+        map.simplify(&ns);
+        let after: Vec<MdsRank> = (0..ns.len())
+            .map(|i| map.authority(&ns, InodeId::from_index(i)))
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Random interleavings of creates, unlinks, rmdirs and renames keep
+    /// the namespace arena consistent and the subtree map total-covering.
+    #[test]
+    fn mutations_keep_namespace_and_map_consistent(
+        ops in proptest::collection::vec((0u8..5, 0usize..32, 0usize..32), 1..120),
+    ) {
+        let mut ns = Namespace::new();
+        let mut dirs = vec![InodeId::ROOT];
+        let mut files: Vec<InodeId> = Vec::new();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        for (op, a, b) in ops {
+            match op {
+                0 => {
+                    let parent = dirs[a % dirs.len()];
+                    dirs.push(ns.mkdir(parent, "d").unwrap());
+                }
+                1 => {
+                    let parent = dirs[a % dirs.len()];
+                    files.push(ns.create_file(parent, "f", 1).unwrap());
+                }
+                2 => {
+                    if !files.is_empty() {
+                        let f = files.swap_remove(a % files.len());
+                        ns.unlink(f).unwrap();
+                    }
+                }
+                3 => {
+                    // rmdir an empty non-root dir, if the pick qualifies.
+                    let d = dirs[a % dirs.len()];
+                    if d != InodeId::ROOT && ns.inode(d).children().is_empty() {
+                        ns.rmdir(d).unwrap();
+                        dirs.retain(|x| *x != d);
+                    }
+                }
+                _ => {
+                    // rename a dir under another, when legal.
+                    let d = dirs[a % dirs.len()];
+                    let target = dirs[b % dirs.len()];
+                    if d != InodeId::ROOT
+                        && ns.inode(target).is_alive()
+                        && !ns.path_chain(target).contains(&d)
+                    {
+                        ns.rename(d, target, "moved").unwrap();
+                    }
+                }
+            }
+            prop_assert!(ns.invariants_hold());
+        }
+        // Pin a couple of live dirs and check total coverage.
+        for d in dirs.iter().take(3) {
+            map.set_authority(FragKey::whole(*d), MdsRank(1));
+        }
+        let counts = map.inode_counts(&ns, 2);
+        prop_assert_eq!(counts.iter().sum::<usize>(), ns.live_count());
+    }
+}

@@ -1,0 +1,123 @@
+//! The CNN image pre-processing workload.
+//!
+//! Models the data-preparation phase of CNN training: the dataset has the
+//! shape of ImageNet ILSVRC2012 (1000 class directories, ~1.28 M images of
+//! ~114.3 KB on average), and every client scans the entire dataset in
+//! directory order to build its metadata list, then creates one large
+//! packed record file. Files are read once and never revisited — the
+//! pure-spatial-locality pattern that defeats hotness-based balancing.
+
+use crate::spec::WorkloadSpec;
+use crate::streams::ScanStream;
+use lunule_namespace::{build_flat_dataset, FlatDataset, InodeId, Namespace};
+use lunule_sim::OpStream;
+use std::sync::Arc;
+
+/// Average ImageNet image size, bytes (paper: 114.3 KB).
+pub const CNN_FILE_SIZE: u64 = 114_300;
+
+/// Builder for the CNN workload.
+#[derive(Clone, Copy, Debug)]
+pub struct CnnWorkload {
+    /// Number of class directories (paper: 1000).
+    pub dirs: usize,
+    /// Images per class directory (paper: ~1280).
+    pub files_per_dir: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Size of the record file each client creates at the end.
+    pub record_size: u64,
+}
+
+impl CnnWorkload {
+    /// Derives scaled parameters from a spec. Both axes scale with √scale
+    /// so the file count scales linearly with `scale`.
+    pub fn from_spec(spec: &WorkloadSpec) -> Self {
+        let axis = spec.scale.sqrt();
+        CnnWorkload {
+            dirs: ((1000.0 * axis) as usize).max(8),
+            files_per_dir: ((1280.0 * axis) as usize).max(8),
+            clients: spec.clients,
+            record_size: (128.0 * 1024.0 * 1024.0 * spec.scale) as u64,
+        }
+    }
+
+    /// Builds the dataset into `ns` and returns per-client streams.
+    pub fn build(&self, ns: &mut Namespace) -> Vec<Box<dyn OpStream>> {
+        let dataset = build_flat_dataset(
+            ns,
+            "imagenet",
+            FlatDataset {
+                dirs: self.dirs,
+                files_per_dir: self.files_per_dir,
+                file_size: CNN_FILE_SIZE,
+            },
+        );
+        let files = Arc::new(dataset.files_in_scan_order());
+        // Per-client output directories for the packed record files.
+        let out_root = ns
+            .mkdir(InodeId::ROOT, "cnn_out")
+            .expect("root is a directory");
+        (0..self.clients)
+            .map(|c| {
+                let out = ns
+                    .mkdir(out_root, &format!("client{c:04}"))
+                    .expect("out root is a directory");
+                Box::new(ScanStream::new(
+                    Arc::clone(&files),
+                    Some((out, self.record_size)),
+                )) as Box<dyn OpStream>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{WorkloadKind, WorkloadSpec};
+    use lunule_sim::MetaOp;
+
+    #[test]
+    fn scaled_shape() {
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::Cnn,
+            clients: 3,
+            scale: 0.01,
+            seed: 1,
+        };
+        let w = CnnWorkload::from_spec(&spec);
+        assert_eq!(w.dirs, 100);
+        assert_eq!(w.files_per_dir, 128);
+        let mut ns = Namespace::new();
+        let streams = w.build(&mut ns);
+        assert_eq!(streams.len(), 3);
+        assert_eq!(ns.file_count(), 100 * 128);
+    }
+
+    #[test]
+    fn every_client_scans_whole_dataset_once() {
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::Cnn,
+            clients: 2,
+            scale: 0.001,
+            seed: 1,
+        };
+        let w = CnnWorkload::from_spec(&spec);
+        let mut ns = Namespace::new();
+        let mut streams = w.build(&mut ns);
+        let total_files = ns.file_count();
+        let mut reads = 0;
+        let mut creates = 0;
+        let s = &mut streams[0];
+        while let Some(op) = s.next_op(&ns) {
+            match op {
+                MetaOp::Read(_) => reads += 1,
+                MetaOp::Create { .. } => creates += 1,
+                MetaOp::Remove(_) => panic!("the CNN pipeline never removes"),
+            }
+        }
+        assert_eq!(reads, total_files);
+        assert_eq!(creates, 1, "exactly one record file per client");
+    }
+}

@@ -1,0 +1,215 @@
+//! The MDtest-create workload.
+//!
+//! Each client operates on a private, initially empty directory and keeps
+//! creating empty files into it (paper: 100k per client). It is write-only
+//! and 100% metadata; balance requires directory-fragment splitting because
+//! every client's load concentrates on one huge directory. This is the
+//! workload the paper's scalability experiment (Fig. 13a) uses.
+
+use crate::spec::WorkloadSpec;
+use crate::streams::CreateStream;
+use lunule_namespace::{build_private_dirs, InodeId, Namespace};
+use lunule_sim::OpStream;
+
+/// Builder for the MDtest workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MdtestWorkload {
+    /// Files each client creates (paper: 100_000).
+    pub creates_per_client: u64,
+    /// Concurrent clients.
+    pub clients: usize,
+}
+
+impl MdtestWorkload {
+    /// Derives scaled parameters from a spec.
+    pub fn from_spec(spec: &WorkloadSpec) -> Self {
+        MdtestWorkload {
+            creates_per_client: ((100_000.0 * spec.scale) as u64).max(100),
+            clients: spec.clients,
+        }
+    }
+
+    /// Builds the empty private directories and returns create streams.
+    pub fn build(&self, ns: &mut Namespace) -> Vec<Box<dyn OpStream>> {
+        let dataset = build_private_dirs(ns, "mdtest", self.clients, 0, 0);
+        dataset
+            .dirs
+            .iter()
+            .map(|(dir, _)| {
+                Box::new(CreateStream::new(*dir, self.creates_per_client, 0))
+                    as Box<dyn OpStream>
+            })
+            .collect()
+    }
+}
+
+/// The full mdtest cycle the real tool runs per client: create N files,
+/// stat each of them, then remove them all. Exercises the namespace's
+/// delete path and keeps the balancer honest under a shrinking namespace.
+pub struct MdtestFullStream {
+    parent: InodeId,
+    creates_left: u64,
+    created: Vec<InodeId>,
+    stat_pos: usize,
+    remove_pos: usize,
+}
+
+impl MdtestFullStream {
+    /// A create→stat→remove cycle of `count` files under `parent`.
+    pub fn new(parent: InodeId, count: u64) -> Self {
+        MdtestFullStream {
+            parent,
+            creates_left: count,
+            created: Vec::with_capacity(count as usize),
+            stat_pos: 0,
+            remove_pos: 0,
+        }
+    }
+}
+
+impl lunule_sim::OpStream for MdtestFullStream {
+    fn next_op(&mut self, _ns: &lunule_namespace::Namespace) -> Option<lunule_sim::MetaOp> {
+        use lunule_sim::MetaOp;
+        if self.creates_left > 0 {
+            self.creates_left -= 1;
+            return Some(MetaOp::Create {
+                parent: self.parent,
+                size: 0,
+            });
+        }
+        if self.stat_pos < self.created.len() {
+            let op = MetaOp::Read(self.created[self.stat_pos]);
+            self.stat_pos += 1;
+            return Some(op);
+        }
+        if self.remove_pos < self.created.len() {
+            let op = MetaOp::Remove(self.created[self.remove_pos]);
+            self.remove_pos += 1;
+            return Some(op);
+        }
+        None
+    }
+
+    fn on_created(&mut self, id: InodeId) {
+        self.created.push(id);
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        let n = self.creates_left + self.created.len() as u64;
+        Some(n * 3 - (self.stat_pos + self.remove_pos) as u64)
+    }
+}
+
+/// Builder for the full-cycle variant.
+#[derive(Clone, Copy, Debug)]
+pub struct MdtestFullWorkload {
+    /// Files each client creates, stats, and removes.
+    pub files_per_client: u64,
+    /// Concurrent clients.
+    pub clients: usize,
+}
+
+impl MdtestFullWorkload {
+    /// Derives scaled parameters from a spec.
+    pub fn from_spec(spec: &crate::spec::WorkloadSpec) -> Self {
+        MdtestFullWorkload {
+            files_per_client: ((100_000.0 * spec.scale) as u64).max(100),
+            clients: spec.clients,
+        }
+    }
+
+    /// Builds the empty private directories and returns full-cycle streams.
+    pub fn build(&self, ns: &mut Namespace) -> Vec<Box<dyn OpStream>> {
+        let dataset = build_private_dirs(ns, "mdtest_full", self.clients, 0, 0);
+        dataset
+            .dirs
+            .iter()
+            .map(|(dir, _)| {
+                Box::new(MdtestFullStream::new(*dir, self.files_per_client))
+                    as Box<dyn OpStream>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{WorkloadKind, WorkloadSpec};
+    use lunule_sim::MetaOp;
+
+    #[test]
+    fn creates_only_into_private_dir() {
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::MdCreate,
+            clients: 2,
+            scale: 0.001,
+            seed: 0,
+        };
+        let w = MdtestWorkload::from_spec(&spec);
+        let mut ns = Namespace::new();
+        let mut streams = w.build(&mut ns);
+        let mut creates = 0;
+        let mut parent = None;
+        while let Some(op) = streams[0].next_op(&ns) {
+            match op {
+                MetaOp::Create { parent: p, size } => {
+                    creates += 1;
+                    assert_eq!(size, 0, "MDtest files are empty");
+                    match parent {
+                        None => parent = Some(p),
+                        Some(prev) => assert_eq!(prev, p, "one private dir per client"),
+                    }
+                }
+                other => panic!("MDtest create phase is write-only, got {other:?}"),
+            }
+        }
+        assert_eq!(creates, w.creates_per_client);
+    }
+
+    #[test]
+    fn full_cycle_creates_stats_removes() {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(lunule_namespace::InodeId::ROOT, "out").unwrap();
+        let mut s = MdtestFullStream::new(d, 3);
+        let mut created = Vec::new();
+        // Phase 1: creates (simulate the cluster materialising them).
+        for _ in 0..3 {
+            match s.next_op(&ns).unwrap() {
+                MetaOp::Create { parent, .. } => {
+                    let id = ns.create_file(parent, "f", 0).unwrap();
+                    lunule_sim::OpStream::on_created(&mut s, id);
+                    created.push(id);
+                }
+                other => panic!("expected create, got {other:?}"),
+            }
+        }
+        // Phase 2: stats, in creation order.
+        for id in &created {
+            assert_eq!(s.next_op(&ns), Some(MetaOp::Read(*id)));
+        }
+        // Phase 3: removes.
+        for id in &created {
+            assert_eq!(s.next_op(&ns), Some(MetaOp::Remove(*id)));
+            ns.unlink(*id).unwrap();
+        }
+        assert_eq!(s.next_op(&ns), None);
+        assert_eq!(ns.file_count(), 0);
+        assert!(ns.invariants_hold());
+    }
+
+    #[test]
+    fn dirs_start_empty() {
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::MdCreate,
+            clients: 3,
+            scale: 0.001,
+            seed: 0,
+        };
+        let w = MdtestWorkload::from_spec(&spec);
+        let mut ns = Namespace::new();
+        w.build(&mut ns);
+        assert_eq!(ns.file_count(), 0);
+        assert_eq!(ns.dir_count(), 1 + 1 + 3); // root + mdtest + clients
+    }
+}

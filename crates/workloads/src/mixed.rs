@@ -1,0 +1,105 @@
+//! The mixed workload: the paper's Section 4.4 setup.
+//!
+//! Clients are partitioned into four groups, each running one of the four
+//! single workloads (CNN, NLP, Web, Zipf) concurrently against one shared
+//! namespace. Jobs finish at different times, which keeps re-creating fresh
+//! imbalance — the stress case for any balancer's trigger logic.
+
+use crate::spec::{WorkloadKind, WorkloadSpec};
+use lunule_namespace::Namespace;
+use lunule_sim::OpStream;
+
+/// Builder for the mixed workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MixedWorkload {
+    spec: WorkloadSpec,
+}
+
+impl MixedWorkload {
+    /// Wraps the spec (client partitioning happens at build time).
+    pub fn from_spec(spec: &WorkloadSpec) -> Self {
+        MixedWorkload { spec: *spec }
+    }
+
+    /// The four constituent workloads, in group order.
+    pub const GROUPS: [WorkloadKind; 4] = [
+        WorkloadKind::Cnn,
+        WorkloadKind::Nlp,
+        WorkloadKind::Web,
+        WorkloadKind::ZipfRead,
+    ];
+
+    /// Builds all four datasets into one namespace; client `i` belongs to
+    /// group `i % 4`, so any client count splits as evenly as possible.
+    pub fn build(&self, ns: &mut Namespace) -> Vec<Box<dyn OpStream>> {
+        let total = self.spec.clients;
+        let mut group_sizes = [total / 4; 4];
+        for size in group_sizes.iter_mut().take(total % 4) {
+            *size += 1;
+        }
+        let mut per_group: Vec<Vec<Box<dyn OpStream>>> = Vec::with_capacity(4);
+        for (g, kind) in Self::GROUPS.iter().enumerate() {
+            let sub = WorkloadSpec {
+                kind: *kind,
+                clients: group_sizes[g].max(1),
+                scale: self.spec.scale,
+                seed: self.spec.seed ^ (g as u64 + 1),
+            };
+            let mut streams = sub.build_into(ns);
+            streams.truncate(group_sizes[g]);
+            per_group.push(streams);
+        }
+        // Interleave groups so client ids mix workloads (client i -> group
+        // i % 4), matching how the paper spreads groups over machines.
+        let mut out: Vec<Box<dyn OpStream>> = Vec::with_capacity(total);
+        let mut g = 0;
+        while out.len() < total {
+            if let Some(stream) = per_group[g].pop() {
+                out.push(stream);
+            }
+            g = (g + 1) % 4;
+            debug_assert!(
+                per_group.iter().any(|v| !v.is_empty()) || out.len() == total,
+                "group sizes must sum to the client count"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_groups_into_one_namespace() {
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::Mixed,
+            clients: 8,
+            scale: 0.003,
+            seed: 3,
+        };
+        let (ns, streams) = spec.build();
+        assert_eq!(streams.len(), 8);
+        // All four dataset roots exist under /.
+        for name in ["imagenet", "corpus", "www", "filebench"] {
+            assert!(
+                ns.child_by_name(lunule_namespace::InodeId::ROOT, name).is_some(),
+                "missing dataset {name}"
+            );
+        }
+        assert!(ns.invariants_hold());
+    }
+
+    #[test]
+    fn uneven_client_counts_split_fairly() {
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::Mixed,
+            clients: 7,
+            scale: 0.003,
+            seed: 3,
+        };
+        let (_ns, streams) = spec.build();
+        assert_eq!(streams.len(), 7);
+    }
+}

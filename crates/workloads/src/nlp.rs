@@ -1,0 +1,94 @@
+//! The NLP training workload.
+//!
+//! Models a text-classifier training job over a news corpus: ~836k files of
+//! ~2.8 KB spread over 14 folders, and every client consumes the whole
+//! corpus. Like CNN it is a scan (files are read once), but the namespace is
+//! much flatter — 14 giant directories — so balance requires fragment-level
+//! splitting rather than shipping whole directories.
+
+use crate::spec::WorkloadSpec;
+use crate::streams::ScanStream;
+use lunule_namespace::{build_flat_dataset, FlatDataset, Namespace};
+use lunule_sim::OpStream;
+use std::sync::Arc;
+
+/// Average corpus file size, bytes (paper: 2.8 KB).
+pub const NLP_FILE_SIZE: u64 = 2_800;
+
+/// Builder for the NLP workload.
+#[derive(Clone, Copy, Debug)]
+pub struct NlpWorkload {
+    /// Corpus folders (paper: 14).
+    pub dirs: usize,
+    /// Files per folder (paper: ~59.7k).
+    pub files_per_dir: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+}
+
+impl NlpWorkload {
+    /// Derives scaled parameters from a spec (folder count stays 14; only
+    /// the per-folder population scales).
+    pub fn from_spec(spec: &WorkloadSpec) -> Self {
+        NlpWorkload {
+            dirs: 14,
+            files_per_dir: ((836_000.0 / 14.0 * spec.scale) as usize).max(8),
+            clients: spec.clients,
+        }
+    }
+
+    /// Builds the corpus into `ns` and returns per-client streams.
+    pub fn build(&self, ns: &mut Namespace) -> Vec<Box<dyn OpStream>> {
+        let dataset = build_flat_dataset(
+            ns,
+            "corpus",
+            FlatDataset {
+                dirs: self.dirs,
+                files_per_dir: self.files_per_dir,
+                file_size: NLP_FILE_SIZE,
+            },
+        );
+        let files = Arc::new(dataset.files_in_scan_order());
+        (0..self.clients)
+            .map(|_| Box::new(ScanStream::new(Arc::clone(&files), None)) as Box<dyn OpStream>)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{WorkloadKind, WorkloadSpec};
+
+    #[test]
+    fn fourteen_folders_always() {
+        for scale in [0.001, 0.01, 0.1] {
+            let spec = WorkloadSpec {
+                kind: WorkloadKind::Nlp,
+                clients: 1,
+                scale,
+                seed: 0,
+            };
+            let w = NlpWorkload::from_spec(&spec);
+            assert_eq!(w.dirs, 14);
+        }
+    }
+
+    #[test]
+    fn scan_covers_corpus() {
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::Nlp,
+            clients: 2,
+            scale: 0.0005,
+            seed: 0,
+        };
+        let w = NlpWorkload::from_spec(&spec);
+        let mut ns = Namespace::new();
+        let mut streams = w.build(&mut ns);
+        let mut count = 0;
+        while streams[1].next_op(&ns).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, ns.file_count());
+    }
+}

@@ -1,0 +1,222 @@
+//! Workload specifications: the five paper workloads and their mixture.
+//!
+//! Each spec builds (a) the namespace shape of the dataset the paper used
+//! and (b) one op stream per client with the same locality signature
+//! (Table 1 of the paper). Sizes scale with a `scale` factor so runs fit a
+//! laptop; the shapes and access patterns are preserved.
+
+use crate::cnn::CnnWorkload;
+use crate::mdtest::MdtestWorkload;
+use crate::mixed::MixedWorkload;
+use crate::nlp::NlpWorkload;
+use crate::web::WebWorkload;
+use crate::zipf_read::ZipfReadWorkload;
+use lunule_namespace::Namespace;
+use lunule_sim::OpStream;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's workloads to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// CNN image pre-processing: full-dataset scan + record-file create.
+    Cnn,
+    /// NLP training: scan of a small-file text corpus.
+    Nlp,
+    /// Web server trace replay: Zipf popularity, strong temporal locality.
+    Web,
+    /// Filebench Zipfian read: private dirs, 80/20 rule.
+    ZipfRead,
+    /// MDtest create: write-only creates into private dirs.
+    MdCreate,
+    /// Full MDtest cycle: create, stat, then remove every file (extension
+    /// beyond the paper, which runs the create phase only).
+    MdFull,
+    /// The paper's four-way mixture (CNN + NLP + Web + Zipf client groups).
+    Mixed,
+}
+
+impl WorkloadKind {
+    /// The five single workloads, in the paper's Table 1 order.
+    pub const SINGLES: [WorkloadKind; 5] = [
+        WorkloadKind::Cnn,
+        WorkloadKind::Nlp,
+        WorkloadKind::Web,
+        WorkloadKind::ZipfRead,
+        WorkloadKind::MdCreate,
+    ];
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Cnn => "CNN",
+            WorkloadKind::Nlp => "NLP",
+            WorkloadKind::Web => "Web",
+            WorkloadKind::ZipfRead => "Zipf",
+            WorkloadKind::MdCreate => "MD",
+            WorkloadKind::MdFull => "MD-full",
+            WorkloadKind::Mixed => "Mixed",
+        }
+    }
+
+    /// The metadata-operation share the paper reports for the workload
+    /// (Table 1); the mixture reports the client-weighted mean of its
+    /// constituents.
+    pub fn meta_op_ratio(self) -> f64 {
+        match self {
+            WorkloadKind::Cnn => 0.781,
+            WorkloadKind::Nlp => 0.928,
+            WorkloadKind::Web => 0.572,
+            WorkloadKind::ZipfRead => 0.500,
+            WorkloadKind::MdCreate => 1.000,
+            WorkloadKind::MdFull => 1.000,
+            WorkloadKind::Mixed => (0.781 + 0.928 + 0.572 + 0.500) / 4.0,
+        }
+    }
+
+    /// One-line description for Table 1 output.
+    pub fn description(self) -> &'static str {
+        match self {
+            WorkloadKind::Cnn => {
+                "ImageNet-shaped scan (1000 class dirs), every client reads all images once, then creates a packed record file"
+            }
+            WorkloadKind::Nlp => {
+                "Text-corpus scan: 14 folders of ~2.8 KB files, every client reads the corpus once"
+            }
+            WorkloadKind::Web => {
+                "HTTP-log replay over a deep document tree; Zipf popularity, clients replay the trace in order"
+            }
+            WorkloadKind::ZipfRead => {
+                "Filebench-Zipfian: each client randomly reads its private 10k-file dir, 80% of reads on 20% of files"
+            }
+            WorkloadKind::MdCreate => {
+                "MDtest: each client continuously creates empty files in its private directory"
+            }
+            WorkloadKind::MdFull => {
+                "MDtest full cycle: each client creates, stats, and removes its files"
+            }
+            WorkloadKind::Mixed => "Four client groups running CNN / NLP / Web / Zipf concurrently",
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully parameterised workload instance.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which workload.
+    pub kind: WorkloadKind,
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Dataset/op-count scale relative to the paper (1.0 = full size).
+    pub scale: f64,
+    /// Master seed for all stochastic generation.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec with the experiment defaults: 100 clients at 1/10 scale.
+    pub fn new(kind: WorkloadKind) -> Self {
+        WorkloadSpec {
+            kind,
+            clients: 100,
+            scale: 0.1,
+            seed: 0x1A7E_5EED,
+        }
+    }
+
+    /// Validates parameters.
+    pub fn validate(&self) {
+        assert!(self.clients >= 1, "need at least one client");
+        assert!(
+            self.scale > 0.0 && self.scale <= 1.0,
+            "scale must be in (0, 1]"
+        );
+    }
+
+    /// Materialises the namespace and one op stream per client.
+    pub fn build(&self) -> (Namespace, Vec<Box<dyn OpStream>>) {
+        self.validate();
+        let mut ns = Namespace::new();
+        let streams = self.build_into(&mut ns);
+        (ns, streams)
+    }
+
+    /// Builds this workload's dataset into an existing namespace and
+    /// returns its client streams. Used directly by the mixture.
+    pub fn build_into(&self, ns: &mut Namespace) -> Vec<Box<dyn OpStream>> {
+        match self.kind {
+            WorkloadKind::Cnn => CnnWorkload::from_spec(self).build(ns),
+            WorkloadKind::Nlp => NlpWorkload::from_spec(self).build(ns),
+            WorkloadKind::Web => WebWorkload::from_spec(self).build(ns),
+            WorkloadKind::ZipfRead => ZipfReadWorkload::from_spec(self).build(ns),
+            WorkloadKind::MdCreate => MdtestWorkload::from_spec(self).build(ns),
+            WorkloadKind::MdFull => crate::mdtest::MdtestFullWorkload::from_spec(self).build(ns),
+            WorkloadKind::Mixed => MixedWorkload::from_spec(self).build(ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_ratios() {
+        assert_eq!(WorkloadKind::Cnn.label(), "CNN");
+        assert_eq!(WorkloadKind::MdCreate.meta_op_ratio(), 1.0);
+        for k in WorkloadKind::SINGLES {
+            let r = k.meta_op_ratio();
+            assert!((0.5..=1.0).contains(&r), "{k}: {r}");
+            assert!(!k.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_kind_builds() {
+        for kind in [
+            WorkloadKind::Cnn,
+            WorkloadKind::Nlp,
+            WorkloadKind::Web,
+            WorkloadKind::ZipfRead,
+            WorkloadKind::MdCreate,
+            WorkloadKind::MdFull,
+            WorkloadKind::Mixed,
+        ] {
+            let spec = WorkloadSpec {
+                kind,
+                clients: 4,
+                scale: 0.02,
+                seed: 9,
+            };
+            let (ns, streams) = spec.build();
+            assert_eq!(streams.len(), 4, "{kind}");
+            assert!(ns.len() > 1, "{kind} namespace must be non-trivial");
+            assert!(ns.invariants_hold(), "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_clients_rejected() {
+        WorkloadSpec {
+            clients: 0,
+            ..WorkloadSpec::new(WorkloadKind::Cnn)
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_scale_rejected() {
+        WorkloadSpec {
+            scale: 1.5,
+            ..WorkloadSpec::new(WorkloadKind::Cnn)
+        }
+        .validate();
+    }
+}

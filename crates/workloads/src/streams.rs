@@ -1,0 +1,247 @@
+//! Reusable op-stream building blocks for the workload generators.
+
+use crate::zipf::HotSetSampler;
+use lunule_namespace::{InodeId, Namespace};
+use lunule_sim::{MetaOp, OpStream};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Derives a per-client RNG seed from a workload master seed — a SplitMix64
+/// step so neighbouring client ids do not correlate.
+pub fn client_seed(master: u64, client: u64) -> u64 {
+    let mut z = master ^ client.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sequentially reads a shared list of files once (scan-type workloads:
+/// CNN preprocessing, NLP training) and optionally finishes by creating a
+/// record file (the CNN pipeline's packed output).
+pub struct ScanStream {
+    files: Arc<Vec<InodeId>>,
+    pos: usize,
+    /// `(output dir, size)` of the record file to create after the scan.
+    record: Option<(InodeId, u64)>,
+    record_done: bool,
+}
+
+impl ScanStream {
+    /// Scan over `files`, optionally followed by a record-file create.
+    pub fn new(files: Arc<Vec<InodeId>>, record: Option<(InodeId, u64)>) -> Self {
+        ScanStream {
+            files,
+            pos: 0,
+            record,
+            record_done: false,
+        }
+    }
+}
+
+impl OpStream for ScanStream {
+    fn next_op(&mut self, _ns: &Namespace) -> Option<MetaOp> {
+        if self.pos < self.files.len() {
+            let op = MetaOp::Read(self.files[self.pos]);
+            self.pos += 1;
+            return Some(op);
+        }
+        if let Some((dir, size)) = self.record {
+            if !self.record_done {
+                self.record_done = true;
+                return Some(MetaOp::Create { parent: dir, size });
+            }
+        }
+        None
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.files.len() as u64 + u64::from(self.record.is_some()))
+    }
+}
+
+/// Replays a shared, pre-generated access trace in order (Web workload).
+pub struct ReplayStream {
+    trace: Arc<Vec<InodeId>>,
+    pos: usize,
+}
+
+impl ReplayStream {
+    /// Replay of `trace` from the beginning.
+    pub fn new(trace: Arc<Vec<InodeId>>) -> Self {
+        ReplayStream { trace, pos: 0 }
+    }
+}
+
+impl OpStream for ReplayStream {
+    fn next_op(&mut self, _ns: &Namespace) -> Option<MetaOp> {
+        let op = self.trace.get(self.pos).copied().map(MetaOp::Read);
+        if op.is_some() {
+            self.pos += 1;
+        }
+        op
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.trace.len() as u64)
+    }
+}
+
+/// Random reads over a private file set under the 80/20 rule
+/// (Filebench-Zipfian workload).
+pub struct HotSetStream {
+    files: Vec<InodeId>,
+    sampler: HotSetSampler,
+    rng: StdRng,
+    remaining: u64,
+}
+
+impl HotSetStream {
+    /// `ops` reads over `files`, 80 % of them on the first 20 %.
+    pub fn new(files: Vec<InodeId>, ops: u64, seed: u64) -> Self {
+        let sampler = HotSetSampler::new(files.len(), 0.2, 0.8);
+        HotSetStream {
+            files,
+            sampler,
+            rng: StdRng::seed_from_u64(seed),
+            remaining: ops,
+        }
+    }
+}
+
+impl OpStream for HotSetStream {
+    fn next_op(&mut self, _ns: &Namespace) -> Option<MetaOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let idx = self.sampler.sample(&mut self.rng);
+        Some(MetaOp::Read(self.files[idx]))
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Endless-until-quota creates into a private directory (MDtest-create).
+pub struct CreateStream {
+    parent: InodeId,
+    remaining: u64,
+    size: u64,
+}
+
+impl CreateStream {
+    /// `count` creates of `size`-byte files under `parent`.
+    pub fn new(parent: InodeId, count: u64, size: u64) -> Self {
+        CreateStream {
+            parent,
+            remaining: count,
+            size,
+        }
+    }
+}
+
+impl OpStream for CreateStream {
+    fn next_op(&mut self, _ns: &Namespace) -> Option<MetaOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(MetaOp::Create {
+            parent: self.parent,
+            size: self.size,
+        })
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns_with_files(n: usize) -> (Namespace, InodeId, Vec<InodeId>) {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "d").unwrap();
+        let files = (0..n)
+            .map(|i| ns.create_file(d, &format!("f{i}"), 1).unwrap())
+            .collect();
+        (ns, d, files)
+    }
+
+    #[test]
+    fn scan_reads_everything_then_creates_record() {
+        let (ns, d, files) = ns_with_files(5);
+        let mut s = ScanStream::new(Arc::new(files.clone()), Some((d, 100)));
+        for f in &files {
+            assert_eq!(s.next_op(&ns), Some(MetaOp::Read(*f)));
+        }
+        assert_eq!(
+            s.next_op(&ns),
+            Some(MetaOp::Create {
+                parent: d,
+                size: 100
+            })
+        );
+        assert_eq!(s.next_op(&ns), None);
+    }
+
+    #[test]
+    fn scan_without_record() {
+        let (ns, _d, files) = ns_with_files(3);
+        let mut s = ScanStream::new(Arc::new(files), None);
+        assert_eq!(s.len_hint(), Some(3));
+        for _ in 0..3 {
+            assert!(s.next_op(&ns).is_some());
+        }
+        assert_eq!(s.next_op(&ns), None);
+    }
+
+    #[test]
+    fn replay_follows_trace() {
+        let (ns, _d, files) = ns_with_files(3);
+        let trace = Arc::new(vec![files[2], files[0], files[2]]);
+        let mut s = ReplayStream::new(trace);
+        assert_eq!(s.next_op(&ns), Some(MetaOp::Read(files[2])));
+        assert_eq!(s.next_op(&ns), Some(MetaOp::Read(files[0])));
+        assert_eq!(s.next_op(&ns), Some(MetaOp::Read(files[2])));
+        assert_eq!(s.next_op(&ns), None);
+    }
+
+    #[test]
+    fn hotset_stream_respects_quota_and_skews() {
+        let (ns, _d, files) = ns_with_files(100);
+        let mut s = HotSetStream::new(files.clone(), 1000, 42);
+        let mut hot_hits = 0;
+        let mut count = 0;
+        while let Some(MetaOp::Read(ino)) = s.next_op(&ns) {
+            count += 1;
+            if files[..20].contains(&ino) {
+                hot_hits += 1;
+            }
+        }
+        assert_eq!(count, 1000);
+        assert!(hot_hits > 700, "hot share too low: {hot_hits}/1000");
+    }
+
+    #[test]
+    fn create_stream_counts_down() {
+        let (ns, d, _) = ns_with_files(1);
+        let mut s = CreateStream::new(d, 2, 0);
+        assert!(matches!(s.next_op(&ns), Some(MetaOp::Create { .. })));
+        assert!(matches!(s.next_op(&ns), Some(MetaOp::Create { .. })));
+        assert_eq!(s.next_op(&ns), None);
+    }
+
+    #[test]
+    fn client_seed_spreads() {
+        let a = client_seed(1, 0);
+        let b = client_seed(1, 1);
+        let c = client_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

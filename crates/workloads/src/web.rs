@@ -1,0 +1,151 @@
+//! The Web trace-replay workload.
+//!
+//! Models the replay of a departmental web server's access log: ~302k files
+//! spread over a deep document tree, ~8 M requests whose popularity follows
+//! a Zipf law (web page popularity is classically Zipfian), replayed by
+//! every client in order. Repeated requests to popular pages give this
+//! workload strong *temporal* locality — the pattern the stock CephFS
+//! balancer handles well (Fig. 6d of the paper).
+
+use crate::spec::WorkloadSpec;
+use crate::streams::{client_seed, ReplayStream};
+use crate::zipf::ZipfSampler;
+use lunule_namespace::{build_deep_tree, InodeId, Namespace};
+use lunule_sim::OpStream;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Served page size used by the data-path model, bytes.
+pub const WEB_FILE_SIZE: u64 = 24_000;
+
+/// Zipf exponent of page popularity.
+pub const WEB_ZIPF_EXPONENT: f64 = 1.0;
+
+/// Builder for the Web workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WebWorkload {
+    /// Depth of the document tree below its root.
+    pub levels: usize,
+    /// Subdirectories per internal directory.
+    pub fanout: usize,
+    /// Total files across the tree (paper: 302k).
+    pub total_files: usize,
+    /// Requests each client replays (paper: 8.06 M over 100 clients).
+    pub requests_per_client: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WebWorkload {
+    /// Derives scaled parameters from a spec.
+    pub fn from_spec(spec: &WorkloadSpec) -> Self {
+        WebWorkload {
+            levels: 3,
+            fanout: 8,
+            total_files: ((302_000.0 * spec.scale) as usize).max(512),
+            requests_per_client: ((8_060_000.0 / spec.clients as f64 * spec.scale) as usize)
+                .max(100),
+            clients: spec.clients,
+            seed: spec.seed,
+        }
+    }
+
+    /// Builds the document tree and the shared trace; returns streams.
+    pub fn build(&self, ns: &mut Namespace) -> Vec<Box<dyn OpStream>> {
+        let leaves = self.fanout.pow(self.levels as u32);
+        let files_per_leaf = (self.total_files / leaves).max(1);
+        let dataset = build_deep_tree(
+            ns,
+            "www",
+            self.levels,
+            self.fanout,
+            files_per_leaf,
+            WEB_FILE_SIZE,
+        );
+        // Popularity ranks are assigned to files in shuffled order so hot
+        // pages scatter across the tree rather than clustering in one leaf.
+        let mut files: Vec<InodeId> = dataset.files_in_scan_order();
+        let mut rng = StdRng::seed_from_u64(client_seed(self.seed, 0xF11E));
+        files.shuffle(&mut rng);
+        let sampler = ZipfSampler::new(files.len(), WEB_ZIPF_EXPONENT);
+        let mut trace_rng = StdRng::seed_from_u64(client_seed(self.seed, 0x7ACE));
+        let trace: Arc<Vec<InodeId>> = Arc::new(
+            (0..self.requests_per_client)
+                .map(|_| files[sampler.sample(&mut trace_rng)])
+                .collect(),
+        );
+        (0..self.clients)
+            .map(|_| Box::new(ReplayStream::new(Arc::clone(&trace))) as Box<dyn OpStream>)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{WorkloadKind, WorkloadSpec};
+    use lunule_sim::MetaOp;
+    use std::collections::HashMap;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            kind: WorkloadKind::Web,
+            clients: 2,
+            scale: 0.005,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn trace_is_shared_and_zipfian() {
+        let w = WebWorkload::from_spec(&small_spec());
+        let mut ns = Namespace::new();
+        let mut streams = w.build(&mut ns);
+        let mut counts: HashMap<InodeId, u32> = HashMap::new();
+        while let Some(MetaOp::Read(ino)) = streams[0].next_op(&ns) {
+            *counts.entry(ino).or_default() += 1;
+        }
+        let total: u32 = counts.values().sum();
+        assert_eq!(total as usize, w.requests_per_client);
+        // Zipf popularity: the hottest page is requested many times.
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 3, "temporal locality requires repeats, max={max}");
+        // Both clients replay the identical trace.
+        let first_client_1 = streams[1].next_op(&ns);
+        assert!(first_client_1.is_some());
+    }
+
+    #[test]
+    fn tree_is_deep() {
+        let w = WebWorkload::from_spec(&small_spec());
+        let mut ns = Namespace::new();
+        w.build(&mut ns);
+        // Some file must sit at depth levels + 2 (root/www/l0/l1/l2/file).
+        let deep = (0..ns.len())
+            .map(lunule_namespace::InodeId::from_index)
+            .filter(|i| !ns.inode(*i).is_dir())
+            .map(|i| ns.inode(i).depth())
+            .max()
+            .unwrap();
+        assert_eq!(deep as usize, w.levels + 2);
+    }
+
+    #[test]
+    fn deterministic_trace() {
+        let build_trace = || {
+            let w = WebWorkload::from_spec(&small_spec());
+            let mut ns = Namespace::new();
+            let mut s = w.build(&mut ns);
+            let mut out = Vec::new();
+            while let Some(MetaOp::Read(i)) = s[0].next_op(&ns) {
+                out.push(i);
+            }
+            out
+        };
+        assert_eq!(build_trace(), build_trace());
+    }
+}

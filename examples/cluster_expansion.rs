@@ -1,0 +1,64 @@
+//! Domain scenario: growing the metadata cluster under load — the paper's
+//! dynamic-adaptation story (Fig. 12a). A Zipfian workload runs on three
+//! MDSs; two more are added mid-run, and Lunule folds them into the cluster
+//! without manual re-partitioning.
+//!
+//! ```sh
+//! cargo run --release --example cluster_expansion
+//! ```
+
+use lunule::core::{make_balancer, BalancerKind};
+use lunule::sim::{SimConfig, Simulation};
+use lunule::workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec {
+        kind: WorkloadKind::ZipfRead,
+        clients: 30,
+        scale: 0.3,
+        seed: 99,
+    };
+    let cfg = SimConfig {
+        n_mds: 3,
+        mds_capacity: 300.0,
+        epoch_secs: 10,
+        duration_secs: 900,
+        stop_when_done: false,
+        client_rate: 40.0,
+        ..SimConfig::default()
+    };
+    let (ns, streams) = spec.build();
+    let balancer = make_balancer(BalancerKind::Lunule, cfg.mds_capacity);
+    let mut sim = Simulation::new(cfg.clone(), ns, balancer, streams);
+
+    println!("phase 1: three MDSs");
+    sim.run_until(300);
+    println!("  -> adding mds.3 at t=300s");
+    sim.add_mds();
+    sim.run_until(600);
+    println!("  -> adding mds.4 at t=600s");
+    sim.add_mds();
+    sim.run_until(900);
+
+    let result = sim.finish();
+    let phase_mean = |lo: u64, hi: u64| {
+        let v: Vec<f64> = result
+            .epochs
+            .iter()
+            .filter(|e| e.time_secs > lo && e.time_secs <= hi)
+            .map(|e| e.total_iops)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    println!("\naggregate throughput by phase:");
+    println!("  3 MDSs (  0-300s): {:>7.0} IOPS", phase_mean(60, 300));
+    println!("  4 MDSs (300-600s): {:>7.0} IOPS", phase_mean(360, 600));
+    println!("  5 MDSs (600-900s): {:>7.0} IOPS", phase_mean(660, 900));
+    println!("\nlast epoch per-MDS requests: {:?}",
+        result.epochs.last().map(|e| e.per_mds_requests.clone()).unwrap_or_default());
+    println!(
+        "migrated {} inodes in total; imbalance factor ended at {:.3}",
+        result.migrated_inodes(),
+        result.epochs.last().map(|e| e.imbalance_factor).unwrap_or(0.0)
+    );
+}

@@ -1,0 +1,25 @@
+//! # lunule
+//!
+//! Facade crate for the Lunule reproduction: re-exports the namespace
+//! substrate, the balancing algorithms (the paper's contribution), the MDS
+//! cluster simulator, and the workload generators under one roof so examples
+//! and downstream users need a single dependency.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the architecture.
+
+pub use lunule_core as core;
+pub use lunule_namespace as namespace;
+pub use lunule_sim as sim;
+pub use lunule_workloads as workloads;
+
+/// Convenience prelude bringing the types most programs need into scope.
+pub mod prelude {
+    pub use lunule_core::{
+        Balancer, BalancerKind, ImbalanceFactorModel, MigrationPlan,
+    };
+    pub use lunule_namespace::{
+        FileType, Frag, FragKey, InodeId, MdsRank, Namespace, SubtreeMap,
+    };
+    pub use lunule_sim::{RunResult, SimConfig, Simulation};
+    pub use lunule_workloads::{WorkloadKind, WorkloadSpec};
+}

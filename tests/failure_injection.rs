@@ -1,0 +1,281 @@
+//! Failure-injection and edge-case tests: degenerate configurations the
+//! simulator and balancers must survive gracefully.
+
+use lunule::core::{make_balancer, BalancerKind};
+use lunule::namespace::{InodeId, Namespace};
+use lunule::sim::{FixedStream, OpStream, SimConfig, Simulation};
+use lunule::workloads::{WorkloadKind, WorkloadSpec};
+
+fn base_cfg() -> SimConfig {
+    SimConfig {
+        n_mds: 3,
+        mds_capacity: 100.0,
+        epoch_secs: 5,
+        duration_secs: 200,
+        stop_when_done: true,
+        migration_bw: 1_000.0,
+        migration_freeze_secs: 1,
+        migration_op_cost: 0.02,
+        client_rate: 20.0,
+        client_cache_cap: 64,
+        mds_capacities: Vec::new(),
+        mds_memory_inodes: 0,
+        memory_thrash_factor: 0.25,
+        data_path: None,
+        seed: 2,
+    }
+}
+
+fn tiny_workload(clients: usize) -> (Namespace, Vec<Box<dyn OpStream>>) {
+    WorkloadSpec {
+        kind: WorkloadKind::ZipfRead,
+        clients,
+        scale: 0.005,
+        seed: 8,
+    }
+    .build()
+}
+
+#[test]
+fn zero_migration_bandwidth_stalls_rebalance_but_not_service() {
+    // Migrations enqueue but never finish: the cluster must keep serving
+    // and never flip authority.
+    let (ns, streams) = tiny_workload(6);
+    let cfg = SimConfig {
+        migration_bw: 0.0,
+        ..base_cfg()
+    };
+    let r = Simulation::new(cfg.clone(), ns, make_balancer(BalancerKind::Lunule, 100.0), streams).run();
+    assert!(r.total_ops > 0, "service must continue");
+    assert_eq!(r.migrated_inodes(), 0, "nothing can complete at 0 bandwidth");
+    // Everything stayed on rank 0.
+    assert_eq!(r.per_mds_requests_total[1] + r.per_mds_requests_total[2], 0);
+}
+
+#[test]
+fn single_mds_cluster_never_migrates() {
+    let (ns, streams) = tiny_workload(4);
+    let cfg = SimConfig {
+        n_mds: 1,
+        ..base_cfg()
+    };
+    for kind in [
+        BalancerKind::Lunule,
+        BalancerKind::Vanilla,
+        BalancerKind::GreedySpill,
+        BalancerKind::DirHash,
+    ] {
+        let (ns2, streams2) = tiny_workload(4);
+        let r = Simulation::new(cfg.clone(), ns2, make_balancer(kind, 100.0), streams2).run();
+        assert_eq!(r.migrated_inodes(), 0, "{kind:?} migrated on 1 MDS");
+        assert!(r.total_ops > 0);
+    }
+    drop((ns, streams));
+}
+
+#[test]
+fn empty_namespace_and_no_clients() {
+    let ns = Namespace::new();
+    let r = Simulation::new(
+        base_cfg(),
+        ns,
+        make_balancer(BalancerKind::Lunule, 100.0),
+        Vec::new(),
+    )
+    .run();
+    assert_eq!(r.total_ops, 0);
+    assert!(r.client_completion_secs.is_empty());
+}
+
+#[test]
+fn client_with_empty_stream_finishes_immediately() {
+    let mut ns = Namespace::new();
+    let d = ns.mkdir(InodeId::ROOT, "d").unwrap();
+    let f = ns.create_file(d, "f", 1).unwrap();
+    let streams: Vec<Box<dyn OpStream>> = vec![
+        Box::new(FixedStream::new(vec![])),
+        Box::new(FixedStream::new(vec![f])),
+    ];
+    let r = Simulation::new(
+        base_cfg(),
+        ns,
+        make_balancer(BalancerKind::Lunule, 100.0),
+        streams,
+    )
+    .run();
+    assert_eq!(r.total_ops, 1);
+    assert!(r.client_completion_secs.iter().all(Option::is_some));
+    // The empty client finished at tick 0.
+    assert_eq!(r.client_completion_secs[0], Some(0));
+}
+
+#[test]
+fn long_freeze_window_delays_but_preserves_ops() {
+    let (ns, streams) = tiny_workload(6);
+    let expected: u64 = streams.iter().filter_map(|s| s.len_hint()).sum();
+    let cfg = SimConfig {
+        migration_freeze_secs: 20,
+        duration_secs: 3_000,
+        ..base_cfg()
+    };
+    let r = Simulation::new(cfg.clone(), ns, make_balancer(BalancerKind::Lunule, 100.0), streams).run();
+    assert_eq!(r.total_ops, expected, "frozen ops must retry, not vanish");
+}
+
+#[test]
+fn brutal_migration_cost_still_converges() {
+    // Migration op-cost so high that each transferred inode eats budget:
+    // the run slows down but remains live and consistent.
+    let (ns, streams) = tiny_workload(6);
+    let cfg = SimConfig {
+        migration_op_cost: 0.5,
+        duration_secs: 2_000,
+        ..base_cfg()
+    };
+    let mut sim = Simulation::new(cfg.clone(), ns, make_balancer(BalancerKind::Lunule, 100.0), streams);
+    sim.run_until(2_000);
+    assert!(sim.namespace().invariants_hold());
+    assert!(sim.subtree_map().invariants_hold());
+    let r = sim.finish();
+    assert!(r.total_ops > 0);
+}
+
+#[test]
+fn adding_mds_to_finished_cluster_is_harmless() {
+    let (ns, streams) = tiny_workload(2);
+    let mut sim = Simulation::new(
+        SimConfig {
+            stop_when_done: false,
+            ..base_cfg()
+        },
+        ns,
+        make_balancer(BalancerKind::Lunule, 100.0),
+        streams,
+    );
+    sim.run_until(150);
+    sim.add_mds();
+    sim.add_mds();
+    sim.run_until(200);
+    let r = sim.finish();
+    assert_eq!(r.epochs.last().unwrap().per_mds_iops.len(), 5);
+}
+
+#[test]
+fn drained_mds_fails_over_and_cluster_recovers() {
+    use lunule::namespace::MdsRank;
+    let (ns, streams) = tiny_workload(8);
+    let expected: u64 = streams.iter().filter_map(|s| s.len_hint()).sum();
+    let mut sim = Simulation::new(
+        SimConfig {
+            duration_secs: 4_000,
+            stop_when_done: true,
+            ..base_cfg()
+        },
+        ns,
+        make_balancer(BalancerKind::Lunule, 100.0),
+        streams,
+    );
+    // Let the balancer spread load, then kill rank 1.
+    sim.run_until(100);
+    sim.drain_mds(MdsRank(1));
+    // Every inode must still resolve to a live rank.
+    let map = sim.subtree_map();
+    let ns_ref = sim.namespace();
+    for idx in (0..ns_ref.len()).step_by(53) {
+        let r = map.authority(ns_ref, lunule::namespace::InodeId::from_index(idx));
+        assert_ne!(r, MdsRank(1), "no authority may remain on the drained rank");
+    }
+    sim.run_until(4_000);
+    let r = sim.finish();
+    assert_eq!(r.total_ops, expected, "every op must still complete");
+    // The drained rank served nothing after the drain point: its total is
+    // frozen at whatever it had served in the first 100 seconds.
+    let drained_total = r.per_mds_requests_total[1];
+    assert!(
+        drained_total <= 100 * 100,
+        "drained rank kept serving: {drained_total}"
+    );
+    assert!(r.client_completion_secs.iter().all(Option::is_some));
+}
+
+#[test]
+fn memory_pressure_throttles_overloaded_rank() {
+    // MDtest grows the namespace without bound; with a resident-inode
+    // memory limit, ranks over the limit thrash and throughput drops —
+    // the paper's "MDSs run out of memory beyond 15 minutes" note
+    // (Fig. 6 caption), modelled as degradation instead of a crash.
+    let build = || {
+        WorkloadSpec {
+            kind: WorkloadKind::MdCreate,
+            clients: 12,
+            scale: 0.05,
+            seed: 4,
+        }
+        .build()
+    };
+    let run = |limit: u64| {
+        let (ns, streams) = build();
+        let cfg = SimConfig {
+            mds_memory_inodes: limit,
+            memory_thrash_factor: 0.2,
+            duration_secs: 120,
+            stop_when_done: false,
+            client_rate: 60.0,
+            ..base_cfg()
+        };
+        Simulation::new(cfg, ns, make_balancer(BalancerKind::Lunule, 100.0), streams).run()
+    };
+    let unlimited = run(0);
+    let squeezed = run(500); // 12 clients x 5000 creates blow through this
+    assert!(
+        squeezed.total_ops < unlimited.total_ops,
+        "memory thrash must cost throughput: {} vs {}",
+        squeezed.total_ops,
+        unlimited.total_ops
+    );
+    // The epoch series records the growing resident footprint.
+    let last = squeezed.epochs.last().unwrap();
+    assert!(last.per_mds_resident_inodes.iter().sum::<u64>() > 500);
+}
+
+#[test]
+fn all_balancers_survive_every_workload_smoke() {
+    for kind in [
+        BalancerKind::Lunule,
+        BalancerKind::LunuleLight,
+        BalancerKind::Vanilla,
+        BalancerKind::GreedySpill,
+        BalancerKind::DirHash,
+        BalancerKind::Off,
+    ] {
+        for wl in [
+            WorkloadKind::Cnn,
+            WorkloadKind::Nlp,
+            WorkloadKind::Web,
+            WorkloadKind::ZipfRead,
+            WorkloadKind::MdCreate,
+            WorkloadKind::Mixed,
+        ] {
+            let (ns, streams) = WorkloadSpec {
+                kind: wl,
+                clients: 4,
+                scale: 0.002,
+                seed: 3,
+            }
+            .build();
+            let cfg = SimConfig {
+                duration_secs: 60,
+                stop_when_done: false,
+                ..base_cfg()
+            };
+            let r = Simulation::new(cfg.clone(), ns, make_balancer(kind, 100.0), streams).run();
+            assert!(r.total_ops > 0, "{kind:?}/{wl:?} served nothing");
+            for e in &r.epochs {
+                assert!(
+                    (0.0..=1.0).contains(&e.imbalance_factor),
+                    "{kind:?}/{wl:?} IF out of range"
+                );
+            }
+        }
+    }
+}
