@@ -1,37 +1,66 @@
-//! Criterion micro-benchmarks for the hot paths of the balancing stack:
-//! the IF model, the pattern analyzer's per-access update, candidate
-//! aggregation, subtree selection, and whole simulation ticks.
+//! Micro-benchmarks for the hot paths of the balancing stack: the IF
+//! model, the pattern analyzer's per-access update, candidate aggregation,
+//! subtree selection, and whole simulation runs.
 //!
 //! The paper's overhead claim (Section 3.4) is that Lunule's bookkeeping is
 //! negligible next to request processing; these benches quantify each
-//! piece on this implementation.
+//! piece on this implementation. The harness is a plain std timing loop
+//! (`harness = false`) so the workspace stays dependency-free; run with
+//! `cargo bench -p lunule-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lunule_core::{
-    build_candidates, decide_roles, make_balancer, select_subtrees, AnalyzerConfig,
-    BalancerKind, ImbalanceFactorModel, IfModelConfig, LoadHistory, PatternAnalyzer,
-    RoleConfig, SelectorConfig,
+    build_candidates, decide_roles, make_balancer, select_subtrees, AnalyzerConfig, BalancerKind,
+    IfModelConfig, ImbalanceFactorModel, LoadHistory, PatternAnalyzer, RoleConfig, SelectorConfig,
 };
 use lunule_namespace::{build_flat_dataset, FlatDataset, InodeId, MdsRank, Namespace, SubtreeMap};
 use lunule_sim::{SimConfig, Simulation};
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_if_model(c: &mut Criterion) {
-    let model = ImbalanceFactorModel::new(IfModelConfig::default());
-    let mut group = c.benchmark_group("if_model");
-    for n in [5usize, 16, 64] {
-        let loads: Vec<f64> = (0..n).map(|i| (i * 37 % 100) as f64 * 50.0).collect();
-        group.bench_with_input(BenchmarkId::new("imbalance_factor", n), &loads, |b, l| {
-            b.iter(|| black_box(model.imbalance_factor(black_box(l))))
-        });
+/// Times `f` with auto-calibrated iteration counts (target ~80 ms of
+/// measurement) and prints nanoseconds per iteration.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    for _ in 0..3 {
+        black_box(f());
     }
-    group.finish();
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(80) || iters >= 1 << 22 {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<48} {per_iter:>14.1} ns/iter  ({iters} iters)");
+            return;
+        }
+        iters = iters.saturating_mul(4);
+    }
 }
 
-fn bench_roles(c: &mut Criterion) {
+/// Times `f` exactly once — for whole-simulation runs where a single
+/// invocation already takes long enough to be a stable sample.
+fn bench_once<R>(name: &str, mut f: impl FnMut() -> R) {
+    let start = Instant::now();
+    black_box(f());
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    println!("{name:<48} {millis:>14.2} ms/run");
+}
+
+fn bench_if_model() {
+    let model = ImbalanceFactorModel::new(IfModelConfig::default());
+    for n in [5usize, 16, 64] {
+        let loads: Vec<f64> = (0..n).map(|i| (i * 37 % 100) as f64 * 50.0).collect();
+        bench(&format!("if_model/imbalance_factor/{n}"), || {
+            model.imbalance_factor(black_box(&loads))
+        });
+    }
+}
+
+fn bench_roles() {
     let cfg = RoleConfig::default();
-    let mut group = c.benchmark_group("algorithm1");
     for n in [5usize, 16, 64] {
         let loads: Vec<f64> = (0..n).map(|i| ((i * 61) % 97) as f64 * 40.0).collect();
         let mut history = LoadHistory::new(6);
@@ -42,11 +71,10 @@ fn bench_roles(c: &mut Criterion) {
                 loads.iter().map(|l| (*l * 10.0) as u64).collect(),
             ));
         }
-        group.bench_with_input(BenchmarkId::new("decide_roles", n), &loads, |b, l| {
-            b.iter(|| black_box(decide_roles(black_box(l), &history, &cfg)))
+        bench(&format!("algorithm1/decide_roles/{n}"), || {
+            decide_roles(black_box(&loads), &history, &cfg)
         });
     }
-    group.finish();
 }
 
 fn scan_fixture(dirs: usize, files: usize) -> (Namespace, Vec<InodeId>) {
@@ -64,133 +92,104 @@ fn scan_fixture(dirs: usize, files: usize) -> (Namespace, Vec<InodeId>) {
     (ns, order)
 }
 
-fn bench_analyzer(c: &mut Criterion) {
+fn bench_analyzer() {
     let (ns, files) = scan_fixture(100, 100);
-    c.bench_function("analyzer/record_access", |b| {
-        let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
-        let mut i = 0;
-        b.iter(|| {
-            an.record_access(&ns, files[i % files.len()], false);
-            i += 1;
-        })
+    let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
+    let mut i = 0;
+    bench("analyzer/record_access", || {
+        an.record_access(&ns, files[i % files.len()], false);
+        i += 1;
     });
-    c.bench_function("analyzer/mindex_of", |b| {
-        let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
-        for f in &files {
-            an.record_access(&ns, *f, false);
-        }
-        let dir = ns.inode(files[0]).parent().unwrap();
-        b.iter(|| black_box(an.mindex_of(black_box(dir))))
-    });
+    let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
+    for f in &files {
+        an.record_access(&ns, *f, false);
+    }
+    let dir = ns.inode(files[0]).parent().unwrap();
+    bench("analyzer/mindex_of", || an.mindex_of(black_box(dir)));
 }
 
-fn bench_candidates_and_selection(c: &mut Criterion) {
+fn bench_candidates_and_selection() {
     let (ns, files) = scan_fixture(200, 50);
     let map = SubtreeMap::new(MdsRank(0));
     let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
     for f in &files {
         an.record_access(&ns, *f, false);
     }
-    c.bench_function("dirload/build_candidates_10k_inodes", |b| {
-        b.iter(|| black_box(build_candidates(&ns, &map, &|d| an.mindex_of(d))))
+    bench("dirload/build_candidates_10k_inodes", || {
+        build_candidates(&ns, &map, &|d| an.mindex_of(d))
     });
     let candidates = build_candidates(&ns, &map, &|d| an.mindex_of(d));
-    c.bench_function("selector/select_subtrees", |b| {
-        b.iter(|| {
-            black_box(select_subtrees(
-                &ns,
-                black_box(&candidates),
-                black_box(500.0),
-                &SelectorConfig::default(),
-            ))
-        })
-    });
-}
-
-fn bench_sim_tick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation");
-    group.sample_size(10);
-    group.bench_function("zipf_100clients_60s", |b| {
-        b.iter(|| {
-            let (ns, streams) = WorkloadSpec {
-                kind: WorkloadKind::ZipfRead,
-                clients: 100,
-                scale: 0.05,
-                seed: 42,
-            }
-            .build();
-            let cfg = SimConfig {
-                n_mds: 5,
-                mds_capacity: 500.0,
-                epoch_secs: 10,
-                duration_secs: 60,
-                stop_when_done: false,
-                client_rate: 50.0,
-                ..SimConfig::default()
-            };
-            let balancer = make_balancer(BalancerKind::Lunule, cfg.mds_capacity);
-            black_box(Simulation::new(cfg, ns, balancer, streams).run())
-        })
-    });
-    group.finish();
-}
-
-fn bench_namespace(c: &mut Criterion) {
-    let (ns, files) = scan_fixture(100, 100);
-    let map = SubtreeMap::new(MdsRank(0));
-    c.bench_function("namespace/path_chain", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let id = files[i % files.len()];
-            i += 1;
-            black_box(ns.path_chain(black_box(id)))
-        })
-    });
-    c.bench_function("namespace/authority_resolution", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let id = files[i % files.len()];
-            i += 1;
-            black_box(map.authority(&ns, black_box(id)))
-        })
-    });
-    c.bench_function("namespace/create_file", |b| {
-        let mut ns = Namespace::new();
-        let dir = ns.mkdir(InodeId::ROOT, "bench").unwrap();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(ns.create_file(dir, "f", 0).unwrap())
-        })
-    });
-    c.bench_function("namespace/frag_split_dir_1000", |b| {
-        b.iter_batched(
-            || {
-                let mut ns = Namespace::new();
-                let d = ns.mkdir(InodeId::ROOT, "big").unwrap();
-                for i in 0..1000 {
-                    ns.create_file(d, &format!("f{i}"), 0).unwrap();
-                }
-                (ns, d)
-            },
-            |(mut ns, d)| {
-                black_box(
-                    ns.split_frag(d, &lunule_namespace::Frag::root(), 3)
-                        .unwrap(),
-                )
-            },
-            criterion::BatchSize::SmallInput,
+    bench("selector/select_subtrees", || {
+        select_subtrees(
+            &ns,
+            black_box(&candidates),
+            black_box(500.0),
+            &SelectorConfig::default(),
         )
     });
 }
 
-criterion_group!(
-    benches,
-    bench_if_model,
-    bench_roles,
-    bench_analyzer,
-    bench_candidates_and_selection,
-    bench_namespace,
-    bench_sim_tick
-);
-criterion_main!(benches);
+fn bench_namespace() {
+    let (ns, files) = scan_fixture(100, 100);
+    let map = SubtreeMap::new(MdsRank(0));
+    let mut i = 0;
+    bench("namespace/path_chain", || {
+        let id = files[i % files.len()];
+        i += 1;
+        ns.path_chain(black_box(id))
+    });
+    let mut i = 0;
+    bench("namespace/authority_resolution", || {
+        let id = files[i % files.len()];
+        i += 1;
+        map.authority(&ns, black_box(id))
+    });
+    let mut grow = Namespace::new();
+    let dir = grow.mkdir(InodeId::ROOT, "bench").unwrap();
+    bench("namespace/create_file", || {
+        grow.create_file(dir, "f", 0).unwrap()
+    });
+    bench_once("namespace/frag_split_dir_1000", || {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "big").unwrap();
+        for i in 0..1000 {
+            ns.create_file(d, &format!("f{i}"), 0).unwrap();
+        }
+        ns.split_frag(d, &lunule_namespace::Frag::root(), 3)
+            .unwrap()
+    });
+}
+
+fn bench_sim() {
+    bench_once("simulation/zipf_100clients_60s", || {
+        let (ns, streams) = WorkloadSpec {
+            kind: WorkloadKind::ZipfRead,
+            clients: 100,
+            scale: 0.05,
+            seed: 42,
+        }
+        .build();
+        let cfg = SimConfig {
+            n_mds: 5,
+            mds_capacity: 500.0,
+            epoch_secs: 10,
+            duration_secs: 60,
+            stop_when_done: false,
+            client_rate: 50.0,
+            ..SimConfig::default()
+        };
+        let balancer = make_balancer(BalancerKind::Lunule, cfg.mds_capacity);
+        Simulation::new(cfg, ns, balancer, streams).run()
+    });
+}
+
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    println!("lunule micro-benchmarks (std timing harness)\n");
+    bench_if_model();
+    bench_roles();
+    bench_analyzer();
+    bench_candidates_and_selection();
+    bench_namespace();
+    bench_sim();
+}

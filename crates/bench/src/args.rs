@@ -72,6 +72,8 @@ fn expect_value<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, fl
         .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
 }
 
+// The bench harness is a CLI: exiting with a usage message is the contract.
+#[allow(clippy::exit)]
 fn usage(msg: &str) -> ! {
     eprintln!(
         "{msg}\n\nflags:\n  --scale <f>     dataset/op scale (default 0.1)\n  --seed <u64>    master seed (default 42)\n  --clients <n>   concurrent clients (default 100)\n  --out <dir>     JSON dump directory (default ./results)\n  --no-out        disable JSON dumps\n  --quick         CI smoke mode (tiny scale)"
@@ -97,7 +99,15 @@ mod tests {
 
     #[test]
     fn overrides() {
-        let a = parse(&["--scale", "0.5", "--seed", "7", "--clients", "10", "--no-out"]);
+        let a = parse(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--clients",
+            "10",
+            "--no-out",
+        ]);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.seed, 7);
         assert_eq!(a.clients, 10);

@@ -5,9 +5,7 @@
 //! migration-capacity clamp.
 
 use lunule_bench::{default_sim, write_json, CommonArgs};
-use lunule_core::{
-    AnalyzerConfig, IfModelConfig, LunuleBalancer, LunuleConfig, RoleConfig,
-};
+use lunule_core::{AnalyzerConfig, IfModelConfig, LunuleBalancer, LunuleConfig, RoleConfig};
 use lunule_sim::Simulation;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 

@@ -59,7 +59,10 @@ fn main() {
         );
         write_json(
             &args.out_dir,
-            &format!("fig10_mixed_{}", r.balancer.to_lowercase().replace('-', "_")),
+            &format!(
+                "fig10_mixed_{}",
+                r.balancer.to_lowercase().replace('-', "_")
+            ),
             &series,
         );
     }

@@ -45,10 +45,17 @@ fn main() {
         })
         .collect();
     // For the CDF, x is time and y is the fraction — print percentile rows.
-    print_series("Fig 11 — JCT CDF points (x=min, y=fraction)", "min", &series);
+    print_series(
+        "Fig 11 — JCT CDF points (x=min, y=fraction)",
+        "min",
+        &series,
+    );
 
     println!("\n# completion-time percentiles (minutes)");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "balancer", "p50", "p80", "p99", "max");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "balancer", "p50", "p80", "p99", "max"
+    );
     for r in &results {
         let p = |q: f64| {
             r.jct_percentile(q)

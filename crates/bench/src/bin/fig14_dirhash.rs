@@ -4,7 +4,7 @@
 //! higher than dynamic subtree partitioning's.
 
 use lunule_bench::{default_sim, run_experiment, write_json, CommonArgs, ExperimentConfig};
-use lunule_core::{BalancerKind, DirHashBalancer, Balancer};
+use lunule_core::{Balancer, BalancerKind, DirHashBalancer};
 use lunule_namespace::{MdsRank, SubtreeMap};
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
@@ -82,9 +82,5 @@ fn main() {
         (dh / va - 1.0) * 100.0,
         (dh / lu - 1.0) * 100.0
     );
-    write_json(
-        &args.out_dir,
-        "fig14_dirhash",
-        &(inode_counts, dump),
-    );
+    write_json(&args.out_dir, "fig14_dirhash", &(inode_counts, dump));
 }

@@ -24,11 +24,7 @@ fn main() {
             sim: default_sim(),
         };
         let r = run_experiment(&cfg);
-        let n_mds = r
-            .epochs
-            .last()
-            .map(|e| e.per_mds_iops.len())
-            .unwrap_or(0);
+        let n_mds = r.epochs.last().map(|e| e.per_mds_iops.len()).unwrap_or(0);
         let series: Vec<Series> = (0..n_mds)
             .map(|rank| {
                 Series::new(

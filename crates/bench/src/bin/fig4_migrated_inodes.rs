@@ -34,6 +34,10 @@ fn main() {
                 .collect(),
         ));
     }
-    print_series("Fig 4 — cumulative migrated inodes, Vanilla", "min", &series);
+    print_series(
+        "Fig 4 — cumulative migrated inodes, Vanilla",
+        "min",
+        &series,
+    );
     write_json(&args.out_dir, "fig4_migrated_inodes", &series);
 }

@@ -51,7 +51,10 @@ fn main() {
         );
     }
     println!("\n# mean IF summary (lower is better)");
-    println!("{:<6} {:>10} {:>12} {:>13} {:>8}", "wl", "Vanilla", "GreedySpill", "Lunule-Light", "Lunule");
+    println!(
+        "{:<6} {:>10} {:>12} {:>13} {:>8}",
+        "wl", "Vanilla", "GreedySpill", "Lunule-Light", "Lunule"
+    );
     for kind in WorkloadKind::SINGLES {
         let row: Vec<f64> = BalancerKind::FIG6_SET
             .iter()

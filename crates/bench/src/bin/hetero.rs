@@ -61,7 +61,10 @@ fn main() {
         ..LunuleConfig::default()
     };
     let runs: Vec<(&str, Box<dyn lunule_core::Balancer>)> = vec![
-        ("Vanilla", make_balancer(BalancerKind::Vanilla, base.mds_capacity)),
+        (
+            "Vanilla",
+            make_balancer(BalancerKind::Vanilla, base.mds_capacity),
+        ),
         (
             "Lunule(uniform)",
             Box::new(LunuleBalancer::new(lunule_cfg(None))),

@@ -10,7 +10,11 @@ use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
 fn main() {
     let args = CommonArgs::parse();
-    for kind in [WorkloadKind::Cnn, WorkloadKind::ZipfRead, WorkloadKind::Mixed] {
+    for kind in [
+        WorkloadKind::Cnn,
+        WorkloadKind::ZipfRead,
+        WorkloadKind::Mixed,
+    ] {
         let cells: Vec<ExperimentConfig> = BalancerKind::FIG6_SET
             .iter()
             .map(|b| ExperimentConfig {

@@ -71,11 +71,7 @@ fn main() {
                 .map(|e| {
                     (
                         e.time_secs as f64 / 60.0,
-                        e.per_mds_resident_inodes
-                            .iter()
-                            .copied()
-                            .max()
-                            .unwrap_or(0) as f64,
+                        e.per_mds_resident_inodes.iter().copied().max().unwrap_or(0) as f64,
                     )
                 })
                 .collect(),

@@ -11,7 +11,13 @@ use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
 fn run(spec: &WorkloadSpec, sim: SimConfig, lunule: LunuleConfig) -> lunule_sim::RunResult {
     let (ns, streams) = spec.build();
-    Simulation::new(sim.clone(), ns, Box::new(LunuleBalancer::new(lunule)), streams).run()
+    Simulation::new(
+        sim.clone(),
+        ns,
+        Box::new(LunuleBalancer::new(lunule)),
+        streams,
+    )
+    .run()
 }
 
 fn lunule_cfg(sim: &SimConfig) -> LunuleConfig {
@@ -40,7 +46,10 @@ fn main() {
     let mut dump: Vec<(String, f64, f64, f64, u64)> = Vec::new();
 
     println!("# sweep: epoch length (re-balance interval)");
-    println!("{:>10} {:>9} {:>10} {:>10}", "epoch (s)", "mean IF", "mean IOPS", "migrated");
+    println!(
+        "{:>10} {:>9} {:>10} {:>10}",
+        "epoch (s)", "mean IF", "mean IOPS", "migrated"
+    );
     for epoch in [2u64, 5, 10, 20, 40] {
         let sim = SimConfig {
             epoch_secs: epoch,
@@ -54,11 +63,20 @@ fn main() {
             r.mean_iops(),
             r.migrated_inodes()
         );
-        dump.push(("epoch_secs".into(), epoch as f64, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
+        dump.push((
+            "epoch_secs".into(),
+            epoch as f64,
+            r.mean_if(),
+            r.mean_iops(),
+            r.migrated_inodes(),
+        ));
     }
 
     println!("\n# sweep: migration bandwidth (inodes/s per exporter)");
-    println!("{:>10} {:>9} {:>10} {:>10}", "bw", "mean IF", "mean IOPS", "migrated");
+    println!(
+        "{:>10} {:>9} {:>10} {:>10}",
+        "bw", "mean IF", "mean IOPS", "migrated"
+    );
     for bw in [500.0f64, 1_000.0, 5_000.0, 20_000.0, 100_000.0] {
         let sim = SimConfig {
             migration_bw: bw,
@@ -72,11 +90,20 @@ fn main() {
             r.mean_iops(),
             r.migrated_inodes()
         );
-        dump.push(("migration_bw".into(), bw, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
+        dump.push((
+            "migration_bw".into(),
+            bw,
+            r.mean_if(),
+            r.mean_iops(),
+            r.migrated_inodes(),
+        ));
     }
 
     println!("\n# sweep: IF trigger threshold");
-    println!("{:>10} {:>9} {:>10} {:>10}", "threshold", "mean IF", "mean IOPS", "migrated");
+    println!(
+        "{:>10} {:>9} {:>10} {:>10}",
+        "threshold", "mean IF", "mean IOPS", "migrated"
+    );
     for threshold in [0.02f64, 0.05, 0.10, 0.20, 0.40] {
         let r = run(
             &spec,
@@ -93,11 +120,20 @@ fn main() {
             r.mean_iops(),
             r.migrated_inodes()
         );
-        dump.push(("if_threshold".into(), threshold, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
+        dump.push((
+            "if_threshold".into(),
+            threshold,
+            r.mean_if(),
+            r.mean_iops(),
+            r.migrated_inodes(),
+        ));
     }
 
     println!("\n# sweep: urgency smoothness S");
-    println!("{:>10} {:>9} {:>10} {:>10}", "S", "mean IF", "mean IOPS", "migrated");
+    println!(
+        "{:>10} {:>9} {:>10} {:>10}",
+        "S", "mean IF", "mean IOPS", "migrated"
+    );
     for s in [0.05f64, 0.1, 0.2, 0.4, 0.8] {
         let r = run(
             &spec,
@@ -117,7 +153,13 @@ fn main() {
             r.mean_iops(),
             r.migrated_inodes()
         );
-        dump.push(("smoothness".into(), s, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
+        dump.push((
+            "smoothness".into(),
+            s,
+            r.mean_if(),
+            r.mean_iops(),
+            r.migrated_inodes(),
+        ));
     }
 
     write_json(&args.out_dir, "sweep", &dump);

@@ -5,6 +5,7 @@
 //! in this library. Binaries print the human-readable series the paper
 //! plots and optionally dump JSON next to them for post-processing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

@@ -1,19 +1,21 @@
 //! Output helpers: aligned text series for the terminal and JSON dumps for
 //! post-processing.
 
-use serde::Serialize;
+use lunule_util::ToJson;
 use std::io::Write;
 use std::path::Path;
 
 /// A named series of (x, y) points — the universal currency of the figure
 /// binaries (time → IF, time → IOPS, MDS count → peak throughput, …).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Series {
     /// Legend label (e.g. "Lunule" or "mds.3").
     pub name: String,
     /// Data points in x order.
     pub points: Vec<(f64, f64)>,
 }
+
+lunule_util::impl_json_struct!(Series { name, points });
 
 impl Series {
     /// Builds a series.
@@ -57,7 +59,10 @@ pub fn print_series(title: &str, xlabel: &str, series: &[Series]) {
         .max_by_key(|s| s.points.len())
         .map(|s| &s.points);
     for row in 0..rows {
-        let x = x_src.and_then(|p| p.get(row)).map(|(x, _)| *x).unwrap_or(0.0);
+        let x = x_src
+            .and_then(|p| p.get(row))
+            .map(|(x, _)| *x)
+            .unwrap_or(0.0);
         let _ = write!(out, "{x:>12.1}");
         for s in series {
             match s.points.get(row) {
@@ -83,7 +88,7 @@ fn truncate(s: &str, n: usize) -> &str {
 
 /// Serialises `value` as pretty JSON into `<dir>/<name>.json`, creating the
 /// directory if needed. A `None` dir disables the dump.
-pub fn write_json<T: Serialize>(dir: &Option<String>, name: &str, value: &T) {
+pub fn write_json<T: ToJson>(dir: &Option<String>, name: &str, value: &T) {
     let Some(dir) = dir else { return };
     let path = Path::new(dir);
     if let Err(e) = std::fs::create_dir_all(path) {
@@ -91,15 +96,11 @@ pub fn write_json<T: Serialize>(dir: &Option<String>, name: &str, value: &T) {
         return;
     }
     let file = path.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&file, json) {
-                eprintln!("warning: cannot write {}: {e}", file.display());
-            } else {
-                eprintln!("wrote {}", file.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    let json = value.to_json().to_string_pretty();
+    if let Err(e) = std::fs::write(&file, json) {
+        eprintln!("warning: cannot write {}: {e}", file.display());
+    } else {
+        eprintln!("wrote {}", file.display());
     }
 }
 

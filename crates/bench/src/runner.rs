@@ -4,11 +4,9 @@
 use lunule_core::{make_balancer, BalancerKind};
 use lunule_sim::{RunResult, SimConfig, Simulation};
 use lunule_workloads::WorkloadSpec;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// One experiment cell: a workload, a balancer, and simulator settings.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentConfig {
     /// The workload to run.
     pub workload: WorkloadSpec,
@@ -50,11 +48,29 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
     Simulation::new(cfg.sim.clone(), ns, balancer, streams).run()
 }
 
-/// Runs a grid of experiment cells in parallel (one rayon task per cell;
-/// each cell is single-threaded and deterministic, so the grid's results
-/// are independent of scheduling).
+/// Runs a grid of experiment cells in parallel (one OS thread per cell,
+/// bounded by the available parallelism; each cell is single-threaded and
+/// deterministic, so the grid's results are independent of scheduling).
 pub fn run_grid(cells: &[ExperimentConfig]) -> Vec<RunResult> {
-    cells.par_iter().map(run_experiment).collect()
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(cells.len());
+    let chunk = cells.len().div_ceil(workers);
+    let mut results = vec![RunResult::default(); cells.len()];
+    std::thread::scope(|scope| {
+        for (cell_chunk, out_chunk) in cells.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (cell, out) in cell_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *out = run_experiment(cell);
+                }
+            });
+        }
+    });
+    results
 }
 
 #[cfg(test)]

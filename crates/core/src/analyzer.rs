@@ -26,14 +26,13 @@
 //! elsewhere" behaviour the paper credits for the CNN/NLP wins.
 
 use lunule_namespace::{InodeId, Namespace};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Number of cutting windows the per-inode visit mask can remember.
 const MASK_BITS: u32 = 64;
 
 /// Configuration of the pattern analyzer.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AnalyzerConfig {
     /// `N`: number of recent cutting windows aggregated into `l_t`, `l_s`,
     /// α and β.
@@ -150,7 +149,7 @@ impl DirWindows {
 }
 
 /// The locality factors and migration index of one directory.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MigrationIndex {
     /// Temporal-locality inclination in `[0, 1]`.
     pub alpha: f64,
@@ -243,9 +242,9 @@ impl PatternAnalyzer {
 
     fn dir_windows(&mut self, ns: &Namespace, dir: InodeId) -> &mut DirWindows {
         let (n, window) = (self.cfg.recent_windows, self.window);
-        self.dirs.entry(dir).or_insert_with(|| {
-            DirWindows::new(n, window, ns.inode(dir).children().len() as u64)
-        })
+        self.dirs
+            .entry(dir)
+            .or_insert_with(|| DirWindows::new(n, window, ns.inode(dir).children().len() as u64))
     }
 
     /// Records one metadata access to `ino`. `is_create` marks a freshly
@@ -430,7 +429,10 @@ mod tests {
             an.advance_window();
         }
         let idx = an.index_of(dirs[0]).unwrap();
-        assert!(idx.alpha > 0.9, "repeat visits must read as temporal: {idx:?}");
+        assert!(
+            idx.alpha > 0.9,
+            "repeat visits must read as temporal: {idx:?}"
+        );
         // 40 visits/window over the 4 live windows.
         assert!(idx.l_t > 25.0);
         // Only 2 of 10 inodes were ever visited: beta reflects the 8 unread,
@@ -498,7 +500,10 @@ mod tests {
         assert_eq!(sib.l_s, 2.5, "every first visit propagates at p=1");
         assert_eq!(sib.l_t, 0.0, "bumps are not visits");
         // The sibling has 20 unvisited inodes and no visits: beta = 20.
-        assert!(sib.value() > 0.0, "sibling must become a migration candidate");
+        assert!(
+            sib.value() > 0.0,
+            "sibling must become a migration candidate"
+        );
     }
 
     #[test]

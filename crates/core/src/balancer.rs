@@ -2,14 +2,13 @@
 //! policy produces.
 
 use lunule_namespace::{FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
-use serde::{Deserialize, Serialize};
 
 use crate::stats::EpochStats;
 
 /// What kind of metadata operation an access was. Creates additionally grow
 /// the namespace, which the pattern analyzer must account for when tracking
 /// unvisited inodes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OpKind {
     /// Read-side metadata op (lookup, getattr, open, readdir…).
     Read,
@@ -32,7 +31,7 @@ pub struct Access {
 
 /// A subtree chosen for migration, with the load the selector believes it
 /// carries (used by the simulator to size the transfer).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SubtreeChoice {
     /// The dirfrag subtree to move.
     pub subtree: FragKey,
@@ -41,7 +40,7 @@ pub struct SubtreeChoice {
 }
 
 /// All subtrees one exporter ships to one importer this epoch.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExportTask {
     /// Source rank.
     pub from: MdsRank,
@@ -62,7 +61,7 @@ impl ExportTask {
 
 /// The migration plan a balancer returns for one epoch. An empty plan means
 /// "do nothing".
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MigrationPlan {
     /// Independent export tasks; the migrator executes them concurrently.
     pub exports: Vec<ExportTask>,
@@ -99,17 +98,12 @@ pub trait Balancer: Send {
     fn record_access(&mut self, ns: &Namespace, access: Access);
 
     /// Epoch boundary: decide whether and what to migrate.
-    fn on_epoch(
-        &mut self,
-        ns: &Namespace,
-        map: &SubtreeMap,
-        stats: &EpochStats,
-    ) -> MigrationPlan;
+    fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan;
 }
 
 /// Identifies one of the shipped balancer implementations; used by the
 /// experiment harness to construct policies by name.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BalancerKind {
     /// Full Lunule: IF model + Algorithm 1 + workload-aware selection.
     Lunule,

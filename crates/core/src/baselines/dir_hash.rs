@@ -10,10 +10,9 @@
 use crate::balancer::{Access, Balancer, MigrationPlan};
 use crate::stats::EpochStats;
 use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
-use serde::{Deserialize, Serialize};
 
 /// Tunables of the Dir-Hash baseline.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct DirHashConfig {
     /// Hash seed, so experiments can explore different static placements.
     pub seed: u64,
@@ -118,7 +117,10 @@ mod tests {
         let moved = (0..100u64)
             .filter(|i| a.rank_of(*i, 5) != b.rank_of(*i, 5))
             .count();
-        assert!(moved > 30, "different seeds must shuffle placements: {moved}");
+        assert!(
+            moved > 30,
+            "different seeds must shuffle placements: {moved}"
+        );
     }
 
     #[test]

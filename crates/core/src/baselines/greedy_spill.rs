@@ -12,10 +12,9 @@ use crate::heat::HeatMap;
 use crate::selector::select_hottest;
 use crate::stats::EpochStats;
 use lunule_namespace::{MdsRank, Namespace, SubtreeMap};
-use serde::{Deserialize, Serialize};
 
 /// Tunables of the GreedySpill baseline.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GreedySpillConfig {
     /// IOPS below which a neighbour counts as "idle".
     pub idle_iops: f64,
@@ -67,12 +66,7 @@ impl Balancer for GreedySpillBalancer {
         self.heat.record(ns, access.ino);
     }
 
-    fn on_epoch(
-        &mut self,
-        ns: &Namespace,
-        map: &SubtreeMap,
-        stats: &EpochStats,
-    ) -> MigrationPlan {
+    fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan {
         self.heat.decay_epoch();
         let loads = stats.iops();
         let n = loads.len();

@@ -21,10 +21,9 @@ use crate::heat::HeatMap;
 use crate::selector::select_hottest;
 use crate::stats::EpochStats;
 use lunule_namespace::{MdsRank, Namespace, SubtreeMap};
-use serde::{Deserialize, Serialize};
 
 /// Tunables of the Vanilla baseline.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct VanillaConfig {
     /// A rank exports only when `load > mean * (1 + margin)`. CephFS's
     /// need-factor behaviour corresponds to a sizeable margin, which is
@@ -79,12 +78,7 @@ impl Balancer for VanillaBalancer {
         self.heat.record(ns, access.ino);
     }
 
-    fn on_epoch(
-        &mut self,
-        ns: &Namespace,
-        map: &SubtreeMap,
-        stats: &EpochStats,
-    ) -> MigrationPlan {
+    fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan {
         self.heat.decay_epoch();
         let loads = stats.iops();
         let n = loads.len();
@@ -111,8 +105,7 @@ impl Balancer for VanillaBalancer {
 
         let mut exports = Vec::new();
         for (i, &load) in loads.iter().enumerate() {
-            if load <= mean * (1.0 + self.cfg.trigger_margin) || load < self.cfg.min_export_iops
-            {
+            if load <= mean * (1.0 + self.cfg.trigger_margin) || load < self.cfg.min_export_iops {
                 continue;
             }
             // Shed the entire excess in one decision.
@@ -193,7 +186,10 @@ mod tests {
             &map,
             &EpochStats::new(0, 1.0, vec![13_530, 14_567, 15_625, 11_610, 2_692]),
         );
-        assert!(plan.is_empty(), "Vanilla must miss this skew (inefficiency #1)");
+        assert!(
+            plan.is_empty(),
+            "Vanilla must miss this skew (inefficiency #1)"
+        );
     }
 
     #[test]
@@ -221,13 +217,22 @@ mod tests {
         // with no per-epoch cap, bounded only by running out of candidate
         // subtrees (each importer selects from what earlier ones left).
         let target: f64 = plan.exports.iter().map(|e| e.target_amount).sum();
-        assert!(target <= 600.0 + 1.0, "never plans beyond the excess: {target}");
-        assert!(target >= 300.0 - 1.0, "first importer claims its full room: {target}");
+        assert!(
+            target <= 600.0 + 1.0,
+            "never plans beyond the excess: {target}"
+        );
+        assert!(
+            target >= 300.0 - 1.0,
+            "first importer claims its full room: {target}"
+        );
         // Every selected subtree is unique across the plan.
         let mut seen = std::collections::HashSet::new();
         for e in &plan.exports {
             for s in &e.subtrees {
-                assert!(seen.insert(s.subtree), "duplicate selection across importers");
+                assert!(
+                    seen.insert(s.subtree),
+                    "duplicate selection across importers"
+                );
             }
         }
     }

@@ -11,10 +11,8 @@
 //!    busiest MDS is far from its capacity, so benign imbalance (everyone
 //!    lightly loaded) does not trigger migration.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the IF model.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct IfModelConfig {
     /// `C`: the maximal IOPS a single MDS can theoretically serve.
     pub mds_capacity: f64,
@@ -33,7 +31,7 @@ impl Default for IfModelConfig {
 }
 
 /// The analytical model computing the cluster's Imbalance Factor.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ImbalanceFactorModel {
     cfg: IfModelConfig,
 }
@@ -191,7 +189,10 @@ mod tests {
             if_light < 0.02,
             "benign imbalance should be tolerated, got {if_light}"
         );
-        assert!(if_heavy > 0.5, "harmful imbalance must score high, got {if_heavy}");
+        assert!(
+            if_heavy > 0.5,
+            "harmful imbalance must score high, got {if_heavy}"
+        );
     }
 
     #[test]
@@ -204,7 +205,10 @@ mod tests {
             vec![1e9],
         ] {
             let v = m.imbalance_factor(&loads);
-            assert!((0.0..=1.0).contains(&v), "IF {v} out of range for {loads:?}");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "IF {v} out of range for {loads:?}"
+            );
         }
     }
 

@@ -17,6 +17,7 @@
 //! [`Balancer`] trait, so policies are interchangeable in the simulator and
 //! directly unit-testable without one.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyzer;
@@ -34,8 +35,7 @@ pub mod stats;
 
 pub use analyzer::{AnalyzerConfig, MigrationIndex, PatternAnalyzer};
 pub use balancer::{
-    Access, Balancer, BalancerKind, ExportTask, MigrationPlan, NoopBalancer, OpKind,
-    SubtreeChoice,
+    Access, Balancer, BalancerKind, ExportTask, MigrationPlan, NoopBalancer, OpKind, SubtreeChoice,
 };
 pub use baselines::{
     DirHashBalancer, DirHashConfig, GreedySpillBalancer, GreedySpillConfig, VanillaBalancer,

@@ -29,7 +29,9 @@ pub fn fit_trend(y: &[f64]) -> (f64, f64) {
         sxy += dx * (yi - y_mean);
         sxx += dx * dx;
     }
-    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    // `sxx` is a sum of squares, so `<= 0.0` is exactly the degenerate case
+    // without comparing floats for equality.
+    let slope = if sxx <= 0.0 { 0.0 } else { sxy / sxx };
     (slope, y_mean - slope * x_mean)
 }
 

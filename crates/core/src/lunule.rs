@@ -16,10 +16,9 @@ use crate::roles::{decide_roles_weighted, RoleConfig};
 use crate::selector::{select_hottest, select_subtrees, subtrees_overlap, SelectorConfig};
 use crate::stats::{EpochStats, LoadHistory};
 use lunule_namespace::{Namespace, SubtreeMap};
-use serde::{Deserialize, Serialize};
 
 /// Full configuration of a Lunule balancer instance.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LunuleConfig {
     /// IF model parameters (capacity `C`, smoothness `S`).
     pub if_model: IfModelConfig,
@@ -28,7 +27,6 @@ pub struct LunuleConfig {
     /// Algorithm 1 parameters (deviation threshold `L`, per-epoch capacity).
     pub roles: RoleConfig,
     /// Pattern analyzer parameters (cutting windows, sibling probability).
-    #[serde(skip, default)]
     pub analyzer: AnalyzerConfig,
     /// Epochs of load history retained for future-load prediction.
     pub history_window: usize,
@@ -46,7 +44,6 @@ pub struct LunuleConfig {
     /// paper assumes homogeneous MDSs). `None` (the default) keeps the
     /// paper's uniform-capacity model; when set, imbalance is measured
     /// over utilisations and Algorithm 1 targets capacity shares.
-    #[serde(skip, default)]
     pub capacities: Option<Vec<f64>>,
 }
 
@@ -135,12 +132,7 @@ impl Balancer for LunuleBalancer {
         }
     }
 
-    fn on_epoch(
-        &mut self,
-        ns: &Namespace,
-        map: &SubtreeMap,
-        stats: &EpochStats,
-    ) -> MigrationPlan {
+    fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan {
         let loads = stats.iops();
         self.last_if = if self.cfg.ablate_urgency {
             ImbalanceFactorModel::normalized_cov(&loads)
@@ -167,8 +159,12 @@ impl Balancer for LunuleBalancer {
         } else {
             &self.history
         };
-        let decision =
-            decide_roles_weighted(&loads, self.cfg.capacities.as_deref(), history, &self.cfg.roles);
+        let decision = decide_roles_weighted(
+            &loads,
+            self.cfg.capacities.as_deref(),
+            history,
+            &self.cfg.roles,
+        );
         if decision.pairings.is_empty() {
             return MigrationPlan::default();
         }
@@ -314,7 +310,11 @@ mod tests {
         feed(&mut b, &ns, &files);
         // mds.0 saturated, peers idle.
         let plan = b.on_epoch(&ns, &map, &EpochStats::new(0, 10.0, vec![1000, 0, 0]));
-        assert!(!plan.is_empty(), "IF={} should trigger", b.last_imbalance_factor());
+        assert!(
+            !plan.is_empty(),
+            "IF={} should trigger",
+            b.last_imbalance_factor()
+        );
         for task in &plan.exports {
             assert_eq!(task.from, MdsRank(0));
             assert_ne!(task.to, MdsRank(0));
@@ -344,8 +344,7 @@ mod tests {
         let plan = b.on_epoch(&ns, &map, &EpochStats::new(0, 10.0, vec![1000, 0, 0]));
         for task in &plan.exports {
             for choice in &task.subtrees {
-                let auth =
-                    map.frag_authority(&ns, choice.subtree.dir, &choice.subtree.frag);
+                let auth = map.frag_authority(&ns, choice.subtree.dir, &choice.subtree.frag);
                 assert_eq!(auth, task.from, "exporter must own what it ships");
             }
         }
@@ -353,7 +352,13 @@ mod tests {
 
     #[test]
     fn name_reflects_variant() {
-        assert_eq!(LunuleBalancer::new(LunuleConfig::default()).name(), "Lunule");
-        assert_eq!(LunuleBalancer::new(LunuleConfig::light()).name(), "Lunule-Light");
+        assert_eq!(
+            LunuleBalancer::new(LunuleConfig::default()).name(),
+            "Lunule"
+        );
+        assert_eq!(
+            LunuleBalancer::new(LunuleConfig::light()).name(),
+            "Lunule-Light"
+        );
     }
 }

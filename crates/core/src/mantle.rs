@@ -46,10 +46,10 @@ pub struct Transfer {
 }
 
 /// The *when* hook: re-balance this epoch?
-pub type WhenPolicy = dyn Fn(&PolicyCtx) -> bool + Send;
+pub type WhenPolicy = dyn Fn(&PolicyCtx<'_>) -> bool + Send;
 
 /// The *howmuch* hook: the transfers to perform.
-pub type HowMuchPolicy = dyn Fn(&PolicyCtx) -> Vec<Transfer> + Send;
+pub type HowMuchPolicy = dyn Fn(&PolicyCtx<'_>) -> Vec<Transfer> + Send;
 
 /// The *where* hook: select subtrees for one transfer from the exporter's
 /// candidates (sorted by descending load; `demand` is in per-epoch request
@@ -92,8 +92,8 @@ impl ProgrammableBalancer {
     pub fn greedy_spill_policy() -> Self {
         ProgrammableBalancer::new(
             "Mantle:GreedySpill",
-            Box::new(|ctx: &PolicyCtx| ctx.loads.iter().any(|l| *l <= 1.0)),
-            Box::new(|ctx: &PolicyCtx| {
+            Box::new(|ctx: &PolicyCtx<'_>| ctx.loads.iter().any(|l| *l <= 1.0)),
+            Box::new(|ctx: &PolicyCtx<'_>| {
                 let n = ctx.loads.len();
                 let mut out = Vec::new();
                 for (i, &load) in ctx.loads.iter().enumerate() {
@@ -124,12 +124,7 @@ impl Balancer for ProgrammableBalancer {
         self.heat.record(ns, access.ino);
     }
 
-    fn on_epoch(
-        &mut self,
-        ns: &Namespace,
-        map: &SubtreeMap,
-        stats: &EpochStats,
-    ) -> MigrationPlan {
+    fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan {
         self.heat.decay_epoch();
         self.history.push(stats);
         let loads = stats.iops();

@@ -10,10 +10,9 @@
 use crate::linreg::predict_next;
 use crate::stats::LoadHistory;
 use lunule_namespace::MdsRank;
-use serde::{Deserialize, Serialize};
 
 /// Tunables for Algorithm 1.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct RoleConfig {
     /// `L`: squared relative deviation threshold. A rank participates only
     /// when `((|cld - mean|)/mean)^2 > L`.
@@ -35,7 +34,7 @@ impl Default for RoleConfig {
 }
 
 /// One pairing produced by Algorithm 1.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Pairing {
     /// Overloaded rank shedding load.
     pub exporter: MdsRank,
@@ -46,7 +45,7 @@ pub struct Pairing {
 }
 
 /// The full decision: pairings plus the per-rank roles for reporting.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RoleDecision {
     /// Exporter→importer transfers. Empty when the cluster is balanced
     /// enough or no pairing is possible.
@@ -279,7 +278,9 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert!(decide_roles(&[], &no_history(), &cfg()).pairings.is_empty());
-        assert!(decide_roles(&[5.0], &no_history(), &cfg()).pairings.is_empty());
+        assert!(decide_roles(&[5.0], &no_history(), &cfg())
+            .pairings
+            .is_empty());
         assert!(decide_roles(&[0.0, 0.0], &no_history(), &cfg())
             .pairings
             .is_empty());
@@ -291,7 +292,10 @@ mod tests {
         // state under capacity weighting and must produce no migration.
         let caps = [200.0, 100.0];
         let d = decide_roles_weighted(&[200.0, 100.0], Some(&caps), &no_history(), &cfg());
-        assert!(d.pairings.is_empty(), "capacity-proportional load is balanced");
+        assert!(
+            d.pairings.is_empty(),
+            "capacity-proportional load is balanced"
+        );
         // An even split, by contrast, overloads the weak rank.
         let d = decide_roles_weighted(&[150.0, 150.0], Some(&caps), &no_history(), &cfg());
         assert_eq!(d.exporters.len(), 1);

@@ -67,11 +67,7 @@ pub fn select_subtrees(
     if let Some(hit) = sorted
         .iter()
         .filter(|c| (c.load - amount).abs() <= cfg.tolerance * amount)
-        .min_by(|a, b| {
-            (a.load - amount)
-                .abs()
-                .total_cmp(&(b.load - amount).abs())
-        })
+        .min_by(|a, b| (a.load - amount).abs().total_cmp(&(b.load - amount).abs()))
     {
         return vec![SubtreeChoice {
             subtree: hit.key,
@@ -103,10 +99,7 @@ pub fn select_subtrees(
         if c.load > remaining * overshoot {
             continue;
         }
-        if out
-            .iter()
-            .any(|s| keys_overlap(ns, &s.subtree, &c.key))
-        {
+        if out.iter().any(|s| keys_overlap(ns, &s.subtree, &c.key)) {
             continue;
         }
         out.push(SubtreeChoice {
@@ -251,10 +244,7 @@ fn pick_preference(load: f64, amount: f64) -> f64 {
 /// an even split is the paper's own fallback).
 fn child_candidates(ns: &Namespace, cand: &Candidate) -> Vec<Candidate> {
     let kids = ns.children_in_frag(cand.key.dir, &cand.key.frag);
-    let dirs: Vec<_> = kids
-        .into_iter()
-        .filter(|c| ns.inode(*c).is_dir())
-        .collect();
+    let dirs: Vec<_> = kids.into_iter().filter(|c| ns.inode(*c).is_dir()).collect();
     if dirs.is_empty() {
         return Vec::new();
     }
@@ -492,7 +482,10 @@ mod tests {
         let (ns, cands) = flat_fixture();
         let picks = select_hottest(&ns, &cands, 10.0, MdsRank(0));
         assert_eq!(picks.len(), 1);
-        assert_eq!(picks[0].estimated_load, 50.0, "takes the hottest, not the fit");
+        assert_eq!(
+            picks[0].estimated_load, 50.0,
+            "takes the hottest, not the fit"
+        );
     }
 
     #[test]

@@ -4,10 +4,8 @@
 //! Load Monitor ships to the Migration Initiator once per epoch; here they
 //! are a plain snapshot struct.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-epoch load snapshot of the whole MDS cluster.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EpochStats {
     /// Epoch index, starting at 0.
     pub epoch: u64,
@@ -73,7 +71,7 @@ impl EpochStats {
 /// Rolling per-rank load history used for future-load (`fld`) prediction.
 ///
 /// Keeps the most recent `window` epochs of IOPS per rank.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LoadHistory {
     window: usize,
     per_rank: Vec<Vec<f64>>,
@@ -110,10 +108,7 @@ impl LoadHistory {
 
     /// Recorded history of `rank` (oldest first), empty if unseen.
     pub fn series(&self, rank: usize) -> &[f64] {
-        self.per_rank
-            .get(rank)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.per_rank.get(rank).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of ranks tracked.

@@ -2,7 +2,7 @@
 
 use lunule_core::{AnalyzerConfig, PatternAnalyzer};
 use lunule_namespace::{InodeId, Namespace};
-use proptest::prelude::*;
+use lunule_util::propcheck::{self, vec_usize};
 
 /// Two directories of `files` files each.
 fn fixture(files: usize) -> (Namespace, Vec<InodeId>, Vec<InodeId>) {
@@ -19,43 +19,44 @@ fn fixture(files: usize) -> (Namespace, Vec<InodeId>, Vec<InodeId>) {
     (ns, dirs, all)
 }
 
-proptest! {
-    /// Under any interleaving of accesses and window advances: α stays in
-    /// [0,1], every factor is non-negative, and the visited count never
-    /// exceeds the directory population.
-    #[test]
-    fn factors_stay_in_range(
-        ops in proptest::collection::vec((0usize..40, any::<bool>()), 1..300),
-        sibling in 0.0f64..=1.0,
-    ) {
+/// Under any interleaving of accesses and window advances: α stays in
+/// [0,1], every factor is non-negative, and the visited count never
+/// exceeds the directory population.
+#[test]
+fn factors_stay_in_range() {
+    propcheck::run(96, |rng| {
         let (ns, dirs, files) = fixture(20);
         let mut an = PatternAnalyzer::new(AnalyzerConfig {
             recent_windows: 4,
             recurrence_lookback: 8,
-            sibling_probability: sibling,
+            sibling_probability: rng.gen_f64(),
             seed: 7,
         });
-        for (sel, advance) in ops {
+        for _ in 0..rng.gen_range(1..300) {
+            let sel = rng.gen_range(0..40);
             an.record_access(&ns, files[sel % files.len()], false);
-            if advance {
+            if rng.gen_bool() {
                 an.advance_window();
             }
         }
         for dir in &dirs {
             if let Some(idx) = an.index_of(*dir) {
-                prop_assert!((0.0..=1.0).contains(&idx.alpha), "alpha {}", idx.alpha);
-                prop_assert!(idx.beta >= 0.0);
-                prop_assert!(idx.l_t >= 0.0);
-                prop_assert!(idx.l_s >= 0.0);
-                prop_assert!(idx.value() >= 0.0);
+                assert!((0.0..=1.0).contains(&idx.alpha), "alpha {}", idx.alpha);
+                assert!(idx.beta >= 0.0);
+                assert!(idx.l_t >= 0.0);
+                assert!(idx.l_s >= 0.0);
+                assert!(idx.value() >= 0.0);
             }
         }
-    }
+    });
+}
 
-    /// A directory idle for longer than the window span decays to zero
-    /// recent activity, no matter what happened before.
-    #[test]
-    fn idle_directories_decay(burst in 1usize..100) {
+/// A directory idle for longer than the window span decays to zero recent
+/// activity, no matter what happened before.
+#[test]
+fn idle_directories_decay() {
+    propcheck::run(96, |rng| {
+        let burst = rng.gen_range(1..100);
         let (ns, dirs, files) = fixture(30);
         let mut an = PatternAnalyzer::new(AnalyzerConfig {
             sibling_probability: 0.0,
@@ -68,15 +69,18 @@ proptest! {
             an.advance_window();
         }
         let idx = an.index_of(dirs[0]).expect("dir was observed");
-        prop_assert_eq!(idx.l_t, 0.0);
-        prop_assert_eq!(idx.l_s, 0.0);
-        prop_assert_eq!(idx.alpha, 0.0);
-    }
+        assert_eq!(idx.l_t, 0.0);
+        assert_eq!(idx.l_s, 0.0);
+        assert_eq!(idx.alpha, 0.0);
+    });
+}
 
-    /// Creates followed by removals leave the unvisited balance at zero —
-    /// β must not go negative or explode after a full create/remove cycle.
-    #[test]
-    fn create_remove_cycles_balance(count in 1usize..60) {
+/// Creates followed by removals leave the unvisited balance at zero — β
+/// must not go negative or explode after a full create/remove cycle.
+#[test]
+fn create_remove_cycles_balance() {
+    propcheck::run(96, |rng| {
+        let count = rng.gen_range(1..60);
         let mut ns = Namespace::new();
         let dir = ns.mkdir(InodeId::ROOT, "out").unwrap();
         let mut an = PatternAnalyzer::new(AnalyzerConfig {
@@ -95,16 +99,19 @@ proptest! {
             ns.unlink(*f).unwrap();
         }
         let idx = an.index_of(dir).expect("dir was observed");
-        prop_assert_eq!(idx.beta, 0.0, "no survivors -> nothing unvisited");
-        prop_assert!(ns.invariants_hold());
-    }
+        assert_eq!(idx.beta, 0.0, "no survivors -> nothing unvisited");
+        assert!(ns.invariants_hold());
+    });
+}
 
-    /// Determinism: the same access sequence always produces the same
-    /// migration indices, regardless of when indices are queried.
-    #[test]
-    fn analyzer_is_deterministic(ops in proptest::collection::vec(0usize..40, 1..150)) {
+/// Determinism: the same access sequence always produces the same migration
+/// indices, regardless of when indices are queried.
+#[test]
+fn analyzer_is_deterministic() {
+    propcheck::run(96, |rng| {
+        let ops = vec_usize(rng, 1..150, 0..40);
         let (ns, dirs, files) = fixture(20);
-        let run = |query_midway: bool| {
+        let run_once = |query_midway: bool| {
             let mut an = PatternAnalyzer::new(AnalyzerConfig::default());
             for (i, sel) in ops.iter().enumerate() {
                 an.record_access(&ns, files[sel % files.len()], false);
@@ -114,6 +121,6 @@ proptest! {
             }
             (an.mindex_of(dirs[0]), an.mindex_of(dirs[1]))
         };
-        prop_assert_eq!(run(false), run(true));
-    }
+        assert_eq!(run_once(false), run_once(true));
+    });
 }

@@ -1,88 +1,101 @@
 //! Property-based tests for the core balancing algorithms.
 
 use lunule_core::{
-    decide_roles, select_subtrees, Candidate, EpochStats, ImbalanceFactorModel, IfModelConfig,
+    decide_roles, select_subtrees, Candidate, EpochStats, IfModelConfig, ImbalanceFactorModel,
     LoadHistory, RoleConfig, SelectorConfig,
 };
 use lunule_namespace::{FragKey, InodeId, MdsRank, Namespace};
-use proptest::prelude::*;
+use lunule_util::propcheck::{self, vec_f64};
 
-proptest! {
-    /// The imbalance factor is always within [0, 1] for any load vector.
-    #[test]
-    fn if_bounded(loads in proptest::collection::vec(0.0f64..1e7, 0..20),
-                  capacity in 1.0f64..1e6) {
+/// The imbalance factor is always within [0, 1] for any load vector.
+#[test]
+fn if_bounded() {
+    propcheck::run(256, |rng| {
+        let loads = vec_f64(rng, 0..20, 0.0, 1e7);
+        let capacity = rng.gen_f64_in(1.0, 1e6);
         let m = ImbalanceFactorModel::new(IfModelConfig {
             mds_capacity: capacity,
             smoothness: 0.2,
         });
         let v = m.imbalance_factor(&loads);
-        prop_assert!((0.0..=1.0).contains(&v), "IF {v} for {loads:?}");
-    }
+        assert!((0.0..=1.0).contains(&v), "IF {v} for {loads:?}");
+    });
+}
 
-    /// CoV is scale-invariant: multiplying every load by a constant leaves
-    /// the coefficient of variation unchanged.
-    #[test]
-    fn cov_scale_invariant(loads in proptest::collection::vec(1.0f64..1e5, 2..12),
-                           k in 0.5f64..100.0) {
+/// CoV is scale-invariant: multiplying every load by a constant leaves the
+/// coefficient of variation unchanged.
+#[test]
+fn cov_scale_invariant() {
+    propcheck::run(256, |rng| {
+        let loads = vec_f64(rng, 2..12, 1.0, 1e5);
+        let k = rng.gen_f64_in(0.5, 100.0);
         let base = ImbalanceFactorModel::cov(&loads);
         let scaled: Vec<f64> = loads.iter().map(|l| l * k).collect();
         let cov = ImbalanceFactorModel::cov(&scaled);
-        prop_assert!((base - cov).abs() < 1e-6, "{base} vs {cov}");
-    }
+        assert!((base - cov).abs() < 1e-6, "{base} vs {cov}");
+    });
+}
 
-    /// Urgency is monotone in the maximum load.
-    #[test]
-    fn urgency_monotone(a in 0.0f64..1e5, b in 0.0f64..1e5) {
+/// Urgency is monotone in the maximum load.
+#[test]
+fn urgency_monotone() {
+    propcheck::run(256, |rng| {
+        let a = rng.gen_f64_in(0.0, 1e5);
+        let b = rng.gen_f64_in(0.0, 1e5);
         let m = ImbalanceFactorModel::new(IfModelConfig {
             mds_capacity: 10_000.0,
             smoothness: 0.2,
         });
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(m.urgency(lo) <= m.urgency(hi) + 1e-12);
-    }
+        assert!(m.urgency(lo) <= m.urgency(hi) + 1e-12);
+    });
+}
 
-    /// Algorithm 1 never moves more than the per-epoch capacity out of any
-    /// exporter, never exceeds any importer's demand, and exporters are
-    /// always strictly above the mean while importers are below it.
-    #[test]
-    fn roles_respect_caps(loads in proptest::collection::vec(0.0f64..10_000.0, 2..10),
-                          cap in 1.0f64..5_000.0,
-                          threshold in 0.001f64..0.2) {
+/// Algorithm 1 never moves more than the per-epoch capacity out of any
+/// exporter, never exceeds any importer's demand, and exporters are always
+/// strictly above the mean while importers are below it.
+#[test]
+fn roles_respect_caps() {
+    propcheck::run(192, |rng| {
+        let loads = vec_f64(rng, 2..10, 0.0, 10_000.0);
         let cfg = RoleConfig {
-            deviation_threshold: threshold,
-            migration_capacity: cap,
+            deviation_threshold: rng.gen_f64_in(0.001, 0.2),
+            migration_capacity: rng.gen_f64_in(1.0, 5_000.0),
         };
+        let cap = cfg.migration_capacity;
         let decision = decide_roles(&loads, &LoadHistory::new(4), &cfg);
         let mean = loads.iter().sum::<f64>() / loads.len() as f64;
         for (rank, eld) in &decision.exporters {
-            prop_assert!(loads[rank.index()] > mean);
-            prop_assert!(*eld <= cap + 1e-9);
-            prop_assert!(decision.export_amount_of(*rank) <= eld + 1e-9);
+            assert!(loads[rank.index()] > mean);
+            assert!(*eld <= cap + 1e-9);
+            assert!(decision.export_amount_of(*rank) <= eld + 1e-9);
         }
         for (rank, ild) in &decision.importers {
-            prop_assert!(loads[rank.index()] < mean);
-            prop_assert!(*ild <= cap + 1e-9);
+            assert!(loads[rank.index()] < mean);
+            assert!(*ild <= cap + 1e-9);
             let received: f64 = decision
                 .pairings
                 .iter()
                 .filter(|p| p.importer == *rank)
                 .map(|p| p.amount)
                 .sum();
-            prop_assert!(received <= ild + 1e-9);
+            assert!(received <= ild + 1e-9);
         }
         for p in &decision.pairings {
-            prop_assert!(p.amount > 0.0);
-            prop_assert!(p.exporter != p.importer);
+            assert!(p.amount > 0.0);
+            assert!(p.exporter != p.importer);
         }
-    }
+    });
+}
 
-    /// The selector never picks two overlapping subtrees, never returns an
-    /// empty-load choice, and the selected total does not exceed the demand
-    /// by more than one candidate's worth.
-    #[test]
-    fn selector_is_sane(loads in proptest::collection::vec(0.1f64..500.0, 1..12),
-                        frac in 0.05f64..1.0) {
+/// The selector never picks two overlapping subtrees, never returns an
+/// empty-load choice, and the selected total does not exceed the demand by
+/// more than one candidate's worth.
+#[test]
+fn selector_is_sane() {
+    propcheck::run(128, |rng| {
+        let loads = vec_f64(rng, 1..12, 0.1, 500.0);
+        let frac = rng.gen_f64_in(0.05, 1.0);
         let mut ns = Namespace::new();
         let mut cands = Vec::new();
         for (i, load) in loads.iter().enumerate() {
@@ -104,31 +117,35 @@ proptest! {
         // No duplicate subtrees.
         for (i, a) in picks.iter().enumerate() {
             for b in &picks[i + 1..] {
-                prop_assert!(
+                assert!(
                     a.subtree.dir != b.subtree.dir || a.subtree.frag.disjoint(&b.subtree.frag),
                     "overlapping picks: {a:?} {b:?}"
                 );
             }
         }
         for p in &picks {
-            prop_assert!(p.estimated_load > 0.0);
+            assert!(p.estimated_load > 0.0);
         }
         let selected: f64 = picks.iter().map(|p| p.estimated_load).sum();
         let max_single = loads.iter().copied().fold(0.0, f64::max);
-        prop_assert!(
+        assert!(
             selected <= amount + max_single + 1e-9,
             "selected {selected} for amount {amount} (max single {max_single})"
         );
-    }
+    });
+}
 
-    /// EpochStats unit conversions are consistent.
-    #[test]
-    fn epoch_stats_consistent(reqs in proptest::collection::vec(0u64..1_000_000, 1..16),
-                              secs in 0.5f64..60.0) {
+/// EpochStats unit conversions are consistent.
+#[test]
+fn epoch_stats_consistent() {
+    propcheck::run(256, |rng| {
+        let n = rng.gen_range(1..16);
+        let reqs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000) as u64).collect();
+        let secs = rng.gen_f64_in(0.5, 60.0);
         let s = EpochStats::new(0, secs, reqs.clone());
         let total: f64 = s.iops().iter().sum();
-        prop_assert!((total - s.total_iops()).abs() < 1e-6);
-        prop_assert!(s.max_iops() <= s.total_iops() + 1e-9);
-        prop_assert!((s.mean_iops() * reqs.len() as f64 - s.total_iops()).abs() < 1e-6);
-    }
+        assert!((total - s.total_iops()).abs() < 1e-6);
+        assert!(s.max_iops() <= s.total_iops() + 1e-9);
+        assert!((s.mean_iops() * reqs.len() as f64 - s.total_iops()).abs() < 1e-6);
+    });
 }

@@ -1,5 +1,6 @@
 //! Typed errors for namespace operations.
 
+use crate::frag::Frag;
 use crate::inode::InodeId;
 
 /// Errors raised by [`crate::Namespace`] mutations and lookups.
@@ -15,6 +16,14 @@ pub enum NsError {
     RootIsImmovable,
     /// `rmdir` on a directory that still has children.
     DirectoryNotEmpty(InodeId),
+    /// A fragment operation referenced a fragment that is not live in the
+    /// directory's current fragment set (stale split/merge request).
+    NoSuchFrag {
+        /// The directory whose fragment set was addressed.
+        dir: InodeId,
+        /// The fragment that is no longer (or never was) live.
+        frag: Frag,
+    },
     /// `rename` would move a directory into its own subtree.
     WouldCreateCycle {
         /// The inode being moved.
@@ -32,6 +41,9 @@ impl std::fmt::Display for NsError {
             NsError::IsADirectory(id) => write!(f, "is a directory: {id:?}"),
             NsError::RootIsImmovable => write!(f, "the root inode cannot be moved or removed"),
             NsError::DirectoryNotEmpty(id) => write!(f, "directory not empty: {id:?}"),
+            NsError::NoSuchFrag { dir, frag } => {
+                write!(f, "fragment {frag:?} is not live in directory {dir:?}")
+            }
             NsError::WouldCreateCycle { moved, into } => {
                 write!(f, "moving {moved:?} into {into:?} would create a cycle")
             }

@@ -8,8 +8,6 @@
 //! it for the MDtest workload, where every client creates 100k files in one
 //! directory and balance is only achievable by fragment splitting.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of significant bits in the dentry hash space.
 pub const HASH_BITS: u8 = 24;
 
@@ -21,7 +19,7 @@ pub const HASH_MASK: u32 = (1 << HASH_BITS) - 1;
 /// Invariant: `bits <= HASH_BITS` and `value` has zeros outside its top
 /// `bits`-bit prefix (i.e. `value < 2^bits`, stored left-aligned at bit 0 of
 /// a `bits`-wide prefix, matching Ceph's `frag_t`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Frag {
     /// Prefix value occupying the low `bits` bits.
     value: u32,
@@ -191,7 +189,7 @@ pub fn dentry_hash(raw_id: u64) -> u32 {
 /// Directories start with `[Frag::root()]`; splits replace one member by its
 /// children; merges do the reverse. The partition invariant is checked in
 /// debug builds after every mutation.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FragSet {
     frags: Vec<Frag>,
 }
@@ -221,11 +219,16 @@ impl FragSet {
 
     /// The fragment containing `hash`.
     pub fn frag_for_hash(&self, hash: u32) -> Frag {
-        *self
-            .frags
+        self.frags
             .iter()
+            .copied()
             .find(|f| f.contains_hash(hash))
-            .expect("FragSet invariant: frags partition the hash space")
+            .unwrap_or_else(|| {
+                // The partition invariant guarantees a hit; a miss means the
+                // set was corrupted. Flag it in debug builds but stay total.
+                debug_assert!(false, "FragSet invariant: frags partition the hash space");
+                Frag::root()
+            })
     }
 
     /// True if `frag` is currently one of the live fragments.
@@ -233,20 +236,15 @@ impl FragSet {
         self.frags.contains(frag)
     }
 
-    /// Splits `frag` into `2^by` children. Returns the children.
-    ///
-    /// # Panics
-    /// Panics if `frag` is not a live fragment of this set.
-    pub fn split(&mut self, frag: &Frag, by: u8) -> Vec<Frag> {
-        let idx = self
-            .frags
-            .iter()
-            .position(|f| f == frag)
-            .expect("split target must be a live fragment");
+    /// Splits `frag` into `2^by` children and returns them, or `None` when
+    /// `frag` is not a live fragment of this set (e.g. it was already split
+    /// by a concurrent actor — callers treat that as a stale request).
+    pub fn split(&mut self, frag: &Frag, by: u8) -> Option<Vec<Frag>> {
+        let idx = self.frags.iter().position(|f| f == frag)?;
         let children = frag.split(by);
         self.frags.splice(idx..=idx, children.iter().copied());
         self.debug_check();
-        children
+        Some(children)
     }
 
     /// Merges the children of `parent` back into `parent`.
@@ -380,7 +378,7 @@ mod tests {
     fn fragset_split_and_lookup() {
         let mut set = FragSet::new_root();
         assert_eq!(set.len(), 1);
-        let kids = set.split(&Frag::root(), 1);
+        let kids = set.split(&Frag::root(), 1).unwrap();
         assert_eq!(set.len(), 2);
         let h = 5u32;
         let owner = set.frag_for_hash(h);
@@ -391,7 +389,7 @@ mod tests {
     #[test]
     fn fragset_merge_restores_root() {
         let mut set = FragSet::new_root();
-        set.split(&Frag::root(), 2);
+        set.split(&Frag::root(), 2).unwrap();
         assert_eq!(set.len(), 4);
         // Merge the left half first (needs its two children).
         let (left, _right) = Frag::root().split_in_two();
@@ -405,8 +403,8 @@ mod tests {
     #[test]
     fn fragset_merge_refuses_partial() {
         let mut set = FragSet::new_root();
-        let kids = set.split(&Frag::root(), 1);
-        set.split(&kids[0], 1);
+        let kids = set.split(&Frag::root(), 1).unwrap();
+        set.split(&kids[0], 1).unwrap();
         // kids[0] now absent; merging root still works because its subtree is
         // fully tiled by grandchildren + kids[1].
         assert!(set.merge(&Frag::root()));
@@ -417,7 +415,9 @@ mod tests {
     fn dentry_hash_spreads() {
         // Consecutive ids should not all land in the same half-space.
         let (a, _b) = Frag::root().split_in_two();
-        let in_a = (0..1000u64).filter(|i| a.contains_hash(dentry_hash(*i))).count();
+        let in_a = (0..1000u64)
+            .filter(|i| a.contains_hash(dentry_hash(*i)))
+            .count();
         assert!(in_a > 300 && in_a < 700, "half-space share was {in_a}/1000");
     }
 }

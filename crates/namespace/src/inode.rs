@@ -1,13 +1,11 @@
 //! Inode identifiers and arena entries.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of an inode inside a [`crate::Namespace`] arena.
 ///
 /// Stored as a `u32` index — large enough for the multi-million-inode
 /// namespaces the paper's workloads build, and half the size of a `usize`
 /// key, which matters because the balancer keeps per-inode visit state.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InodeId(pub(crate) u32);
 
 impl InodeId {
@@ -44,7 +42,7 @@ impl std::fmt::Display for InodeId {
 }
 
 /// Whether an inode is a regular file or a directory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FileType {
     /// Regular file; carries a size used by the data-path model.
     File,
@@ -58,7 +56,7 @@ pub enum FileType {
 /// generators address inodes by id (they built the tree), so no per-directory
 /// name index is needed on the hot path; names exist for display and
 /// debugging only.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Inode {
     pub(crate) parent: Option<InodeId>,
     pub(crate) name: Box<str>,
@@ -72,12 +70,7 @@ pub struct Inode {
     /// False once unlinked/removed. Ids are never reused; dead slots stay
     /// in the arena as tombstones so outstanding references fail loudly
     /// instead of aliasing a new inode.
-    #[serde(default = "default_alive")]
     pub(crate) alive: bool,
-}
-
-fn default_alive() -> bool {
-    true
 }
 
 impl Inode {

@@ -23,6 +23,7 @@
 //! assert_eq!(map.authority(&ns, cat), MdsRank(1));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
@@ -33,7 +34,9 @@ pub mod stats;
 pub mod subtree;
 pub mod tree;
 
-pub use builder::{build_deep_tree, build_flat_dataset, build_private_dirs, BuiltDataset, FlatDataset};
+pub use builder::{
+    build_deep_tree, build_flat_dataset, build_private_dirs, BuiltDataset, FlatDataset,
+};
 pub use error::{NsError, NsResult};
 pub use frag::{dentry_hash, Frag, FragSet, HASH_BITS, HASH_MASK};
 pub use inode::{FileType, Inode, InodeId};

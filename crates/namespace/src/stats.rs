@@ -4,10 +4,9 @@
 
 use crate::inode::InodeId;
 use crate::tree::Namespace;
-use serde::{Deserialize, Serialize};
 
 /// Structural summary of a namespace.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NamespaceStats {
     /// Live files.
     pub files: usize,
@@ -49,11 +48,7 @@ impl NamespaceStats {
                 let fanout = ino.children().len();
                 max_fanout = max_fanout.max(fanout);
                 fanout_sum += fanout as u64;
-                if ino
-                    .children()
-                    .iter()
-                    .any(|c| !ns.inode(*c).is_dir())
-                {
+                if ino.children().iter().any(|c| !ns.inode(*c).is_dir()) {
                     leaf_dirs += 1;
                 }
             } else {

@@ -12,11 +12,10 @@
 use crate::frag::{dentry_hash, Frag};
 use crate::inode::InodeId;
 use crate::tree::Namespace;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Rank (index) of a metadata server in the cluster.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MdsRank(pub u16);
 
 impl MdsRank {
@@ -39,7 +38,7 @@ impl std::fmt::Display for MdsRank {
 }
 
 /// Identifier of a dirfrag subtree root: directory inode + fragment.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FragKey {
     /// The directory whose children (in `frag`) this subtree covers.
     pub dir: InodeId,
@@ -61,7 +60,7 @@ impl FragKey {
 ///
 /// Changes are tracked by a monotonically increasing `generation`, which the
 /// simulator's client caches use for invalidation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SubtreeMap {
     /// Authority entries grouped by directory. Each directory may carry
     /// entries for several (possibly nested) fragments; resolution picks the
@@ -216,7 +215,10 @@ impl SubtreeMap {
             .flat_map(|(dir, v)| {
                 v.iter()
                     .filter(move |(_, r)| *r == rank)
-                    .map(move |(f, _)| FragKey { dir: *dir, frag: *f })
+                    .map(move |(f, _)| FragKey {
+                        dir: *dir,
+                        frag: *f,
+                    })
             })
             .collect();
         out.sort_by_key(|k| (k.dir, k.frag));
@@ -229,8 +231,15 @@ impl SubtreeMap {
             .entries
             .iter()
             .flat_map(|(dir, v)| {
-                v.iter()
-                    .map(move |(f, r)| (FragKey { dir: *dir, frag: *f }, *r))
+                v.iter().map(move |(f, r)| {
+                    (
+                        FragKey {
+                            dir: *dir,
+                            frag: *f,
+                        },
+                        *r,
+                    )
+                })
             })
             .collect();
         out.sort_by_key(|(k, _)| (k.dir, k.frag));
@@ -285,6 +294,25 @@ impl SubtreeMap {
                 return removed_total;
             }
         }
+    }
+
+    /// Inserts a raw `(frag, rank)` entry for `key.dir` bypassing the
+    /// dedup/replace logic of [`SubtreeMap::set_authority`] and without
+    /// bumping the generation. Exists only so `lunule-verify` tests can
+    /// fabricate corrupted maps; never called by the simulator.
+    #[doc(hidden)]
+    pub fn fault_inject_entry(&mut self, key: FragKey, rank: MdsRank) {
+        self.entries
+            .entry(key.dir)
+            .or_default()
+            .push((key.frag, rank));
+    }
+
+    /// Overwrites the generation counter — including backwards, which the
+    /// public API can never do. Fault injection for `lunule-verify` tests.
+    #[doc(hidden)]
+    pub fn fault_set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// Checks that every explicit entry's fragment value is well-formed and

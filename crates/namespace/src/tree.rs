@@ -3,7 +3,6 @@
 use crate::error::{NsError, NsResult};
 use crate::frag::{dentry_hash, Frag, FragSet};
 use crate::inode::{FileType, Inode, InodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An in-memory hierarchical filesystem namespace.
@@ -13,7 +12,7 @@ use std::collections::HashMap;
 /// query or mutation against this structure. Inodes live in an arena indexed
 /// by [`InodeId`]; directories additionally own a [`FragSet`] once they have
 /// been fragmented.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Namespace {
     arena: Vec<Inode>,
     /// Fragment sets for fragmented directories only; an absent entry means
@@ -70,9 +69,7 @@ impl Namespace {
 
     /// Checked inode lookup.
     pub fn get(&self, id: InodeId) -> NsResult<&Inode> {
-        self.arena
-            .get(id.index())
-            .ok_or(NsError::NoSuchInode(id))
+        self.arena.get(id.index()).ok_or(NsError::NoSuchInode(id))
     }
 
     /// Creates a subdirectory of `parent` and returns its id.
@@ -127,7 +124,9 @@ impl Namespace {
         if ino.is_dir() {
             return Err(NsError::IsADirectory(id));
         }
-        let parent = ino.parent.expect("files always have a parent");
+        // A parentless inode can only be the root, which is a directory and
+        // was rejected above; route the impossible case as a typed error.
+        let parent = ino.parent.ok_or(NsError::RootIsImmovable)?;
         self.arena[parent.index()].children.retain(|c| *c != id);
         self.arena[id.index()].alive = false;
         self.n_files -= 1;
@@ -149,7 +148,7 @@ impl Namespace {
         if !ino.children.is_empty() {
             return Err(NsError::DirectoryNotEmpty(id));
         }
-        let parent = ino.parent.expect("only the root lacks a parent");
+        let parent = ino.parent.ok_or(NsError::RootIsImmovable)?;
         self.arena[parent.index()].children.retain(|c| *c != id);
         self.arena[id.index()].alive = false;
         self.frags.remove(&id);
@@ -174,9 +173,12 @@ impl Namespace {
         }
         // Cycle check: new_parent must not be inside id's subtree.
         if self.path_chain(new_parent).contains(&id) {
-            return Err(NsError::WouldCreateCycle { moved: id, into: new_parent });
+            return Err(NsError::WouldCreateCycle {
+                moved: id,
+                into: new_parent,
+            });
         }
-        let old_parent = ino.parent.expect("only the root lacks a parent");
+        let old_parent = ino.parent.ok_or(NsError::RootIsImmovable)?;
         self.arena[old_parent.index()].children.retain(|c| *c != id);
         self.arena[new_parent.index()].children.push(id);
         let entry = &mut self.arena[id.index()];
@@ -246,7 +248,9 @@ impl Namespace {
         if ino.is_dir() {
             id
         } else {
-            ino.parent.expect("files always have a parent")
+            // Only the root lacks a parent, and the root is a directory, so
+            // falling back to the root keeps this total without a panic path.
+            ino.parent.unwrap_or(InodeId::ROOT)
         }
     }
 
@@ -291,7 +295,8 @@ impl Namespace {
             return Err(NsError::NotADirectory(dir));
         }
         let set = self.frags.entry(dir).or_insert_with(FragSet::new_root);
-        Ok(set.split(frag, by))
+        set.split(frag, by)
+            .ok_or(NsError::NoSuchFrag { dir, frag: *frag })
     }
 
     /// Children of `dir` that fall inside `frag`.
@@ -481,10 +486,7 @@ mod tests {
         }
         assert_eq!(ns.subtree_inode_count(d, &Frag::root()), 64);
         let frags = ns.split_frag(d, &Frag::root(), 1).unwrap();
-        let total: usize = frags
-            .iter()
-            .map(|fr| ns.subtree_inode_count(d, fr))
-            .sum();
+        let total: usize = frags.iter().map(|fr| ns.subtree_inode_count(d, fr)).sum();
         assert_eq!(total, 64);
     }
 
@@ -526,7 +528,10 @@ mod tests {
         assert!(ns.rmdir(d).is_ok());
         assert_eq!(ns.dir_count(), 1); // only the root remains
         assert!(ns.invariants_hold());
-        assert_eq!(ns.rmdir(InodeId::ROOT).unwrap_err(), NsError::RootIsImmovable);
+        assert_eq!(
+            ns.rmdir(InodeId::ROOT).unwrap_err(),
+            NsError::RootIsImmovable
+        );
     }
 
     #[test]

@@ -106,10 +106,12 @@ impl Client {
     /// Marks the pending op as served at `tick`; returns how many ticks it
     /// spent stalled (0 = served on its first attempt).
     pub fn consume_op(&mut self, tick: u64) -> u64 {
-        let (_, first_attempt) = self
-            .pending
-            .take()
-            .expect("consume without pending op");
+        // Consuming without a pending op is a caller bug; treat it as a
+        // zero-stall no-op in release builds instead of aborting.
+        let Some((_, first_attempt)) = self.pending.take() else {
+            debug_assert!(false, "consume without pending op");
+            return 0;
+        };
         self.issued_this_tick += 1;
         self.ops_done += 1;
         tick.saturating_sub(first_attempt)
@@ -172,7 +174,9 @@ impl Client {
         // Cache miss: full traversal from the root. The authority chain of
         // the *directory* plus the final hop for the dentry hash.
         let mut auths = map.authority_chain(ns, dir);
-        let dir_auth = *auths.last().expect("chain is never empty");
+        // The chain always holds at least the root's authority; fall back to
+        // the map's root rank rather than panic if that ever changes.
+        let dir_auth = auths.last().copied().unwrap_or_else(|| map.root_rank());
         let final_auth = resolve_child(map, ns, dir, hash, dir_auth);
         auths.push(final_auth);
         // Forwards: each change of authority along the way is one forward,
@@ -302,10 +306,7 @@ fn resolve_child(
 pub fn routing_anchor(ns: &Namespace, op: &MetaOp) -> (InodeId, u32) {
     match op {
         MetaOp::Read(ino) | MetaOp::Remove(ino) => {
-            let dir = ns
-                .inode(*ino)
-                .parent()
-                .unwrap_or(*ino);
+            let dir = ns.inode(*ino).parent().unwrap_or(*ino);
             (dir, dentry_hash(ino.raw()))
         }
         MetaOp::Create { parent, .. } => {
@@ -347,7 +348,13 @@ mod tests {
         c.learn_route(&ns, d, hash, r1.target);
         let (r2, hit2) = c.resolve(&ns, &map, d, hash);
         assert!(hit2);
-        assert_eq!(r2, Route { target: MdsRank(0), forwards: vec![] });
+        assert_eq!(
+            r2,
+            Route {
+                target: MdsRank(0),
+                forwards: vec![]
+            }
+        );
     }
 
     #[test]
@@ -396,7 +403,11 @@ mod tests {
         for (d, h) in &dirs {
             c.learn_route(&ns, *d, *h, MdsRank(0));
         }
-        assert!(c.cache_len() <= 4, "cap must bound the cache: {}", c.cache_len());
+        assert!(
+            c.cache_len() <= 4,
+            "cap must bound the cache: {}",
+            c.cache_len()
+        );
         // The oldest entry was evicted: resolving it is a miss again.
         let (_, hit) = c.resolve(&ns, &map, dirs[0].0, dirs[0].1);
         assert!(!hit);

@@ -10,6 +10,8 @@ use crate::request::{MetaOp, OpStream};
 use crate::results::{EpochRecord, RunResult};
 use lunule_core::{imbalance_factor, Access, Balancer, EpochStats, OpKind};
 use lunule_namespace::{MdsRank, Namespace, SubtreeMap};
+#[cfg(feature = "strict-invariants")]
+use lunule_verify::InvariantChecker;
 
 /// A running MDS-cluster simulation.
 ///
@@ -32,6 +34,12 @@ pub struct Simulation {
     resident: Vec<u64>,
     tick: u64,
     epochs: Vec<EpochRecord>,
+    /// Cross-layer invariant auditor (strict builds only): the cheap map
+    /// checks run after every tick, the full battery — conservation, frag
+    /// partitions, IF-model laws — at every epoch close. Any violation
+    /// panics with a readable report.
+    #[cfg(feature = "strict-invariants")]
+    checker: InvariantChecker,
 }
 
 impl Simulation {
@@ -87,8 +95,48 @@ impl Simulation {
             map,
             tick: 0,
             epochs: Vec::new(),
+            #[cfg(feature = "strict-invariants")]
+            checker: InvariantChecker::new(lunule_core::IfModelConfig {
+                mds_capacity: cfg.mds_capacity,
+                ..lunule_core::IfModelConfig::default()
+            }),
             cfg,
         }
+    }
+
+    /// Subtrees currently inside their commit window, paired with the
+    /// exporter their authority must keep resolving to until the flip.
+    #[cfg(feature = "strict-invariants")]
+    fn frozen_subtrees(&self) -> Vec<(lunule_namespace::FragKey, MdsRank)> {
+        self.migrator
+            .jobs()
+            .iter()
+            .filter(|j| j.is_committing())
+            .map(|j| (j.subtree, j.from))
+            .collect()
+    }
+
+    /// Cheap per-tick audit: subtree-map well-formedness plus frozen-subtree
+    /// stability. O(map entries), so safe to run every simulated second.
+    #[cfg(feature = "strict-invariants")]
+    fn audit_tick(&mut self) {
+        let frozen = self.frozen_subtrees();
+        self.checker.check_subtree_map(&self.ns, &self.map);
+        self.checker
+            .check_frozen_subtrees(&self.ns, &self.map, &frozen);
+        self.checker.assert_clean();
+    }
+
+    /// Full per-epoch audit: everything in [`Simulation::audit_tick`] plus
+    /// fragment-partition coverage, migration conservation, and the
+    /// IF-model laws on the epoch's load vector.
+    #[cfg(feature = "strict-invariants")]
+    fn audit_epoch(&mut self, iops: &[f64]) {
+        let frozen = self.frozen_subtrees();
+        self.checker
+            .audit(&self.ns, &self.map, self.mds.len(), &frozen);
+        self.checker.check_if_model(iops, &self.cfg.mds_capacities);
+        self.checker.assert_clean();
     }
 
     /// Current simulated time, seconds.
@@ -171,12 +219,13 @@ impl Simulation {
         let start = self.tick;
         let cap = self.cfg.client_cache_cap;
         let window = self.cfg.data_path.map(|dp| dp.client_window).unwrap_or(0);
-        self.clients.extend(streams.into_iter().enumerate().map(|(i, s)| {
-            let mut c = Client::new(base + i, s, start);
-            c.cache_cap = cap;
-            c.data_window = window;
-            c
-        }));
+        self.clients
+            .extend(streams.into_iter().enumerate().map(|(i, s)| {
+                let mut c = Client::new(base + i, s, start);
+                c.cache_cap = cap;
+                c.data_window = window;
+                c
+            }));
     }
 
     /// True once every client has drained its stream and data debt.
@@ -309,6 +358,8 @@ impl Simulation {
         if self.tick.is_multiple_of(self.cfg.epoch_secs) {
             self.close_epoch();
         }
+        #[cfg(feature = "strict-invariants")]
+        self.audit_tick();
     }
 
     /// Attempts to issue one op for client `idx`.
@@ -343,11 +394,12 @@ impl Simulation {
             return IssueOutcome::Stalled;
         }
         let mut costs: Vec<(usize, f64)> = Vec::with_capacity(route.forwards.len() + 1);
-        let add_cost = |costs: &mut Vec<(usize, f64)>, idx: usize| {
-            match costs.iter_mut().find(|(i, _)| *i == idx) {
-                Some((_, c)) => *c += 1.0,
-                None => costs.push((idx, 1.0)),
-            }
+        let add_cost = |costs: &mut Vec<(usize, f64)>, idx: usize| match costs
+            .iter_mut()
+            .find(|(i, _)| *i == idx)
+        {
+            Some((_, c)) => *c += 1.0,
+            None => costs.push((idx, 1.0)),
         };
         for r in &route.forwards {
             if r.index() >= self.mds.len() {
@@ -379,12 +431,19 @@ impl Simulation {
             }
             MetaOp::Create { parent, size } => {
                 let name = format!("c{}_{}", client.id, client.ops_done);
-                let id = self
-                    .ns
-                    .create_file(parent, &name, size)
-                    .expect("workload streams only create under directories");
-                client.notify_created(id);
-                (id, OpKind::Create, size)
+                match self.ns.create_file(parent, &name, size) {
+                    Ok(id) => {
+                        client.notify_created(id);
+                        (id, OpKind::Create, size)
+                    }
+                    // Streams only create under live directories; a failure
+                    // means the op went stale. Account it against the parent
+                    // as a plain read so the stream still advances.
+                    Err(e) => {
+                        debug_assert!(false, "stale create under {parent:?}: {e}");
+                        (parent, OpKind::Read, 0)
+                    }
+                }
             }
             MetaOp::Remove(ino) => (ino, OpKind::Remove, 0),
         };
@@ -411,11 +470,14 @@ impl Simulation {
                 }
             }
             OpKind::Remove => {
-                self.ns
-                    .unlink(ino)
-                    .expect("workload streams only remove live files");
-                if let Some(r) = self.resident.get_mut(route.target.index()) {
-                    *r = r.saturating_sub(1);
+                // Streams only remove live files; swallow a stale remove
+                // rather than abort the whole simulation on a workload bug.
+                let removed = self.ns.unlink(ino);
+                debug_assert!(removed.is_ok(), "stale remove of {ino:?}");
+                if removed.is_ok() {
+                    if let Some(r) = self.resident.get_mut(route.target.index()) {
+                        *r = r.saturating_sub(1);
+                    }
                 }
             }
             OpKind::Read => {}
@@ -468,6 +530,15 @@ impl Simulation {
         for m in &mut self.mds {
             m.reset_epoch();
         }
+        #[cfg(feature = "strict-invariants")]
+        {
+            let iops = self
+                .epochs
+                .last()
+                .map(|e| e.per_mds_iops.clone())
+                .unwrap_or_default();
+            self.audit_epoch(&iops);
+        }
     }
 }
 
@@ -516,8 +587,7 @@ mod tests {
     #[test]
     fn run_serves_all_ops_and_stops_early() {
         let (ns, ids) = tiny_ns(30);
-        let streams: Vec<Box<dyn OpStream>> =
-            vec![Box::new(FixedStream::new(ids.clone()))];
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids.clone()))];
         let sim = Simulation::new(tiny_cfg(), ns, Box::new(NoopBalancer), streams);
         let result = sim.run();
         assert_eq!(result.total_ops, 30);
@@ -594,8 +664,7 @@ mod tests {
     #[test]
     fn add_clients_mid_run() {
         let (ns, ids) = tiny_ns(10);
-        let streams: Vec<Box<dyn OpStream>> =
-            vec![Box::new(FixedStream::new(ids.clone()))];
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids.clone()))];
         let mut sim = Simulation::new(
             SimConfig {
                 stop_when_done: false,
@@ -627,7 +696,10 @@ mod tests {
             Simulation::new(cfg, ns, Box::new(NoopBalancer), streams).run()
         };
         let meta_only = run(None);
-        let with_data = run(Some(crate::config::DataPathConfig { osd_bandwidth: 8, client_window: 0 }));
+        let with_data = run(Some(crate::config::DataPathConfig {
+            osd_bandwidth: 8,
+            client_window: 0,
+        }));
         let jct_meta = meta_only.client_completion_secs[0].unwrap();
         let jct_data = with_data.client_completion_secs[0].unwrap();
         assert!(

@@ -1,11 +1,9 @@
 //! Simulation configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the data path (OSD cluster) model, used by the
 /// end-to-end experiments (Fig. 8). When absent, runs are metadata-only,
 /// matching the paper's default measurement mode.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DataPathConfig {
     /// Aggregate bandwidth of the OSD cluster, bytes per simulated second.
     /// Shared fairly among all clients currently transferring data.
@@ -29,8 +27,37 @@ impl DataPathConfig {
     }
 }
 
+impl Default for DataPathConfig {
+    fn default() -> Self {
+        DataPathConfig::with_bandwidth(1 << 30)
+    }
+}
+
+lunule_util::impl_json_struct!(DataPathConfig {
+    osd_bandwidth,
+    client_window,
+});
+
+lunule_util::impl_json_struct!(SimConfig {
+    n_mds,
+    mds_capacity,
+    mds_capacities,
+    epoch_secs,
+    duration_secs,
+    stop_when_done,
+    migration_bw,
+    migration_freeze_secs,
+    migration_op_cost,
+    client_rate,
+    client_cache_cap,
+    mds_memory_inodes,
+    memory_thrash_factor,
+    data_path,
+    seed,
+});
+
 /// Configuration of one simulation run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Number of MDS ranks at start (can grow via
     /// [`crate::Simulation::add_mds`]).
@@ -41,7 +68,6 @@ pub struct SimConfig {
     /// Per-rank capacity overrides for heterogeneous clusters (extension
     /// beyond the paper). Ranks beyond the vector's length — and MDSs added
     /// at runtime — use `mds_capacity`.
-    #[serde(default)]
     pub mds_capacities: Vec<f64>,
     /// Epoch (re-balance interval) length in simulated seconds. The paper's
     /// default is 10 s.
@@ -114,7 +140,10 @@ impl SimConfig {
         assert!(self.epoch_secs >= 1, "epoch must be at least one second");
         assert!(self.duration_secs >= 1, "duration must be positive");
         assert!(self.migration_bw >= 0.0, "migration bandwidth must be >= 0");
-        assert!(self.migration_op_cost >= 0.0, "migration op cost must be >= 0");
+        assert!(
+            self.migration_op_cost >= 0.0,
+            "migration op cost must be >= 0"
+        );
         assert!(self.client_rate > 0.0, "client rate must be positive");
         assert!(
             self.memory_thrash_factor > 0.0 && self.memory_thrash_factor <= 1.0,
@@ -149,7 +178,10 @@ mod tests {
     #[should_panic]
     fn zero_osd_bandwidth_rejected() {
         SimConfig {
-            data_path: Some(DataPathConfig { osd_bandwidth: 0, client_window: 0 }),
+            data_path: Some(DataPathConfig {
+                osd_bandwidth: 0,
+                client_window: 0,
+            }),
             ..SimConfig::default()
         }
         .validate();
@@ -157,9 +189,17 @@ mod tests {
 
     #[test]
     fn config_roundtrips_through_json() {
-        let cfg = SimConfig::default();
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        use lunule_util::{FromJson, Json, ToJson};
+        let cfg = SimConfig {
+            data_path: Some(DataPathConfig::with_bandwidth(123)),
+            ..SimConfig::default()
+        };
+        let json = cfg.to_json().to_string_pretty();
+        let back = SimConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(cfg, back);
+        // Missing fields keep their defaults, matching old dumps.
+        let partial = SimConfig::from_json(&Json::parse(r#"{"n_mds": 3}"#).unwrap()).unwrap();
+        assert_eq!(partial.n_mds, 3);
+        assert_eq!(partial.epoch_secs, SimConfig::default().epoch_secs);
     }
 }

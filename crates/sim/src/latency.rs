@@ -7,13 +7,11 @@
 //! the tail of this distribution is where imbalance hurts, which is why the
 //! paper lists latency next to throughput and job completion time.
 
-use serde::{Deserialize, Serialize};
-
 /// Upper bucket bound: stalls this long or longer land in the last bucket.
 const MAX_TRACKED: usize = 64;
 
 /// A fixed-bucket histogram of per-op stall latencies, in ticks.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LatencyHistogram {
     /// `buckets[k]` counts ops stalled exactly `k` ticks (last bucket: `>=`).
     buckets: Vec<u64>,
@@ -96,6 +94,12 @@ impl Default for LatencyHistogram {
     }
 }
 
+lunule_util::impl_json_struct!(LatencyHistogram {
+    buckets,
+    total_ops,
+    total_stall_ticks,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +132,18 @@ mod tests {
         h.record(1_000_000);
         assert_eq!(h.percentile(1.0), 64);
         assert_eq!(h.mean(), 1_000_000.0);
+    }
+
+    #[test]
+    fn histogram_roundtrips_through_json() {
+        use lunule_util::{FromJson, Json, ToJson};
+        let mut h = LatencyHistogram::new();
+        for t in [0, 2, 7, 99] {
+            h.record(t);
+        }
+        let text = h.to_json().to_string_compact();
+        let back = LatencyHistogram::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, h);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! with realistic lag and resource costs. The per-epoch series a run records
 //! ([`results::RunResult`]) are exactly the series the paper's figures plot.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;

@@ -1,7 +1,5 @@
 //! Per-MDS capacity accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// One metadata server's runtime state.
 ///
 /// An MDS is modelled purely as a request-processing budget: every served
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// budget, and whatever demand the budget cannot absorb stalls at the
 /// clients — which is exactly how a saturated hot MDS throttles the cluster
 /// in the paper's measurements.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MdsState {
     /// Requests the MDS can process per simulated second.
     pub capacity: f64,

@@ -11,10 +11,9 @@
 
 use lunule_core::{subtrees_overlap, MigrationPlan};
 use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
-use serde::{Deserialize, Serialize};
 
 /// Phase of one in-flight migration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
     /// Inodes streaming from exporter to importer.
     Transferring,
@@ -23,7 +22,7 @@ enum Phase {
 }
 
 /// One in-flight subtree migration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MigrationJob {
     /// Source rank.
     pub from: MdsRank,
@@ -47,7 +46,7 @@ impl MigrationJob {
 
 /// Counters the migrator exposes for reporting (Fig. 4's migrated-inode
 /// curves and the invalid-migration analysis).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MigrationCounters {
     /// Total inodes whose authority changed, cumulative.
     pub migrated_inodes: u64,
@@ -117,9 +116,7 @@ impl Migrator {
         for task in &plan.exports {
             for choice in &task.subtrees {
                 let key = choice.subtree;
-                if map.frag_authority(ns, key.dir, &key.frag) != task.from
-                    || task.from == task.to
-                {
+                if map.frag_authority(ns, key.dir, &key.frag) != task.from || task.from == task.to {
                     self.counters.rejected_choices += 1;
                     continue;
                 }
@@ -249,10 +246,13 @@ fn ensure_frag_live(ns: &mut Namespace, key: FragKey) -> bool {
         }
         // Find the live frag strictly containing the target and split it.
         match frags.iter().find(|f| f.contains_frag(&key.frag)) {
+            // A split of a frag we just observed live can only fail if the
+            // set was mutated under us; treat that as a stale choice too.
             Some(parent) => {
                 let parent = *parent;
-                ns.split_frag(key.dir, &parent, 1)
-                    .expect("live frag split cannot fail");
+                if ns.split_frag(key.dir, &parent, 1).is_err() {
+                    return false;
+                }
             }
             None => return false,
         }

@@ -1,10 +1,9 @@
 //! Run results: the per-epoch series every experiment binary plots.
 
 use crate::latency::LatencyHistogram;
-use serde::{Deserialize, Serialize};
 
 /// One epoch's worth of observed cluster behaviour.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct EpochRecord {
     /// Epoch index.
     pub epoch: u64,
@@ -28,12 +27,11 @@ pub struct EpochRecord {
     pub inflight_migrations: usize,
     /// Resident (authoritative) inodes per MDS at the end of the epoch —
     /// the metadata-cache footprint driving the memory model.
-    #[serde(default)]
     pub per_mds_resident_inodes: Vec<u64>,
 }
 
 /// The complete outcome of one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunResult {
     /// Policy that was driving the cluster.
     pub balancer: String,
@@ -55,9 +53,35 @@ pub struct RunResult {
     /// Subtree choices the migrator rejected as stale/overlapping.
     pub rejected_choices: u64,
     /// Per-op stall-latency distribution across the whole run.
-    #[serde(default)]
     pub latency: LatencyHistogram,
 }
+
+lunule_util::impl_json_struct!(EpochRecord {
+    epoch,
+    time_secs,
+    per_mds_requests,
+    per_mds_iops,
+    total_iops,
+    imbalance_factor,
+    migrated_inodes_cum,
+    forwards_cum,
+    active_clients,
+    inflight_migrations,
+    per_mds_resident_inodes,
+});
+
+lunule_util::impl_json_struct!(RunResult {
+    balancer,
+    epochs,
+    per_mds_requests_total,
+    per_mds_forwards_total,
+    client_completion_secs,
+    duration_secs,
+    total_ops,
+    final_inodes,
+    rejected_choices,
+    latency,
+});
 
 impl RunResult {
     /// Mean imbalance factor across epochs with any load.
@@ -77,10 +101,7 @@ impl RunResult {
 
     /// Peak aggregate IOPS over the run.
     pub fn peak_iops(&self) -> f64 {
-        self.epochs
-            .iter()
-            .map(|e| e.total_iops)
-            .fold(0.0, f64::max)
+        self.epochs.iter().map(|e| e.total_iops).fold(0.0, f64::max)
     }
 
     /// Mean aggregate IOPS over epochs with any load.
@@ -211,9 +232,11 @@ mod tests {
             epochs: vec![record(0, vec![1.0], 0.0)],
             ..RunResult::default()
         };
-        let s = serde_json::to_string(&r).unwrap();
-        let back: RunResult = serde_json::from_str(&s).unwrap();
+        use lunule_util::{FromJson, Json, ToJson};
+        let s = r.to_json().to_string_compact();
+        let back = RunResult::from_json(&Json::parse(&s).unwrap()).unwrap();
         assert_eq!(back.balancer, "Lunule");
         assert_eq!(back.epochs.len(), 1);
+        assert_eq!(back, r);
     }
 }

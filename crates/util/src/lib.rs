@@ -1,0 +1,22 @@
+//! Dependency-free support utilities for the Lunule workspace.
+//!
+//! The workspace builds fully offline, so the cross-cutting services that
+//! would normally come from external crates live here instead:
+//!
+//! * [`rng`] — a small deterministic pseudo-random number generator used by
+//!   the stochastic workload generators and the property-test harness.
+//! * [`json`] — a minimal JSON value model, parser, and writer, plus the
+//!   [`json::ToJson`]/[`json::FromJson`] traits the result types implement.
+//! * [`propcheck`] — a seeded property-test harness in the spirit of
+//!   QuickCheck: run a closure over many deterministic random cases and
+//!   report the failing case index on panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod propcheck;
+pub mod rng;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::DetRng;

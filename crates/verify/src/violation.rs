@@ -1,0 +1,40 @@
+//! Violation records produced by the checker.
+
+/// The invariant class a [`Violation`] belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// A directory carries duplicate entries for the same fragment.
+    FragOverlap,
+    /// A fragment whose `(value, bits)` encoding is out of range.
+    MalformedFrag,
+    /// A directory's live fragment set fails to partition the hash space.
+    FragPartition,
+    /// An authority entry points at a dead or non-directory inode.
+    DanglingEntry,
+    /// The subtree-map generation counter moved backwards.
+    GenerationRegressed,
+    /// An authority entry targets a rank outside the cluster.
+    RankOutOfRange,
+    /// Per-rank inode counts do not sum to the namespace's live count.
+    InodeConservation,
+    /// A frozen (committing) subtree no longer resolves to its exporter.
+    FrozenAuthorityChanged,
+    /// An IF-model output escaped `[0, 1]` or violated a model law.
+    IfModel,
+}
+
+/// One observed violation: the invariant that broke plus the offending
+/// values, rendered for humans.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Human-readable description carrying the offending values.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:?}] {}", self.kind, self.detail)
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests driving the invariant checker: randomly built stacks are
+//! always clean, and randomly corrupted stacks are always caught.
+
+use lunule_namespace::{FragKey, InodeId, MdsRank, Namespace, SubtreeMap, HASH_BITS};
+use lunule_util::propcheck::{self, vec_f64};
+use lunule_verify::{InvariantChecker, InvariantKind};
+
+/// Builds a random namespace (dirs + files + frag splits) and a random but
+/// legal subtree map over `n_mds` ranks.
+fn arb_stack(rng: &mut lunule_util::DetRng, n_mds: usize) -> (Namespace, SubtreeMap, Vec<InodeId>) {
+    let mut ns = Namespace::new();
+    let mut dirs = vec![InodeId::ROOT];
+    for _ in 0..rng.gen_range(1..40) {
+        let parent = dirs[rng.gen_range(0..dirs.len())];
+        if rng.gen_bool() {
+            dirs.push(ns.mkdir(parent, "d").unwrap());
+        } else {
+            ns.create_file(parent, "f", 1).unwrap();
+        }
+    }
+    // Random legal frag splits keep every dir's set a partition.
+    for _ in 0..rng.gen_range(0..6) {
+        let dir = dirs[rng.gen_range(0..dirs.len())];
+        let frags = ns.frags_of(dir);
+        let target = frags[rng.gen_range(0..frags.len())];
+        if target.bits() < HASH_BITS {
+            let _ = ns.split_frag(dir, &target, 1);
+        }
+    }
+    let mut map = SubtreeMap::new(MdsRank(0));
+    for _ in 0..rng.gen_range(0..12) {
+        let dir = dirs[rng.gen_range(0..dirs.len())];
+        let frags = ns.frags_of(dir);
+        let frag = frags[rng.gen_range(0..frags.len())];
+        let rank = MdsRank(rng.gen_range(0..n_mds) as u16);
+        map.set_authority(FragKey { dir, frag }, rank);
+    }
+    (ns, map, dirs)
+}
+
+/// Random legal build sequences never trip the checker.
+#[test]
+fn random_legal_stacks_are_clean() {
+    propcheck::run(64, |rng| {
+        let n_mds = rng.gen_range(1..6);
+        let (ns, map, _) = arb_stack(rng, n_mds);
+        let mut checker = InvariantChecker::default();
+        assert_eq!(checker.audit(&ns, &map, n_mds, &[]), 0);
+        checker.assert_clean();
+    });
+}
+
+/// Simplify keeps a random stack clean and conservation intact.
+#[test]
+fn simplify_keeps_stacks_clean() {
+    propcheck::run(64, |rng| {
+        let n_mds = rng.gen_range(2..5);
+        let (ns, mut map, _) = arb_stack(rng, n_mds);
+        map.simplify(&ns);
+        let mut checker = InvariantChecker::default();
+        assert_eq!(checker.audit(&ns, &map, n_mds, &[]), 0);
+    });
+}
+
+/// Injecting a duplicate entry anywhere is always caught as FragOverlap.
+#[test]
+fn injected_duplicates_always_caught() {
+    propcheck::run(64, |rng| {
+        let (ns, mut map, dirs) = arb_stack(rng, 4);
+        let dir = dirs[rng.gen_range(0..dirs.len())];
+        let frags = ns.frags_of(dir);
+        let frag = frags[rng.gen_range(0..frags.len())];
+        let key = FragKey { dir, frag };
+        // Make sure the entry exists once, then inject a raw duplicate.
+        map.set_authority(key, MdsRank(1));
+        map.fault_inject_entry(key, MdsRank(rng.gen_range(0..4) as u16));
+        let mut checker = InvariantChecker::default();
+        assert!(checker.check_subtree_map(&ns, &map) >= 1);
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::FragOverlap));
+    });
+}
+
+/// Assigning any subtree to a rank outside the cluster is always caught by
+/// the conservation battery (lossy migration plan).
+#[test]
+fn out_of_cluster_ranks_always_caught() {
+    propcheck::run(64, |rng| {
+        let n_mds = rng.gen_range(1..4);
+        let (ns, mut map, dirs) = arb_stack(rng, n_mds);
+        let victim = dirs[rng.gen_range(0..dirs.len())];
+        let bogus = MdsRank((n_mds + rng.gen_range(0..8)) as u16);
+        map.set_authority(FragKey::whole(victim), bogus);
+        let mut checker = InvariantChecker::default();
+        assert!(checker.check_conservation(&ns, &map, n_mds) >= 1);
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::RankOutOfRange));
+    });
+}
+
+/// A rewound generation is always caught, wherever in the sequence the
+/// rewind happens.
+#[test]
+fn generation_rewind_always_caught() {
+    propcheck::run(64, |rng| {
+        let (ns, mut map, dirs) = arb_stack(rng, 4);
+        let mut checker = InvariantChecker::default();
+        checker.check_subtree_map(&ns, &map);
+        checker.assert_clean();
+        // A few more legal mutations, then a rewind below the watermark.
+        for _ in 0..rng.gen_range(1..5) {
+            let dir = dirs[rng.gen_range(0..dirs.len())];
+            map.set_authority(FragKey::whole(dir), MdsRank(2));
+        }
+        checker.check_subtree_map(&ns, &map);
+        checker.assert_clean();
+        let back = rng.gen_range(0..map.generation() as usize) as u64;
+        map.fault_set_generation(back);
+        checker.check_subtree_map(&ns, &map);
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::GenerationRegressed));
+    });
+}
+
+/// The IF-model laws hold for random load vectors and random homogeneous
+/// capacity vectors.
+#[test]
+fn if_laws_hold_for_random_vectors() {
+    propcheck::run(192, |rng| {
+        let loads = vec_f64(rng, 0..16, 0.0, 20_000.0);
+        let cfg = lunule_core::IfModelConfig::default();
+        let caps = vec![cfg.mds_capacity; loads.len()];
+        let mut checker = InvariantChecker::new(cfg);
+        assert_eq!(checker.check_if_model(&loads, &caps), 0, "{loads:?}");
+        // Heterogeneous capacities must still keep the factor in bounds.
+        let hetero_caps = vec_f64(rng, 0..16, 100.0, 10_000.0);
+        assert_eq!(checker.check_if_model(&loads, &hetero_caps), 0);
+    });
+}

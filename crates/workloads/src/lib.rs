@@ -17,6 +17,7 @@
 //! signatures, scaled by a `scale` factor — see DESIGN.md for the
 //! substitution rationale.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cnn;

@@ -36,8 +36,7 @@ impl MdtestWorkload {
             .dirs
             .iter()
             .map(|(dir, _)| {
-                Box::new(CreateStream::new(*dir, self.creates_per_client, 0))
-                    as Box<dyn OpStream>
+                Box::new(CreateStream::new(*dir, self.creates_per_client, 0)) as Box<dyn OpStream>
             })
             .collect()
     }
@@ -125,8 +124,7 @@ impl MdtestFullWorkload {
             .dirs
             .iter()
             .map(|(dir, _)| {
-                Box::new(MdtestFullStream::new(*dir, self.files_per_client))
-                    as Box<dyn OpStream>
+                Box::new(MdtestFullStream::new(*dir, self.files_per_client)) as Box<dyn OpStream>
             })
             .collect()
     }

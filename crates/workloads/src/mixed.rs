@@ -84,7 +84,8 @@ mod tests {
         // All four dataset roots exist under /.
         for name in ["imagenet", "corpus", "www", "filebench"] {
             assert!(
-                ns.child_by_name(lunule_namespace::InodeId::ROOT, name).is_some(),
+                ns.child_by_name(lunule_namespace::InodeId::ROOT, name)
+                    .is_some(),
                 "missing dataset {name}"
             );
         }

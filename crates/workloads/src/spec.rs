@@ -13,10 +13,9 @@ use crate::web::WebWorkload;
 use crate::zipf_read::ZipfReadWorkload;
 use lunule_namespace::Namespace;
 use lunule_sim::OpStream;
-use serde::{Deserialize, Serialize};
 
 /// Which of the paper's workloads to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// CNN image pre-processing: full-dataset scan + record-file create.
     Cnn,
@@ -106,7 +105,7 @@ impl std::fmt::Display for WorkloadKind {
 }
 
 /// A fully parameterised workload instance.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct WorkloadSpec {
     /// Which workload.
     pub kind: WorkloadKind,

@@ -3,8 +3,7 @@
 use crate::zipf::HotSetSampler;
 use lunule_namespace::{InodeId, Namespace};
 use lunule_sim::{MetaOp, OpStream};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lunule_util::DetRng;
 use std::sync::Arc;
 
 /// Derives a per-client RNG seed from a workload master seed — a SplitMix64
@@ -92,7 +91,7 @@ impl OpStream for ReplayStream {
 pub struct HotSetStream {
     files: Vec<InodeId>,
     sampler: HotSetSampler,
-    rng: StdRng,
+    rng: DetRng,
     remaining: u64,
 }
 
@@ -103,7 +102,7 @@ impl HotSetStream {
         HotSetStream {
             files,
             sampler,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             remaining: ops,
         }
     }

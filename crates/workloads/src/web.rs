@@ -12,9 +12,7 @@ use crate::streams::{client_seed, ReplayStream};
 use crate::zipf::ZipfSampler;
 use lunule_namespace::{build_deep_tree, InodeId, Namespace};
 use lunule_sim::OpStream;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use lunule_util::DetRng;
 use std::sync::Arc;
 
 /// Served page size used by the data-path model, bytes.
@@ -69,10 +67,10 @@ impl WebWorkload {
         // Popularity ranks are assigned to files in shuffled order so hot
         // pages scatter across the tree rather than clustering in one leaf.
         let mut files: Vec<InodeId> = dataset.files_in_scan_order();
-        let mut rng = StdRng::seed_from_u64(client_seed(self.seed, 0xF11E));
-        files.shuffle(&mut rng);
+        let mut rng = DetRng::seed_from_u64(client_seed(self.seed, 0xF11E));
+        rng.shuffle(&mut files);
         let sampler = ZipfSampler::new(files.len(), WEB_ZIPF_EXPONENT);
-        let mut trace_rng = StdRng::seed_from_u64(client_seed(self.seed, 0x7ACE));
+        let mut trace_rng = DetRng::seed_from_u64(client_seed(self.seed, 0x7ACE));
         let trace: Arc<Vec<InodeId>> = Arc::new(
             (0..self.requests_per_client)
                 .map(|_| files[sampler.sample(&mut trace_rng)])

@@ -1,7 +1,6 @@
 //! Seeded popularity samplers: true Zipf and the 80/20 hot-set rule.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use lunule_util::DetRng;
 
 /// Samples indices `0..n` from a Zipf(s) popularity distribution (rank 0 is
 /// the most popular item) using a precomputed cumulative table — O(log n)
@@ -44,8 +43,8 @@ impl ZipfSampler {
     }
 
     /// Draws one rank.
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.gen_f64();
         self.cumulative
             .partition_point(|c| *c < u)
             .min(self.cumulative.len() - 1)
@@ -85,8 +84,8 @@ impl HotSetSampler {
     }
 
     /// Draws one index.
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
-        if self.n == self.hot_n || rng.gen::<f64>() < self.hot_weight {
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        if self.n == self.hot_n || rng.gen_f64() < self.hot_weight {
             rng.gen_range(0..self.hot_n)
         } else {
             rng.gen_range(self.hot_n..self.n)
@@ -102,12 +101,11 @@ impl HotSetSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn zipf_rank_zero_dominates() {
         let z = ZipfSampler::new(1000, 1.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let mut counts = vec![0u32; 1000];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -115,13 +113,17 @@ mod tests {
         assert!(counts[0] > counts[10]);
         assert!(counts[0] > counts[999] * 5);
         // Harmonic: rank 0 gets about 1/H(1000) ~ 13% of draws.
-        assert!(counts[0] > 1_500 && counts[0] < 4_500, "rank0={}", counts[0]);
+        assert!(
+            counts[0] > 1_500 && counts[0] < 4_500,
+            "rank0={}",
+            counts[0]
+        );
     }
 
     #[test]
     fn zipf_samples_in_range() {
         let z = ZipfSampler::new(10, 0.8);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 10);
         }
@@ -131,10 +133,8 @@ mod tests {
     fn hotset_obeys_eighty_twenty() {
         let h = HotSetSampler::new(1000, 0.2, 0.8);
         assert_eq!(h.hot_len(), 200);
-        let mut rng = StdRng::seed_from_u64(11);
-        let hot_hits = (0..50_000)
-            .filter(|_| h.sample(&mut rng) < 200)
-            .count();
+        let mut rng = DetRng::seed_from_u64(11);
+        let hot_hits = (0..50_000).filter(|_| h.sample(&mut rng) < 200).count();
         let share = hot_hits as f64 / 50_000.0;
         assert!((share - 0.8).abs() < 0.02, "hot share {share}");
     }
@@ -142,7 +142,7 @@ mod tests {
     #[test]
     fn hotset_single_item() {
         let h = HotSetSampler::new(1, 0.5, 0.8);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         assert_eq!(h.sample(&mut rng), 0);
     }
 
@@ -150,7 +150,7 @@ mod tests {
     fn determinism() {
         let z = ZipfSampler::new(100, 1.0);
         let draw = |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = DetRng::seed_from_u64(seed);
             (0..50).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
         };
         assert_eq!(draw(5), draw(5));

@@ -122,10 +122,7 @@ mod tests {
         };
         let (a, b) = {
             let mut it = streams.iter_mut();
-            (
-                seq(it.next().unwrap(), &ns),
-                seq(it.next().unwrap(), &ns),
-            )
+            (seq(it.next().unwrap(), &ns), seq(it.next().unwrap(), &ns))
         };
         assert_ne!(a, b, "per-client seeds must differ");
     }

@@ -54,11 +54,21 @@ fn main() {
     println!("  3 MDSs (  0-300s): {:>7.0} IOPS", phase_mean(60, 300));
     println!("  4 MDSs (300-600s): {:>7.0} IOPS", phase_mean(360, 600));
     println!("  5 MDSs (600-900s): {:>7.0} IOPS", phase_mean(660, 900));
-    println!("\nlast epoch per-MDS requests: {:?}",
-        result.epochs.last().map(|e| e.per_mds_requests.clone()).unwrap_or_default());
+    println!(
+        "\nlast epoch per-MDS requests: {:?}",
+        result
+            .epochs
+            .last()
+            .map(|e| e.per_mds_requests.clone())
+            .unwrap_or_default()
+    );
     println!(
         "migrated {} inodes in total; imbalance factor ended at {:.3}",
         result.migrated_inodes(),
-        result.epochs.last().map(|e| e.imbalance_factor).unwrap_or(0.0)
+        result
+            .epochs
+            .last()
+            .map(|e| e.imbalance_factor)
+            .unwrap_or(0.0)
     );
 }

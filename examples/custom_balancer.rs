@@ -41,20 +41,13 @@ impl Balancer for RoundRobinSpill {
         self.heat.record(ns, access.ino);
     }
 
-    fn on_epoch(
-        &mut self,
-        ns: &Namespace,
-        map: &SubtreeMap,
-        stats: &EpochStats,
-    ) -> MigrationPlan {
+    fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan {
         self.heat.decay_epoch();
         let loads = stats.iops();
-        let Some(busiest) = (0..loads.len()).max_by(|a, b| loads[*a].total_cmp(&loads[*b]))
-        else {
+        let Some(busiest) = (0..loads.len()).max_by(|a, b| loads[*a].total_cmp(&loads[*b])) else {
             return MigrationPlan::default();
         };
-        let Some(idlest) = (0..loads.len()).min_by(|a, b| loads[*a].total_cmp(&loads[*b]))
-        else {
+        let Some(idlest) = (0..loads.len()).min_by(|a, b| loads[*a].total_cmp(&loads[*b])) else {
             return MigrationPlan::default();
         };
         if busiest == idlest || loads[busiest] < 2.0 * loads[idlest] + 1.0 {

@@ -68,10 +68,7 @@ fn main() {
     for e in result.epochs.iter().take(10) {
         println!(
             "  t={:>3}s IF={:.3} IOPS={:>6.0} per-mds={:?}",
-            e.time_secs,
-            e.imbalance_factor,
-            e.total_iops,
-            e.per_mds_requests
+            e.time_secs, e.imbalance_factor, e.total_iops, e.per_mds_requests
         );
     }
 }

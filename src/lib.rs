@@ -7,6 +7,9 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the architecture.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use lunule_core as core;
 pub use lunule_namespace as namespace;
 pub use lunule_sim as sim;
@@ -14,12 +17,8 @@ pub use lunule_workloads as workloads;
 
 /// Convenience prelude bringing the types most programs need into scope.
 pub mod prelude {
-    pub use lunule_core::{
-        Balancer, BalancerKind, ImbalanceFactorModel, MigrationPlan,
-    };
-    pub use lunule_namespace::{
-        FileType, Frag, FragKey, InodeId, MdsRank, Namespace, SubtreeMap,
-    };
+    pub use lunule_core::{Balancer, BalancerKind, ImbalanceFactorModel, MigrationPlan};
+    pub use lunule_namespace::{FileType, Frag, FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
     pub use lunule_sim::{RunResult, SimConfig, Simulation};
     pub use lunule_workloads::{WorkloadKind, WorkloadSpec};
 }

@@ -104,7 +104,10 @@ fn lunule_balances_scans_that_defeat_vanilla() {
 fn greedyspill_is_worst_on_scans() {
     let greedy = run(WorkloadKind::Cnn, BalancerKind::GreedySpill, 12, 0.005);
     let lunule = run(WorkloadKind::Cnn, BalancerKind::Lunule, 12, 0.005);
-    assert!(greedy.mean_if() > 0.5, "GreedySpill stays imbalanced on scans");
+    assert!(
+        greedy.mean_if() > 0.5,
+        "GreedySpill stays imbalanced on scans"
+    );
     assert!(lunule.mean_if() < greedy.mean_if());
 }
 
@@ -124,8 +127,13 @@ fn urgency_suppresses_benign_imbalance() {
         client_rate: 10.0,
         ..small_sim(5)
     };
-    let r = Simulation::new(cfg.clone(), ns, make_balancer(BalancerKind::Lunule, 10_000.0), streams)
-        .run();
+    let r = Simulation::new(
+        cfg.clone(),
+        ns,
+        make_balancer(BalancerKind::Lunule, 10_000.0),
+        streams,
+    )
+    .run();
     assert_eq!(
         r.migrated_inodes(),
         0,
@@ -237,7 +245,12 @@ fn cluster_expansion_increases_throughput() {
         duration_secs: 800,
         ..small_sim(2)
     };
-    let mut sim = Simulation::new(cfg.clone(), ns, make_balancer(BalancerKind::Lunule, 200.0), streams);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        ns,
+        make_balancer(BalancerKind::Lunule, 200.0),
+        streams,
+    );
     sim.run_until(400);
     sim.add_mds();
     sim.add_mds();
@@ -322,5 +335,8 @@ fn data_path_dilutes_metadata_gains() {
         data_gap <= meta_gap + 0.05,
         "data path must not amplify the balancer gap: meta {meta_gap:.3} vs data {data_gap:.3}"
     );
-    assert!(data_vanilla > meta_vanilla, "data path lengthens completion");
+    assert!(
+        data_vanilla > meta_vanilla,
+        "data path lengthens completion"
+    );
 }

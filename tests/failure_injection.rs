@@ -45,9 +45,19 @@ fn zero_migration_bandwidth_stalls_rebalance_but_not_service() {
         migration_bw: 0.0,
         ..base_cfg()
     };
-    let r = Simulation::new(cfg.clone(), ns, make_balancer(BalancerKind::Lunule, 100.0), streams).run();
+    let r = Simulation::new(
+        cfg.clone(),
+        ns,
+        make_balancer(BalancerKind::Lunule, 100.0),
+        streams,
+    )
+    .run();
     assert!(r.total_ops > 0, "service must continue");
-    assert_eq!(r.migrated_inodes(), 0, "nothing can complete at 0 bandwidth");
+    assert_eq!(
+        r.migrated_inodes(),
+        0,
+        "nothing can complete at 0 bandwidth"
+    );
     // Everything stayed on rank 0.
     assert_eq!(r.per_mds_requests_total[1] + r.per_mds_requests_total[2], 0);
 }
@@ -118,7 +128,13 @@ fn long_freeze_window_delays_but_preserves_ops() {
         duration_secs: 3_000,
         ..base_cfg()
     };
-    let r = Simulation::new(cfg.clone(), ns, make_balancer(BalancerKind::Lunule, 100.0), streams).run();
+    let r = Simulation::new(
+        cfg.clone(),
+        ns,
+        make_balancer(BalancerKind::Lunule, 100.0),
+        streams,
+    )
+    .run();
     assert_eq!(r.total_ops, expected, "frozen ops must retry, not vanish");
 }
 
@@ -132,7 +148,12 @@ fn brutal_migration_cost_still_converges() {
         duration_secs: 2_000,
         ..base_cfg()
     };
-    let mut sim = Simulation::new(cfg.clone(), ns, make_balancer(BalancerKind::Lunule, 100.0), streams);
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        ns,
+        make_balancer(BalancerKind::Lunule, 100.0),
+        streams,
+    );
     sim.run_until(2_000);
     assert!(sim.namespace().invariants_hold());
     assert!(sim.subtree_map().invariants_hold());
