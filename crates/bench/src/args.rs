@@ -15,6 +15,9 @@ pub struct CommonArgs {
     pub clients: usize,
     /// Directory for JSON result dumps; `None` disables them.
     pub out_dir: Option<String>,
+    /// Directory for telemetry exports (JSONL events, CSV metrics, Chrome
+    /// trace); `None` keeps telemetry disabled and the hot path free.
+    pub telemetry_out: Option<String>,
     /// Quick mode: shrink scale/duration further for CI smoke runs.
     pub quick: bool,
 }
@@ -26,6 +29,7 @@ impl Default for CommonArgs {
             seed: 42,
             clients: 100,
             out_dir: Some("results".to_string()),
+            telemetry_out: None,
             quick: false,
         }
     }
@@ -53,6 +57,12 @@ impl CommonArgs {
                     )
                 }
                 "--no-out" => out.out_dir = None,
+                "--telemetry-out" => {
+                    out.telemetry_out = Some(
+                        it.next()
+                            .unwrap_or_else(|| usage("--telemetry-out needs a directory")),
+                    )
+                }
                 "--quick" => out.quick = true,
                 "--help" | "-h" => usage("usage"),
                 other => usage(&format!("unknown flag: {other}")),
@@ -76,7 +86,7 @@ fn expect_value<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, fl
 #[allow(clippy::exit)]
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "{msg}\n\nflags:\n  --scale <f>     dataset/op scale (default 0.1)\n  --seed <u64>    master seed (default 42)\n  --clients <n>   concurrent clients (default 100)\n  --out <dir>     JSON dump directory (default ./results)\n  --no-out        disable JSON dumps\n  --quick         CI smoke mode (tiny scale)"
+        "{msg}\n\nflags:\n  --scale <f>     dataset/op scale (default 0.1)\n  --seed <u64>    master seed (default 42)\n  --clients <n>   concurrent clients (default 100)\n  --out <dir>     JSON dump directory (default ./results)\n  --no-out        disable JSON dumps\n  --telemetry-out <dir>  export telemetry (events JSONL, metrics CSV, Chrome trace)\n  --quick         CI smoke mode (tiny scale)"
     );
     std::process::exit(2)
 }
@@ -112,6 +122,13 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.clients, 10);
         assert!(a.out_dir.is_none());
+    }
+
+    #[test]
+    fn telemetry_out_flag() {
+        assert!(parse(&[]).telemetry_out.is_none());
+        let a = parse(&["--telemetry-out", "traces"]);
+        assert_eq!(a.telemetry_out.as_deref(), Some("traces"));
     }
 
     #[test]

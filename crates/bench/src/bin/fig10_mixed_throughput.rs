@@ -4,12 +4,14 @@
 
 use lunule_bench::{
     default_sim, print_series, run_grid, write_json, CommonArgs, ExperimentConfig, Series,
+    TelemetrySink,
 };
 use lunule_core::BalancerKind;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
 fn main() {
     let args = CommonArgs::parse();
+    let mut sink = TelemetrySink::from_args(&args);
     let cells: Vec<ExperimentConfig> = [BalancerKind::Vanilla, BalancerKind::Lunule]
         .iter()
         .map(|b| ExperimentConfig {
@@ -22,6 +24,7 @@ fn main() {
             balancer: *b,
             sim: lunule_sim::SimConfig {
                 duration_secs: 7_200,
+                telemetry: sink.handle(&format!("fig10_mixed_{}", b.label())),
                 ..default_sim()
             },
         })
@@ -66,4 +69,5 @@ fn main() {
             &series,
         );
     }
+    sink.flush_and_report();
 }

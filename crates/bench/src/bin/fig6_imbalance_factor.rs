@@ -6,12 +6,15 @@
 
 use lunule_bench::{
     default_sim, print_series, run_grid, write_json, CommonArgs, ExperimentConfig, Series,
+    TelemetrySink,
 };
 use lunule_core::BalancerKind;
+use lunule_sim::SimConfig;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
 fn main() {
     let args = CommonArgs::parse();
+    let mut sink = TelemetrySink::from_args(&args);
     let mut summary: Vec<(String, String, f64)> = Vec::new();
     for kind in WorkloadKind::SINGLES {
         let cells: Vec<ExperimentConfig> = BalancerKind::FIG6_SET
@@ -24,7 +27,10 @@ fn main() {
                     seed: args.seed,
                 },
                 balancer: *b,
-                sim: default_sim(),
+                sim: SimConfig {
+                    telemetry: sink.handle(&format!("fig6_{}_{}", kind.label(), b.label())),
+                    ..default_sim()
+                },
             })
             .collect();
         let results = run_grid(&cells);
@@ -76,4 +82,5 @@ fn main() {
         );
     }
     write_json(&args.out_dir, "fig6_mean_if_summary", &summary);
+    sink.flush_and_report();
 }

@@ -7,12 +7,14 @@
 
 use lunule_bench::{
     default_sim, print_series, run_grid, write_json, CommonArgs, ExperimentConfig, Series,
+    TelemetrySink,
 };
 use lunule_core::BalancerKind;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
 fn main() {
     let args = CommonArgs::parse();
+    let mut sink = TelemetrySink::from_args(&args);
     let cells: Vec<ExperimentConfig> = [BalancerKind::Vanilla, BalancerKind::Lunule]
         .iter()
         .map(|b| ExperimentConfig {
@@ -25,6 +27,7 @@ fn main() {
             balancer: *b,
             sim: lunule_sim::SimConfig {
                 duration_secs: 7_200,
+                telemetry: sink.handle(&format!("fig9_mixed_{}", b.label())),
                 ..default_sim()
             },
         })
@@ -56,4 +59,5 @@ fn main() {
         );
     }
     write_json(&args.out_dir, "fig9_mixed_if", &series);
+    sink.flush_and_report();
 }

@@ -2,12 +2,14 @@
 //! Useful for eyeballing whether the simulation produces the paper's
 //! qualitative ordering before running the full figure suite.
 
-use lunule_bench::{default_sim, run_grid, CommonArgs, ExperimentConfig};
+use lunule_bench::{default_sim, run_grid, CommonArgs, ExperimentConfig, TelemetrySink};
 use lunule_core::BalancerKind;
+use lunule_sim::SimConfig;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
 fn main() {
     let args = CommonArgs::parse();
+    let mut sink = TelemetrySink::from_args(&args);
     let kinds = [
         BalancerKind::Vanilla,
         BalancerKind::GreedySpill,
@@ -25,7 +27,10 @@ fn main() {
                     seed: args.seed,
                 },
                 balancer: *b,
-                sim: default_sim(),
+                sim: SimConfig {
+                    telemetry: sink.handle(&format!("smoke_{workload}_{}", b.label())),
+                    ..default_sim()
+                },
             })
             .collect();
         let t0 = std::time::Instant::now();
@@ -53,4 +58,5 @@ fn main() {
             );
         }
     }
+    sink.flush_and_report();
 }

@@ -1,0 +1,63 @@
+//! Round-trip validator for telemetry exports: parses every
+//! `*.events.jsonl` back through the typed event decoder and structurally
+//! validates every `*.trace.json` as Chrome `trace_event` JSON (the format
+//! Perfetto loads). CI runs this against the artifacts a `--telemetry-out`
+//! run produced; a malformed file fails the build.
+//!
+//! Usage: `telemetry_check <dir>`
+
+use lunule_telemetry::{parse_events_jsonl, validate_chrome_trace};
+use std::path::Path;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: telemetry_check <dir>");
+        std::process::exit(2);
+    });
+    match check_dir(Path::new(&dir)) {
+        Ok((events, traces)) => {
+            println!(
+                "telemetry_check: ok — {events} event(s) across JSONL logs, \
+                 {traces} Chrome trace entr(ies) validated in {dir}"
+            );
+        }
+        Err(msg) => {
+            eprintln!("telemetry_check: FAILED — {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Validates every telemetry file under `dir`; returns (total events
+/// round-tripped, total trace entries validated).
+fn check_dir(dir: &Path) -> Result<(usize, usize), String> {
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    names.sort();
+    let (mut n_events, mut n_trace, mut n_files) = (0usize, 0usize, 0usize);
+    for path in &names {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.ends_with(".events.jsonl") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let events = parse_events_jsonl(&text)
+                .map_err(|e| format!("{}: bad event log: {e}", path.display()))?;
+            n_events += events.len();
+            n_files += 1;
+        } else if name.ends_with(".trace.json") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            n_trace += validate_chrome_trace(&text)
+                .map_err(|e| format!("{}: bad Chrome trace: {e}", path.display()))?;
+            n_files += 1;
+        }
+    }
+    if n_files == 0 {
+        return Err(format!("no telemetry files found in {}", dir.display()));
+    }
+    Ok((n_events, n_trace))
+}

@@ -11,7 +11,9 @@
 pub mod args;
 pub mod report;
 pub mod runner;
+pub mod sink;
 
 pub use args::CommonArgs;
 pub use report::{print_series, write_json, Series};
 pub use runner::{default_sim, run_experiment, run_grid, ExperimentConfig};
+pub use sink::TelemetrySink;

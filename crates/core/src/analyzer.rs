@@ -368,6 +368,15 @@ impl PatternAnalyzer {
     pub fn tracked_dirs(&self) -> usize {
         self.dirs.len()
     }
+
+    /// Records the analyzer's bookkeeping size into the telemetry stream:
+    /// a `analyzer.tracked_dirs` gauge and a `analyzer.window` gauge (the
+    /// cutting-window index). Called by the owning balancer at each epoch
+    /// boundary; free when the handle is disabled.
+    pub fn observe(&self, telemetry: &lunule_telemetry::Telemetry) {
+        telemetry.gauge_set("analyzer.tracked_dirs", 0, self.dirs.len() as f64);
+        telemetry.gauge_set("analyzer.window", 0, self.window() as f64);
+    }
 }
 
 /// The next sibling directory of `dir` under its parent (wrapping), if any.

@@ -2,6 +2,7 @@
 //! policy produces.
 
 use lunule_namespace::{FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
+use lunule_telemetry::Telemetry;
 
 use crate::stats::EpochStats;
 
@@ -93,6 +94,11 @@ pub trait Balancer: Send {
     /// One-time hook before the run starts; static policies (Dir-Hash
     /// pinning) mutate the subtree map here.
     fn setup(&mut self, _ns: &Namespace, _map: &mut SubtreeMap, _n_mds: usize) {}
+
+    /// Hands the balancer a telemetry handle so it can record phase spans
+    /// and decision outcomes. Policies that do not instrument themselves
+    /// keep this default and stay telemetry-free.
+    fn attach_telemetry(&mut self, _telemetry: Telemetry) {}
 
     /// Records one served metadata request.
     fn record_access(&mut self, ns: &Namespace, access: Access);

@@ -47,7 +47,9 @@ pub use if_model::{IfModelConfig, ImbalanceFactorModel};
 pub use lunule::{LunuleBalancer, LunuleConfig};
 pub use mantle::{PolicyCtx, ProgrammableBalancer, Transfer};
 pub use roles::{decide_roles, Pairing, RoleConfig, RoleDecision};
-pub use selector::{select_hottest, select_subtrees, subtrees_overlap, SelectorConfig};
+pub use selector::{
+    observe_selection, select_hottest, select_subtrees, subtrees_overlap, SelectorConfig,
+};
 pub use stats::{EpochStats, LoadHistory};
 
 use lunule_namespace::MdsRank;

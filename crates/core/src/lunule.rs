@@ -16,6 +16,7 @@ use crate::roles::{decide_roles_weighted, RoleConfig};
 use crate::selector::{select_hottest, select_subtrees, subtrees_overlap, SelectorConfig};
 use crate::stats::{EpochStats, LoadHistory};
 use lunule_namespace::{Namespace, SubtreeMap};
+use lunule_telemetry::{Event, Telemetry};
 
 /// Full configuration of a Lunule balancer instance.
 #[derive(Clone, Debug)]
@@ -84,6 +85,7 @@ pub struct LunuleBalancer {
     history: LoadHistory,
     selector_cfg: SelectorConfig,
     last_if: f64,
+    telemetry: Telemetry,
 }
 
 impl LunuleBalancer {
@@ -96,6 +98,7 @@ impl LunuleBalancer {
             history: LoadHistory::new(cfg.history_window.max(2)),
             selector_cfg: SelectorConfig::default(),
             last_if: 0.0,
+            telemetry: Telemetry::disabled(),
             cfg,
         }
     }
@@ -120,6 +123,10 @@ impl Balancer for LunuleBalancer {
         }
     }
 
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     fn record_access(&mut self, ns: &Namespace, access: Access) {
         if self.cfg.workload_aware {
             self.analyzer
@@ -133,23 +140,43 @@ impl Balancer for LunuleBalancer {
     }
 
     fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan {
+        let _epoch_span = self.telemetry.span("balancer.epoch");
         let loads = stats.iops();
-        self.last_if = if self.cfg.ablate_urgency {
-            ImbalanceFactorModel::normalized_cov(&loads)
-        } else if let Some(caps) = &self.cfg.capacities {
-            self.model.imbalance_factor_hetero(&loads, caps)
-        } else {
-            self.model.imbalance_factor(&loads)
+        self.last_if = {
+            let _s = self.telemetry.span("balancer.if_model");
+            if self.cfg.ablate_urgency {
+                ImbalanceFactorModel::normalized_cov(&loads)
+            } else if let Some(caps) = &self.cfg.capacities {
+                self.model.imbalance_factor_hetero(&loads, caps)
+            } else {
+                self.model.imbalance_factor(&loads)
+            }
         };
+        self.telemetry
+            .gauge_set("balancer.imbalance_factor", 0, self.last_if);
         self.history.push(stats);
         // Epoch boundary == cutting-window boundary.
         if self.cfg.workload_aware {
             self.analyzer.advance_window();
+            self.analyzer.observe(&self.telemetry);
         } else {
             self.heat.decay_epoch();
         }
 
+        let decision_event =
+            |triggered: bool, pairings: usize, subtrees: usize, candidates: usize| {
+                Event::Decision {
+                    epoch: stats.epoch,
+                    imbalance_factor: self.last_if,
+                    triggered,
+                    pairings: pairings as u64,
+                    subtrees: subtrees as u64,
+                    candidates: candidates as u64,
+                }
+            };
+
         if self.last_if <= self.cfg.if_threshold {
+            self.telemetry.emit(|| decision_event(false, 0, 0, 0));
             return MigrationPlan::default();
         }
 
@@ -159,19 +186,24 @@ impl Balancer for LunuleBalancer {
         } else {
             &self.history
         };
-        let decision = decide_roles_weighted(
-            &loads,
-            self.cfg.capacities.as_deref(),
-            history,
-            &self.cfg.roles,
-        );
+        let decision = {
+            let _s = self.telemetry.span("balancer.roles");
+            decide_roles_weighted(
+                &loads,
+                self.cfg.capacities.as_deref(),
+                history,
+                &self.cfg.roles,
+            )
+        };
         if decision.pairings.is_empty() {
+            self.telemetry.emit(|| decision_event(true, 0, 0, 0));
             return MigrationPlan::default();
         }
 
         // Candidate loads: migration index (Lunule) or heat (Light). Both
         // are "per recent window" quantities; Algorithm 1 amounts are in
         // IOPS — scale demand into the candidate unit via the epoch length.
+        let _select_span = self.telemetry.span("balancer.select");
         let candidates = if self.cfg.workload_aware {
             let analyzer = &self.analyzer;
             build_candidates(ns, map, &|d| analyzer.mindex_of(d))
@@ -225,6 +257,7 @@ impl Balancer for LunuleBalancer {
                 continue;
             }
             used.extend(subtrees.iter().map(|s| s.subtree));
+            crate::selector::observe_selection(&self.telemetry, mine.len(), &subtrees);
             exports.push(ExportTask {
                 from: pairing.exporter,
                 to: pairing.importer,
@@ -232,7 +265,16 @@ impl Balancer for LunuleBalancer {
                 subtrees,
             });
         }
-        MigrationPlan { exports }
+        let plan = MigrationPlan { exports };
+        self.telemetry.emit(|| {
+            decision_event(
+                true,
+                decision.pairings.len(),
+                plan.subtree_count(),
+                candidates.len(),
+            )
+        });
+        plan
     }
 }
 

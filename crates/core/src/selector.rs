@@ -337,6 +337,21 @@ pub fn select_hottest(
     out
 }
 
+/// Journals one pairing's selection outcome into the telemetry stream:
+/// how many candidates were on the table, how many subtrees were chosen,
+/// and the load estimated to move (as counters plus a per-selection
+/// candidate-count histogram). Free when the handle is disabled.
+pub fn observe_selection(
+    telemetry: &lunule_telemetry::Telemetry,
+    candidates: usize,
+    chosen: &[SubtreeChoice],
+) {
+    telemetry.histogram_record("selector.candidates_per_pairing", candidates as u64);
+    telemetry.counter_add("selector.subtrees_chosen", chosen.len() as u64);
+    let load: f64 = chosen.iter().map(|s| s.estimated_load).sum();
+    telemetry.counter_add("selector.load_selected", load.max(0.0) as u64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

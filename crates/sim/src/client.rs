@@ -59,6 +59,10 @@ pub struct Client {
     /// In-flight data window, bytes: the client stalls once `data_pending`
     /// exceeds this. Zero means every byte blocks immediately.
     pub data_window: u64,
+    /// Cached dirfrag entries evicted by the FIFO cap over the client's
+    /// lifetime — telemetry samples this to show when a run's working set
+    /// outgrows the client cache.
+    pub cache_evictions: u64,
 }
 
 impl Client {
@@ -80,6 +84,7 @@ impl Client {
             starts_at,
             cache_cap: CLIENT_CACHE_CAP,
             data_window: 0,
+            cache_evictions: 0,
         }
     }
 
@@ -212,6 +217,7 @@ impl Client {
                 Some(old) => {
                     if let Some(removed) = self.cache.remove(&old) {
                         self.cache_count -= removed.len();
+                        self.cache_evictions += removed.len() as u64;
                     }
                 }
                 None => break,
@@ -408,6 +414,7 @@ mod tests {
             "cap must bound the cache: {}",
             c.cache_len()
         );
+        assert!(c.cache_evictions > 0, "evictions must be counted");
         // The oldest entry was evicted: resolving it is a miss again.
         let (_, hit) = c.resolve(&ns, &map, dirs[0].0, dirs[0].1);
         assert!(!hit);

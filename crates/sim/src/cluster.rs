@@ -5,11 +5,13 @@ use crate::config::SimConfig;
 use crate::datapath::DataPath;
 use crate::latency::LatencyHistogram;
 use crate::mds::MdsState;
+use crate::migration::MigrationCounters;
 use crate::migration::Migrator;
 use crate::request::{MetaOp, OpStream};
 use crate::results::{EpochRecord, RunResult};
-use lunule_core::{imbalance_factor, Access, Balancer, EpochStats, OpKind};
+use lunule_core::{Access, Balancer, EpochStats, OpKind};
 use lunule_namespace::{MdsRank, Namespace, SubtreeMap};
+use lunule_telemetry::{Event, Telemetry};
 #[cfg(feature = "strict-invariants")]
 use lunule_verify::InvariantChecker;
 
@@ -34,6 +36,9 @@ pub struct Simulation {
     resident: Vec<u64>,
     tick: u64,
     epochs: Vec<EpochRecord>,
+    /// Shared handle every layer journals into (cloned from the config;
+    /// disabled by default, in which case each site is a single branch).
+    telemetry: Telemetry,
     /// Cross-layer invariant auditor (strict builds only): the cheap map
     /// checks run after every tick, the full battery — conservation, frag
     /// partitions, IF-model laws — at every epoch close. Any violation
@@ -53,8 +58,13 @@ impl Simulation {
         streams: Vec<Box<dyn OpStream>>,
     ) -> Self {
         cfg.validate();
+        let telemetry = cfg.telemetry.clone();
+        telemetry.emit(|| Event::RunStart {
+            n_mds: cfg.n_mds as u32,
+        });
         let mut map = SubtreeMap::new(MdsRank(0));
         balancer.setup(&ns, &mut map, cfg.n_mds);
+        balancer.attach_telemetry(telemetry.clone());
         let resident: Vec<u64> = map
             .inode_counts(&ns, cfg.n_mds)
             .into_iter()
@@ -70,6 +80,12 @@ impl Simulation {
                 c
             })
             .collect();
+        let mut migrator = Migrator::new(
+            cfg.migration_bw,
+            cfg.migration_freeze_secs,
+            cfg.migration_op_cost,
+        );
+        migrator.set_telemetry(telemetry.clone());
         Simulation {
             mds: (0..cfg.n_mds)
                 .map(|r| {
@@ -81,11 +97,7 @@ impl Simulation {
                     )
                 })
                 .collect(),
-            migrator: Migrator::new(
-                cfg.migration_bw,
-                cfg.migration_freeze_secs,
-                cfg.migration_op_cost,
-            ),
+            migrator,
             datapath: cfg.data_path.map(|dp| DataPath::new(dp.osd_bandwidth)),
             latency: LatencyHistogram::new(),
             resident,
@@ -95,6 +107,7 @@ impl Simulation {
             map,
             tick: 0,
             epochs: Vec::new(),
+            telemetry,
             #[cfg(feature = "strict-invariants")]
             checker: InvariantChecker::new(lunule_core::IfModelConfig {
                 mds_capacity: cfg.mds_capacity,
@@ -136,6 +149,24 @@ impl Simulation {
         self.checker
             .audit(&self.ns, &self.map, self.mds.len(), &frozen);
         self.checker.check_if_model(iops, &self.cfg.mds_capacities);
+        // Migration lifecycle ledger: started == committed + abandoned +
+        // in-flight, and — when a telemetry journal is kept — its event
+        // counts must agree with the engine's counters.
+        let c = self.migrator.counters();
+        let journal = self.telemetry.is_enabled().then(|| {
+            (
+                self.telemetry.count_kind("migration_start"),
+                self.telemetry.count_kind("migration_commit"),
+                self.telemetry.count_kind("migration_abandon"),
+            )
+        });
+        self.checker.check_migration_ledger(
+            c.started_jobs,
+            c.completed_jobs,
+            c.abandoned_jobs,
+            self.migrator.jobs().len() as u64,
+            journal,
+        );
         self.checker.assert_clean();
     }
 
@@ -161,8 +192,26 @@ impl Simulation {
 
     /// Adds one MDS rank to the cluster (Fig. 12a's expansion events).
     pub fn add_mds(&mut self) {
+        let rank = self.mds.len() as u32;
         self.mds.push(MdsState::new(self.cfg.mds_capacity));
         self.resident.push(0);
+        self.telemetry.emit(|| Event::MdsAdd { rank });
+    }
+
+    /// Resident (authoritative) inode count per rank.
+    pub fn resident_inodes(&self) -> &[u64] {
+        &self.resident
+    }
+
+    /// The migrator's lifecycle counters (started/committed/abandoned
+    /// ledger plus migrated-inode totals).
+    pub fn migration_counters(&self) -> MigrationCounters {
+        self.migrator.counters()
+    }
+
+    /// The telemetry handle this simulation journals into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Drains MDS `rank`: every subtree it is authoritative for fails over
@@ -183,7 +232,9 @@ impl Simulation {
         assert!(!survivors.is_empty(), "cannot drain the last MDS");
         self.migrator.abandon_jobs_touching(rank);
         // Fail the rank's explicit subtrees over to survivors round-robin.
-        for (i, key) in self.map.subtree_roots_of(rank).into_iter().enumerate() {
+        let roots = self.map.subtree_roots_of(rank);
+        let subtrees_failed_over = roots.len() as u64;
+        for (i, key) in roots.into_iter().enumerate() {
             self.map.set_authority(key, survivors[i % survivors.len()]);
         }
         // If the drained rank held the implicit root subtree, re-home the
@@ -210,6 +261,10 @@ impl Simulation {
             .into_iter()
             .map(|c| c as u64)
             .collect();
+        self.telemetry.emit(|| Event::MdsDrain {
+            rank: u32::from(rank.0),
+            subtrees_failed_over,
+        });
     }
 
     /// Adds clients mid-run; they start issuing on the next tick (Fig. 12b's
@@ -226,6 +281,8 @@ impl Simulation {
                 c.data_window = window;
                 c
             }));
+        let count = (self.clients.len() - base) as u64;
+        self.telemetry.emit(|| Event::ClientsAdd { count });
     }
 
     /// True once every client has drained its stream and data debt.
@@ -284,6 +341,10 @@ impl Simulation {
     /// One simulated second.
     fn step_tick(&mut self) {
         let tick = self.tick;
+        // Telemetry timestamps derive from the simulated clock, never wall
+        // time, so journals from same-seed runs are byte-identical.
+        self.telemetry.set_clock(tick);
+        self.telemetry.emit(|| Event::TickStart);
 
         // 1. Migration progress; transfer costs drain MDS budgets. A rank
         // whose resident metadata exceeds the memory limit thrashes its
@@ -449,6 +510,10 @@ impl Simulation {
         };
         let stall_ticks = client.consume_op(tick);
         self.latency.record(stall_ticks);
+        self.telemetry
+            .histogram_record("client.stall_ticks", stall_ticks);
+        self.telemetry
+            .counter_add_labeled("ops.served", u32::from(route.target.0), 1);
         client.learn_route(&self.ns, dir, hash, route.target);
         if self.datapath.is_some() && data_bytes > 0 {
             client.data_pending += data_bytes;
@@ -488,18 +553,12 @@ impl Simulation {
     /// Epoch boundary bookkeeping: record the epoch, consult the balancer,
     /// enqueue its plan.
     fn close_epoch(&mut self) {
+        let _span = self.telemetry.span("sim.close_epoch");
         let epoch = self.epochs.len() as u64;
         let epoch_secs = self.cfg.epoch_secs as f64;
         let requests: Vec<u64> = self.mds.iter().map(|m| m.epoch_requests()).collect();
-        let stats = EpochStats::new(epoch, epoch_secs, requests.clone());
-        let iops = stats.iops();
+        let stats = EpochStats::new(epoch, epoch_secs, requests);
         let record = EpochRecord {
-            epoch,
-            time_secs: self.tick,
-            per_mds_requests: requests,
-            total_iops: iops.iter().sum(),
-            imbalance_factor: imbalance_factor(&iops, self.cfg.mds_capacity),
-            per_mds_iops: iops,
             migrated_inodes_cum: self.migrator.counters().migrated_inodes,
             forwards_cum: self.mds.iter().map(|m| m.forwards_total).sum(),
             active_clients: self
@@ -509,7 +568,27 @@ impl Simulation {
                 .count(),
             inflight_migrations: self.migrator.jobs().len(),
             per_mds_resident_inodes: self.resident.clone(),
+            ..EpochRecord::from_stats(&stats, self.tick, self.cfg.mds_capacity)
         };
+        if self.telemetry.is_enabled() {
+            for (r, iops) in record.per_mds_iops.iter().enumerate() {
+                self.telemetry.gauge_set("mds.iops", r as u32, *iops);
+            }
+            for (r, res) in self.resident.iter().enumerate() {
+                self.telemetry
+                    .gauge_set("mds.resident_inodes", r as u32, *res as f64);
+            }
+            for (r, m) in self.mds.iter().enumerate() {
+                self.telemetry
+                    .gauge_set("mds.utilisation", r as u32, m.utilisation());
+            }
+            self.telemetry
+                .gauge_set("clients.active", 0, record.active_clients as f64);
+            let evictions: u64 = self.clients.iter().map(|c| c.cache_evictions).sum();
+            self.telemetry
+                .gauge_set("clients.cache_evictions", 0, evictions as f64);
+        }
+        let (record_if, record_iops) = (record.imbalance_factor, record.total_iops);
         self.epochs.push(record);
 
         let mut plan = self.balancer.on_epoch(&self.ns, &self.map, &stats);
@@ -524,9 +603,17 @@ impl Simulation {
             };
             alive(t.from) && alive(t.to)
         });
+        let plan_subtrees = plan.subtree_count() as u64;
         if !plan.is_empty() {
-            self.migrator.enqueue_plan(&mut self.ns, &self.map, &plan);
+            self.migrator
+                .enqueue_plan(&mut self.ns, &self.map, &plan, self.tick);
         }
+        self.telemetry.emit(|| Event::EpochClose {
+            epoch,
+            imbalance_factor: record_if,
+            total_iops: record_iops,
+            plan_subtrees,
+        });
         for m in &mut self.mds {
             m.reset_epoch();
         }
@@ -572,6 +659,7 @@ mod tests {
             memory_thrash_factor: 0.25,
             data_path: None,
             seed: 1,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -705,6 +793,162 @@ mod tests {
         assert!(
             jct_data > jct_meta,
             "data path must lengthen JCT: {jct_meta} vs {jct_data}"
+        );
+    }
+
+    /// Plans one export of `dir` (whole) from rank 0 to `to` at the first
+    /// epoch close, then goes quiet — a deterministic way to get exactly
+    /// one migration in flight for the drain-failover tests.
+    struct PlanOnce {
+        dir: InodeId,
+        to: MdsRank,
+        planned: bool,
+    }
+
+    impl Balancer for PlanOnce {
+        fn name(&self) -> &'static str {
+            "plan-once"
+        }
+        fn record_access(&mut self, _ns: &Namespace, _access: Access) {}
+        fn on_epoch(
+            &mut self,
+            _ns: &Namespace,
+            _map: &SubtreeMap,
+            _stats: &EpochStats,
+        ) -> lunule_core::MigrationPlan {
+            if self.planned {
+                return lunule_core::MigrationPlan::default();
+            }
+            self.planned = true;
+            lunule_core::MigrationPlan {
+                exports: vec![lunule_core::ExportTask {
+                    from: MdsRank(0),
+                    to: self.to,
+                    target_amount: 1e9,
+                    subtrees: vec![lunule_core::SubtreeChoice {
+                        subtree: lunule_namespace::FragKey::whole(self.dir),
+                        estimated_load: 1e9,
+                    }],
+                }],
+            }
+        }
+    }
+
+    /// Builds a 3-rank cluster with one slow migration (100 inodes at 5
+    /// inodes/sec) planned at the first epoch close, runs it until the
+    /// transfer is mid-flight, and returns the simulation plus the hot
+    /// directory being exported.
+    fn mid_migration_sim() -> (Simulation, InodeId) {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "d").unwrap();
+        let ids: Vec<InodeId> = (0..100)
+            .map(|i| ns.create_file(d, &format!("f{i}"), 4).unwrap())
+            .collect();
+        let cfg = SimConfig {
+            n_mds: 3,
+            epoch_secs: 2,
+            duration_secs: 60,
+            stop_when_done: false,
+            migration_bw: 5.0,
+            telemetry: lunule_telemetry::Telemetry::enabled(),
+            ..tiny_cfg()
+        };
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids))];
+        let balancer = Box::new(PlanOnce {
+            dir: d,
+            to: MdsRank(1),
+            planned: false,
+        });
+        let mut sim = Simulation::new(cfg, ns, balancer, streams);
+        sim.run_until(6);
+        let c = sim.migration_counters();
+        assert_eq!(c.started_jobs, 1, "exactly one job must have started");
+        assert_eq!(c.completed_jobs, 0, "5 in/s x 100 inodes is still moving");
+        assert_eq!(c.abandoned_jobs, 0);
+        (sim, d)
+    }
+
+    #[test]
+    fn drain_importer_mid_migration_abandons_and_reconciles() {
+        let (mut sim, d) = mid_migration_sim();
+        sim.drain_mds(MdsRank(1));
+
+        // The in-flight job touching the importer was abandoned, and the
+        // conservation ledger still balances: 1 started = 0 + 1 + 0.
+        let c = sim.migration_counters();
+        assert_eq!(c.abandoned_jobs, 1);
+        assert_eq!(c.completed_jobs, 0);
+        assert_eq!(
+            c.started_jobs,
+            c.completed_jobs + c.abandoned_jobs,
+            "no job may be in flight after the drain"
+        );
+
+        // Authority never resolves to the drained rank.
+        assert_ne!(sim.subtree_map().authority(sim.namespace(), d), MdsRank(1));
+        for (key, rank) in sim.subtree_map().all_entries() {
+            assert_ne!(rank, MdsRank(1), "entry ({key:?}) on the drained rank");
+        }
+
+        // Residency was recounted against the rewritten map.
+        let expect: Vec<u64> = sim
+            .subtree_map()
+            .inode_counts(sim.namespace(), sim.n_mds())
+            .into_iter()
+            .map(|c| c as u64)
+            .collect();
+        assert_eq!(sim.resident_inodes(), expect.as_slice());
+        assert_eq!(sim.resident_inodes()[1], 0);
+
+        // The journal narrates the same story as the counters.
+        let tel = sim.telemetry().clone();
+        assert_eq!(tel.count_kind("migration_start"), 1);
+        assert_eq!(tel.count_kind("migration_abandon"), 1);
+        assert_eq!(tel.count_kind("migration_commit"), 0);
+        assert_eq!(tel.count_kind("mds_drain"), 1);
+
+        // The cluster keeps serving on the survivors.
+        sim.run_until(20);
+        let result = sim.finish();
+        assert!(result.total_ops > 0);
+        assert_eq!(result.per_mds_requests_total[1], 0, "dead rank serves none");
+    }
+
+    #[test]
+    fn drain_exporter_mid_migration_rehomes_root() {
+        let (mut sim, d) = mid_migration_sim();
+        // Rank 0 is both the exporter and the implicit root authority.
+        sim.drain_mds(MdsRank(0));
+
+        let c = sim.migration_counters();
+        assert_eq!(c.abandoned_jobs, 1);
+        assert_eq!(c.started_jobs, c.completed_jobs + c.abandoned_jobs);
+
+        // The namespace below `/` was re-homed by planting an explicit root
+        // entry on a survivor; every op anchor now resolves off rank 0.
+        assert_ne!(sim.subtree_map().authority(sim.namespace(), d), MdsRank(0));
+        for (_, rank) in sim.subtree_map().all_entries() {
+            assert_ne!(rank, MdsRank(0));
+        }
+        let expect: Vec<u64> = sim
+            .subtree_map()
+            .inode_counts(sim.namespace(), sim.n_mds())
+            .into_iter()
+            .map(|c| c as u64)
+            .collect();
+        assert_eq!(sim.resident_inodes(), expect.as_slice());
+        assert!(
+            sim.resident_inodes()[0] <= 1,
+            "at most the root inode itself may still count against rank 0"
+        );
+
+        // Survivors finish the workload.
+        sim.run_until(60);
+        let result = sim.finish();
+        assert!(result.client_completion_secs[0].is_some());
+        assert!(
+            result.per_mds_requests_total[0] > 0,
+            "rank 0 served before it was drained"
         );
     }
 

@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use lunule_telemetry::Telemetry;
+
 /// Configuration of the data path (OSD cluster) model, used by the
 /// end-to-end experiments (Fig. 8). When absent, runs are metadata-only,
 /// matching the paper's default measurement mode.
@@ -104,6 +106,12 @@ pub struct SimConfig {
     pub data_path: Option<DataPathConfig>,
     /// Master seed; all stochastic components derive from it.
     pub seed: u64,
+    /// Telemetry handle the simulation (and its balancer/migrator) records
+    /// into. Defaults to [`Telemetry::disabled`], which keeps the hot path
+    /// to a single branch per instrumentation site. Deliberately excluded
+    /// from the JSON round-trip: a handle is run state, not configuration
+    /// data, so parsed configs always come back disabled.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SimConfig {
@@ -124,6 +132,7 @@ impl Default for SimConfig {
             memory_thrash_factor: 0.25,
             data_path: None,
             seed: 0xC0FFEE,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -201,5 +210,19 @@ mod tests {
         let partial = SimConfig::from_json(&Json::parse(r#"{"n_mds": 3}"#).unwrap()).unwrap();
         assert_eq!(partial.n_mds, 3);
         assert_eq!(partial.epoch_secs, SimConfig::default().epoch_secs);
+    }
+
+    #[test]
+    fn telemetry_defaults_disabled_and_stays_out_of_json() {
+        use lunule_util::{FromJson, Json, ToJson};
+        assert!(!SimConfig::default().telemetry.is_enabled());
+        let cfg = SimConfig {
+            telemetry: Telemetry::enabled(),
+            ..SimConfig::default()
+        };
+        let json = cfg.to_json().to_string_compact();
+        assert!(!json.contains("telemetry"), "handle must not serialise");
+        let back = SimConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert!(!back.telemetry.is_enabled(), "parsed configs are disabled");
     }
 }

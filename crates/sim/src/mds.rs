@@ -85,6 +85,17 @@ impl MdsState {
         self.served_epoch = 0;
         self.forwards_epoch = 0;
     }
+
+    /// Fraction of this tick's budget already consumed, in `[0, 1]` — the
+    /// per-tick utilisation gauge telemetry samples. A drained rank
+    /// (capacity 0) reads as fully utilised: it can serve nothing.
+    pub fn utilisation(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            1.0
+        } else {
+            (1.0 - self.budget / self.capacity).clamp(0.0, 1.0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +118,18 @@ mod tests {
         m.drain(5.0);
         assert_eq!(m.budget, 0.0);
         assert!(!m.try_consume(0.1));
+    }
+
+    #[test]
+    fn utilisation_tracks_budget() {
+        let mut m = MdsState::new(10.0);
+        assert_eq!(m.utilisation(), 0.0);
+        assert!(m.try_consume(5.0));
+        assert!((m.utilisation() - 0.5).abs() < 1e-12);
+        m.drain(100.0);
+        assert_eq!(m.utilisation(), 1.0);
+        m.capacity = 0.0;
+        assert_eq!(m.utilisation(), 1.0, "dead rank reads fully utilised");
     }
 
     #[test]

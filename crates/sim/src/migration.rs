@@ -11,6 +11,7 @@
 
 use lunule_core::{subtrees_overlap, MigrationPlan};
 use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
+use lunule_telemetry::{Event, Telemetry};
 
 /// Phase of one in-flight migration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +35,8 @@ pub struct MigrationJob {
     pub total_inodes: u64,
     /// Inodes shipped so far.
     pub moved: u64,
+    /// Tick the job was enqueued at (for commit-latency telemetry).
+    pub started_at: u64,
     phase: Phase,
 }
 
@@ -55,6 +58,12 @@ pub struct MigrationCounters {
     /// Subtree choices dropped because the exporter no longer owned them or
     /// they overlapped an in-flight job.
     pub rejected_choices: u64,
+    /// Jobs accepted into the transfer pipeline, cumulative. The ledger law
+    /// `started == completed + abandoned + in-flight` holds at all times
+    /// and is audited by the invariant checker under `strict-invariants`.
+    pub started_jobs: u64,
+    /// Jobs dropped mid-flight (endpoint drained/failed), cumulative.
+    pub abandoned_jobs: u64,
 }
 
 /// The migration engine.
@@ -68,6 +77,8 @@ pub struct Migrator {
     /// Jobs whose authority flipped during the last `step` call — consumed
     /// by the simulator for client cap transfer and resident accounting.
     completed_last_step: Vec<MigrationJob>,
+    /// Journal for migration lifecycle events; disabled by default.
+    telemetry: Telemetry,
 }
 
 impl Migrator {
@@ -81,7 +92,13 @@ impl Migrator {
             op_cost_per_inode,
             counters: MigrationCounters::default(),
             completed_last_step: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches the telemetry handle migration lifecycle events flow into.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Jobs whose authority flipped during the most recent
@@ -105,14 +122,40 @@ impl Migrator {
     /// rejected choices, not migrations.
     pub fn abandon_jobs_touching(&mut self, rank: MdsRank) {
         let before = self.jobs.len();
-        self.jobs.retain(|j| j.from != rank && j.to != rank);
-        self.counters.rejected_choices += (before - self.jobs.len()) as u64;
+        let mut dropped = Vec::new();
+        self.jobs.retain(|j| {
+            let keep = j.from != rank && j.to != rank;
+            if !keep {
+                dropped.push((j.from, j.to, j.subtree.dir, j.moved));
+            }
+            keep
+        });
+        let n_dropped = (before - self.jobs.len()) as u64;
+        self.counters.rejected_choices += n_dropped;
+        self.counters.abandoned_jobs += n_dropped;
+        if n_dropped > 0 {
+            self.telemetry.counter_add("migration.abandoned", n_dropped);
+        }
+        for (from, to, dir, moved) in dropped {
+            self.telemetry.emit(|| Event::MigrationAbandon {
+                from: u32::from(from.0),
+                to: u32::from(to.0),
+                dir: dir.raw(),
+                moved,
+            });
+        }
     }
 
-    /// Accepts a plan, splitting namespace fragments where the selector
-    /// chose a sub-fragment, and rejecting choices that are stale (exporter
-    /// no longer authoritative) or overlap an active job.
-    pub fn enqueue_plan(&mut self, ns: &mut Namespace, map: &SubtreeMap, plan: &MigrationPlan) {
+    /// Accepts a plan at tick `tick`, splitting namespace fragments where
+    /// the selector chose a sub-fragment, and rejecting choices that are
+    /// stale (exporter no longer authoritative) or overlap an active job.
+    pub fn enqueue_plan(
+        &mut self,
+        ns: &mut Namespace,
+        map: &SubtreeMap,
+        plan: &MigrationPlan,
+        tick: u64,
+    ) {
         for task in &plan.exports {
             for choice in &task.subtrees {
                 let key = choice.subtree;
@@ -130,7 +173,7 @@ impl Migrator {
                 }
                 // Materialise the chosen fragment in the directory's live
                 // frag set if the selector split below it.
-                if !ensure_frag_live(ns, key) {
+                if !ensure_frag_live(ns, key, &self.telemetry) {
                     self.counters.rejected_choices += 1;
                     continue;
                 }
@@ -139,12 +182,23 @@ impl Migrator {
                     self.counters.rejected_choices += 1;
                     continue;
                 }
+                self.counters.started_jobs += 1;
+                self.telemetry.counter_add("migration.started", 1);
+                self.telemetry.emit(|| Event::MigrationStart {
+                    from: u32::from(task.from.0),
+                    to: u32::from(task.to.0),
+                    dir: key.dir.raw(),
+                    frag_value: key.frag.value(),
+                    frag_bits: u32::from(key.frag.bits()),
+                    inodes: total_inodes,
+                });
                 self.jobs.push(MigrationJob {
                     from: task.from,
                     to: task.to,
                     subtree: key,
                     total_inodes,
                     moved: 0,
+                    started_at: tick,
                     phase: Phase::Transferring,
                 });
             }
@@ -199,6 +253,17 @@ impl Migrator {
                         map.set_authority(job.subtree, job.to);
                         self.counters.migrated_inodes += job.total_inodes;
                         self.counters.completed_jobs += 1;
+                        let duration_ticks = tick.saturating_sub(job.started_at);
+                        self.telemetry.counter_add("migration.committed", 1);
+                        self.telemetry
+                            .histogram_record("migration.duration_ticks", duration_ticks);
+                        self.telemetry.emit(|| Event::MigrationCommit {
+                            from: u32::from(job.from.0),
+                            to: u32::from(job.to.0),
+                            dir: job.subtree.dir.raw(),
+                            inodes: job.total_inodes,
+                            duration_ticks,
+                        });
                         self.completed_last_step.push(job.clone());
                         job.moved = u64::MAX; // mark for sweep
                     }
@@ -238,7 +303,7 @@ impl Migrator {
 /// Splits `key.dir`'s live fragment set until `key.frag` is live. Returns
 /// false when `key.frag` is *shallower* than the live fragmentation (cannot
 /// be represented without a merge) — callers treat that as a stale choice.
-fn ensure_frag_live(ns: &mut Namespace, key: FragKey) -> bool {
+fn ensure_frag_live(ns: &mut Namespace, key: FragKey, telemetry: &Telemetry) -> bool {
     loop {
         let frags = ns.frags_of(key.dir);
         if frags.contains(&key.frag) {
@@ -253,6 +318,11 @@ fn ensure_frag_live(ns: &mut Namespace, key: FragKey) -> bool {
                 if ns.split_frag(key.dir, &parent, 1).is_err() {
                     return false;
                 }
+                telemetry.emit(|| Event::FragSplit {
+                    dir: key.dir.raw(),
+                    value: parent.value(),
+                    bits: u32::from(parent.bits()),
+                });
             }
             None => return false,
         }
@@ -293,7 +363,7 @@ mod tests {
         let (mut ns, mut map, d) = fixture();
         // 100 inodes at 30 inodes/sec -> 4 ticks transfer + 1 freeze.
         let mut mig = Migrator::new(30.0, 1, 0.0);
-        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1), 0);
         assert_eq!(mig.jobs().len(), 1);
         let mut flipped_at = None;
         for tick in 0..10u64 {
@@ -314,7 +384,7 @@ mod tests {
         let (mut ns, map, d) = fixture();
         let mut mig = Migrator::new(1e9, 0, 0.0);
         // Exporter 1 does not own the subtree (rank 0 does).
-        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 1, 2));
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 1, 2), 0);
         assert!(mig.jobs().is_empty());
         assert_eq!(mig.counters().rejected_choices, 1);
     }
@@ -323,8 +393,8 @@ mod tests {
     fn overlapping_choice_rejected() {
         let (mut ns, map, d) = fixture();
         let mut mig = Migrator::new(1.0, 1, 0.0);
-        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
-        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 2));
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1), 0);
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 2), 0);
         assert_eq!(mig.jobs().len(), 1);
         assert_eq!(mig.counters().rejected_choices, 1);
     }
@@ -345,7 +415,7 @@ mod tests {
             }],
         };
         let mut mig = Migrator::new(1e9, 0, 0.0);
-        mig.enqueue_plan(&mut ns, &map, &plan);
+        mig.enqueue_plan(&mut ns, &map, &plan, 0);
         assert_eq!(mig.jobs().len(), 1);
         assert_eq!(ns.frags_of(d).len(), 2, "live set must have split");
         let job = &mig.jobs()[0];
@@ -357,7 +427,7 @@ mod tests {
         let (mut ns, mut map, d) = fixture();
         let f0 = ns.inode(d).children()[0];
         let mut mig = Migrator::new(1e9, 5, 0.0);
-        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1), 0);
         // Tick 0: whole transfer completes, enters commit until tick 5.
         mig.step(&ns, &mut map, 0);
         assert!(mig.is_frozen(&ns, f0));
@@ -374,7 +444,7 @@ mod tests {
     fn migration_charges_both_endpoints() {
         let (mut ns, mut map, d) = fixture();
         let mut mig = Migrator::new(50.0, 1, 0.1);
-        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1), 0);
         let charges = mig.step(&ns, &mut map, 0);
         assert_eq!(charges.len(), 2);
         let total: f64 = charges.iter().map(|(_, c)| c).sum();
@@ -389,7 +459,7 @@ mod tests {
         let d = ns.mkdir(InodeId::ROOT, "empty").unwrap();
         let map = SubtreeMap::new(MdsRank(0));
         let mut mig = Migrator::new(1.0, 0, 0.0);
-        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1));
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1), 0);
         assert!(mig.jobs().is_empty());
     }
 }

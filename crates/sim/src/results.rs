@@ -1,6 +1,7 @@
 //! Run results: the per-epoch series every experiment binary plots.
 
 use crate::latency::LatencyHistogram;
+use lunule_core::EpochStats;
 
 /// One epoch's worth of observed cluster behaviour.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -56,6 +57,42 @@ pub struct RunResult {
     pub latency: LatencyHistogram,
 }
 
+impl EpochRecord {
+    /// Builds the stats-derived half of a record from an epoch's load
+    /// vector, routing IOPS and imbalance-factor math through
+    /// `lunule-core` (the single authoritative implementation of Eq. 3)
+    /// instead of recomputing it here. The cluster-state fields
+    /// (migration counters, residency, clients) stay at their defaults
+    /// for the caller to fill in.
+    pub fn from_stats(stats: &EpochStats, time_secs: u64, mds_capacity: f64) -> Self {
+        let iops = stats.iops();
+        EpochRecord {
+            epoch: stats.epoch,
+            time_secs,
+            per_mds_requests: stats.requests.clone(),
+            total_iops: stats.total_iops(),
+            imbalance_factor: lunule_core::imbalance_factor(&iops, mds_capacity),
+            per_mds_iops: iops,
+            ..EpochRecord::default()
+        }
+    }
+}
+
+/// Mean of `value` over epochs that saw any load — idle warm-up/tail
+/// epochs would otherwise drag every run-level average toward zero.
+fn mean_over_active(epochs: &[EpochRecord], value: impl Fn(&EpochRecord) -> f64) -> f64 {
+    let active: Vec<f64> = epochs
+        .iter()
+        .filter(|e| e.total_iops > 0.0)
+        .map(value)
+        .collect();
+    if active.is_empty() {
+        0.0
+    } else {
+        active.iter().sum::<f64>() / active.len() as f64
+    }
+}
+
 lunule_util::impl_json_struct!(EpochRecord {
     epoch,
     time_secs,
@@ -86,17 +123,7 @@ lunule_util::impl_json_struct!(RunResult {
 impl RunResult {
     /// Mean imbalance factor across epochs with any load.
     pub fn mean_if(&self) -> f64 {
-        let active: Vec<f64> = self
-            .epochs
-            .iter()
-            .filter(|e| e.total_iops > 0.0)
-            .map(|e| e.imbalance_factor)
-            .collect();
-        if active.is_empty() {
-            0.0
-        } else {
-            active.iter().sum::<f64>() / active.len() as f64
-        }
+        mean_over_active(&self.epochs, |e| e.imbalance_factor)
     }
 
     /// Peak aggregate IOPS over the run.
@@ -106,17 +133,7 @@ impl RunResult {
 
     /// Mean aggregate IOPS over epochs with any load.
     pub fn mean_iops(&self) -> f64 {
-        let active: Vec<f64> = self
-            .epochs
-            .iter()
-            .filter(|e| e.total_iops > 0.0)
-            .map(|e| e.total_iops)
-            .collect();
-        if active.is_empty() {
-            0.0
-        } else {
-            active.iter().sum::<f64>() / active.len() as f64
-        }
+        mean_over_active(&self.epochs, |e| e.total_iops)
     }
 
     /// Completion-time percentile (0.0–1.0) over *finished* clients, or
@@ -175,6 +192,22 @@ mod tests {
             inflight_migrations: 0,
             per_mds_resident_inodes: Vec::new(),
         }
+    }
+
+    #[test]
+    fn from_stats_matches_core_math() {
+        let stats = EpochStats::new(3, 10.0, vec![900, 100]);
+        let rec = EpochRecord::from_stats(&stats, 40, 100.0);
+        assert_eq!(rec.epoch, 3);
+        assert_eq!(rec.time_secs, 40);
+        assert_eq!(rec.per_mds_requests, vec![900, 100]);
+        assert!((rec.total_iops - 100.0).abs() < 1e-9);
+        assert_eq!(rec.per_mds_iops, vec![90.0, 10.0]);
+        let expect = lunule_core::imbalance_factor(&[90.0, 10.0], 100.0);
+        assert_eq!(rec.imbalance_factor, expect);
+        // Cluster-state fields stay at defaults for the caller.
+        assert_eq!(rec.migrated_inodes_cum, 0);
+        assert_eq!(rec.active_clients, 0);
     }
 
     #[test]

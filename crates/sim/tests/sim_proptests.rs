@@ -50,7 +50,7 @@ fn migrations_conserve_authority() {
                     }],
                 }],
             };
-            mig.enqueue_plan(&mut ns, &map, &plan);
+            mig.enqueue_plan(&mut ns, &map, &plan, 0);
             // Advance a few ticks so some jobs finish mid-sequence; audit
             // conservation and frozen-subtree stability at every step.
             for _ in 0..3 {

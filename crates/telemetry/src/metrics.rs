@@ -1,0 +1,330 @@
+//! Counters, gauges, and fixed-bucket histograms.
+//!
+//! All metric storage is keyed by `(&'static str name, u32 label)` inside
+//! `BTreeMap`s, so iteration order — and therefore every export — is
+//! deterministic regardless of emission order. The label is a small integer
+//! dimension, in practice an MDS rank; single-valued metrics use label 0.
+//!
+//! Histograms use power-of-two buckets ([`FixedHistogram`]): cheap to
+//! record into (a leading-zeros computation, no allocation after the first
+//! touch) and good enough to read p50/p95/p99 off, which is what the
+//! latency-style distributions here need.
+
+use std::collections::BTreeMap;
+
+/// Number of buckets in a [`FixedHistogram`]: bucket 0 holds zeros, bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`, and the last bucket absorbs
+/// everything at or above `2^(BUCKETS-2)`.
+pub const BUCKETS: usize = 32;
+
+/// A fixed-size power-of-two-bucket histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FixedHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for FixedHistogram {
+    fn default() -> Self {
+        FixedHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl FixedHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value falls into.
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            let idx = 64 - value.leading_zeros() as usize;
+            idx.min(BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of values a bucket can hold, used as the
+    /// reported quantile value for samples landing in it.
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else if idx >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`). Returns 0 for an empty histogram. The true `max`
+    /// caps the answer so a single-bucket distribution reads exactly.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; ceil keeps q=1.0 at count.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Deterministic storage for all three metric kinds.
+///
+/// Counters are monotonic cumulative totals; gauges are `(tick, value)`
+/// time series sampled by the emitter; histograms aggregate `u64` samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(&'static str, u32), u64>,
+    gauges: BTreeMap<(&'static str, u32), Vec<(u64, f64)>>,
+    histograms: BTreeMap<&'static str, FixedHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `(name, label)`.
+    pub fn counter_add(&mut self, name: &'static str, label: u32, delta: u64) {
+        *self.counters.entry((name, label)).or_insert(0) += delta;
+    }
+
+    /// Current value of one labelled counter (0 when never touched).
+    pub fn counter_get(&self, name: &str, label: u32) -> u64 {
+        self.counters
+            .iter()
+            .find(|((n, l), _)| *n == name && *l == label)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter across all labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Appends one `(tick, value)` sample to the gauge `(name, label)`.
+    pub fn gauge_set(&mut self, name: &'static str, label: u32, tick: u64, value: f64) {
+        self.gauges
+            .entry((name, label))
+            .or_default()
+            .push((tick, value));
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn histogram_record(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&FixedHistogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| **n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// All counters in deterministic `(name, label)` order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u32, u64)> + '_ {
+        self.counters.iter().map(|(&(n, l), &v)| (n, l, v))
+    }
+
+    /// All gauge series in deterministic `(name, label)` order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u32, &[(u64, f64)])> + '_ {
+        self.gauges.iter().map(|(&(n, l), v)| (n, l, v.as_slice()))
+    }
+
+    /// All histograms in deterministic name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &FixedHistogram)> + '_ {
+        self.histograms.iter().map(|(&n, h)| (n, h))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(FixedHistogram::bucket_of(0), 0);
+        assert_eq!(FixedHistogram::bucket_of(1), 1);
+        assert_eq!(FixedHistogram::bucket_of(2), 2);
+        assert_eq!(FixedHistogram::bucket_of(3), 2);
+        assert_eq!(FixedHistogram::bucket_of(4), 3);
+        assert_eq!(FixedHistogram::bucket_of(1023), 10);
+        assert_eq!(FixedHistogram::bucket_of(1024), 11);
+        assert_eq!(FixedHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_samples() {
+        let mut h = FixedHistogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 4950);
+        assert_eq!(h.max(), 99);
+        // p50 of 0..100 lands in bucket [32,64) → upper bound 63.
+        assert_eq!(h.p50(), 63);
+        // p95 and p99 land in the top occupied bucket, capped by max.
+        assert_eq!(h.p95(), 99);
+        assert_eq!(h.p99(), 99);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = FixedHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn all_zero_samples_stay_in_bucket_zero() {
+        let mut h = FixedHistogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = FixedHistogram::new();
+        let mut b = FixedHistogram::new();
+        a.record(5);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), 1005);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn counters_aggregate_by_label() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("ops", 0, 3);
+        m.counter_add("ops", 1, 4);
+        m.counter_add("ops", 0, 1);
+        assert_eq!(m.counter_get("ops", 0), 4);
+        assert_eq!(m.counter_get("ops", 1), 4);
+        assert_eq!(m.counter_get("ops", 9), 0);
+        assert_eq!(m.counter_total("ops"), 8);
+        assert_eq!(m.counter_total("other"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_a_time_series_per_label() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("util", 1, 10, 0.5);
+        m.gauge_set("util", 0, 10, 0.25);
+        m.gauge_set("util", 1, 20, 0.75);
+        let series: Vec<_> = m.gauges().collect();
+        // BTreeMap order: label 0 before label 1.
+        assert_eq!(series[0], ("util", 0, &[(10u64, 0.25f64)][..]));
+        assert_eq!(series[1], ("util", 1, &[(10, 0.5), (20, 0.75)][..]));
+    }
+
+    #[test]
+    fn iteration_order_is_independent_of_insertion_order() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("zeta", 0, 1);
+        a.counter_add("alpha", 0, 1);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("alpha", 0, 1);
+        b.counter_add("zeta", 0, 1);
+        let ka: Vec<_> = a.counters().map(|(n, l, _)| (n, l)).collect();
+        let kb: Vec<_> = b.counters().map(|(n, l, _)| (n, l)).collect();
+        assert_eq!(ka, kb);
+        assert_eq!(ka, vec![("alpha", 0), ("zeta", 0)]);
+    }
+}

@@ -259,6 +259,43 @@ impl InvariantChecker {
         self.violations.len() - before
     }
 
+    /// Migration-lifecycle ledger: every job the migrator ever accepted is
+    /// accounted for exactly once — `started == committed + abandoned +
+    /// in_flight`. When an event journal is kept, its per-kind counts
+    /// (`start`, `commit`, `abandon`) must agree with the counters, so the
+    /// telemetry stream cannot silently drift from the engine it narrates.
+    /// Run per epoch under `strict-invariants`.
+    pub fn check_migration_ledger(
+        &mut self,
+        started: u64,
+        committed: u64,
+        abandoned: u64,
+        in_flight: u64,
+        journal: Option<(u64, u64, u64)>,
+    ) -> usize {
+        let before = self.violations.len();
+        if started != committed + abandoned + in_flight {
+            self.record(
+                InvariantKind::MigrationLedger,
+                format!(
+                    "started {started} != committed {committed} + abandoned {abandoned} + in-flight {in_flight}"
+                ),
+            );
+        }
+        if let Some((ev_start, ev_commit, ev_abandon)) = journal {
+            if ev_start != started || ev_commit != committed || ev_abandon != abandoned {
+                self.record(
+                    InvariantKind::MigrationLedger,
+                    format!(
+                        "event journal (start {ev_start}, commit {ev_commit}, abandon {ev_abandon}) \
+                         disagrees with counters (started {started}, committed {committed}, abandoned {abandoned})"
+                    ),
+                );
+            }
+        }
+        self.violations.len() - before
+    }
+
     /// The full battery: map well-formedness, fragment partitions,
     /// conservation, and frozen-subtree stability in one call.
     pub fn audit(
@@ -432,6 +469,38 @@ mod tests {
         let mut checker = InvariantChecker::default();
         assert_eq!(checker.check_if_model(&[f64::NAN, 1.0, 2.0], &[]), 1);
         assert_eq!(kinds(&checker), vec![InvariantKind::IfModel]);
+    }
+
+    #[test]
+    fn migration_ledger_reconciles() {
+        let mut checker = InvariantChecker::default();
+        // 5 started = 3 committed + 1 abandoned + 1 in flight; journal agrees.
+        assert_eq!(
+            checker.check_migration_ledger(5, 3, 1, 1, Some((5, 3, 1))),
+            0
+        );
+        // Journal is optional.
+        assert_eq!(checker.check_migration_ledger(5, 3, 1, 1, None), 0);
+        checker.assert_clean();
+    }
+
+    #[test]
+    fn migration_ledger_leak_detected() {
+        let mut checker = InvariantChecker::default();
+        // A job vanished: started 5, but only 4 accounted for.
+        assert_eq!(checker.check_migration_ledger(5, 3, 1, 0, None), 1);
+        assert_eq!(kinds(&checker), vec![InvariantKind::MigrationLedger]);
+    }
+
+    #[test]
+    fn migration_journal_drift_detected() {
+        let mut checker = InvariantChecker::default();
+        // Counters balance, but the event journal missed a commit.
+        assert_eq!(
+            checker.check_migration_ledger(5, 3, 1, 1, Some((5, 2, 1))),
+            1
+        );
+        assert_eq!(kinds(&checker), vec![InvariantKind::MigrationLedger]);
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum InvariantKind {
     FrozenAuthorityChanged,
     /// An IF-model output escaped `[0, 1]` or violated a model law.
     IfModel,
+    /// The migration lifecycle ledger failed to reconcile: started jobs
+    /// must equal committed + abandoned + in-flight, and the telemetry
+    /// journal (when kept) must agree with the counters.
+    MigrationLedger,
 }
 
 /// One observed violation: the invariant that broke plus the offending

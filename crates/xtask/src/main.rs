@@ -10,6 +10,8 @@
 //! - no `unsafe` anywhere (belt to the `#![forbid(unsafe_code)]` braces);
 //! - no direct `==` / `!=` against floating-point literals (use epsilon
 //!   comparisons or bit-pattern equality);
+//! - no `println!` / `eprintln!` in library code — observability goes
+//!   through `lunule-telemetry`, and stdout belongs to the bench binaries;
 //! - every library crate root must carry `#![forbid(unsafe_code)]` and
 //!   `#![warn(missing_docs)]`.
 //!
@@ -30,7 +32,15 @@ use std::process::ExitCode;
 /// Library crates the lint pass covers (binaries and the bench harness are
 /// exempt: aborting on a broken experiment config is the right behavior
 /// there).
-const LIB_CRATES: &[&str] = &["namespace", "core", "sim", "util", "workloads", "verify"];
+const LIB_CRATES: &[&str] = &[
+    "namespace",
+    "core",
+    "sim",
+    "util",
+    "workloads",
+    "verify",
+    "telemetry",
+];
 
 /// Identifier of one lint rule, used in reports and allowlist entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +55,10 @@ enum Check {
     Unsafe,
     /// `==` / `!=` against a floating-point literal.
     FloatEq,
+    /// `println!` in library code (stdout belongs to the binaries).
+    Println,
+    /// `eprintln!` in library code (report through typed errors instead).
+    Eprintln,
     /// Crate root missing `#![warn(missing_docs)]`.
     MissingDocsLint,
     /// Crate root missing `#![forbid(unsafe_code)]`.
@@ -60,6 +74,8 @@ impl Check {
             Check::Panic => "panic",
             Check::Unsafe => "unsafe",
             Check::FloatEq => "float-eq",
+            Check::Println => "println",
+            Check::Eprintln => "eprintln",
             Check::MissingDocsLint => "missing-docs-lint",
             Check::MissingForbidUnsafe => "missing-forbid-unsafe",
         }
@@ -267,6 +283,13 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
         }
         if has_float_eq(line) {
             hit(Check::FloatEq);
+        }
+        // `has_word` keeps `println` from matching inside `eprintln`.
+        if has_word(line, "println") {
+            hit(Check::Println);
+        }
+        if has_word(line, "eprintln") {
+            hit(Check::Eprintln);
         }
     }
     findings
@@ -628,6 +651,22 @@ mod tests {
         assert!(!has_float_eq("if x <= 1.0 {"));
         assert!(!has_float_eq("if x.to_bits() == y.to_bits() {"));
         assert!(!has_float_eq("match x { 1 => 2.0, _ => 3.0 }"));
+    }
+
+    #[test]
+    fn println_and_eprintln_are_flagged_separately() {
+        let src = "fn f() {\n    println!(\"to stdout\");\n    eprintln!(\"to stderr\");\n}\n";
+        let findings = scan_source("lib.rs", src);
+        let checks: Vec<Check> = findings.iter().map(|f| f.check).collect();
+        assert_eq!(checks, vec![Check::Println, Check::Eprintln]);
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn prints_in_tests_comments_and_strings_are_exempt() {
+        let src = "//! println!(\"doc\")\nfn f() {\n    let s = \"println!(inside a string)\";\n    let _ = s;\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        println!(\"debugging a test is fine\");\n        eprintln!(\"so is this\");\n    }\n}\n";
+        assert!(scan_source("lib.rs", src).is_empty());
     }
 
     #[test]
