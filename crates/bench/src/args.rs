@@ -20,6 +20,11 @@ pub struct CommonArgs {
     pub telemetry_out: Option<String>,
     /// Quick mode: shrink scale/duration further for CI smoke runs.
     pub quick: bool,
+    /// Fault-schedule spec (scripted `crash@T:R:D;...` or seeded
+    /// `seed=7,crashes=2,...`); `None` runs fault-free. Parsed by
+    /// `lunule_faults::parse_spec` against the run's MDS count and
+    /// duration.
+    pub faults: Option<String>,
 }
 
 impl Default for CommonArgs {
@@ -31,6 +36,7 @@ impl Default for CommonArgs {
             out_dir: Some("results".to_string()),
             telemetry_out: None,
             quick: false,
+            faults: None,
         }
     }
 }
@@ -63,6 +69,12 @@ impl CommonArgs {
                             .unwrap_or_else(|| usage("--telemetry-out needs a directory")),
                     )
                 }
+                "--faults" => {
+                    out.faults = Some(
+                        it.next()
+                            .unwrap_or_else(|| usage("--faults needs a spec string")),
+                    )
+                }
                 "--quick" => out.quick = true,
                 "--help" | "-h" => usage("usage"),
                 other => usage(&format!("unknown flag: {other}")),
@@ -86,7 +98,7 @@ fn expect_value<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, fl
 #[allow(clippy::exit)]
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "{msg}\n\nflags:\n  --scale <f>     dataset/op scale (default 0.1)\n  --seed <u64>    master seed (default 42)\n  --clients <n>   concurrent clients (default 100)\n  --out <dir>     JSON dump directory (default ./results)\n  --no-out        disable JSON dumps\n  --telemetry-out <dir>  export telemetry (events JSONL, metrics CSV, Chrome trace)\n  --quick         CI smoke mode (tiny scale)"
+        "{msg}\n\nflags:\n  --scale <f>     dataset/op scale (default 0.1)\n  --seed <u64>    master seed (default 42)\n  --clients <n>   concurrent clients (default 100)\n  --out <dir>     JSON dump directory (default ./results)\n  --no-out        disable JSON dumps\n  --telemetry-out <dir>  export telemetry (events JSONL, metrics CSV, Chrome trace)\n  --faults <spec> fault schedule: crash@T:R:D;limp@T:R:F:D;loss@T:R:E;stall@T:R:D, or seed=N,crashes=2,...\n  --quick         CI smoke mode (tiny scale)"
     );
     std::process::exit(2)
 }
@@ -129,6 +141,13 @@ mod tests {
         assert!(parse(&[]).telemetry_out.is_none());
         let a = parse(&["--telemetry-out", "traces"]);
         assert_eq!(a.telemetry_out.as_deref(), Some("traces"));
+    }
+
+    #[test]
+    fn faults_flag() {
+        assert!(parse(&[]).faults.is_none());
+        let a = parse(&["--faults", "crash@30:1:20"]);
+        assert_eq!(a.faults.as_deref(), Some("crash@30:1:20"));
     }
 
     #[test]

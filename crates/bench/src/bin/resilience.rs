@@ -27,7 +27,7 @@ fn main() {
     let mut sim = Simulation::new(sim_cfg.clone(), ns, balancer, streams);
 
     sim.run_until(600);
-    println!("draining mds.2 at t=600s (subtrees fail over round-robin)");
+    println!("draining mds.2 at t=600s (subtrees fail over to the least-loaded survivors)");
     sim.drain_mds(MdsRank(2));
     sim.run_until(1_200);
     let r = sim.finish();

@@ -6,7 +6,7 @@
 //!
 //! Usage: `telemetry_check <dir>`
 
-use lunule_telemetry::{parse_events_jsonl, validate_chrome_trace};
+use lunule_telemetry::{parse_events_jsonl, validate_chrome_trace, Event};
 use std::path::Path;
 
 fn main() {
@@ -46,6 +46,7 @@ fn check_dir(dir: &Path) -> Result<(usize, usize), String> {
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             let events = parse_events_jsonl(&text)
                 .map_err(|e| format!("{}: bad event log: {e}", path.display()))?;
+            check_fault_events(&events).map_err(|e| format!("{}: {e}", path.display()))?;
             n_events += events.len();
             n_files += 1;
         } else if name.ends_with(".trace.json") {
@@ -60,4 +61,44 @@ fn check_dir(dir: &Path) -> Result<(usize, usize), String> {
         return Err(format!("no telemetry files found in {}", dir.display()));
     }
     Ok((n_events, n_trace))
+}
+
+/// Structural validation of the fault-injection event family: every
+/// `FaultInjected` must carry a known kind label, crash/recovery events
+/// must pair up (recoveries never exceed crashes), and migration retries
+/// never exceed timeouts — a journal violating these was not produced by
+/// the simulator's fault path.
+fn check_fault_events(events: &[lunule_telemetry::EventRecord]) -> Result<(), String> {
+    const KNOWN_KINDS: [&str; 4] = ["crash", "limp", "report_loss", "migration_stall"];
+    let (mut injected, mut crashes, mut recoveries) = (0u64, 0u64, 0u64);
+    let (mut timeouts, mut retries) = (0u64, 0u64);
+    for rec in events {
+        match &rec.event {
+            Event::FaultInjected { kind, .. } => {
+                if !KNOWN_KINDS.contains(&kind.as_str()) {
+                    return Err(format!("unknown fault kind '{kind}' in event log"));
+                }
+                injected += 1;
+            }
+            Event::RankCrashed { .. } => crashes += 1,
+            Event::RankRecovered { .. } => recoveries += 1,
+            Event::MigrationTimedOut { .. } => timeouts += 1,
+            Event::MigrationRetried { .. } => retries += 1,
+            _ => {}
+        }
+    }
+    if crashes > injected {
+        return Err(format!(
+            "{crashes} rank_crashed events but only {injected} fault_injected"
+        ));
+    }
+    if recoveries > crashes {
+        return Err(format!("{recoveries} recoveries exceed {crashes} crashes"));
+    }
+    if retries > timeouts {
+        return Err(format!(
+            "{retries} migration retries exceed {timeouts} timeouts"
+        ));
+    }
+    Ok(())
 }

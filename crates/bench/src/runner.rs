@@ -38,7 +38,7 @@ pub fn default_sim() -> SimConfig {
         memory_thrash_factor: 0.25,
         data_path: None,
         seed: 42,
-        telemetry: lunule_telemetry::Telemetry::disabled(),
+        ..SimConfig::default()
     }
 }
 

@@ -46,6 +46,10 @@ pub struct LunuleConfig {
     /// paper's uniform-capacity model; when set, imbalance is measured
     /// over utilisations and Algorithm 1 targets capacity shares.
     pub capacities: Option<Vec<f64>>,
+    /// How many epochs a rank's last-known-good load report stays usable
+    /// when fresh reports go missing. Beyond this age the rank is treated
+    /// as idle (load 0) rather than trusted with stale data.
+    pub max_report_age_epochs: u64,
 }
 
 impl Default for LunuleConfig {
@@ -61,6 +65,7 @@ impl Default for LunuleConfig {
             ablate_urgency: false,
             ablate_future_load: false,
             capacities: None,
+            max_report_age_epochs: 3,
         }
     }
 }
@@ -86,6 +91,9 @@ pub struct LunuleBalancer {
     selector_cfg: SelectorConfig,
     last_if: f64,
     telemetry: Telemetry,
+    /// Last trusted `(requests, epoch)` report per rank, for report-loss
+    /// fallback.
+    last_good: Vec<Option<(u64, u64)>>,
 }
 
 impl LunuleBalancer {
@@ -99,6 +107,7 @@ impl LunuleBalancer {
             selector_cfg: SelectorConfig::default(),
             last_if: 0.0,
             telemetry: Telemetry::disabled(),
+            last_good: Vec::new(),
             cfg,
         }
     }
@@ -111,6 +120,38 @@ impl LunuleBalancer {
     /// Immutable access to the pattern analyzer (for tests/inspection).
     pub fn analyzer(&self) -> &PatternAnalyzer {
         &self.analyzer
+    }
+
+    /// Replaces missing load reports with the rank's last-known-good value
+    /// (if young enough, per `max_report_age_epochs`) or zero, and records
+    /// fresh reports for future fallback. Returns the patched snapshot the
+    /// rest of the epoch runs on.
+    fn patch_missing_reports(&mut self, stats: &EpochStats) -> EpochStats {
+        if self.last_good.len() < stats.n_mds() {
+            self.last_good.resize(stats.n_mds(), None);
+        }
+        let mut patched = stats.clone();
+        let mut fallbacks = 0u64;
+        for rank in 0..stats.n_mds() {
+            if stats.is_missing(rank) {
+                patched.requests[rank] = match self.last_good[rank] {
+                    Some((requests, seen))
+                        if stats.epoch.saturating_sub(seen) <= self.cfg.max_report_age_epochs =>
+                    {
+                        fallbacks += 1;
+                        requests
+                    }
+                    _ => 0,
+                };
+            } else {
+                self.last_good[rank] = Some((stats.requests[rank], stats.epoch));
+            }
+        }
+        if fallbacks > 0 {
+            self.telemetry
+                .counter_add("balancer.report_fallbacks", fallbacks);
+        }
+        patched
     }
 }
 
@@ -141,6 +182,8 @@ impl Balancer for LunuleBalancer {
 
     fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan {
         let _epoch_span = self.telemetry.span("balancer.epoch");
+        let patched = self.patch_missing_reports(stats);
+        let stats = &patched;
         let loads = stats.iops();
         self.last_if = {
             let _s = self.telemetry.span("balancer.if_model");
@@ -390,6 +433,28 @@ mod tests {
                 assert_eq!(auth, task.from, "exporter must own what it ships");
             }
         }
+    }
+
+    #[test]
+    fn missing_reports_fall_back_to_last_good() {
+        let (ns, map, files) = fixture();
+        let mut b = LunuleBalancer::new(small_cfg());
+        feed(&mut b, &ns, &files);
+        // Epoch 0: rank 0's hot report arrives and is recorded as last-good.
+        let plan = b.on_epoch(&ns, &map, &EpochStats::new(0, 10.0, vec![1000, 0, 0]));
+        assert!(!plan.is_empty());
+        // Epoch 1: rank 0's report is lost; the placeholder claims idle. The
+        // balancer must still see the hot rank via its last-known-good load.
+        feed(&mut b, &ns, &files);
+        let stats = EpochStats::new(1, 10.0, vec![0, 0, 0]).with_missing(vec![true, false, false]);
+        let plan = b.on_epoch(&ns, &map, &stats);
+        assert!(!plan.is_empty(), "fallback keeps the hot rank visible");
+        // Far beyond the age cap the stale report is no longer trusted: the
+        // missing rank degrades to idle and nothing triggers.
+        let stats = EpochStats::new(99, 10.0, vec![0, 0, 0]).with_missing(vec![true, false, false]);
+        let plan = b.on_epoch(&ns, &map, &stats);
+        assert!(plan.is_empty(), "stale reports age out to zero load");
+        assert!(b.last_imbalance_factor() < 0.05);
     }
 
     #[test]

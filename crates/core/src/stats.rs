@@ -14,17 +14,35 @@ pub struct EpochStats {
     /// Metadata requests served by each MDS rank during this epoch,
     /// indexed by rank.
     pub requests: Vec<u64>,
+    /// Ranks whose load report was lost or never produced this epoch
+    /// (`true` = missing), indexed by rank. Empty means every report
+    /// arrived; `requests[r]` for a missing rank is a stale placeholder the
+    /// balancer should not trust.
+    pub missing: Vec<bool>,
 }
 
 impl EpochStats {
     /// Creates a snapshot; `requests[r]` is rank `r`'s served request count.
+    /// All reports are presumed present — see [`EpochStats::with_missing`].
     pub fn new(epoch: u64, epoch_secs: f64, requests: Vec<u64>) -> Self {
         assert!(epoch_secs > 0.0, "epoch length must be positive");
         EpochStats {
             epoch,
             epoch_secs,
             requests,
+            missing: Vec::new(),
         }
+    }
+
+    /// Marks which ranks' reports went missing this epoch.
+    pub fn with_missing(mut self, missing: Vec<bool>) -> Self {
+        self.missing = missing;
+        self
+    }
+
+    /// True when `rank`'s load report was lost this epoch.
+    pub fn is_missing(&self, rank: usize) -> bool {
+        self.missing.get(rank).copied().unwrap_or(false)
     }
 
     /// Number of MDS ranks in the snapshot.
@@ -146,6 +164,16 @@ mod tests {
         assert_eq!(h.series(0), &[20.0, 30.0, 40.0]);
         assert_eq!(h.series(1), &[1.0, 1.0, 1.0]);
         assert_eq!(h.series(7), &[] as &[f64]);
+    }
+
+    #[test]
+    fn missing_flags_default_empty() {
+        let s = EpochStats::new(0, 1.0, vec![10, 20]);
+        assert!(!s.is_missing(0));
+        assert!(!s.is_missing(99), "out of range is not missing");
+        let s = s.with_missing(vec![false, true]);
+        assert!(!s.is_missing(0));
+        assert!(s.is_missing(1));
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! # lunule-faults
+//!
+//! Deterministic fault injection for the Lunule stack. A
+//! [`FaultSchedule`] is an immutable, tick-sorted stream of fault events —
+//! MDS crashes with timed recovery, degraded-capacity "limping" ranks,
+//! dropped load reports, and migration stalls — that the simulator replays
+//! as its clock advances. Schedules are built either by scripting exact
+//! events through a [`FaultPlan`], by seeding a [`ChaosProfile`] (many
+//! random-but-reproducible schedules for soak testing), or by parsing a
+//! compact CLI spec string ([`parse_spec`]).
+//!
+//! Everything here is tick-based and free of wall time or ambient
+//! randomness: the same seed always yields the same schedule, so a failing
+//! chaos run reproduces exactly from its seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod schedule;
+mod spec;
+
+pub use plan::{seeded, ChaosProfile, FaultPlan};
+pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
+pub use spec::{parse_spec, SpecError};

@@ -1,0 +1,256 @@
+//! Builders for fault schedules: scripted plans and seeded chaos.
+
+use crate::schedule::{FaultEvent, FaultKind, FaultSchedule};
+use lunule_namespace::MdsRank;
+use lunule_util::DetRng;
+
+/// A builder for scripted [`FaultSchedule`]s.
+///
+/// Methods take ticks and ranks verbatim; `build` sorts events by tick
+/// (stably, so same-tick events keep scripting order). The builder clamps
+/// obviously degenerate parameters (a zero-length crash, a limp factor
+/// outside `(0, 1]`) instead of failing, so hand-written plans stay terse.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash `rank` at `at_tick`; it recovers `down_ticks` later (clamped
+    /// to at least 1).
+    pub fn crash(mut self, at_tick: u64, rank: MdsRank, down_ticks: u64) -> Self {
+        self.events.push(FaultEvent {
+            at_tick,
+            kind: FaultKind::Crash {
+                rank,
+                down_ticks: down_ticks.max(1),
+            },
+        });
+        self
+    }
+
+    /// Degrade `rank` to `factor` of its capacity for `duration_ticks`
+    /// starting at `at_tick`. `factor` is clamped into `(0, 1]`.
+    pub fn limp(mut self, at_tick: u64, rank: MdsRank, factor: f64, duration_ticks: u64) -> Self {
+        self.events.push(FaultEvent {
+            at_tick,
+            kind: FaultKind::Limp {
+                rank,
+                factor: factor.clamp(0.01, 1.0),
+                duration_ticks: duration_ticks.max(1),
+            },
+        });
+        self
+    }
+
+    /// Drop `rank`'s load report for the next `epochs` balance epochs
+    /// starting at `at_tick`.
+    pub fn report_loss(mut self, at_tick: u64, rank: MdsRank, epochs: u64) -> Self {
+        self.events.push(FaultEvent {
+            at_tick,
+            kind: FaultKind::ReportLoss {
+                rank,
+                epochs: epochs.max(1),
+            },
+        });
+        self
+    }
+
+    /// Stall `rank`'s outbound migrations for `duration_ticks` starting at
+    /// `at_tick`.
+    pub fn migration_stall(mut self, at_tick: u64, rank: MdsRank, duration_ticks: u64) -> Self {
+        self.events.push(FaultEvent {
+            at_tick,
+            kind: FaultKind::MigrationStall {
+                rank,
+                duration_ticks: duration_ticks.max(1),
+            },
+        });
+        self
+    }
+
+    /// Finalises the plan into a sorted schedule.
+    pub fn build(self) -> FaultSchedule {
+        FaultSchedule::from_events(self.events)
+    }
+}
+
+/// How many faults of each kind a seeded chaos schedule draws, plus the
+/// crash-outage bounds. The defaults give a lively but survivable run for
+/// clusters of 2+ ranks.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosProfile {
+    /// Crash/recovery cycles to inject.
+    pub crashes: usize,
+    /// Limping-rank episodes to inject.
+    pub limps: usize,
+    /// Load-report losses to inject.
+    pub report_losses: usize,
+    /// Migration stalls to inject.
+    pub migration_stalls: usize,
+    /// Minimum crash outage, ticks.
+    pub min_down_ticks: u64,
+    /// Maximum crash outage, ticks.
+    pub max_down_ticks: u64,
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        ChaosProfile {
+            crashes: 2,
+            limps: 1,
+            report_losses: 1,
+            migration_stalls: 1,
+            min_down_ticks: 10,
+            max_down_ticks: 120,
+        }
+    }
+}
+
+/// Draws a seeded-random schedule: same `(seed, n_mds, duration_ticks,
+/// profile)` always yields the same schedule.
+///
+/// Event ticks land in the middle 80% of the run so every fault has time
+/// to matter and time to heal. Crashes are skipped entirely on
+/// single-rank clusters (there would be no survivor to fail over to); the
+/// simulator additionally refuses, at injection time, to crash the last
+/// live rank, so overlapping seeded crashes stay safe.
+pub fn seeded(
+    seed: u64,
+    n_mds: usize,
+    duration_ticks: u64,
+    profile: &ChaosProfile,
+) -> FaultSchedule {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    if n_mds == 0 || duration_ticks < 10 {
+        return FaultSchedule::empty();
+    }
+    let lo = (duration_ticks / 10).max(1);
+    let hi = (duration_ticks * 9 / 10).max(lo + 1);
+    let tick = |rng: &mut DetRng| rng.gen_range(lo as usize..hi as usize) as u64;
+    let rank = |rng: &mut DetRng| MdsRank(rng.gen_range(0..n_mds) as u16);
+
+    let crashes = if n_mds >= 2 { profile.crashes } else { 0 };
+    let min_down = profile.min_down_ticks.max(1);
+    let max_down = profile.max_down_ticks.max(min_down + 1);
+    for _ in 0..crashes {
+        events.push(FaultEvent {
+            at_tick: tick(&mut rng),
+            kind: FaultKind::Crash {
+                rank: rank(&mut rng),
+                down_ticks: rng.gen_range(min_down as usize..max_down as usize) as u64,
+            },
+        });
+    }
+    for _ in 0..profile.limps {
+        events.push(FaultEvent {
+            at_tick: tick(&mut rng),
+            kind: FaultKind::Limp {
+                rank: rank(&mut rng),
+                factor: rng.gen_f64_in(0.2, 0.8),
+                duration_ticks: (duration_ticks / 8).max(2),
+            },
+        });
+    }
+    for _ in 0..profile.report_losses {
+        events.push(FaultEvent {
+            at_tick: tick(&mut rng),
+            kind: FaultKind::ReportLoss {
+                rank: rank(&mut rng),
+                epochs: rng.gen_range(1..4) as u64,
+            },
+        });
+    }
+    for _ in 0..profile.migration_stalls {
+        events.push(FaultEvent {
+            at_tick: tick(&mut rng),
+            kind: FaultKind::MigrationStall {
+                rank: rank(&mut rng),
+                duration_ticks: (duration_ticks / 6).max(2),
+            },
+        });
+    }
+    FaultSchedule::from_events(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_plan_builds_sorted() {
+        let s = FaultPlan::new()
+            .crash(50, MdsRank(1), 20)
+            .report_loss(10, MdsRank(0), 2)
+            .limp(30, MdsRank(2), 0.5, 40)
+            .migration_stall(30, MdsRank(0), 15)
+            .build();
+        assert_eq!(s.len(), 4);
+        let ticks: Vec<u64> = s.events().iter().map(|e| e.at_tick).collect();
+        assert_eq!(ticks, vec![10, 30, 30, 50]);
+        assert_eq!(s.events()[1].kind.label(), "limp", "stable at same tick");
+    }
+
+    #[test]
+    fn plan_clamps_degenerate_params() {
+        let s = FaultPlan::new()
+            .crash(0, MdsRank(0), 0)
+            .limp(0, MdsRank(0), 7.5, 0)
+            .build();
+        match s.events()[0].kind {
+            FaultKind::Crash { down_ticks, .. } => assert_eq!(down_ticks, 1),
+            _ => unreachable!("first event is the crash"),
+        }
+        match s.events()[1].kind {
+            FaultKind::Limp {
+                factor,
+                duration_ticks,
+                ..
+            } => {
+                assert!(factor <= 1.0 && factor > 0.0);
+                assert_eq!(duration_ticks, 1);
+            }
+            _ => unreachable!("second event is the limp"),
+        }
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_bounded() {
+        let p = ChaosProfile::default();
+        let a = seeded(42, 4, 300, &p);
+        let b = seeded(42, 4, 300, &p);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(
+            a.len(),
+            p.crashes + p.limps + p.report_losses + p.migration_stalls
+        );
+        for e in a.events() {
+            assert!(e.at_tick >= 30 && e.at_tick < 270, "middle 80%: {e:?}");
+            assert!(e.kind.rank().index() < 4);
+        }
+        let c = seeded(43, 4, 300, &p);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn seeded_skips_crashes_on_single_rank() {
+        let s = seeded(7, 1, 300, &ChaosProfile::default());
+        assert!(s
+            .events()
+            .iter()
+            .all(|e| !matches!(e.kind, FaultKind::Crash { .. })));
+    }
+
+    #[test]
+    fn seeded_degenerate_inputs_yield_empty() {
+        let p = ChaosProfile::default();
+        assert!(seeded(1, 0, 300, &p).is_empty());
+        assert!(seeded(1, 4, 5, &p).is_empty());
+    }
+}

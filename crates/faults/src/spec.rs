@@ -1,0 +1,218 @@
+//! Compact CLI spec strings for fault schedules (`--faults <spec>`).
+//!
+//! Two forms are accepted:
+//!
+//! * **Scripted** — semicolon-separated events, each `kind@tick:rank:...`:
+//!   - `crash@120:1:60` — crash rank 1 at tick 120, down for 60 ticks
+//!   - `limp@200:2:0.5:100` — rank 2 at half capacity for 100 ticks
+//!   - `loss@300:0:2` — drop rank 0's load report for 2 epochs
+//!   - `stall@400:1:50` — stall rank 1's exports for 50 ticks
+//! * **Seeded** — comma-separated `key=value` pairs drawing a random
+//!   schedule: `seed=7,crashes=2,limps=1,losses=1,stalls=1`. Omitted keys
+//!   use [`ChaosProfile::default`]; `seed` defaults to 0.
+//!
+//! The scripted form is recognised by the presence of `@`.
+
+use crate::plan::{seeded, ChaosProfile, FaultPlan};
+use crate::schedule::FaultSchedule;
+use lunule_namespace::MdsRank;
+
+/// A malformed `--faults` spec string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    msg: String,
+}
+
+impl SpecError {
+    fn new(msg: impl Into<String>) -> Self {
+        SpecError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a `--faults` spec (see module docs) into a schedule.
+///
+/// `n_mds` bounds the ranks a scripted event may target and sizes the
+/// seeded draw; `duration_ticks` bounds scripted ticks and scales seeded
+/// event times.
+pub fn parse_spec(
+    spec: &str,
+    n_mds: usize,
+    duration_ticks: u64,
+) -> Result<FaultSchedule, SpecError> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Ok(FaultSchedule::empty());
+    }
+    if spec.contains('@') {
+        parse_scripted(spec, n_mds, duration_ticks)
+    } else {
+        parse_seeded(spec, n_mds, duration_ticks)
+    }
+}
+
+fn parse_scripted(
+    spec: &str,
+    n_mds: usize,
+    duration_ticks: u64,
+) -> Result<FaultSchedule, SpecError> {
+    let mut plan = FaultPlan::new();
+    for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+        let part = part.trim();
+        let (kind, rest) = part
+            .split_once('@')
+            .ok_or_else(|| SpecError::new(format!("event '{part}' missing '@'")))?;
+        let fields: Vec<&str> = rest.split(':').collect();
+        let num = |i: usize| -> Result<u64, SpecError> {
+            fields
+                .get(i)
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| SpecError::new(format!("event '{part}': bad field {i}")))
+        };
+        let tick = num(0)?;
+        if tick >= duration_ticks {
+            return Err(SpecError::new(format!(
+                "event '{part}': tick {tick} beyond run of {duration_ticks} ticks"
+            )));
+        }
+        let rank_raw = num(1)?;
+        if rank_raw as usize >= n_mds {
+            return Err(SpecError::new(format!(
+                "event '{part}': rank {rank_raw} outside cluster of {n_mds}"
+            )));
+        }
+        let rank = MdsRank(rank_raw as u16);
+        let arity = |want: usize| -> Result<(), SpecError> {
+            if fields.len() == want {
+                Ok(())
+            } else {
+                Err(SpecError::new(format!(
+                    "event '{part}': expected {want} ':'-fields, got {}",
+                    fields.len()
+                )))
+            }
+        };
+        plan = match kind {
+            "crash" => {
+                arity(3)?;
+                plan.crash(tick, rank, num(2)?)
+            }
+            "limp" => {
+                arity(4)?;
+                let factor = fields[2]
+                    .parse::<f64>()
+                    .map_err(|_| SpecError::new(format!("event '{part}': bad limp factor")))?;
+                plan.limp(tick, rank, factor, num(3)?)
+            }
+            "loss" => {
+                arity(3)?;
+                plan.report_loss(tick, rank, num(2)?)
+            }
+            "stall" => {
+                arity(3)?;
+                plan.migration_stall(tick, rank, num(2)?)
+            }
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown fault kind '{other}' (want crash/limp/loss/stall)"
+                )))
+            }
+        };
+    }
+    Ok(plan.build())
+}
+
+fn parse_seeded(spec: &str, n_mds: usize, duration_ticks: u64) -> Result<FaultSchedule, SpecError> {
+    let mut seed = 0u64;
+    let mut profile = ChaosProfile::default();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let part = part.trim();
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| SpecError::new(format!("'{part}' is not key=value")))?;
+        let parsed: u64 = value
+            .parse()
+            .map_err(|_| SpecError::new(format!("'{part}': bad value")))?;
+        match key.trim() {
+            "seed" => seed = parsed,
+            "crashes" => profile.crashes = parsed as usize,
+            "limps" => profile.limps = parsed as usize,
+            "losses" => profile.report_losses = parsed as usize,
+            "stalls" => profile.migration_stalls = parsed as usize,
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown key '{other}' (want seed/crashes/limps/losses/stalls)"
+                )))
+            }
+        }
+    }
+    Ok(seeded(seed, n_mds, duration_ticks, &profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultKind;
+
+    #[test]
+    fn scripted_spec_round_trips() {
+        let s = parse_spec(
+            "crash@120:1:60;limp@200:2:0.5:100;loss@30:0:2;stall@40:1:50",
+            3,
+            400,
+        )
+        .unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.events()[0].at_tick, 30);
+        match s.events()[3].kind {
+            FaultKind::Limp {
+                rank,
+                factor,
+                duration_ticks,
+            } => {
+                assert_eq!(rank, MdsRank(2));
+                assert!((factor - 0.5).abs() < 1e-12);
+                assert_eq!(duration_ticks, 100);
+            }
+            other => unreachable!("tick 200 is the limp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_spec_is_deterministic() {
+        let a = parse_spec("seed=7,crashes=3", 4, 500).unwrap();
+        let b = parse_spec("seed=7,crashes=3", 4, 500).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.events()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::Crash { .. }))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn empty_spec_is_fault_free() {
+        assert!(parse_spec("", 3, 100).unwrap().is_empty());
+        assert!(parse_spec("  ", 3, 100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(parse_spec("crash@10:9:5", 3, 100).is_err(), "rank range");
+        assert!(parse_spec("crash@999:0:5", 3, 100).is_err(), "tick range");
+        assert!(parse_spec("crash@10:0", 3, 100).is_err(), "arity");
+        assert!(parse_spec("warp@10:0:5", 3, 100).is_err(), "kind");
+        assert!(parse_spec("limp@10:0:high:5", 3, 100).is_err(), "factor");
+        assert!(parse_spec("frequency=11", 3, 100).is_err(), "seeded key");
+        assert!(parse_spec("seed=banana", 3, 100).is_err(), "seeded value");
+    }
+}

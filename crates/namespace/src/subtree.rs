@@ -93,6 +93,20 @@ impl SubtreeMap {
         self.root_rank
     }
 
+    /// Re-points the root default at `rank`. Unlike explicit entries the
+    /// default cannot be shadowed for the root inode itself, so crash
+    /// failover must rewrite it when the dead rank held `/` — otherwise
+    /// the crashed rank would keep authority over the root forever.
+    /// Callers should [`SubtreeMap::simplify`] afterwards: entries that
+    /// matched the old default become load-bearing, ones matching the new
+    /// default become redundant.
+    pub fn set_root_rank(&mut self, rank: MdsRank) {
+        if self.root_rank != rank {
+            self.root_rank = rank;
+            self.generation += 1;
+        }
+    }
+
     /// Number of explicit authority entries (subtree roots besides `/`).
     pub fn entry_count(&self) -> usize {
         self.entries.values().map(Vec::len).sum()
@@ -358,6 +372,25 @@ mod tests {
         assert_eq!(map.authority(&ns, a), MdsRank(0));
         assert_eq!(map.authority(&ns, f), MdsRank(0));
         assert_eq!(map.forwards_on_path(&ns, f), 0);
+    }
+
+    #[test]
+    fn set_root_rank_rewrites_default() {
+        let (ns, a, _, f, b) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        map.set_authority(FragKey::whole(a), MdsRank(1));
+        let gen = map.generation();
+        map.set_root_rank(MdsRank(2));
+        assert!(map.generation() > gen, "rewrite must bump the generation");
+        // Everything outside the explicit entry follows the new default —
+        // including the root inode itself, which no entry can shadow.
+        assert_eq!(map.authority(&ns, InodeId::ROOT), MdsRank(2));
+        assert_eq!(map.authority(&ns, b), MdsRank(2));
+        assert_eq!(map.authority(&ns, f), MdsRank(1), "entry survives");
+        // Re-pointing at the same rank is a no-op.
+        let gen = map.generation();
+        map.set_root_rank(MdsRank(2));
+        assert_eq!(map.generation(), gen);
     }
 
     #[test]

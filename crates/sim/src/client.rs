@@ -449,6 +449,38 @@ mod tests {
     }
 
     #[test]
+    fn stalled_op_rerouted_when_target_rank_dies() {
+        // Regression: a client stalls against rank 1, rank 1 crashes and
+        // its subtree fails over to rank 2, and the buffered retry op must
+        // re-resolve to the new authority — never route through (or to)
+        // the dead rank.
+        let (ns, mut map, d, f) = setup();
+        let mut c = Client::new(0, Box::new(FixedStream::new(vec![f])), 0);
+        let hash = dentry_hash(f.raw());
+        map.set_authority(FragKey::whole(d), MdsRank(1));
+        let (r0, _) = c.resolve(&ns, &map, d, hash);
+        assert_eq!(r0.target, MdsRank(1));
+        c.learn_route(&ns, d, hash, r0.target);
+        // The op is buffered (stalled against rank 1, which is out of
+        // budget), then rank 1 dies: the failover re-homes the subtree and
+        // the simulation evicts the dead rank from every client cache.
+        assert_eq!(c.peek_op(&ns, 3), Some(MetaOp::Read(f)));
+        map.set_authority(FragKey::whole(d), MdsRank(2));
+        c.forget_rank(MdsRank(1));
+        // The buffered op is still pending, and its retry resolves to the
+        // survivor with a fresh traversal — no forward via the dead rank.
+        assert_eq!(c.peek_op(&ns, 4), Some(MetaOp::Read(f)));
+        let (r, hit) = c.resolve(&ns, &map, d, hash);
+        assert!(!hit, "dead-rank entries were evicted, this is a miss");
+        assert_eq!(r.target, MdsRank(2));
+        assert!(
+            !r.forwards.contains(&MdsRank(1)),
+            "retry must not route through the crashed rank: {:?}",
+            r.forwards
+        );
+    }
+
+    #[test]
     fn routing_anchor_for_create_uses_next_id() {
         let (ns, _map, d, _f) = setup();
         let (dir, hash) = routing_anchor(&ns, &MetaOp::Create { parent: d, size: 0 });

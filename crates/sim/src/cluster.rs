@@ -10,7 +10,8 @@ use crate::migration::Migrator;
 use crate::request::{MetaOp, OpStream};
 use crate::results::{EpochRecord, RunResult};
 use lunule_core::{Access, Balancer, EpochStats, OpKind};
-use lunule_namespace::{MdsRank, Namespace, SubtreeMap};
+use lunule_faults::FaultKind;
+use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
 use lunule_telemetry::{Event, Telemetry};
 #[cfg(feature = "strict-invariants")]
 use lunule_verify::InvariantChecker;
@@ -39,6 +40,18 @@ pub struct Simulation {
     /// Shared handle every layer journals into (cloned from the config;
     /// disabled by default, in which case each site is a single branch).
     telemetry: Telemetry,
+    /// Events of `cfg.faults` injected so far (the schedule is tick-sorted,
+    /// so a cursor suffices).
+    fault_cursor: usize,
+    /// Per-rank crash state: `Some((recover_at, crashed_at))` while down.
+    down_until: Vec<Option<(u64, u64)>>,
+    /// Capacity saved at crash time, restored on recovery.
+    saved_capacity: Vec<f64>,
+    /// Per-rank degradation: `Some((factor, until_tick))` while limping.
+    limp: Vec<Option<(f64, u64)>>,
+    /// Per-rank report loss: the rank's epoch reports are treated as
+    /// missing while `tick < report_loss_until[rank]`.
+    report_loss_until: Vec<u64>,
     /// Cross-layer invariant auditor (strict builds only): the cheap map
     /// checks run after every tick, the full battery — conservation, frag
     /// partitions, IF-model laws — at every epoch close. Any violation
@@ -85,6 +98,11 @@ impl Simulation {
             cfg.migration_freeze_secs,
             cfg.migration_op_cost,
         );
+        migrator.configure_retry(
+            cfg.migration_timeout_ticks,
+            cfg.migration_max_retries,
+            cfg.migration_backoff_ticks,
+        );
         migrator.set_telemetry(telemetry.clone());
         Simulation {
             mds: (0..cfg.n_mds)
@@ -108,6 +126,11 @@ impl Simulation {
             tick: 0,
             epochs: Vec::new(),
             telemetry,
+            fault_cursor: 0,
+            down_until: vec![None; cfg.n_mds],
+            saved_capacity: vec![0.0; cfg.n_mds],
+            limp: vec![None; cfg.n_mds],
+            report_loss_until: vec![0; cfg.n_mds],
             #[cfg(feature = "strict-invariants")]
             checker: InvariantChecker::new(lunule_core::IfModelConfig {
                 mds_capacity: cfg.mds_capacity,
@@ -137,6 +160,8 @@ impl Simulation {
         self.checker.check_subtree_map(&self.ns, &self.map);
         self.checker
             .check_frozen_subtrees(&self.ns, &self.map, &frozen);
+        let down: Vec<bool> = self.down_until.iter().map(Option::is_some).collect();
+        self.checker.check_down_ranks(&self.map, &down);
         self.checker.assert_clean();
     }
 
@@ -164,7 +189,7 @@ impl Simulation {
             c.started_jobs,
             c.completed_jobs,
             c.abandoned_jobs,
-            self.migrator.jobs().len() as u64,
+            self.migrator.in_flight(),
             journal,
         );
         self.checker.assert_clean();
@@ -195,6 +220,10 @@ impl Simulation {
         let rank = self.mds.len() as u32;
         self.mds.push(MdsState::new(self.cfg.mds_capacity));
         self.resident.push(0);
+        self.down_until.push(None);
+        self.saved_capacity.push(0.0);
+        self.limp.push(None);
+        self.report_loss_until.push(0);
         self.telemetry.emit(|| Event::MdsAdd { rank });
     }
 
@@ -215,9 +244,9 @@ impl Simulation {
     }
 
     /// Drains MDS `rank`: every subtree it is authoritative for fails over
-    /// to the surviving ranks (round-robin), in-flight migrations touching
-    /// it are abandoned, and its capacity drops to zero so it serves
-    /// nothing further. Models planned decommission or failure with
+    /// to the surviving ranks (least-loaded first), in-flight migrations
+    /// touching it are abandoned, and its capacity drops to zero so it
+    /// serves nothing further. Models planned decommission or failure with
     /// instant journal replay — an extension beyond the paper, which only
     /// grows the cluster.
     ///
@@ -225,25 +254,79 @@ impl Simulation {
     /// the drained rank simply goes dark in the per-epoch series.
     pub fn drain_mds(&mut self, rank: MdsRank) {
         assert!(rank.index() < self.mds.len(), "no such rank");
+        // Zero the capacity first so the fail-over sees this rank as dead
+        // and never picks it as a survivor.
+        self.mds[rank.index()].capacity = 0.0;
+        self.mds[rank.index()].budget = 0.0;
+        let subtrees_failed_over = self.fail_over_subtrees(rank);
+        self.telemetry.emit(|| Event::MdsDrain {
+            rank: u32::from(rank.0),
+            subtrees_failed_over,
+        });
+    }
+
+    /// Re-homes every subtree `rank` is authoritative for onto the live
+    /// survivors, abandoning in-flight migrations that touch the rank.
+    ///
+    /// Placement is load-aware: each subtree root (largest first) goes to
+    /// the survivor with the lowest estimated load, where a survivor's
+    /// load is its observed served rate and each re-homed subtree adds the
+    /// failed rank's rate proportionally to the subtree's inode count.
+    /// Ties break toward the lowest rank index, keeping the assignment
+    /// fully deterministic. Returns how many subtrees were re-homed.
+    fn fail_over_subtrees(&mut self, rank: MdsRank) -> u64 {
+        self.migrator.abandon_jobs_touching(rank);
         let survivors: Vec<MdsRank> = (0..self.mds.len())
-            .filter(|r| *r != rank.index())
+            .filter(|r| *r != rank.index() && self.mds[*r].capacity > 0.0)
             .map(|r| MdsRank(r as u16))
             .collect();
-        assert!(!survivors.is_empty(), "cannot drain the last MDS");
-        self.migrator.abandon_jobs_touching(rank);
-        // Fail the rank's explicit subtrees over to survivors round-robin.
-        let roots = self.map.subtree_roots_of(rank);
-        let subtrees_failed_over = roots.len() as u64;
-        for (i, key) in roots.into_iter().enumerate() {
-            self.map.set_authority(key, survivors[i % survivors.len()]);
+        assert!(!survivors.is_empty(), "no live rank to fail over to");
+        // Subtree roots to move, largest first; deterministic order via
+        // (inode count desc, dir, frag).
+        let mut roots: Vec<(FragKey, u64)> = self
+            .map
+            .subtree_roots_of(rank)
+            .into_iter()
+            .map(|k| {
+                let n = self.ns.subtree_inode_count(k.dir, &k.frag) as u64;
+                (k, n)
+            })
+            .collect();
+        roots.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(a.0.dir.cmp(&b.0.dir))
+                .then(a.0.frag.cmp(&b.0.frag))
+        });
+        let elapsed = self.tick.max(1) as f64;
+        let failed_rate = self.mds[rank.index()].served_total as f64 / elapsed;
+        let failing_inodes: u64 = roots.iter().map(|(_, n)| *n).sum();
+        let rate_per_inode = failed_rate / failing_inodes.max(1) as f64;
+        let mut est: Vec<f64> = survivors
+            .iter()
+            .map(|s| self.mds[s.index()].served_total as f64 / elapsed)
+            .collect();
+        let argmin = |est: &[f64]| {
+            let mut best = 0usize;
+            for (i, e) in est.iter().enumerate() {
+                if *e < est[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let mut failed_over = 0u64;
+        for (key, n) in &roots {
+            let best = argmin(&est);
+            self.map.set_authority(*key, survivors[best]);
+            est[best] += *n as f64 * rate_per_inode;
+            failed_over += 1;
         }
-        // If the drained rank held the implicit root subtree, re-home the
-        // remainder by planting an explicit root entry on a survivor.
+        // If the failed rank held the implicit root subtree, re-point the
+        // root default at the least-loaded survivor — the default cannot be
+        // shadowed for `/` itself, so it must be rewritten, not overlaid.
         if self.map.root_rank() == rank {
-            self.map.set_authority(
-                lunule_namespace::FragKey::whole(lunule_namespace::InodeId::ROOT),
-                survivors[0],
-            );
+            self.map.set_root_rank(survivors[argmin(&est)]);
+            failed_over += 1;
         }
         self.map.simplify(&self.ns);
         // A dead rank cannot even answer redirects: evict it from every
@@ -252,8 +335,6 @@ impl Simulation {
         for c in &mut self.clients {
             c.forget_rank(rank);
         }
-        self.mds[rank.index()].capacity = 0.0;
-        self.mds[rank.index()].budget = 0.0;
         // Failover rewrote authorities wholesale; recompute residency.
         self.resident = self
             .map
@@ -261,10 +342,120 @@ impl Simulation {
             .into_iter()
             .map(|c| c as u64)
             .collect();
-        self.telemetry.emit(|| Event::MdsDrain {
+        failed_over
+    }
+
+    /// Injects every scheduled fault whose tick the clock has reached.
+    fn apply_fault_events(&mut self, tick: u64) {
+        while let Some(event) = self.cfg.faults.events().get(self.fault_cursor).copied() {
+            if event.at_tick > tick {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.inject_fault(event.kind, tick);
+        }
+    }
+
+    /// Applies one fault. Invalid targets (unknown rank, already-down rank,
+    /// last live rank for a crash) are skipped silently — seeded schedules
+    /// draw ranks blind and the simulator is the safety net.
+    fn inject_fault(&mut self, kind: FaultKind, tick: u64) {
+        let rank = kind.rank();
+        if rank.index() >= self.mds.len() {
+            return;
+        }
+        if self.down_until[rank.index()].is_some() {
+            return;
+        }
+        if let FaultKind::Crash { .. } = kind {
+            let has_live_survivor = self
+                .mds
+                .iter()
+                .enumerate()
+                .any(|(i, m)| i != rank.index() && m.capacity > 0.0);
+            if !has_live_survivor {
+                return;
+            }
+        }
+        self.telemetry.counter_add("faults.injected", 1);
+        self.telemetry.emit(|| Event::FaultInjected {
+            kind: kind.label().to_string(),
             rank: u32::from(rank.0),
-            subtrees_failed_over,
+            param: kind.param(),
         });
+        match kind {
+            FaultKind::Crash { rank, down_ticks } => {
+                self.telemetry.emit(|| Event::RankCrashed {
+                    rank: u32::from(rank.0),
+                    down_ticks,
+                });
+                self.saved_capacity[rank.index()] = self.mds[rank.index()].capacity;
+                self.down_until[rank.index()] = Some((tick.saturating_add(down_ticks), tick));
+                self.mds[rank.index()].capacity = 0.0;
+                self.mds[rank.index()].budget = 0.0;
+                self.fail_over_subtrees(rank);
+            }
+            FaultKind::Limp {
+                rank,
+                factor,
+                duration_ticks,
+            } => {
+                self.limp[rank.index()] = Some((factor, tick.saturating_add(duration_ticks)));
+            }
+            FaultKind::ReportLoss { rank, epochs } => {
+                let until = tick.saturating_add(epochs.saturating_mul(self.cfg.epoch_secs));
+                let slot = &mut self.report_loss_until[rank.index()];
+                *slot = (*slot).max(until);
+            }
+            FaultKind::MigrationStall {
+                rank,
+                duration_ticks,
+            } => {
+                self.migrator
+                    .set_exporter_stall(rank, tick.saturating_add(duration_ticks));
+            }
+        }
+    }
+
+    /// Brings crashed ranks whose outage elapsed back online. A recovered
+    /// rank rejoins *empty* (its subtrees failed over at crash time) with
+    /// its original capacity; the balancer re-fills it over the following
+    /// epochs.
+    fn recover_ranks(&mut self, tick: u64) {
+        for i in 0..self.mds.len() {
+            let Some((recover_at, crashed_at)) = self.down_until[i] else {
+                continue;
+            };
+            if tick < recover_at {
+                continue;
+            }
+            self.down_until[i] = None;
+            self.mds[i].capacity = self.saved_capacity[i];
+            self.telemetry.counter_add("faults.recovered", 1);
+            self.telemetry.emit(|| Event::RankRecovered {
+                rank: i as u32,
+                down_ticks: tick.saturating_sub(crashed_at),
+            });
+        }
+    }
+
+    /// Per-rank crash status (`true` = currently down).
+    pub fn down_ranks(&self) -> Vec<bool> {
+        self.down_until.iter().map(Option::is_some).collect()
+    }
+
+    /// True when `rank` is currently crashed.
+    pub fn is_rank_down(&self, rank: MdsRank) -> bool {
+        self.down_until
+            .get(rank.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
+    }
+
+    /// Migration jobs the ledger counts as in flight: transferring,
+    /// committing, or parked awaiting a retry.
+    pub fn inflight_migrations(&self) -> u64 {
+        self.migrator.in_flight()
     }
 
     /// Adds clients mid-run; they start issuing on the next tick (Fig. 12b's
@@ -346,13 +537,31 @@ impl Simulation {
         self.telemetry.set_clock(tick);
         self.telemetry.emit(|| Event::TickStart);
 
+        // 0. Fault schedule: inject everything due this tick, then bring
+        // ranks whose outage has elapsed back online.
+        self.apply_fault_events(tick);
+        self.recover_ranks(tick);
+
         // 1. Migration progress; transfer costs drain MDS budgets. A rank
         // whose resident metadata exceeds the memory limit thrashes its
-        // cache against the object store and serves at reduced rate.
+        // cache against the object store and serves at reduced rate; a
+        // limping rank is further degraded by its fault factor. The two
+        // compose multiplicatively.
         let limit = self.cfg.mds_memory_inodes;
         for (i, m) in self.mds.iter_mut().enumerate() {
+            let mut factor = 1.0;
             if limit > 0 && self.resident.get(i).copied().unwrap_or(0) > limit {
-                m.refill_scaled(self.cfg.memory_thrash_factor);
+                factor *= self.cfg.memory_thrash_factor;
+            }
+            if let Some((f, until)) = self.limp[i] {
+                if tick < until {
+                    factor *= f;
+                } else {
+                    self.limp[i] = None;
+                }
+            }
+            if factor < 1.0 {
+                m.refill_scaled(factor);
             } else {
                 m.refill();
             }
@@ -557,7 +766,14 @@ impl Simulation {
         let epoch = self.epochs.len() as u64;
         let epoch_secs = self.cfg.epoch_secs as f64;
         let requests: Vec<u64> = self.mds.iter().map(|m| m.epoch_requests()).collect();
-        let stats = EpochStats::new(epoch, epoch_secs, requests);
+        // A crashed rank files no load report; a report-loss fault drops an
+        // otherwise-healthy rank's report on the floor. Either way the
+        // balancer sees the rank as missing and falls back to its last
+        // known-good figure (see `LunuleBalancer::patch_missing_reports`).
+        let missing: Vec<bool> = (0..self.mds.len())
+            .map(|i| self.down_until[i].is_some() || self.tick < self.report_loss_until[i])
+            .collect();
+        let stats = EpochStats::new(epoch, epoch_secs, requests).with_missing(missing);
         let record = EpochRecord {
             migrated_inodes_cum: self.migrator.counters().migrated_inodes,
             forwards_cum: self.mds.iter().map(|m| m.forwards_total).sum(),
@@ -566,7 +782,7 @@ impl Simulation {
                 .iter()
                 .filter(|c| !c.finished || c.data_pending > 0)
                 .count(),
-            inflight_migrations: self.migrator.jobs().len(),
+            inflight_migrations: self.migrator.in_flight() as usize,
             per_mds_resident_inodes: self.resident.clone(),
             ..EpochRecord::from_stats(&stats, self.tick, self.cfg.mds_capacity)
         };
@@ -659,7 +875,7 @@ mod tests {
             memory_thrash_factor: 0.25,
             data_path: None,
             seed: 1,
-            telemetry: Telemetry::disabled(),
+            ..SimConfig::default()
         }
     }
 
@@ -949,6 +1165,99 @@ mod tests {
         assert!(
             result.per_mds_requests_total[0] > 0,
             "rank 0 served before it was drained"
+        );
+    }
+
+    #[test]
+    fn scripted_crash_fails_over_then_recovers_empty() {
+        let (ns, ids) = tiny_ns(10);
+        let cfg = SimConfig {
+            stop_when_done: false,
+            duration_secs: 20,
+            telemetry: lunule_telemetry::Telemetry::enabled(),
+            faults: lunule_faults::FaultPlan::new()
+                .crash(4, MdsRank(0), 6)
+                .build(),
+            ..tiny_cfg()
+        };
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids))];
+        let mut sim = Simulation::new(cfg, ns, Box::new(NoopBalancer), streams);
+
+        // Mid-outage: rank 0 is down and owns nothing; the root subtree
+        // failed over to the lone survivor.
+        sim.run_until(6);
+        assert!(sim.is_rank_down(MdsRank(0)));
+        assert_eq!(sim.down_ranks(), vec![true, false]);
+        for (key, rank) in sim.subtree_map().all_entries() {
+            assert_ne!(rank, MdsRank(0), "entry ({key:?}) on the crashed rank");
+        }
+        assert_eq!(
+            sim.resident_inodes()[0],
+            0,
+            "crashed rank must own nothing, not even the root default"
+        );
+
+        // After the outage elapses the rank rejoins — empty, since nothing
+        // moves back without a balancer — and the journal narrates both
+        // transitions exactly once.
+        sim.run_until(14);
+        assert!(!sim.is_rank_down(MdsRank(0)));
+        assert_eq!(sim.down_ranks(), vec![false, false]);
+        let tel = sim.telemetry().clone();
+        assert_eq!(tel.count_kind("fault_injected"), 1);
+        assert_eq!(tel.count_kind("rank_crashed"), 1);
+        assert_eq!(tel.count_kind("rank_recovered"), 1);
+
+        let result = sim.finish();
+        assert!(result.total_ops > 0, "survivor kept serving");
+    }
+
+    #[test]
+    fn crash_of_last_live_rank_is_skipped() {
+        let (ns, ids) = tiny_ns(5);
+        let cfg = SimConfig {
+            n_mds: 1,
+            stop_when_done: false,
+            duration_secs: 10,
+            telemetry: lunule_telemetry::Telemetry::enabled(),
+            faults: lunule_faults::FaultPlan::new()
+                .crash(2, MdsRank(0), 4)
+                .build(),
+            ..tiny_cfg()
+        };
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids))];
+        let mut sim = Simulation::new(cfg, ns, Box::new(NoopBalancer), streams);
+        sim.run_until(8);
+        assert!(!sim.is_rank_down(MdsRank(0)), "sole rank must not crash");
+        assert_eq!(sim.telemetry().count_kind("fault_injected"), 0);
+        assert!(sim.finish().total_ops > 0);
+    }
+
+    #[test]
+    fn limp_fault_slows_completion() {
+        let run = |faults: lunule_faults::FaultSchedule| {
+            let (ns, ids) = tiny_ns(60);
+            let cfg = SimConfig {
+                n_mds: 1,
+                mds_capacity: 10.0,
+                client_rate: 1_000.0,
+                duration_secs: 200,
+                faults,
+                ..tiny_cfg()
+            };
+            let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids))];
+            Simulation::new(cfg, ns, Box::new(NoopBalancer), streams)
+                .run()
+                .client_completion_secs[0]
+                .unwrap()
+        };
+        let healthy = run(lunule_faults::FaultSchedule::empty());
+        let limping = run(lunule_faults::FaultPlan::new()
+            .limp(1, MdsRank(0), 0.1, 50)
+            .build());
+        assert!(
+            limping > healthy,
+            "limp must lengthen JCT: {healthy} vs {limping}"
         );
     }
 

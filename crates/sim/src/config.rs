@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use lunule_faults::FaultSchedule;
 use lunule_telemetry::Telemetry;
 
 /// Configuration of the data path (OSD cluster) model, used by the
@@ -50,6 +51,9 @@ lunule_util::impl_json_struct!(SimConfig {
     migration_bw,
     migration_freeze_secs,
     migration_op_cost,
+    migration_timeout_ticks,
+    migration_max_retries,
+    migration_backoff_ticks,
     client_rate,
     client_cache_cap,
     mds_memory_inodes,
@@ -88,6 +92,17 @@ pub struct SimConfig {
     /// exporter and importer — the "background traffic contends with
     /// foreground requests" cost.
     pub migration_op_cost: f64,
+    /// Transfer deadline per migration job, in ticks: a job still
+    /// transferring this long after its (re)start times out and enters the
+    /// retry/backoff path. `0` (the default) disables timeouts, preserving
+    /// the pre-fault-injection behaviour.
+    pub migration_timeout_ticks: u64,
+    /// How many times a timed-out migration restarts before being
+    /// abandoned (with its subtree staying on the exporter).
+    pub migration_max_retries: u32,
+    /// Base backoff before a timed-out migration restarts, in ticks;
+    /// doubles on every further attempt (exponential, shift-capped).
+    pub migration_backoff_ticks: u64,
     /// Maximum metadata ops one client can issue per second.
     pub client_rate: f64,
     /// Maximum dirfrag→rank entries each client caches (CephFS clients hold
@@ -112,6 +127,11 @@ pub struct SimConfig {
     /// from the JSON round-trip: a handle is run state, not configuration
     /// data, so parsed configs always come back disabled.
     pub telemetry: Telemetry,
+    /// Fault schedule the run replays (crashes, limps, report losses,
+    /// migration stalls); empty = fault-free. Like `telemetry`, excluded
+    /// from the JSON round-trip: schedules are reproduced from their seed
+    /// or spec string, not from config dumps.
+    pub faults: FaultSchedule,
 }
 
 impl Default for SimConfig {
@@ -126,6 +146,9 @@ impl Default for SimConfig {
             migration_bw: 20_000.0,
             migration_freeze_secs: 1,
             migration_op_cost: 0.05,
+            migration_timeout_ticks: 0,
+            migration_max_retries: 3,
+            migration_backoff_ticks: 8,
             client_rate: 500.0,
             client_cache_cap: 256,
             mds_memory_inodes: 0,
@@ -133,6 +156,7 @@ impl Default for SimConfig {
             data_path: None,
             seed: 0xC0FFEE,
             telemetry: Telemetry::disabled(),
+            faults: FaultSchedule::empty(),
         }
     }
 }
@@ -153,6 +177,12 @@ impl SimConfig {
             self.migration_op_cost >= 0.0,
             "migration op cost must be >= 0"
         );
+        if self.migration_timeout_ticks > 0 {
+            assert!(
+                self.migration_backoff_ticks >= 1,
+                "retry backoff must be at least one tick"
+            );
+        }
         assert!(self.client_rate > 0.0, "client rate must be positive");
         assert!(
             self.memory_thrash_factor > 0.0 && self.memory_thrash_factor <= 1.0,
@@ -224,5 +254,19 @@ mod tests {
         assert!(!json.contains("telemetry"), "handle must not serialise");
         let back = SimConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert!(!back.telemetry.is_enabled(), "parsed configs are disabled");
+    }
+
+    #[test]
+    fn fault_schedule_stays_out_of_json() {
+        use lunule_util::ToJson;
+        let cfg = SimConfig {
+            faults: lunule_faults::FaultPlan::new()
+                .crash(10, lunule_namespace::MdsRank(1), 5)
+                .build(),
+            ..SimConfig::default()
+        };
+        let json = cfg.to_json().to_string_compact();
+        assert!(!json.contains("faults"), "schedules must not serialise");
+        assert!(json.contains("migration_timeout_ticks"));
     }
 }

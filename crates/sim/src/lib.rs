@@ -25,10 +25,13 @@ pub mod request;
 pub mod results;
 
 pub use client::{Client, Route};
+// Fault-injection types, re-exported so simulator users need not depend on
+// `lunule-faults` directly to build a `SimConfig::faults` schedule.
 pub use cluster::Simulation;
 pub use config::{DataPathConfig, SimConfig};
 pub use datapath::DataPath;
 pub use latency::LatencyHistogram;
+pub use lunule_faults::{seeded, ChaosProfile, FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 pub use mds::MdsState;
 pub use migration::{MigrationCounters, MigrationJob, Migrator};
 pub use request::{FixedStream, MetaOp, OpStream};

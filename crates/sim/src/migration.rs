@@ -37,7 +37,12 @@ pub struct MigrationJob {
     pub moved: u64,
     /// Tick the job was enqueued at (for commit-latency telemetry).
     pub started_at: u64,
+    /// Retry attempts already consumed (0 on a job's first run).
+    pub attempt: u32,
     phase: Phase,
+    /// Tick by which the transfer must finish or time out
+    /// (`u64::MAX` = no deadline).
+    deadline: u64,
 }
 
 impl MigrationJob {
@@ -64,6 +69,23 @@ pub struct MigrationCounters {
     pub started_jobs: u64,
     /// Jobs dropped mid-flight (endpoint drained/failed), cumulative.
     pub abandoned_jobs: u64,
+    /// Transfer deadlines blown, cumulative. Each timeout either re-queues
+    /// the job with backoff (also counted in `retried_jobs` once it
+    /// restarts) or abandons it after the retry budget runs out.
+    pub timed_out_jobs: u64,
+    /// Timed-out jobs that restarted after their backoff, cumulative.
+    pub retried_jobs: u64,
+}
+
+/// A timed-out job parked until its backoff elapses. Parked jobs still
+/// count as in-flight for the migration ledger.
+#[derive(Clone, Debug)]
+struct RetryEntry {
+    job: MigrationJob,
+    /// Tick the job becomes eligible to restart.
+    ready_at: u64,
+    /// The backoff that was applied, for telemetry.
+    backoff: u64,
 }
 
 /// The migration engine.
@@ -79,6 +101,17 @@ pub struct Migrator {
     completed_last_step: Vec<MigrationJob>,
     /// Journal for migration lifecycle events; disabled by default.
     telemetry: Telemetry,
+    /// Transfer deadline in ticks (0 = timeouts disabled).
+    timeout_ticks: u64,
+    /// Retry budget per job before a timed-out transfer is abandoned.
+    max_retries: u32,
+    /// Base backoff; doubles per attempt (`backoff << (attempt-1)`).
+    backoff_ticks: u64,
+    /// Timed-out jobs waiting out their backoff.
+    retry_queue: Vec<RetryEntry>,
+    /// Exporters whose outbound transfers are stalled until the given tick
+    /// (fault injection).
+    stalls: Vec<(MdsRank, u64)>,
 }
 
 impl Migrator {
@@ -93,7 +126,43 @@ impl Migrator {
             counters: MigrationCounters::default(),
             completed_last_step: Vec::new(),
             telemetry: Telemetry::disabled(),
+            timeout_ticks: 0,
+            max_retries: 0,
+            backoff_ticks: 1,
+            retry_queue: Vec::new(),
+            stalls: Vec::new(),
         }
+    }
+
+    /// Enables transfer deadlines: a job still transferring `timeout_ticks`
+    /// after its (re)start times out; it restarts after an exponential
+    /// backoff (`backoff_ticks << attempt`, capped) up to `max_retries`
+    /// times, then is abandoned. `timeout_ticks == 0` disables the whole
+    /// mechanism.
+    pub fn configure_retry(&mut self, timeout_ticks: u64, max_retries: u32, backoff_ticks: u64) {
+        self.timeout_ticks = timeout_ticks;
+        self.max_retries = max_retries;
+        self.backoff_ticks = backoff_ticks.max(1);
+    }
+
+    /// Stalls `rank`'s outbound transfers (zero export progress) until
+    /// `until_tick`. Extends any existing stall rather than shortening it.
+    pub fn set_exporter_stall(&mut self, rank: MdsRank, until_tick: u64) {
+        match self.stalls.iter_mut().find(|(r, _)| *r == rank) {
+            Some((_, until)) => *until = (*until).max(until_tick),
+            None => self.stalls.push((rank, until_tick)),
+        }
+    }
+
+    /// Jobs the ledger counts as in flight: actively transferring or
+    /// committing, plus timed-out jobs waiting out their backoff.
+    pub fn in_flight(&self) -> u64 {
+        (self.jobs.len() + self.retry_queue.len()) as u64
+    }
+
+    /// Timed-out jobs currently waiting to restart.
+    pub fn retry_queue_len(&self) -> usize {
+        self.retry_queue.len()
     }
 
     /// Attaches the telemetry handle migration lifecycle events flow into.
@@ -121,7 +190,7 @@ impl Migrator {
     /// used when a rank is drained/fails. Abandoned transfers count as
     /// rejected choices, not migrations.
     pub fn abandon_jobs_touching(&mut self, rank: MdsRank) {
-        let before = self.jobs.len();
+        let before = self.jobs.len() + self.retry_queue.len();
         let mut dropped = Vec::new();
         self.jobs.retain(|j| {
             let keep = j.from != rank && j.to != rank;
@@ -130,7 +199,14 @@ impl Migrator {
             }
             keep
         });
-        let n_dropped = (before - self.jobs.len()) as u64;
+        self.retry_queue.retain(|e| {
+            let keep = e.job.from != rank && e.job.to != rank;
+            if !keep {
+                dropped.push((e.job.from, e.job.to, e.job.subtree.dir, e.job.moved));
+            }
+            keep
+        });
+        let n_dropped = (before - self.jobs.len() - self.retry_queue.len()) as u64;
         self.counters.rejected_choices += n_dropped;
         self.counters.abandoned_jobs += n_dropped;
         if n_dropped > 0 {
@@ -166,7 +242,9 @@ impl Migrator {
                 if self
                     .jobs
                     .iter()
-                    .any(|j| subtrees_overlap(ns, &j.subtree, &key))
+                    .map(|j| &j.subtree)
+                    .chain(self.retry_queue.iter().map(|e| &e.job.subtree))
+                    .any(|s| subtrees_overlap(ns, s, &key))
                 {
                     self.counters.rejected_choices += 1;
                     continue;
@@ -199,7 +277,9 @@ impl Migrator {
                     total_inodes,
                     moved: 0,
                     started_at: tick,
+                    attempt: 0,
                     phase: Phase::Transferring,
+                    deadline: deadline_after(tick, self.timeout_ticks),
                 });
             }
         }
@@ -212,6 +292,8 @@ impl Migrator {
     /// for both endpoints of each active job).
     pub fn step(&mut self, ns: &Namespace, map: &mut SubtreeMap, tick: u64) -> Vec<(MdsRank, f64)> {
         self.completed_last_step.clear();
+        self.reactivate_retries(ns, map, tick);
+        self.sweep_timeouts(tick);
         let mut charges: Vec<(MdsRank, f64)> = Vec::new();
         // Split bandwidth evenly among each exporter's transferring jobs.
         let mut active_per_exporter: Vec<(MdsRank, usize)> = Vec::new();
@@ -229,6 +311,16 @@ impl Migrator {
         for job in &mut self.jobs {
             match job.phase {
                 Phase::Transferring => {
+                    // A stalled exporter makes no export progress at all;
+                    // long enough stalls blow the transfer deadline and
+                    // exercise the retry path.
+                    if self
+                        .stalls
+                        .iter()
+                        .any(|(r, until)| *r == job.from && tick < *until)
+                    {
+                        continue;
+                    }
                     let n_active = active_per_exporter
                         .iter()
                         .find(|(r, _)| *r == job.from)
@@ -275,7 +367,110 @@ impl Migrator {
         if self.jobs.len() != before {
             map.simplify(ns);
         }
+        self.stalls.retain(|(_, until)| *until > tick);
         charges
+    }
+
+    /// Restarts parked jobs whose backoff elapsed. A restart re-validates
+    /// the job against the *current* map and namespace — the world may have
+    /// moved on during the backoff — and abandons it if the exporter lost
+    /// authority or the subtree emptied out.
+    fn reactivate_retries(&mut self, ns: &Namespace, map: &SubtreeMap, tick: u64) {
+        if self.retry_queue.is_empty() {
+            return;
+        }
+        let due: Vec<RetryEntry> = {
+            let mut due = Vec::new();
+            self.retry_queue.retain_mut(|e| {
+                if e.ready_at <= tick {
+                    due.push(e.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for entry in due {
+            let mut job = entry.job;
+            let still_owned =
+                map.frag_authority(ns, job.subtree.dir, &job.subtree.frag) == job.from;
+            let total_inodes = ns.subtree_inode_count(job.subtree.dir, &job.subtree.frag) as u64;
+            if !still_owned || total_inodes == 0 {
+                self.counters.abandoned_jobs += 1;
+                self.counters.rejected_choices += 1;
+                self.telemetry.counter_add("migration.abandoned", 1);
+                self.telemetry.emit(|| Event::MigrationAbandon {
+                    from: u32::from(job.from.0),
+                    to: u32::from(job.to.0),
+                    dir: job.subtree.dir.raw(),
+                    moved: job.moved,
+                });
+                continue;
+            }
+            job.total_inodes = total_inodes;
+            job.moved = 0;
+            job.phase = Phase::Transferring;
+            job.deadline = deadline_after(tick, self.timeout_ticks);
+            self.counters.retried_jobs += 1;
+            self.telemetry.counter_add("migration.retried", 1);
+            self.telemetry.emit(|| Event::MigrationRetried {
+                from: u32::from(job.from.0),
+                to: u32::from(job.to.0),
+                dir: job.subtree.dir.raw(),
+                attempt: job.attempt,
+                backoff_ticks: entry.backoff,
+            });
+            self.jobs.push(job);
+        }
+    }
+
+    /// Times out transferring jobs past their deadline: re-queue with
+    /// exponential backoff while the retry budget lasts, abandon after.
+    fn sweep_timeouts(&mut self, tick: u64) {
+        if self.timeout_ticks == 0 {
+            return;
+        }
+        let max_retries = self.max_retries;
+        let backoff_base = self.backoff_ticks;
+        let mut kept = Vec::with_capacity(self.jobs.len());
+        for mut job in self.jobs.drain(..) {
+            let timed_out = matches!(job.phase, Phase::Transferring) && tick >= job.deadline;
+            if !timed_out {
+                kept.push(job);
+                continue;
+            }
+            self.counters.timed_out_jobs += 1;
+            self.telemetry.counter_add("migration.timed_out", 1);
+            self.telemetry.emit(|| Event::MigrationTimedOut {
+                from: u32::from(job.from.0),
+                to: u32::from(job.to.0),
+                dir: job.subtree.dir.raw(),
+                attempt: job.attempt,
+                moved: job.moved,
+            });
+            if job.attempt < max_retries {
+                job.attempt += 1;
+                // Exponential backoff, shift-capped so it cannot overflow.
+                let backoff = backoff_base.saturating_mul(1u64 << (job.attempt - 1).min(16));
+                self.retry_queue.push(RetryEntry {
+                    ready_at: tick.saturating_add(backoff),
+                    backoff,
+                    job,
+                });
+            } else {
+                self.counters.abandoned_jobs += 1;
+                self.counters.rejected_choices += 1;
+                self.telemetry.counter_add("migration.abandoned", 1);
+                self.telemetry.emit(|| Event::MigrationAbandon {
+                    from: u32::from(job.from.0),
+                    to: u32::from(job.to.0),
+                    dir: job.subtree.dir.raw(),
+                    moved: job.moved,
+                });
+            }
+        }
+        self.jobs = kept;
     }
 
     /// True when `(dir of ino's path) ∩ (a committing subtree)` is
@@ -297,6 +492,16 @@ impl Migrator {
             }
         }
         false
+    }
+}
+
+/// Transfer deadline for a job (re)starting at `tick`; `u64::MAX` when
+/// timeouts are disabled.
+fn deadline_after(tick: u64, timeout_ticks: u64) -> u64 {
+    if timeout_ticks == 0 {
+        u64::MAX
+    } else {
+        tick.saturating_add(timeout_ticks)
     }
 }
 
@@ -451,6 +656,83 @@ mod tests {
         assert!((total - 2.0 * 50.0 * 0.1).abs() < 1e-9);
         assert!(charges.iter().any(|(r, _)| *r == MdsRank(0)));
         assert!(charges.iter().any(|(r, _)| *r == MdsRank(1)));
+    }
+
+    #[test]
+    fn stalled_transfer_times_out_retries_and_commits() {
+        let (mut ns, mut map, d) = fixture();
+        let mut mig = Migrator::new(1e9, 0, 0.0);
+        mig.configure_retry(3, 2, 2);
+        mig.set_exporter_stall(MdsRank(0), 10);
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1), 0);
+        let mut committed_at = None;
+        for tick in 1..40u64 {
+            mig.step(&ns, &mut map, tick);
+            if mig.counters().completed_jobs == 1 {
+                committed_at = Some(tick);
+                break;
+            }
+        }
+        let t = committed_at.expect("retry must eventually commit");
+        assert!(t > 10, "cannot commit while the exporter is stalled");
+        let c = mig.counters();
+        assert!(c.timed_out_jobs >= 1, "the stall must blow the deadline");
+        assert_eq!(c.retried_jobs, c.timed_out_jobs, "every timeout retried");
+        assert_eq!(c.started_jobs, 1, "retries are not new starts");
+        assert_eq!(c.abandoned_jobs, 0);
+        assert_eq!(
+            c.started_jobs,
+            c.completed_jobs + c.abandoned_jobs + mig.in_flight()
+        );
+        assert_eq!(map.frag_authority(&ns, d, &Frag::root()), MdsRank(1));
+    }
+
+    #[test]
+    fn retry_budget_exhausted_abandons_without_flip() {
+        let (mut ns, mut map, d) = fixture();
+        let mut mig = Migrator::new(1e9, 0, 0.0);
+        mig.configure_retry(2, 1, 1);
+        mig.set_exporter_stall(MdsRank(0), 1_000);
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1), 0);
+        for tick in 1..30u64 {
+            mig.step(&ns, &mut map, tick);
+        }
+        let c = mig.counters();
+        assert_eq!(c.timed_out_jobs, 2, "initial attempt + one retry");
+        assert_eq!(c.retried_jobs, 1);
+        assert_eq!(c.abandoned_jobs, 1, "budget exhausted => abandoned");
+        assert_eq!(c.completed_jobs, 0);
+        assert_eq!(mig.in_flight(), 0);
+        assert_eq!(
+            c.started_jobs,
+            c.completed_jobs + c.abandoned_jobs + mig.in_flight()
+        );
+        assert_eq!(
+            map.frag_authority(&ns, d, &Frag::root()),
+            MdsRank(0),
+            "an abandoned migration must never flip authority"
+        );
+    }
+
+    #[test]
+    fn parked_retry_counts_in_flight_and_blocks_overlap() {
+        let (mut ns, mut map, d) = fixture();
+        let mut mig = Migrator::new(1e9, 0, 0.0);
+        mig.configure_retry(1, 3, 50);
+        mig.set_exporter_stall(MdsRank(0), 100);
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 1), 0);
+        mig.step(&ns, &mut map, 1); // deadline blown -> parked
+        assert_eq!(mig.jobs().len(), 0);
+        assert_eq!(mig.retry_queue_len(), 1);
+        assert_eq!(mig.in_flight(), 1, "parked jobs are still in flight");
+        // A new plan for the same subtree must be rejected as overlapping.
+        mig.enqueue_plan(&mut ns, &map, &plan_for(d, 0, 2), 1);
+        assert_eq!(mig.in_flight(), 1);
+        assert!(mig.counters().rejected_choices >= 1);
+        // Draining the exporter abandons the parked job too.
+        mig.abandon_jobs_touching(MdsRank(0));
+        assert_eq!(mig.in_flight(), 0);
+        assert_eq!(mig.counters().abandoned_jobs, 1);
     }
 
     #[test]

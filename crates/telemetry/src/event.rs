@@ -131,6 +131,57 @@ pub enum Event {
         /// Number of clients added.
         count: u64,
     },
+    /// A scheduled fault fired (emitted once per fault, alongside any
+    /// kind-specific event such as `RankCrashed`).
+    FaultInjected {
+        /// Fault taxonomy label: `crash`, `limp`, `report_loss`, or
+        /// `migration_stall`.
+        kind: String,
+        /// Rank the fault targets.
+        rank: u32,
+        /// Principal magnitude (ticks or epochs, per `kind`).
+        param: u64,
+    },
+    /// An MDS rank crashed: capacity zeroed, subtrees failed over.
+    RankCrashed {
+        /// The rank that went down.
+        rank: u32,
+        /// Scheduled outage length in ticks.
+        down_ticks: u64,
+    },
+    /// A crashed MDS rank rejoined the cluster (empty, to be re-filled).
+    RankRecovered {
+        /// The rank that came back.
+        rank: u32,
+        /// Actual ticks the rank spent down.
+        down_ticks: u64,
+    },
+    /// A migration job exceeded its transfer deadline.
+    MigrationTimedOut {
+        /// Exporting rank.
+        from: u32,
+        /// Importing rank.
+        to: u32,
+        /// Root directory inode of the subtree.
+        dir: u64,
+        /// Retry attempts already made when the timeout fired (0 on first).
+        attempt: u32,
+        /// Inodes moved when the deadline passed.
+        moved: u64,
+    },
+    /// A timed-out migration job was re-queued after backoff.
+    MigrationRetried {
+        /// Exporting rank.
+        from: u32,
+        /// Importing rank.
+        to: u32,
+        /// Root directory inode of the subtree.
+        dir: u64,
+        /// Retry attempt number this restart begins (1-based).
+        attempt: u32,
+        /// Backoff the job waited before restarting, in ticks.
+        backoff_ticks: u64,
+    },
 }
 
 impl Event {
@@ -152,6 +203,11 @@ impl Event {
             Event::MdsAdd { .. } => "mds_add",
             Event::MdsDrain { .. } => "mds_drain",
             Event::ClientsAdd { .. } => "clients_add",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::RankCrashed { .. } => "rank_crashed",
+            Event::RankRecovered { .. } => "rank_recovered",
+            Event::MigrationTimedOut { .. } => "migration_timeout",
+            Event::MigrationRetried { .. } => "migration_retry",
         }
     }
 
@@ -246,6 +302,43 @@ impl Event {
                 field("subtrees_failed_over", subtrees_failed_over),
             ],
             Event::ClientsAdd { count } => vec![field("count", count)],
+            Event::FaultInjected { kind, rank, param } => vec![
+                field("kind", kind),
+                field("rank", rank),
+                field("param", param),
+            ],
+            Event::RankCrashed { rank, down_ticks } => {
+                vec![field("rank", rank), field("down_ticks", down_ticks)]
+            }
+            Event::RankRecovered { rank, down_ticks } => {
+                vec![field("rank", rank), field("down_ticks", down_ticks)]
+            }
+            Event::MigrationTimedOut {
+                from,
+                to,
+                dir,
+                attempt,
+                moved,
+            } => vec![
+                field("from", from),
+                field("to", to),
+                field("dir", dir),
+                field("attempt", attempt),
+                field("moved", moved),
+            ],
+            Event::MigrationRetried {
+                from,
+                to,
+                dir,
+                attempt,
+                backoff_ticks,
+            } => vec![
+                field("from", from),
+                field("to", to),
+                field("dir", dir),
+                field("attempt", attempt),
+                field("backoff_ticks", backoff_ticks),
+            ],
         }
     }
 }
@@ -331,6 +424,33 @@ impl FromJson for Event {
             }),
             "clients_add" => Ok(Event::ClientsAdd {
                 count: req(v, "count")?,
+            }),
+            "fault_injected" => Ok(Event::FaultInjected {
+                kind: req(v, "kind")?,
+                rank: req(v, "rank")?,
+                param: req(v, "param")?,
+            }),
+            "rank_crashed" => Ok(Event::RankCrashed {
+                rank: req(v, "rank")?,
+                down_ticks: req(v, "down_ticks")?,
+            }),
+            "rank_recovered" => Ok(Event::RankRecovered {
+                rank: req(v, "rank")?,
+                down_ticks: req(v, "down_ticks")?,
+            }),
+            "migration_timeout" => Ok(Event::MigrationTimedOut {
+                from: req(v, "from")?,
+                to: req(v, "to")?,
+                dir: req(v, "dir")?,
+                attempt: req(v, "attempt")?,
+                moved: req(v, "moved")?,
+            }),
+            "migration_retry" => Ok(Event::MigrationRetried {
+                from: req(v, "from")?,
+                to: req(v, "to")?,
+                dir: req(v, "dir")?,
+                attempt: req(v, "attempt")?,
+                backoff_ticks: req(v, "backoff_ticks")?,
             }),
             other => Err(JsonError::new(format!("unknown event type '{other}'"))),
         }
@@ -432,6 +552,33 @@ mod tests {
                 subtrees_failed_over: 6,
             },
             Event::ClientsAdd { count: 32 },
+            Event::FaultInjected {
+                kind: "crash".into(),
+                rank: 1,
+                param: 60,
+            },
+            Event::RankCrashed {
+                rank: 1,
+                down_ticks: 60,
+            },
+            Event::RankRecovered {
+                rank: 1,
+                down_ticks: 61,
+            },
+            Event::MigrationTimedOut {
+                from: 0,
+                to: 2,
+                dir: 99,
+                attempt: 0,
+                moved: 120,
+            },
+            Event::MigrationRetried {
+                from: 0,
+                to: 2,
+                dir: 99,
+                attempt: 1,
+                backoff_ticks: 8,
+            },
         ]
     }
 

@@ -296,6 +296,34 @@ impl InvariantChecker {
         self.violations.len() - before
     }
 
+    /// No authority on a crashed rank: `down[r]` marks rank `r` as
+    /// currently down; neither the root default nor any subtree entry may
+    /// target such a rank. Fault injection must fail subtrees over *before*
+    /// the crash takes effect, so this holds at every tick of every fault
+    /// schedule.
+    pub fn check_down_ranks(&mut self, map: &SubtreeMap, down: &[bool]) -> usize {
+        let before = self.violations.len();
+        let is_down = |rank: MdsRank| down.get(rank.index()).copied().unwrap_or(false);
+        if is_down(map.root_rank()) {
+            self.record(
+                InvariantKind::AuthorityOnDownRank,
+                format!("root default targets crashed rank {:?}", map.root_rank()),
+            );
+        }
+        for (key, rank) in map.all_entries() {
+            if is_down(rank) {
+                self.record(
+                    InvariantKind::AuthorityOnDownRank,
+                    format!(
+                        "entry ({:?}, {:?}) targets crashed rank {rank:?}",
+                        key.dir, key.frag
+                    ),
+                );
+            }
+        }
+        self.violations.len() - before
+    }
+
     /// The full battery: map well-formedness, fragment partitions,
     /// conservation, and frozen-subtree stability in one call.
     pub fn audit(
@@ -501,6 +529,24 @@ mod tests {
             1
         );
         assert_eq!(kinds(&checker), vec![InvariantKind::MigrationLedger]);
+    }
+
+    #[test]
+    fn authority_on_down_rank_detected() {
+        let (_, map, _, _) = fixture();
+        let mut checker = InvariantChecker::default();
+        // Nobody down: clean. (An empty/short mask treats ranks as up.)
+        assert_eq!(checker.check_down_ranks(&map, &[false; 3]), 0);
+        assert_eq!(checker.check_down_ranks(&map, &[]), 0);
+        // a1's authority (mds.2) crashes without fail-over: one violation.
+        assert_eq!(checker.check_down_ranks(&map, &[false, false, true]), 1);
+        assert_eq!(
+            checker.take_violations()[0].kind,
+            InvariantKind::AuthorityOnDownRank
+        );
+        // The root default rank going down is also caught.
+        assert_eq!(checker.check_down_ranks(&map, &[true, false, false]), 1);
+        assert!(kinds(&checker).contains(&InvariantKind::AuthorityOnDownRank));
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub enum InvariantKind {
     /// must equal committed + abandoned + in-flight, and the telemetry
     /// journal (when kept) must agree with the counters.
     MigrationLedger,
+    /// An authority entry (or the root default) targets a rank that is
+    /// currently crashed — clients would route metadata ops into a void.
+    AuthorityOnDownRank,
 }
 
 /// One observed violation: the invariant that broke plus the offending

@@ -40,6 +40,7 @@ const LIB_CRATES: &[&str] = &[
     "workloads",
     "verify",
     "telemetry",
+    "faults",
 ];
 
 /// Identifier of one lint rule, used in reports and allowlist entries.

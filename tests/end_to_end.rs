@@ -24,7 +24,7 @@ fn small_sim(n_mds: usize) -> SimConfig {
         memory_thrash_factor: 0.25,
         data_path: None,
         seed: 11,
-        telemetry: lunule::telemetry::Telemetry::disabled(),
+        ..SimConfig::default()
     }
 }
 

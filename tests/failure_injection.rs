@@ -23,7 +23,7 @@ fn base_cfg() -> SimConfig {
         memory_thrash_factor: 0.25,
         data_path: None,
         seed: 2,
-        telemetry: lunule::telemetry::Telemetry::disabled(),
+        ..SimConfig::default()
     }
 }
 
