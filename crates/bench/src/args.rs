@@ -25,6 +25,10 @@ pub struct CommonArgs {
     /// `lunule_faults::parse_spec` against the run's MDS count and
     /// duration.
     pub faults: Option<String>,
+    /// Worker-pool width for parallel drivers (`run_all`, grid sweeps, the
+    /// chaos battery). `0` = auto (`available_parallelism`). Results are
+    /// byte-identical regardless of the value — only wall time changes.
+    pub jobs: usize,
 }
 
 impl Default for CommonArgs {
@@ -37,6 +41,7 @@ impl Default for CommonArgs {
             telemetry_out: None,
             quick: false,
             faults: None,
+            jobs: 0,
         }
     }
 }
@@ -75,6 +80,7 @@ impl CommonArgs {
                             .unwrap_or_else(|| usage("--faults needs a spec string")),
                     )
                 }
+                "--jobs" => out.jobs = expect_value(&mut it, "--jobs"),
                 "--quick" => out.quick = true,
                 "--help" | "-h" => usage("usage"),
                 other => usage(&format!("unknown flag: {other}")),
@@ -98,7 +104,7 @@ fn expect_value<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, fl
 #[allow(clippy::exit)]
 fn usage(msg: &str) -> ! {
     eprintln!(
-        "{msg}\n\nflags:\n  --scale <f>     dataset/op scale (default 0.1)\n  --seed <u64>    master seed (default 42)\n  --clients <n>   concurrent clients (default 100)\n  --out <dir>     JSON dump directory (default ./results)\n  --no-out        disable JSON dumps\n  --telemetry-out <dir>  export telemetry (events JSONL, metrics CSV, Chrome trace)\n  --faults <spec> fault schedule: crash@T:R:D;limp@T:R:F:D;loss@T:R:E;stall@T:R:D, or seed=N,crashes=2,...\n  --quick         CI smoke mode (tiny scale)"
+        "{msg}\n\nflags:\n  --scale <f>     dataset/op scale (default 0.1)\n  --seed <u64>    master seed (default 42)\n  --clients <n>   concurrent clients (default 100)\n  --out <dir>     JSON dump directory (default ./results)\n  --no-out        disable JSON dumps\n  --telemetry-out <dir>  export telemetry (events JSONL, metrics CSV, Chrome trace)\n  --faults <spec> fault schedule: crash@T:R:D;limp@T:R:F:D;loss@T:R:E;stall@T:R:D, or seed=N,crashes=2,...\n  --jobs <n>      worker-pool width for parallel drivers (0 = auto)\n  --quick         CI smoke mode (tiny scale)"
     );
     std::process::exit(2)
 }
@@ -148,6 +154,14 @@ mod tests {
         assert!(parse(&[]).faults.is_none());
         let a = parse(&["--faults", "crash@30:1:20"]);
         assert_eq!(a.faults.as_deref(), Some("crash@30:1:20"));
+    }
+
+    #[test]
+    fn jobs_flag() {
+        assert_eq!(parse(&[]).jobs, 0);
+        assert_eq!(parse(&["--jobs", "4"]).jobs, 4);
+        // 0 stays 0 (auto) — resolution happens in the pool.
+        assert_eq!(parse(&["--jobs", "0"]).jobs, 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! until the fixed client population stops saturating the cluster; and
 //! (b) Lunule vs CephFS-Vanilla vs Dir-Hash on the Web workload.
 
-use lunule_bench::{default_sim, run_grid, write_json, CommonArgs, ExperimentConfig};
+use lunule_bench::{default_sim, run_grid_jobs, write_json, CommonArgs, ExperimentConfig};
 use lunule_core::BalancerKind;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
@@ -32,7 +32,7 @@ fn scalability(args: &CommonArgs) {
             },
         })
         .collect();
-    let results = run_grid(&cells);
+    let results = run_grid_jobs(&cells, args.jobs);
     println!("# Fig 13a — Lunule scalability, MDtest create");
     println!(
         "{:<6} {:>10} {:>10} {:>10} {:>12}",
@@ -76,7 +76,7 @@ fn hash_comparison(args: &CommonArgs) {
             sim: default_sim(),
         })
         .collect();
-    let results = run_grid(&cells);
+    let results = run_grid_jobs(&cells, args.jobs);
     println!("\n# Fig 13b — Lunule vs Vanilla vs Dir-Hash, Web workload");
     println!(
         "{:<10} {:>10} {:>10} {:>12} {:>10}",

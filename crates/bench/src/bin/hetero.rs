@@ -13,6 +13,7 @@ use lunule_core::{
     make_balancer, BalancerKind, IfModelConfig, LunuleBalancer, LunuleConfig, RoleConfig,
 };
 use lunule_sim::Simulation;
+use lunule_util::WorkerPool;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
 fn main() {
@@ -60,23 +61,19 @@ fn main() {
         capacities,
         ..LunuleConfig::default()
     };
-    let runs: Vec<(&str, Box<dyn lunule_core::Balancer>)> = vec![
-        (
-            "Vanilla",
-            make_balancer(BalancerKind::Vanilla, base.mds_capacity),
-        ),
-        (
-            "Lunule(uniform)",
-            Box::new(LunuleBalancer::new(lunule_cfg(None))),
-        ),
-        (
-            "Lunule-hetero",
-            Box::new(LunuleBalancer::new(lunule_cfg(Some(caps.clone())))),
-        ),
-    ];
-    for (name, balancer) in runs {
+    // Balancers are boxed trait objects (not Send), so each pool worker
+    // constructs its own from the cell's recipe.
+    let rows: Vec<&str> = vec!["Vanilla", "Lunule(uniform)", "Lunule-hetero"];
+    let results = WorkerPool::new(args.jobs).map(&rows, |_, name| {
+        let balancer: Box<dyn lunule_core::Balancer> = match *name {
+            "Vanilla" => make_balancer(BalancerKind::Vanilla, base.mds_capacity),
+            "Lunule(uniform)" => Box::new(LunuleBalancer::new(lunule_cfg(None))),
+            _ => Box::new(LunuleBalancer::new(lunule_cfg(Some(caps.clone())))),
+        };
         let (ns, streams) = spec.build();
-        let r = Simulation::new(sim.clone(), ns, balancer, streams).run();
+        Simulation::new(sim.clone(), ns, balancer, streams).run()
+    });
+    for (name, r) in rows.iter().zip(results) {
         let jct = r
             .jct_percentile(0.99)
             .map(|v| v.to_string())
@@ -89,7 +86,7 @@ fn main() {
             r.migrated_inodes(),
             jct
         );
-        dump.push((name, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
+        dump.push((*name, r.mean_if(), r.mean_iops(), r.migrated_inodes()));
     }
     println!(
         "\nNote: mean IF here is computed by the harness with the uniform model\n\

@@ -1,0 +1,301 @@
+//! The fixed microbenchmark basket behind `BENCH.json`: hot paths of the
+//! simulator, balancer, namespace, and telemetry measured under the
+//! warmup + median-of-K protocol in `lunule_bench::perf`.
+//!
+//! Every benchmark performs a *fixed* amount of deterministic work per
+//! round, so `ns_per_op` is comparable across machines of the same class
+//! and across PRs on the same machine — the latter is what the CI `bench`
+//! job guards via `xtask bench-diff` against `bench-baseline.json`.
+//!
+//! `--quick` selects the CI protocol (1 warmup, median of 3); the work per
+//! round is identical in both modes so quick and full numbers stay
+//! comparable. `--out` names either a directory (gets `BENCH.json` inside)
+//! or a `.json` file path. Benchmarks run sequentially on purpose —
+//! parallel timing runs would contend for cores and poison the medians —
+//! so `--jobs` is accepted but ignored here.
+
+use lunule_bench::perf::to_bench_json;
+use lunule_bench::{default_sim, run_bench, BenchResult, CommonArgs, Protocol};
+use lunule_core::{
+    make_balancer, Access, Balancer, BalancerKind, EpochStats, ExportTask, LunuleBalancer,
+    LunuleConfig, MigrationPlan, OpKind, SubtreeChoice,
+};
+use lunule_namespace::{
+    dentry_hash, Frag, FragKey, FragSet, InodeId, MdsRank, Namespace, SubtreeMap,
+};
+use lunule_sim::{SimConfig, Simulation};
+use lunule_telemetry::Telemetry;
+use lunule_workloads::{WorkloadKind, WorkloadSpec};
+
+/// The tiny-but-representative simulation cell shared by the end-to-end
+/// benchmarks: 8 clients on a Zipf read workload over 4 MDSs.
+fn bench_cell() -> (WorkloadSpec, SimConfig) {
+    let spec = WorkloadSpec {
+        kind: WorkloadKind::ZipfRead,
+        clients: 8,
+        scale: 0.005,
+        seed: 42,
+    };
+    let sim = SimConfig {
+        n_mds: 4,
+        duration_secs: 240,
+        ..default_sim()
+    };
+    (spec, sim)
+}
+
+fn run_cell(balancer: BalancerKind, telemetry: Telemetry) -> u64 {
+    let (spec, mut sim) = bench_cell();
+    sim.telemetry = telemetry;
+    let (ns, streams) = spec.build();
+    let b = make_balancer(balancer, sim.mds_capacity);
+    let r = Simulation::new(sim, ns, b, streams).run();
+    r.total_ops
+}
+
+/// End-to-end simulator tick loop (issue rounds, budgets, routing).
+fn sim_tick_loop(p: Protocol) -> BenchResult {
+    run_bench("sim_tick_loop", p, || {
+        run_cell(BalancerKind::Vanilla, Telemetry::disabled())
+    })
+}
+
+/// Telemetry overhead pair: the same cell with the collector off and on.
+fn telemetry_off(p: Protocol) -> BenchResult {
+    run_bench("telemetry_off", p, || {
+        run_cell(BalancerKind::Lunule, Telemetry::disabled())
+    })
+}
+
+fn telemetry_on(p: Protocol) -> BenchResult {
+    run_bench("telemetry_on", p, || {
+        run_cell(BalancerKind::Lunule, Telemetry::enabled())
+    })
+}
+
+/// Balancer epoch close with the IF-model math: a stream of recorded
+/// accesses followed by `on_epoch` over a multi-rank namespace.
+fn balancer_epoch_if(p: Protocol) -> BenchResult {
+    // 40 directories of 25 files each; accesses rotate through them.
+    let mut ns = Namespace::new();
+    let mut files = Vec::new();
+    for d in 0..40 {
+        let dir = ns
+            .mkdir(InodeId::ROOT, &format!("d{d}"))
+            .unwrap_or(InodeId::ROOT);
+        for f in 0..25 {
+            if let Ok(id) = ns.create_file(dir, &format!("f{f}"), 0) {
+                files.push(id);
+            }
+        }
+    }
+    let map = SubtreeMap::new(MdsRank(0));
+    const N_MDS: usize = 4;
+    const EPOCHS: u64 = 30;
+    run_bench("balancer_epoch_if", p, || {
+        let mut balancer = LunuleBalancer::new(LunuleConfig::default());
+        let mut accesses = 0u64;
+        for epoch in 0..EPOCHS {
+            let mut requests = vec![0u64; N_MDS];
+            for (i, ino) in files.iter().enumerate() {
+                // Skewed: rank 0 serves most files, mimicking a hotspot.
+                let rank = if i % 4 == 0 { i % N_MDS } else { 0 };
+                balancer.record_access(
+                    &ns,
+                    Access {
+                        ino: *ino,
+                        served_by: MdsRank(rank as u16),
+                        kind: OpKind::Read,
+                    },
+                );
+                requests[rank] += 1;
+                accesses += 1;
+            }
+            let stats = EpochStats::new(epoch, 10.0, requests);
+            let _plan = balancer.on_epoch(&ns, &map, &stats);
+        }
+        accesses
+    })
+}
+
+/// Dirfrag split/merge churn plus hash→frag resolution.
+fn frag_split_merge(p: Protocol) -> BenchResult {
+    const ROUNDS: u64 = 400;
+    const LOOKUPS: u64 = 256;
+    run_bench("frag_split_merge", p, || {
+        let mut ops = 0u64;
+        for round in 0..ROUNDS {
+            let mut set = FragSet::new_root();
+            // Churn: root → 4 frags → 16 frags, resolve, merge all back.
+            set.split(&Frag::root(), 2);
+            ops += 1;
+            for f in Frag::root().split(2) {
+                set.split(&f, 2);
+                ops += 1;
+            }
+            for k in 0..LOOKUPS {
+                let h = dentry_hash(round.wrapping_mul(LOOKUPS) + k);
+                std::hint::black_box(set.frag_for_hash(h));
+                ops += 1;
+            }
+            for f in Frag::root().split(2) {
+                set.merge(&f);
+                ops += 1;
+            }
+            for f in Frag::root().split(1) {
+                set.merge(&f);
+                ops += 1;
+            }
+            set.merge(&Frag::root());
+            ops += 1;
+        }
+        ops
+    })
+}
+
+/// A balancer that re-exports every top-level directory each epoch,
+/// keeping the migration pipeline saturated regardless of load.
+struct ChurnBalancer {
+    dirs: Vec<InodeId>,
+    n_mds: usize,
+    epoch: u64,
+}
+
+impl Balancer for ChurnBalancer {
+    fn name(&self) -> &'static str {
+        "PerfChurn"
+    }
+
+    fn record_access(&mut self, _ns: &Namespace, _access: Access) {}
+
+    fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, _stats: &EpochStats) -> MigrationPlan {
+        self.epoch += 1;
+        let mut exports: Vec<ExportTask> = Vec::new();
+        for (i, dir) in self.dirs.iter().enumerate() {
+            let from = map.frag_authority(ns, *dir, &Frag::root());
+            let to = MdsRank(((i as u64 + self.epoch) % self.n_mds as u64) as u16);
+            if from == to {
+                continue;
+            }
+            exports.push(ExportTask {
+                from,
+                to,
+                target_amount: 1.0,
+                subtrees: vec![SubtreeChoice {
+                    subtree: FragKey::whole(*dir),
+                    estimated_load: 1.0,
+                }],
+            });
+        }
+        MigrationPlan { exports }
+    }
+}
+
+/// Migration pipeline throughput: subtrees exported/committed per epoch by
+/// a balancer that always migrates; ops = inodes shipped.
+fn migration_pipeline(p: Protocol) -> BenchResult {
+    run_bench("migration_pipeline", p, || {
+        let mut ns = Namespace::new();
+        let mut dirs = Vec::new();
+        for d in 0..8 {
+            let dir = ns
+                .mkdir(InodeId::ROOT, &format!("m{d}"))
+                .unwrap_or(InodeId::ROOT);
+            for f in 0..200 {
+                let _ = ns.create_file(dir, &format!("f{f}"), 0);
+            }
+            dirs.push(dir);
+        }
+        let sim = SimConfig {
+            n_mds: 4,
+            epoch_secs: 5,
+            duration_secs: 150,
+            stop_when_done: false,
+            migration_bw: 50_000.0,
+            ..default_sim()
+        };
+        let balancer = Box::new(ChurnBalancer {
+            dirs,
+            n_mds: sim.n_mds,
+            epoch: 0,
+        });
+        let r = Simulation::new(sim, ns, balancer, Vec::new()).run();
+        r.migrated_inodes()
+    })
+}
+
+/// Subtree-authority resolution on a deep namespace — the per-op client
+/// cache-hit path this PR optimised (allocation-free parent-link walk).
+fn authority_resolve(p: Protocol) -> BenchResult {
+    let mut ns = Namespace::new();
+    let mut dir = InodeId::ROOT;
+    let mut levels = Vec::new();
+    for d in 0..12 {
+        dir = ns.mkdir(dir, &format!("l{d}")).unwrap_or(dir);
+        levels.push(dir);
+    }
+    let files: Vec<InodeId> = (0..64)
+        .filter_map(|f| ns.create_file(dir, &format!("f{f}"), 0).ok())
+        .collect();
+    let mut map = SubtreeMap::new(MdsRank(0));
+    map.set_authority(FragKey::whole(levels[3]), MdsRank(1));
+    map.set_authority(FragKey::whole(levels[7]), MdsRank(2));
+    map.set_authority(FragKey::whole(levels[10]), MdsRank(3));
+    const REPS: u64 = 2_000;
+    run_bench("authority_resolve", p, || {
+        let mut ops = 0u64;
+        for _ in 0..REPS {
+            for ino in &files {
+                std::hint::black_box(map.authority(&ns, *ino));
+                ops += 1;
+            }
+        }
+        ops
+    })
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let protocol = if args.quick {
+        Protocol::quick()
+    } else {
+        Protocol::full()
+    };
+    let results = vec![
+        sim_tick_loop(protocol),
+        balancer_epoch_if(protocol),
+        frag_split_merge(protocol),
+        migration_pipeline(protocol),
+        telemetry_off(protocol),
+        telemetry_on(protocol),
+        authority_resolve(protocol),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>14} {:>14}",
+        "bench", "iters", "ns/op", "ops/sec"
+    );
+    for r in &results {
+        println!(
+            "{:<20} {:>12} {:>14.1} {:>14.0}",
+            r.bench, r.iters, r.ns_per_op, r.ops_per_sec
+        );
+    }
+
+    if let Some(out) = &args.out_dir {
+        let path = if out.ends_with(".json") {
+            std::path::PathBuf::from(out)
+        } else {
+            if let Err(e) = std::fs::create_dir_all(out) {
+                eprintln!("perf: cannot create {out}: {e}");
+                return;
+            }
+            std::path::Path::new(out).join("BENCH.json")
+        };
+        let json = to_bench_json(&results).to_string_pretty();
+        match std::fs::write(&path, json + "\n") {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("perf: cannot write {}: {e}", path.display()),
+        }
+    }
+}

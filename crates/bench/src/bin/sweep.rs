@@ -3,10 +3,15 @@
 //! the urgency smoothness `S` (0.2). Each sweep varies one knob with the
 //! others at defaults and reports the quality/overhead trade-off, so a
 //! deployment can see how sharp each cliff is.
+//!
+//! All four knob grids are flattened into one cell list and run on the
+//! worker pool (`--jobs`); results print grouped in knob order, so the
+//! transcript and the JSON dump are identical for any pool width.
 
 use lunule_bench::{default_sim, write_json, CommonArgs};
 use lunule_core::{IfModelConfig, LunuleBalancer, LunuleConfig, RoleConfig};
 use lunule_sim::{SimConfig, Simulation};
+use lunule_util::WorkerPool;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
 fn run(spec: &WorkloadSpec, sim: SimConfig, lunule: LunuleConfig) -> lunule_sim::RunResult {
@@ -34,6 +39,17 @@ fn lunule_cfg(sim: &SimConfig) -> LunuleConfig {
     }
 }
 
+/// One sweep cell: which knob group it belongs to, the knob value, and the
+/// fully-resolved configuration pair to run.
+struct Cell {
+    group: &'static str,
+    title: &'static str,
+    x_label: &'static str,
+    x: f64,
+    sim: SimConfig,
+    lunule: LunuleConfig,
+}
+
 fn main() {
     let args = CommonArgs::parse();
     let spec = WorkloadSpec {
@@ -43,119 +59,95 @@ fn main() {
         seed: args.seed,
     };
     let base = default_sim();
-    let mut dump: Vec<(String, f64, f64, f64, u64)> = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
 
-    println!("# sweep: epoch length (re-balance interval)");
-    println!(
-        "{:>10} {:>9} {:>10} {:>10}",
-        "epoch (s)", "mean IF", "mean IOPS", "migrated"
-    );
     for epoch in [2u64, 5, 10, 20, 40] {
         let sim = SimConfig {
             epoch_secs: epoch,
             ..base.clone()
         };
-        let r = run(&spec, sim.clone(), lunule_cfg(&sim));
-        println!(
-            "{:>10} {:>9.3} {:>10.0} {:>10}",
-            epoch,
-            r.mean_if(),
-            r.mean_iops(),
-            r.migrated_inodes()
-        );
-        dump.push((
-            "epoch_secs".into(),
-            epoch as f64,
-            r.mean_if(),
-            r.mean_iops(),
-            r.migrated_inodes(),
-        ));
+        let lunule = lunule_cfg(&sim);
+        cells.push(Cell {
+            group: "epoch_secs",
+            title: "# sweep: epoch length (re-balance interval)",
+            x_label: "epoch (s)",
+            x: epoch as f64,
+            sim,
+            lunule,
+        });
     }
-
-    println!("\n# sweep: migration bandwidth (inodes/s per exporter)");
-    println!(
-        "{:>10} {:>9} {:>10} {:>10}",
-        "bw", "mean IF", "mean IOPS", "migrated"
-    );
     for bw in [500.0f64, 1_000.0, 5_000.0, 20_000.0, 100_000.0] {
         let sim = SimConfig {
             migration_bw: bw,
             ..base.clone()
         };
-        let r = run(&spec, sim.clone(), lunule_cfg(&sim));
-        println!(
-            "{:>10} {:>9.3} {:>10.0} {:>10}",
-            bw,
-            r.mean_if(),
-            r.mean_iops(),
-            r.migrated_inodes()
-        );
-        dump.push((
-            "migration_bw".into(),
-            bw,
-            r.mean_if(),
-            r.mean_iops(),
-            r.migrated_inodes(),
-        ));
+        let lunule = lunule_cfg(&sim);
+        cells.push(Cell {
+            group: "migration_bw",
+            title: "# sweep: migration bandwidth (inodes/s per exporter)",
+            x_label: "bw",
+            x: bw,
+            sim,
+            lunule,
+        });
     }
-
-    println!("\n# sweep: IF trigger threshold");
-    println!(
-        "{:>10} {:>9} {:>10} {:>10}",
-        "threshold", "mean IF", "mean IOPS", "migrated"
-    );
     for threshold in [0.02f64, 0.05, 0.10, 0.20, 0.40] {
-        let r = run(
-            &spec,
-            base.clone(),
-            LunuleConfig {
+        cells.push(Cell {
+            group: "if_threshold",
+            title: "# sweep: IF trigger threshold",
+            x_label: "threshold",
+            x: threshold,
+            sim: base.clone(),
+            lunule: LunuleConfig {
                 if_threshold: threshold,
                 ..lunule_cfg(&base)
             },
-        );
-        println!(
-            "{:>10} {:>9.3} {:>10.0} {:>10}",
-            threshold,
-            r.mean_if(),
-            r.mean_iops(),
-            r.migrated_inodes()
-        );
-        dump.push((
-            "if_threshold".into(),
-            threshold,
-            r.mean_if(),
-            r.mean_iops(),
-            r.migrated_inodes(),
-        ));
+        });
     }
-
-    println!("\n# sweep: urgency smoothness S");
-    println!(
-        "{:>10} {:>9} {:>10} {:>10}",
-        "S", "mean IF", "mean IOPS", "migrated"
-    );
     for s in [0.05f64, 0.1, 0.2, 0.4, 0.8] {
-        let r = run(
-            &spec,
-            base.clone(),
-            LunuleConfig {
+        cells.push(Cell {
+            group: "smoothness",
+            title: "# sweep: urgency smoothness S",
+            x_label: "S",
+            x: s,
+            sim: base.clone(),
+            lunule: LunuleConfig {
                 if_model: IfModelConfig {
                     mds_capacity: base.mds_capacity,
                     smoothness: s,
                 },
                 ..lunule_cfg(&base)
             },
-        );
+        });
+    }
+
+    let results =
+        WorkerPool::new(args.jobs).map(&cells, |_, c| run(&spec, c.sim.clone(), c.lunule.clone()));
+
+    let mut dump: Vec<(String, f64, f64, f64, u64)> = Vec::new();
+    let mut current_group = "";
+    for (cell, r) in cells.iter().zip(&results) {
+        if cell.group != current_group {
+            if !current_group.is_empty() {
+                println!();
+            }
+            current_group = cell.group;
+            println!("{}", cell.title);
+            println!(
+                "{:>10} {:>9} {:>10} {:>10}",
+                cell.x_label, "mean IF", "mean IOPS", "migrated"
+            );
+        }
         println!(
             "{:>10} {:>9.3} {:>10.0} {:>10}",
-            s,
+            cell.x,
             r.mean_if(),
             r.mean_iops(),
             r.migrated_inodes()
         );
         dump.push((
-            "smoothness".into(),
-            s,
+            cell.group.into(),
+            cell.x,
             r.mean_if(),
             r.mean_iops(),
             r.migrated_inodes(),

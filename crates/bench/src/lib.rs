@@ -9,11 +9,13 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod sink;
 
 pub use args::CommonArgs;
+pub use perf::{run_bench, BenchResult, Protocol};
 pub use report::{print_series, write_json, Series};
-pub use runner::{default_sim, run_experiment, run_grid, ExperimentConfig};
+pub use runner::{default_sim, run_experiment, run_grid, run_grid_jobs, ExperimentConfig};
 pub use sink::TelemetrySink;

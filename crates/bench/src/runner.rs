@@ -3,6 +3,7 @@
 
 use lunule_core::{make_balancer, BalancerKind};
 use lunule_sim::{RunResult, SimConfig, Simulation};
+use lunule_util::WorkerPool;
 use lunule_workloads::WorkloadSpec;
 
 /// One experiment cell: a workload, a balancer, and simulator settings.
@@ -49,29 +50,17 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
     Simulation::new(cfg.sim.clone(), ns, balancer, streams).run()
 }
 
-/// Runs a grid of experiment cells in parallel (one OS thread per cell,
-/// bounded by the available parallelism; each cell is single-threaded and
-/// deterministic, so the grid's results are independent of scheduling).
+/// Runs a grid of experiment cells on the sanctioned worker pool with
+/// auto-sized parallelism. Each cell is single-threaded and deterministic,
+/// so the grid's results are independent of scheduling and worker count.
 pub fn run_grid(cells: &[ExperimentConfig]) -> Vec<RunResult> {
-    if cells.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(cells.len());
-    let chunk = cells.len().div_ceil(workers);
-    let mut results = vec![RunResult::default(); cells.len()];
-    std::thread::scope(|scope| {
-        for (cell_chunk, out_chunk) in cells.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (cell, out) in cell_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *out = run_experiment(cell);
-                }
-            });
-        }
-    });
-    results
+    run_grid_jobs(cells, 0)
+}
+
+/// [`run_grid`] with an explicit worker count (`0` = auto); this is what
+/// the experiment binaries call with their `--jobs` flag.
+pub fn run_grid_jobs(cells: &[ExperimentConfig], jobs: usize) -> Vec<RunResult> {
+    WorkerPool::new(jobs).map(cells, |_, cell| run_experiment(cell))
 }
 
 #[cfg(test)]
@@ -113,6 +102,22 @@ mod tests {
         for (g, s) in grid.iter().zip(&solo) {
             assert_eq!(g.total_ops, s.total_ops);
             assert_eq!(g.per_mds_requests_total, s.per_mds_requests_total);
+        }
+    }
+
+    #[test]
+    fn grid_results_are_independent_of_worker_count() {
+        let cells = vec![
+            tiny_cell(WorkloadKind::ZipfRead, BalancerKind::Vanilla),
+            tiny_cell(WorkloadKind::ZipfRead, BalancerKind::Lunule),
+            tiny_cell(WorkloadKind::ZipfRead, BalancerKind::GreedySpill),
+        ];
+        let one = run_grid_jobs(&cells, 1);
+        let four = run_grid_jobs(&cells, 4);
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.total_ops, b.total_ops);
+            assert_eq!(a.per_mds_requests_total, b.per_mds_requests_total);
+            assert_eq!(a.epochs.len(), b.epochs.len());
         }
     }
 }

@@ -160,14 +160,20 @@ impl SubtreeMap {
     }
 
     /// The MDS rank authoritative for inode `ino`.
+    ///
+    /// Walks parent links recursively instead of materialising the
+    /// root-to-`ino` path: this runs once per metadata op on the client
+    /// cache-hit path, and the `path_chain` Vec it used to allocate per
+    /// call dominated the resolve cost. Recursion depth equals namespace
+    /// depth (tens of frames at most).
     pub fn authority(&self, ns: &Namespace, ino: InodeId) -> MdsRank {
-        let chain = ns.path_chain(ino);
-        let mut auth = self.root_rank;
-        for pair in chain.windows(2) {
-            let (dir, child) = (pair[0], pair[1]);
-            auth = self.child_authority(dir, dentry_hash(child.raw()), auth);
+        match ns.inode(ino).parent() {
+            None => self.root_rank,
+            Some(dir) => {
+                let dir_auth = self.authority(ns, dir);
+                self.child_authority(dir, dentry_hash(ino.raw()), dir_auth)
+            }
         }
-        auth
     }
 
     /// Authority of every inode along the path from `/` to `ino`, inclusive.

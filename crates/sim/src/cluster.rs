@@ -52,6 +52,13 @@ pub struct Simulation {
     /// Per-rank report loss: the rank's epoch reports are treated as
     /// missing while `tick < report_loss_until[rank]`.
     report_loss_until: Vec<u64>,
+    /// Per-client stall flags reused across ticks so the issue loop does
+    /// not allocate every simulated second.
+    stall_scratch: Vec<bool>,
+    /// Per-rank route-cost accumulator reused across ops; a traversal
+    /// touches a handful of ranks, and this buffer used to be allocated
+    /// once per issued op.
+    costs_scratch: Vec<(usize, f64)>,
     /// Cross-layer invariant auditor (strict builds only): the cheap map
     /// checks run after every tick, the full battery — conservation, frag
     /// partitions, IF-model laws — at every epoch close. Any violation
@@ -131,6 +138,8 @@ impl Simulation {
             saved_capacity: vec![0.0; cfg.n_mds],
             limp: vec![None; cfg.n_mds],
             report_loss_until: vec![0; cfg.n_mds],
+            stall_scratch: Vec::new(),
+            costs_scratch: Vec::new(),
             #[cfg(feature = "strict-invariants")]
             checker: InvariantChecker::new(lunule_core::IfModelConfig {
                 mds_capacity: cfg.mds_capacity,
@@ -602,18 +611,19 @@ impl Simulation {
         let n_clients = self.clients.len();
         if n_clients > 0 {
             let offset = (tick as usize) % n_clients;
-            let mut stalled = vec![false; n_clients];
+            self.stall_scratch.clear();
+            self.stall_scratch.resize(n_clients, false);
             loop {
                 let mut progressed = false;
                 for i in 0..n_clients {
                     let idx = (offset + i) % n_clients;
-                    if stalled[idx] {
+                    if self.stall_scratch[idx] {
                         continue;
                     }
                     match self.try_issue(idx, tick) {
                         IssueOutcome::Served => progressed = true,
                         IssueOutcome::Stalled | IssueOutcome::Inactive => {
-                            stalled[idx] = true;
+                            self.stall_scratch[idx] = true;
                         }
                     }
                 }
@@ -663,7 +673,7 @@ impl Simulation {
         if target_idx >= self.mds.len() {
             return IssueOutcome::Stalled;
         }
-        let mut costs: Vec<(usize, f64)> = Vec::with_capacity(route.forwards.len() + 1);
+        self.costs_scratch.clear();
         let add_cost = |costs: &mut Vec<(usize, f64)>, idx: usize| match costs
             .iter_mut()
             .find(|(i, _)| *i == idx)
@@ -675,16 +685,17 @@ impl Simulation {
             if r.index() >= self.mds.len() {
                 return IssueOutcome::Stalled;
             }
-            add_cost(&mut costs, r.index());
+            add_cost(&mut self.costs_scratch, r.index());
         }
-        add_cost(&mut costs, target_idx);
-        if costs
+        add_cost(&mut self.costs_scratch, target_idx);
+        if self
+            .costs_scratch
             .iter()
             .any(|(idx, cost)| self.mds[*idx].budget < *cost)
         {
             return IssueOutcome::Stalled;
         }
-        for (idx, cost) in &costs {
+        for (idx, cost) in &self.costs_scratch {
             let ok = self.mds[*idx].try_consume(*cost);
             debug_assert!(ok, "budget pre-checked per rank");
         }

@@ -10,13 +10,17 @@
 //! * [`propcheck`] — a seeded property-test harness in the spirit of
 //!   QuickCheck: run a closure over many deterministic random cases and
 //!   report the failing case index on panic.
+//! * [`par`] — the sanctioned scoped worker pool with deterministic result
+//!   ordering; the only module in the workspace allowed to spawn threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod par;
 pub mod propcheck;
 pub mod rng;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use par::WorkerPool;
 pub use rng::DetRng;

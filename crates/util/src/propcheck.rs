@@ -36,6 +36,35 @@ where
     }
 }
 
+/// Runs `property` over `cases` deterministic random cases on a worker
+/// pool.
+///
+/// Each case derives its RNG from [`case_seed`], so cases are mutually
+/// independent and the parallel run checks exactly the same cases as
+/// [`run`] would — only wall time changes. When cases fail, the harness
+/// reports (and re-raises) the **lowest** failing case index, so the
+/// reported failure does not depend on worker count or scheduling.
+pub fn run_par<F>(cases: u64, jobs: usize, property: F)
+where
+    F: Fn(&mut DetRng) + Sync,
+{
+    let pool = crate::par::WorkerPool::new(jobs);
+    let n = usize::try_from(cases).unwrap_or(usize::MAX);
+    let outcomes = pool.map_indices(n, |i| {
+        let case = i as u64;
+        let seed = case_seed(case);
+        let mut rng = DetRng::seed_from_u64(seed);
+        catch_unwind(AssertUnwindSafe(|| (property)(&mut rng))).err()
+    });
+    for (case, outcome) in outcomes.into_iter().enumerate() {
+        if let Some(payload) = outcome {
+            let seed = case_seed(case as u64);
+            eprintln!("propcheck: case {case}/{cases} failed (seed {seed:#018x})");
+            resume_unwind(payload);
+        }
+    }
+}
+
 /// Samples a vector of `f64` values: length uniform in `len`, each element
 /// uniform in `[lo, hi)`. A common shape for load-vector properties.
 pub fn vec_f64(rng: &mut DetRng, len: std::ops::Range<usize>, lo: f64, hi: f64) -> Vec<f64> {
@@ -81,6 +110,32 @@ mod tests {
         assert!(result.is_ok());
         let result = catch_unwind(|| run(8, |_| panic!("boom")));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn parallel_run_checks_the_same_cases() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Sum of each case's first draw is order-independent, so it must
+        // match between the sequential and parallel harnesses.
+        let seq = AtomicU64::new(0);
+        run(32, |rng| {
+            seq.fetch_add(rng.next_u64() >> 8, Ordering::Relaxed);
+        });
+        for jobs in [1, 4] {
+            let par = AtomicU64::new(0);
+            run_par(32, jobs, |rng| {
+                par.fetch_add(rng.next_u64() >> 8, Ordering::Relaxed);
+            });
+            assert_eq!(par.into_inner(), seq.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn parallel_failures_propagate() {
+        let ok = catch_unwind(|| run_par(8, 4, |rng| assert!(rng.gen_f64() < 2.0)));
+        assert!(ok.is_ok());
+        let bad = catch_unwind(|| run_par(8, 4, |_| panic!("boom")));
+        assert!(bad.is_err());
     }
 
     #[test]

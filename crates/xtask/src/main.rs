@@ -1,9 +1,9 @@
 //! Workspace automation tasks, following the cargo-xtask convention.
 //!
-//! The only task today is `lint`: a custom static-analysis pass over the
-//! *library* crates of the balancing stack (`namespace`, `core`, `sim`,
-//! `util`, `workloads`, `verify`). It enforces project rules that rustc and
-//! clippy do not cover out of the box:
+//! `lint` is a custom static-analysis pass over the *library* crates of
+//! the balancing stack (`namespace`, `core`, `sim`, `util`, `workloads`,
+//! `verify`). It enforces project rules that rustc and clippy do not cover
+//! out of the box:
 //!
 //! - no `.unwrap()`, `.expect(` or `panic!(` in library code (typed errors
 //!   or total fallbacks instead) — `#[cfg(test)]` blocks are exempt;
@@ -12,22 +12,36 @@
 //!   comparisons or bit-pattern equality);
 //! - no `println!` / `eprintln!` in library code — observability goes
 //!   through `lunule-telemetry`, and stdout belongs to the bench binaries;
+//! - no `std::thread` usage (`thread::spawn` / `thread::scope` /
+//!   `thread::Builder`) outside the sanctioned pool module
+//!   `crates/util/src/par.rs` — ad-hoc threading could silently break the
+//!   byte-identical-results determinism contract. This rule also covers
+//!   the bench harness and xtask itself, which are otherwise exempt;
 //! - every library crate root must carry `#![forbid(unsafe_code)]` and
 //!   `#![warn(missing_docs)]`.
 //!
 //! Grandfathered sites live in `crates/xtask/lint-allow.txt` as
-//! `<repo-relative-path> <check-id>` lines. Run with:
+//! `<repo-relative-path> <check-id>` lines.
+//!
+//! `bench-diff` compares a fresh `BENCH.json` (from `cargo run --release
+//! -p lunule-bench --bin perf`) against a checked-in baseline and fails
+//! when any entry's `ns_per_op` regressed beyond the threshold (default
+//! 40% — microbenchmarks on shared CI runners are noisy; the job guards
+//! against step-change regressions, not percent-level drift).
 //!
 //! ```text
 //! cargo run -p xtask -- lint
+//! cargo run -p xtask -- bench-diff bench-baseline.json BENCH.json [--threshold 0.40]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//! Exit codes: 0 clean, 1 findings/regressions, 2 usage/IO error.
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use lunule_util::Json;
 
 /// Library crates the lint pass covers (binaries and the bench harness are
 /// exempt: aborting on a broken experiment config is the right behavior
@@ -60,6 +74,8 @@ enum Check {
     Println,
     /// `eprintln!` in library code (report through typed errors instead).
     Eprintln,
+    /// `std::thread` usage outside the sanctioned worker-pool module.
+    ThreadSpawn,
     /// Crate root missing `#![warn(missing_docs)]`.
     MissingDocsLint,
     /// Crate root missing `#![forbid(unsafe_code)]`.
@@ -77,6 +93,7 @@ impl Check {
             Check::FloatEq => "float-eq",
             Check::Println => "println",
             Check::Eprintln => "eprintln",
+            Check::ThreadSpawn => "thread-spawn",
             Check::MissingDocsLint => "missing-docs-lint",
             Check::MissingForbidUnsafe => "missing-forbid-unsafe",
         }
@@ -109,12 +126,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_command(),
+        Some("bench-diff") => bench_diff_command(&args[1..]),
         Some(other) => {
-            eprintln!("unknown task `{other}`; available tasks: lint");
+            eprintln!("unknown task `{other}`; available tasks: lint, bench-diff");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- bench-diff <baseline.json> <current.json> [--threshold 0.40]"
+            );
             ExitCode::from(2)
         }
     }
@@ -152,6 +172,174 @@ fn lint_command() -> ExitCode {
             eprintln!("xtask: lint failed: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// One entry parsed from a `BENCH.json` array: the benchmark name and its
+/// wall-time cost per operation. The other emitted fields (`iters`,
+/// `ops_per_sec`) are derived or informational and do not gate CI.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchEntry {
+    bench: String,
+    ns_per_op: f64,
+}
+
+/// Outcome of comparing one baseline benchmark against the current run.
+#[derive(Debug, Clone, PartialEq)]
+enum Verdict {
+    /// Within threshold; carries `current / baseline` for the report.
+    Ok(f64),
+    /// `current / baseline` exceeded `1 + threshold`.
+    Regressed(f64),
+    /// In the baseline but absent from the current run — a silently
+    /// dropped benchmark must fail the gate, not shrink it.
+    Missing,
+}
+
+/// Compares `current` against `baseline`: one verdict per baseline entry,
+/// in baseline order. Entries that exist only in `current` are newly added
+/// benchmarks and always pass (they gate once the baseline is refreshed).
+fn compare_benches(
+    baseline: &[BenchEntry],
+    current: &[BenchEntry],
+    threshold: f64,
+) -> Vec<(String, Verdict)> {
+    baseline
+        .iter()
+        .map(|b| {
+            let verdict = match current.iter().find(|c| c.bench == b.bench) {
+                None => Verdict::Missing,
+                Some(c) => {
+                    let ratio = if b.ns_per_op > 0.0 {
+                        c.ns_per_op / b.ns_per_op
+                    } else {
+                        f64::INFINITY
+                    };
+                    if ratio > 1.0 + threshold {
+                        Verdict::Regressed(ratio)
+                    } else {
+                        Verdict::Ok(ratio)
+                    }
+                }
+            };
+            (b.bench.clone(), verdict)
+        })
+        .collect()
+}
+
+/// Parses a `BENCH.json` document: a top-level array of objects with at
+/// least a string `bench` and a numeric `ns_per_op` field.
+fn parse_bench_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let json = Json::parse(text).map_err(|e| e.to_string())?;
+    let arr = json
+        .as_arr()
+        .ok_or_else(|| "top-level value must be an array".to_string())?;
+    let mut out = Vec::new();
+    for (i, item) in arr.iter().enumerate() {
+        let bench = item
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("entry {i}: missing string field `bench`"))?
+            .to_string();
+        let ns_per_op = item
+            .get("ns_per_op")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("entry {i} ({bench}): missing numeric field `ns_per_op`"))?;
+        out.push(BenchEntry { bench, ns_per_op });
+    }
+    Ok(out)
+}
+
+/// Implements `bench-diff <baseline.json> <current.json> [--threshold F]`.
+fn bench_diff_command(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold = 0.40_f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => {
+                    eprintln!("bench-diff: --threshold needs a positive number");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(a);
+        }
+    }
+    let (baseline_path, current_path) = match paths.as_slice() {
+        [b, c] => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!(
+                "usage: cargo run -p xtask -- bench-diff <baseline.json> <current.json> [--threshold 0.40]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let load = |path: &str| -> Result<Vec<BenchEntry>, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse_bench_entries(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let verdicts = compare_benches(&baseline, &current, threshold);
+    println!(
+        "{:<20} {:>12} {:>12} {:>7}  verdict (threshold +{:.0}%)",
+        "bench",
+        "base ns/op",
+        "cur ns/op",
+        "ratio",
+        threshold * 100.0
+    );
+    let ns_of = |entries: &[BenchEntry], name: &str| {
+        entries
+            .iter()
+            .find(|e| e.bench == name)
+            .map(|e| e.ns_per_op)
+    };
+    let mut regressions = 0usize;
+    for (name, verdict) in &verdicts {
+        let base = ns_of(&baseline, name).unwrap_or(f64::NAN);
+        match verdict {
+            Verdict::Ok(ratio) => {
+                let cur = ns_of(&current, name).unwrap_or(f64::NAN);
+                println!("{name:<20} {base:>12.1} {cur:>12.1} {ratio:>6.2}x  ok");
+            }
+            Verdict::Regressed(ratio) => {
+                let cur = ns_of(&current, name).unwrap_or(f64::NAN);
+                println!("{name:<20} {base:>12.1} {cur:>12.1} {ratio:>6.2}x  REGRESSED");
+                regressions += 1;
+            }
+            Verdict::Missing => {
+                println!(
+                    "{name:<20} {base:>12.1} {:>12} {:>7}  MISSING from current run",
+                    "-", "-"
+                );
+                regressions += 1;
+            }
+        }
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.bench == c.bench) {
+            println!(
+                "{:<20} {:>12} {:>12.1} {:>7}  new (no baseline, passes)",
+                c.bench, "-", c.ns_per_op, "-"
+            );
+        }
+    }
+    if regressions > 0 {
+        println!("bench-diff: {regressions} regression(s)");
+        ExitCode::from(1)
+    } else {
+        println!("bench-diff: clean ({} benchmark(s))", verdicts.len());
+        ExitCode::SUCCESS
     }
 }
 
@@ -210,7 +398,14 @@ fn allowed(allow: &[AllowEntry], file: &str, check: Check) -> bool {
         .any(|(p, c)| p == file && (c == check.id() || c == "*"))
 }
 
+/// Crates outside [`LIB_CRATES`] that still get the thread-spawn rule:
+/// ad-hoc threading in the bench harness (or xtask itself) would break
+/// deterministic result ordering just as surely as in library code.
+const THREAD_RULE_CRATES: &[&str] = &["bench", "xtask"];
+
 /// Lints every library crate under `root`, returning unexempted findings.
+/// The bench harness and xtask are additionally scanned for the
+/// thread-spawn rule only.
 fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
     for krate in LIB_CRATES {
@@ -229,6 +424,25 @@ fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<Vec<Finding>, Str
             if file.file_name().is_some_and(|n| n == "lib.rs") {
                 findings.extend(check_crate_root(&rel, &text));
             }
+        }
+    }
+    for krate in THREAD_RULE_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let text = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            findings.extend(
+                scan_source(&rel, &text)
+                    .into_iter()
+                    .filter(|f| f.check == Check::ThreadSpawn),
+            );
         }
     }
     findings.retain(|f| !allowed(allow, &f.file, f.check));
@@ -291,6 +505,12 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
         }
         if has_word(line, "eprintln") {
             hit(Check::Eprintln);
+        }
+        if line.contains("thread::spawn")
+            || line.contains("thread::scope")
+            || line.contains("thread::Builder")
+        {
+            hit(Check::ThreadSpawn);
         }
     }
     findings
@@ -705,6 +925,56 @@ mod tests {
             .filter(|f| !allowed(&allow, &f.file, f.check))
             .collect();
         assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn thread_primitives_are_flagged() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|_s| {});\n    let b = std::thread::Builder::new();\n}\n";
+        let findings = scan_source("lib.rs", src);
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.check == Check::ThreadSpawn));
+        // Mentions in comments and strings are not findings.
+        let clean = "// call thread::spawn here?\nfn f() {\n    let s = \"thread::scope\";\n    let _ = s;\n}\n";
+        assert!(scan_source("lib.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn bench_json_round_trip_parses() {
+        let text = "[\n  {\"bench\": \"a\", \"iters\": 10, \"ns_per_op\": 100.0, \"ops_per_sec\": 1.0e7},\n  {\"bench\": \"b\", \"iters\": 5, \"ns_per_op\": 42.5, \"ops_per_sec\": 2.35e7}\n]\n";
+        let entries = parse_bench_entries(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].bench, "a");
+        assert!((entries[1].ns_per_op - 42.5).abs() < 1e-9);
+        assert!(parse_bench_entries("{\"not\": \"an array\"}").is_err());
+        assert!(parse_bench_entries("[{\"iters\": 3}]").is_err());
+    }
+
+    #[test]
+    fn bench_compare_verdicts() {
+        let entry = |name: &str, ns: f64| BenchEntry {
+            bench: name.to_string(),
+            ns_per_op: ns,
+        };
+        let baseline = vec![
+            entry("tick", 100.0),
+            entry("frag", 10.0),
+            entry("gone", 5.0),
+        ];
+        let current = vec![
+            entry("tick", 139.0),    // +39% — inside the 40% threshold
+            entry("frag", 14.1),     // +41% — regression
+            entry("brand_new", 1.0), // no baseline — passes
+        ];
+        let verdicts = compare_benches(&baseline, &current, 0.40);
+        assert_eq!(verdicts.len(), 3);
+        assert!(matches!(verdicts[0].1, Verdict::Ok(_)));
+        assert!(matches!(verdicts[1].1, Verdict::Regressed(_)));
+        assert_eq!(verdicts[2].1, Verdict::Missing);
+        // Exactly at the threshold passes; strictly beyond fails.
+        let at = compare_benches(&[entry("x", 100.0)], &[entry("x", 140.0)], 0.40);
+        assert!(matches!(at[0].1, Verdict::Ok(_)));
+        let over = compare_benches(&[entry("x", 100.0)], &[entry("x", 140.1)], 0.40);
+        assert!(matches!(over[0].1, Verdict::Regressed(_)));
     }
 
     #[test]

@@ -96,9 +96,12 @@ fn soak_one(seed: u64, profile: &ChaosProfile) {
 #[test]
 fn chaos_soak_many_seeded_schedules() {
     // ≥50 distinct seeds, each with a schedule whose shape also varies
-    // with the case seed. `propcheck::run` prints the failing seed on
-    // panic, so any violation is replayable in isolation.
-    propcheck::run(60, |rng| {
+    // with the case seed, run on the worker pool (width from LUNULE_JOBS,
+    // defaulting to the machine's parallelism — cases derive independent
+    // RNGs, so the checked cases are identical at any width). The harness
+    // prints the lowest failing seed on panic, so any violation is
+    // replayable in isolation.
+    propcheck::run_par(60, 0, |rng| {
         let profile = ChaosProfile {
             crashes: rng.gen_range(0..3),
             limps: rng.gen_range(0..3),
@@ -123,7 +126,7 @@ fn chaos_soak_crash_heavy() {
         min_down_ticks: 20,
         max_down_ticks: 100,
     };
-    for seed in 0..8 {
-        soak_one(0xC4A0_5000_0000 + seed, &profile);
-    }
+    lunule_util::WorkerPool::auto().map_indices(8, |seed| {
+        soak_one(0xC4A0_5000_0000 + seed as u64, &profile);
+    });
 }
