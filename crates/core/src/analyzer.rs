@@ -26,7 +26,8 @@
 //! elsewhere" behaviour the paper credits for the CNN/NLP wins.
 
 use lunule_namespace::{InodeId, Namespace};
-use std::collections::HashMap;
+use lunule_util::convert::{u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u64};
+use std::collections::BTreeMap;
 
 /// Number of cutting windows the per-inode visit mask can remember.
 const MASK_BITS: u32 = 64;
@@ -111,7 +112,7 @@ impl DirWindows {
         if gap == 0 {
             return;
         }
-        let n = self.ring.len() as u64;
+        let n = usize_to_u64(self.ring.len());
         for _ in 0..gap.min(n) {
             self.cursor = (self.cursor + 1) % self.ring.len();
             self.ring[self.cursor] = WindowCounters::default();
@@ -129,7 +130,7 @@ impl DirWindows {
     /// touch has `self.window < current`; its older slots age out without
     /// the ring being rolled, so its statistics decay to zero naturally.
     fn sums_at(&self, current: u64) -> (u64, u64, u64) {
-        let n = self.ring.len() as u64;
+        let n = usize_to_u64(self.ring.len());
         let base_age = current.saturating_sub(self.window);
         let mut visits = 0u64;
         let mut recurrent = 0u64;
@@ -138,11 +139,11 @@ impl DirWindows {
             if base_age + back >= n {
                 break;
             }
-            let idx = (self.cursor + self.ring.len() - back as usize) % self.ring.len();
+            let idx = (self.cursor + self.ring.len() - u64_to_usize(back)) % self.ring.len();
             let w = &self.ring[idx];
-            visits += w.visits as u64;
-            recurrent += w.recurrent as u64;
-            spatial += (w.first_visits + w.sibling_bumps) as u64;
+            visits += u64::from(w.visits);
+            recurrent += u64::from(w.recurrent);
+            spatial += u64::from(w.first_visits + w.sibling_bumps);
         }
         (visits, recurrent, spatial)
     }
@@ -187,7 +188,7 @@ pub struct PatternAnalyzer {
     cfg: AnalyzerConfig,
     window: u64,
     inodes: Vec<InodeVisits>,
-    dirs: HashMap<InodeId, DirWindows>,
+    dirs: BTreeMap<InodeId, DirWindows>,
     rng_state: u64,
 }
 
@@ -207,7 +208,7 @@ impl PatternAnalyzer {
             cfg,
             window: 0,
             inodes: Vec::new(),
-            dirs: HashMap::new(),
+            dirs: BTreeMap::new(),
             rng_state: cfg.seed | 1,
         }
     }
@@ -229,6 +230,7 @@ impl PatternAnalyzer {
         x ^= x << 25;
         x ^= x >> 27;
         self.rng_state = x;
+        // as-ok: top 53 bits of a u64 are exact in f64; 2^53 likewise
         (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
     }
 
@@ -242,9 +244,9 @@ impl PatternAnalyzer {
 
     fn dir_windows(&mut self, ns: &Namespace, dir: InodeId) -> &mut DirWindows {
         let (n, window) = (self.cfg.recent_windows, self.window);
-        self.dirs
-            .entry(dir)
-            .or_insert_with(|| DirWindows::new(n, window, ns.inode(dir).children().len() as u64))
+        self.dirs.entry(dir).or_insert_with(|| {
+            DirWindows::new(n, window, usize_to_u64(ns.inode(dir).children().len()))
+        })
     }
 
     /// Records one metadata access to `ino`. `is_create` marks a freshly
@@ -258,7 +260,7 @@ impl PatternAnalyzer {
         let st = self.inode_state(ino);
         let gap = window - st.last_window;
         if gap > 0 {
-            st.mask = if gap >= MASK_BITS as u64 {
+            st.mask = if gap >= u64::from(MASK_BITS) {
                 0
             } else {
                 st.mask << gap
@@ -319,16 +321,16 @@ impl PatternAnalyzer {
         let alpha = if visits == 0 {
             0.0
         } else {
-            recurrent as f64 / visits as f64
+            u64_to_f64(recurrent) / u64_to_f64(visits)
         };
         let unvisited = dw.total_inodes.saturating_sub(dw.visited_ever);
-        let beta = unvisited as f64 / (visits.max(1)) as f64;
-        let n = self.cfg.recent_windows as f64;
+        let beta = u64_to_f64(unvisited) / u64_to_f64(visits.max(1));
+        let n = usize_to_f64(self.cfg.recent_windows);
         Some(MigrationIndex {
             alpha,
             beta,
-            l_t: visits as f64 / n,
-            l_s: spatial as f64 / n,
+            l_t: u64_to_f64(visits) / n,
+            l_s: u64_to_f64(spatial) / n,
         })
     }
 
@@ -374,8 +376,8 @@ impl PatternAnalyzer {
     /// cutting-window index). Called by the owning balancer at each epoch
     /// boundary; free when the handle is disabled.
     pub fn observe(&self, telemetry: &lunule_telemetry::Telemetry) {
-        telemetry.gauge_set("analyzer.tracked_dirs", 0, self.dirs.len() as f64);
-        telemetry.gauge_set("analyzer.window", 0, self.window() as f64);
+        telemetry.gauge_set("analyzer.tracked_dirs", 0, usize_to_f64(self.dirs.len()));
+        telemetry.gauge_set("analyzer.window", 0, u64_to_f64(self.window()));
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::balancer::{Access, Balancer, MigrationPlan};
 use crate::stats::EpochStats;
 use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
+use lunule_util::convert::{u64_to_usize, usize_to_u64};
 
 /// Tunables of the Dir-Hash baseline.
 #[derive(Clone, Copy, Debug, Default)]
@@ -39,7 +40,7 @@ impl DirHashBalancer {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        MdsRank((z % n_mds as u64) as u16)
+        MdsRank::from_index(u64_to_usize(z % usize_to_u64(n_mds)))
     }
 }
 

@@ -84,7 +84,7 @@ impl Balancer for GreedySpillBalancer {
             if loads[neighbor] > self.cfg.idle_iops {
                 continue;
             }
-            let exporter = MdsRank(i as u16);
+            let exporter = MdsRank::from_index(i);
             let mine = candidates_of_rank(&candidates, exporter);
             let demand = load * self.cfg.spill_fraction * stats.epoch_secs;
             let subtrees = select_hottest(ns, &mine, demand, exporter);
@@ -93,7 +93,7 @@ impl Balancer for GreedySpillBalancer {
             }
             exports.push(ExportTask {
                 from: exporter,
-                to: MdsRank(neighbor as u16),
+                to: MdsRank::from_index(neighbor),
                 target_amount: demand,
                 subtrees,
             });

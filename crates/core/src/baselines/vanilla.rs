@@ -21,6 +21,7 @@ use crate::heat::HeatMap;
 use crate::selector::select_hottest;
 use crate::stats::EpochStats;
 use lunule_namespace::{MdsRank, Namespace, SubtreeMap};
+use lunule_util::convert::usize_to_f64;
 
 /// Tunables of the Vanilla baseline.
 #[derive(Clone, Copy, Debug)]
@@ -85,7 +86,7 @@ impl Balancer for VanillaBalancer {
         if n < 2 {
             return MigrationPlan::default();
         }
-        let mean = loads.iter().sum::<f64>() / n as f64;
+        let mean = loads.iter().sum::<f64>() / usize_to_f64(n);
         if mean <= 0.0 {
             return MigrationPlan::default();
         }
@@ -110,7 +111,7 @@ impl Balancer for VanillaBalancer {
             }
             // Shed the entire excess in one decision.
             let mut excess = load - mean;
-            let exporter = MdsRank(i as u16);
+            let exporter = MdsRank::from_index(i);
             let mut mine = candidates_of_rank(&candidates, exporter);
             for (j, room) in import_room.iter_mut() {
                 if excess <= 0.0 || *room <= 0.0 {
@@ -130,7 +131,7 @@ impl Balancer for VanillaBalancer {
                 });
                 exports.push(ExportTask {
                     from: exporter,
-                    to: MdsRank(*j as u16),
+                    to: MdsRank::from_index(*j),
                     target_amount: demand_heat,
                     subtrees,
                 });

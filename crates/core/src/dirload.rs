@@ -18,6 +18,7 @@
 //! fragment.
 
 use lunule_namespace::{FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
+use lunule_util::convert::usize_to_f64;
 
 /// A migration candidate: a dirfrag subtree with its aggregated load.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -108,7 +109,7 @@ pub fn build_candidates(
             let frac = if n_children == 0 {
                 0.0
             } else {
-                in_frag.len() as f64 / n_children as f64
+                usize_to_f64(in_frag.len()) / usize_to_f64(n_children)
             };
             let mut load = local_load * frac;
             let mut count = in_frag.len();

@@ -7,13 +7,13 @@
 //! Lunule replaces it with the migration index (see [`crate::analyzer`]).
 
 use lunule_namespace::{InodeId, Namespace};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-directory decaying heat counters.
 #[derive(Clone, Debug)]
 pub struct HeatMap {
     decay: f64,
-    heat: HashMap<InodeId, f64>,
+    heat: BTreeMap<InodeId, f64>,
 }
 
 impl HeatMap {
@@ -27,7 +27,7 @@ impl HeatMap {
         assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
         HeatMap {
             decay,
-            heat: HashMap::new(),
+            heat: BTreeMap::new(),
         }
     }
 
@@ -120,5 +120,42 @@ mod tests {
     #[should_panic]
     fn decay_of_one_rejected() {
         HeatMap::new(1.0);
+    }
+
+    /// `total()` sums floats, and float addition is not associative, so the
+    /// sum is only reproducible if the iteration order is. The counters
+    /// live in a `BTreeMap` precisely so that the summation order is the
+    /// key order, independent of the order requests arrived in; this pins
+    /// that down to the bit.
+    #[test]
+    fn total_is_bit_identical_across_insertion_orders() {
+        let mut ns = Namespace::new();
+        let mut files = Vec::new();
+        for d in 0..8 {
+            let dir = ns.mkdir(InodeId::ROOT, &format!("d{d}")).unwrap();
+            files.push(ns.create_file(dir, "f", 1).unwrap());
+        }
+        // Decay between batches so per-dir heats are sums of powers of 0.7
+        // — values whose addition order genuinely changes the result.
+        let run = |order: &[usize]| {
+            let mut hm = HeatMap::new(0.7);
+            for round in 0..5 {
+                for &i in order {
+                    for _ in 0..=(i + round) % 4 {
+                        hm.record(&ns, files[i]);
+                    }
+                }
+                hm.decay_epoch();
+            }
+            hm
+        };
+        let forward: Vec<usize> = (0..8).collect();
+        let reverse: Vec<usize> = (0..8).rev().collect();
+        let interleaved: Vec<usize> = vec![4, 0, 6, 2, 7, 1, 5, 3];
+        let a = run(&forward);
+        let b = run(&reverse);
+        let c = run(&interleaved);
+        assert_eq!(a.total().to_bits(), b.total().to_bits());
+        assert_eq!(a.total().to_bits(), c.total().to_bits());
     }
 }

@@ -11,6 +11,8 @@
 //!    busiest MDS is far from its capacity, so benign imbalance (everyone
 //!    lightly loaded) does not trigger migration.
 
+use lunule_util::convert::usize_to_f64;
+
 /// Configuration of the IF model.
 #[derive(Clone, Copy, Debug)]
 pub struct IfModelConfig {
@@ -63,11 +65,11 @@ impl ImbalanceFactorModel {
         if n < 2 {
             return 0.0;
         }
-        let mean = loads.iter().sum::<f64>() / n as f64;
+        let mean = loads.iter().sum::<f64>() / usize_to_f64(n);
         if mean <= 0.0 {
             return 0.0;
         }
-        let var = loads.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let var = loads.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / (usize_to_f64(n) - 1.0);
         var.sqrt() / mean
     }
 
@@ -77,7 +79,7 @@ impl ImbalanceFactorModel {
         if n < 2 {
             return 0.0;
         }
-        (Self::cov(loads) / (n as f64).sqrt()).clamp(0.0, 1.0)
+        (Self::cov(loads) / usize_to_f64(n).sqrt()).clamp(0.0, 1.0)
     }
 
     /// The urgency term `U` (Eq. 2): a logistic function of

@@ -5,6 +5,8 @@
 //! suggests a linear regression over the recent load history; this module
 //! implements ordinary least squares over equally spaced samples.
 
+use lunule_util::convert::usize_to_f64;
+
 /// Ordinary least-squares fit `y = intercept + slope * x` over samples taken
 /// at `x = 0, 1, …, y.len() - 1`.
 ///
@@ -19,13 +21,13 @@ pub fn fit_trend(y: &[f64]) -> (f64, f64) {
     if n == 1 {
         return (0.0, y[0]);
     }
-    let nf = n as f64;
+    let nf = usize_to_f64(n);
     let x_mean = (nf - 1.0) / 2.0;
     let y_mean = y.iter().sum::<f64>() / nf;
     let mut sxy = 0.0;
     let mut sxx = 0.0;
     for (i, yi) in y.iter().enumerate() {
-        let dx = i as f64 - x_mean;
+        let dx = usize_to_f64(i) - x_mean;
         sxy += dx * (yi - y_mean);
         sxx += dx * dx;
     }
@@ -39,7 +41,7 @@ pub fn fit_trend(y: &[f64]) -> (f64, f64) {
 /// a negative predicted load is meaningless.
 pub fn predict_next(y: &[f64]) -> f64 {
     let (slope, intercept) = fit_trend(y);
-    (intercept + slope * y.len() as f64).max(0.0)
+    (intercept + slope * usize_to_f64(y.len())).max(0.0)
 }
 
 #[cfg(test)]

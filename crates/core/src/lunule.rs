@@ -17,6 +17,7 @@ use crate::selector::{select_hottest, select_subtrees, subtrees_overlap, Selecto
 use crate::stats::{EpochStats, LoadHistory};
 use lunule_namespace::{Namespace, SubtreeMap};
 use lunule_telemetry::{Event, Telemetry};
+use lunule_util::convert::usize_to_u64;
 
 /// Full configuration of a Lunule balancer instance.
 #[derive(Clone, Debug)]
@@ -212,9 +213,9 @@ impl Balancer for LunuleBalancer {
                     epoch: stats.epoch,
                     imbalance_factor: self.last_if,
                     triggered,
-                    pairings: pairings as u64,
-                    subtrees: subtrees as u64,
-                    candidates: candidates as u64,
+                    pairings: usize_to_u64(pairings),
+                    subtrees: usize_to_u64(subtrees),
+                    candidates: usize_to_u64(candidates),
                 }
             };
 

@@ -100,8 +100,8 @@ impl ProgrammableBalancer {
                     let j = (i + 1) % n;
                     if load > 1.0 && ctx.loads[j] <= 1.0 {
                         out.push(Transfer {
-                            from: MdsRank(i as u16),
-                            to: MdsRank(j as u16),
+                            from: MdsRank::from_index(i),
+                            to: MdsRank::from_index(j),
                             amount: load / 2.0,
                         });
                     }

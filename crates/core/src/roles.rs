@@ -10,6 +10,7 @@
 use crate::linreg::predict_next;
 use crate::stats::LoadHistory;
 use lunule_namespace::MdsRank;
+use lunule_util::convert::usize_to_f64;
 
 /// Tunables for Algorithm 1.
 #[derive(Clone, Copy, Debug)]
@@ -108,12 +109,12 @@ pub fn decide_roles_weighted(
         Some(caps) if caps.len() >= n => {
             let cap_total: f64 = caps[..n].iter().sum();
             if cap_total <= 0.0 {
-                vec![total / n as f64; n]
+                vec![total / usize_to_f64(n); n]
             } else {
                 caps[..n].iter().map(|c| total * c / cap_total).collect()
             }
         }
-        _ => vec![total / n as f64; n],
+        _ => vec![total / usize_to_f64(n); n],
     };
 
     // Phase 1: classify ranks and compute per-rank demands.
@@ -130,7 +131,7 @@ pub fn decide_roles_weighted(
         }
         if cld > target {
             eld[i] = delta.min(cfg.migration_capacity);
-            decision.exporters.push((MdsRank(i as u16), eld[i]));
+            decision.exporters.push((MdsRank::from_index(i), eld[i]));
         } else {
             // Importer only if its own predicted growth will not close the
             // gap by itself (lines 10-12 of Algorithm 1).
@@ -139,7 +140,7 @@ pub fn decide_roles_weighted(
             if growth < delta {
                 ild[i] = (delta - growth).min(cfg.migration_capacity);
                 if ild[i] > 0.0 {
-                    decision.importers.push((MdsRank(i as u16), ild[i]));
+                    decision.importers.push((MdsRank::from_index(i), ild[i]));
                 }
             }
         }
@@ -161,8 +162,8 @@ pub fn decide_roles_weighted(
             }
             let amount = eld[i].min(ild[j]);
             decision.pairings.push(Pairing {
-                exporter: MdsRank(i as u16),
-                importer: MdsRank(j as u16),
+                exporter: MdsRank::from_index(i),
+                importer: MdsRank::from_index(j),
                 amount,
             });
             eld[i] -= amount;

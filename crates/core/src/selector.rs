@@ -17,6 +17,7 @@
 use crate::balancer::SubtreeChoice;
 use crate::dirload::Candidate;
 use lunule_namespace::{FragKey, MdsRank, Namespace, HASH_BITS};
+use lunule_util::convert::{f64_to_u64, usize_to_f64, usize_to_u64};
 
 /// Selector tunables.
 #[derive(Clone, Copy, Debug)]
@@ -123,7 +124,7 @@ fn split_candidate(
 ) {
     // Recursion bound: fragment bits are capped, tree depth is finite, but
     // degenerate load estimates could ping-pong — cap generously.
-    if depth > HASH_BITS as u32 + 16 {
+    if depth > u32::from(HASH_BITS) + 16 {
         return;
     }
     if cand.load <= amount * (1.0 + cfg.tolerance) {
@@ -156,7 +157,7 @@ fn split_candidate(
             return;
         }
         let left_children = ns.children_in_frag(cand.key.dir, &l).len();
-        let lfrac = left_children as f64 / total_children as f64;
+        let lfrac = usize_to_f64(left_children) / usize_to_f64(total_children);
         let halves = [
             (l, cand.load * lfrac, cand.local_load * lfrac, left_children),
             (
@@ -249,7 +250,7 @@ fn child_candidates(ns: &Namespace, cand: &Candidate) -> Vec<Candidate> {
         return Vec::new();
     }
     let nested = (cand.load - cand.local_load).max(0.0);
-    let share = nested / dirs.len() as f64;
+    let share = nested / usize_to_f64(dirs.len());
     dirs.into_iter()
         .map(|d| {
             let inodes = ns.walk_subtree(d).count();
@@ -346,10 +347,10 @@ pub fn observe_selection(
     candidates: usize,
     chosen: &[SubtreeChoice],
 ) {
-    telemetry.histogram_record("selector.candidates_per_pairing", candidates as u64);
-    telemetry.counter_add("selector.subtrees_chosen", chosen.len() as u64);
+    telemetry.histogram_record("selector.candidates_per_pairing", usize_to_u64(candidates));
+    telemetry.counter_add("selector.subtrees_chosen", usize_to_u64(chosen.len()));
     let load: f64 = chosen.iter().map(|s| s.estimated_load).sum();
-    telemetry.counter_add("selector.load_selected", load.max(0.0) as u64);
+    telemetry.counter_add("selector.load_selected", f64_to_u64(load.max(0.0)));
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@
 //! Load Monitor ships to the Migration Initiator once per epoch; here they
 //! are a plain snapshot struct.
 
+use lunule_util::convert::{u64_to_f64, usize_to_f64};
+
 /// Per-epoch load snapshot of the whole MDS cluster.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EpochStats {
@@ -54,18 +56,18 @@ impl EpochStats {
     pub fn iops(&self) -> Vec<f64> {
         self.requests
             .iter()
-            .map(|r| *r as f64 / self.epoch_secs)
+            .map(|r| u64_to_f64(*r) / self.epoch_secs)
             .collect()
     }
 
     /// IOPS of a single rank.
     pub fn iops_of(&self, rank: usize) -> f64 {
-        self.requests[rank] as f64 / self.epoch_secs
+        u64_to_f64(self.requests[rank]) / self.epoch_secs
     }
 
     /// Aggregate cluster IOPS.
     pub fn total_iops(&self) -> f64 {
-        self.requests.iter().sum::<u64>() as f64 / self.epoch_secs
+        u64_to_f64(self.requests.iter().sum::<u64>()) / self.epoch_secs
     }
 
     /// Mean per-rank IOPS.
@@ -73,7 +75,7 @@ impl EpochStats {
         if self.requests.is_empty() {
             0.0
         } else {
-            self.total_iops() / self.requests.len() as f64
+            self.total_iops() / usize_to_f64(self.requests.len())
         }
     }
 
@@ -81,7 +83,7 @@ impl EpochStats {
     pub fn max_iops(&self) -> f64 {
         self.requests
             .iter()
-            .map(|r| *r as f64 / self.epoch_secs)
+            .map(|r| u64_to_f64(*r) / self.epoch_secs)
             .fold(0.0, f64::max)
     }
 }

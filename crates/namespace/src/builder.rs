@@ -45,20 +45,13 @@ impl BuiltDataset {
 /// Creates `spec.dirs` directories named `d0000..` under a fresh dataset root
 /// `name` and fills each with `spec.files_per_dir` files.
 pub fn build_flat_dataset(ns: &mut Namespace, name: &str, spec: FlatDataset) -> BuiltDataset {
-    let root = ns
-        .mkdir(InodeId::ROOT, name)
-        .expect("root is always a directory");
+    let root = ns.mkdir_total(InodeId::ROOT, name);
     let mut dirs = Vec::with_capacity(spec.dirs);
     for d in 0..spec.dirs {
-        let dir = ns
-            .mkdir(root, &format!("d{d:04}"))
-            .expect("dataset root is a directory");
+        let dir = ns.mkdir_total(root, &format!("d{d:04}"));
         let mut files = Vec::with_capacity(spec.files_per_dir);
         for f in 0..spec.files_per_dir {
-            files.push(
-                ns.create_file(dir, &format!("f{f:06}"), spec.file_size)
-                    .expect("class dir is a directory"),
-            );
+            files.push(ns.create_file_total(dir, &format!("f{f:06}"), spec.file_size));
         }
         dirs.push((dir, files));
     }
@@ -76,20 +69,13 @@ pub fn build_private_dirs(
     files_per_client: usize,
     file_size: u64,
 ) -> BuiltDataset {
-    let root = ns
-        .mkdir(InodeId::ROOT, name)
-        .expect("root is always a directory");
+    let root = ns.mkdir_total(InodeId::ROOT, name);
     let mut dirs = Vec::with_capacity(clients);
     for c in 0..clients {
-        let dir = ns
-            .mkdir(root, &format!("client{c:04}"))
-            .expect("dataset root is a directory");
+        let dir = ns.mkdir_total(root, &format!("client{c:04}"));
         let mut files = Vec::with_capacity(files_per_client);
         for f in 0..files_per_client {
-            files.push(
-                ns.create_file(dir, &format!("f{f:06}"), file_size)
-                    .expect("client dir is a directory"),
-            );
+            files.push(ns.create_file_total(dir, &format!("f{f:06}"), file_size));
         }
         dirs.push((dir, files));
     }
@@ -108,18 +94,13 @@ pub fn build_deep_tree(
     files_per_leaf: usize,
     file_size: u64,
 ) -> BuiltDataset {
-    let root = ns
-        .mkdir(InodeId::ROOT, name)
-        .expect("root is always a directory");
+    let root = ns.mkdir_total(InodeId::ROOT, name);
     let mut frontier = vec![root];
     for level in 0..levels {
         let mut next = Vec::with_capacity(frontier.len() * fanout);
         for (i, dir) in frontier.iter().enumerate() {
             for j in 0..fanout {
-                next.push(
-                    ns.mkdir(*dir, &format!("l{level}_{i}_{j}"))
-                        .expect("internal node is a directory"),
-                );
+                next.push(ns.mkdir_total(*dir, &format!("l{level}_{i}_{j}")));
             }
         }
         frontier = next;
@@ -128,10 +109,7 @@ pub fn build_deep_tree(
     for leaf in frontier {
         let mut files = Vec::with_capacity(files_per_leaf);
         for f in 0..files_per_leaf {
-            files.push(
-                ns.create_file(leaf, &format!("f{f:06}"), file_size)
-                    .expect("leaf is a directory"),
-            );
+            files.push(ns.create_file_total(leaf, &format!("f{f:06}"), file_size));
         }
         dirs.push((leaf, files));
     }

@@ -63,6 +63,7 @@ impl Frag {
 
     /// Fraction of the directory's hash space this fragment covers.
     pub fn coverage(&self) -> f64 {
+        // as-ok: bits <= 24, so the shifted value is far below 2^53
         1.0 / (1u64 << self.bits) as f64
     }
 
@@ -181,6 +182,7 @@ impl std::fmt::Display for Frag {
 /// behave like Ceph's dentry-name hashing on our integer-keyed namespace.
 pub fn dentry_hash(raw_id: u64) -> u32 {
     let h = raw_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // as-ok: h >> 40 leaves 24 bits, which fit u32 exactly
     ((h >> 40) as u32) & HASH_MASK
 }
 
@@ -274,9 +276,9 @@ impl FragSet {
             .frags
             .iter()
             .filter(|f| target.contains_frag(f))
-            .map(|f| (f.range_end() - f.range_start()) as u64)
+            .map(|f| u64::from(f.range_end() - f.range_start()))
             .sum();
-        covered == (target.range_end() - target.range_start()) as u64
+        covered == u64::from(target.range_end() - target.range_start())
     }
 
     fn debug_check(&self) {
@@ -290,12 +292,12 @@ impl FragSet {
         sorted.sort_by_key(|f| f.range_start());
         let mut cursor = 0u64;
         for f in &sorted {
-            if f.range_start() as u64 != cursor {
+            if u64::from(f.range_start()) != cursor {
                 return false;
             }
-            cursor = f.range_end() as u64;
+            cursor = u64::from(f.range_end());
         }
-        cursor == (HASH_MASK as u64 + 1)
+        cursor == (u64::from(HASH_MASK) + 1)
     }
 }
 

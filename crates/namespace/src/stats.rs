@@ -4,6 +4,7 @@
 
 use crate::inode::InodeId;
 use crate::tree::Namespace;
+use lunule_util::convert::{u64_to_f64, usize_to_f64, usize_to_u64};
 
 /// Structural summary of a namespace.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,13 +48,13 @@ impl NamespaceStats {
                 dirs += 1;
                 let fanout = ino.children().len();
                 max_fanout = max_fanout.max(fanout);
-                fanout_sum += fanout as u64;
+                fanout_sum += usize_to_u64(fanout);
                 if ino.children().iter().any(|c| !ns.inode(*c).is_dir()) {
                     leaf_dirs += 1;
                 }
             } else {
                 files += 1;
-                file_depth_sum += ino.depth() as u64;
+                file_depth_sum += u64::from(ino.depth());
                 total_bytes += ino.size();
             }
         }
@@ -64,13 +65,13 @@ impl NamespaceStats {
             mean_file_depth: if files == 0 {
                 0.0
             } else {
-                file_depth_sum as f64 / files as f64
+                u64_to_f64(file_depth_sum) / usize_to_f64(files)
             },
             max_fanout,
             mean_fanout: if dirs == 0 {
                 0.0
             } else {
-                fanout_sum as f64 / dirs as f64
+                u64_to_f64(fanout_sum) / usize_to_f64(dirs)
             },
             leaf_dirs,
             total_bytes,
@@ -88,7 +89,7 @@ impl std::fmt::Display for NamespaceStats {
             self.max_depth,
             self.max_fanout,
             self.mean_fanout,
-            self.total_bytes as f64 / 1e6
+            u64_to_f64(self.total_bytes) / 1e6
         )
     }
 }

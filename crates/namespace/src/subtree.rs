@@ -12,7 +12,7 @@
 use crate::frag::{dentry_hash, Frag};
 use crate::inode::InodeId;
 use crate::tree::Namespace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Rank (index) of a metadata server in the cluster.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -21,7 +21,14 @@ pub struct MdsRank(pub u16);
 impl MdsRank {
     /// Raw index.
     pub fn index(self) -> usize {
-        self.0 as usize
+        usize::from(self.0)
+    }
+
+    /// Rank from a cluster-slot index. Saturates at `u16::MAX` — real
+    /// clusters are at most hundreds of ranks, so the cap is unreachable
+    /// and keeps the constructor total.
+    pub fn from_index(i: usize) -> MdsRank {
+        MdsRank(u16::try_from(i).unwrap_or(u16::MAX))
     }
 }
 
@@ -65,7 +72,7 @@ pub struct SubtreeMap {
     /// Authority entries grouped by directory. Each directory may carry
     /// entries for several (possibly nested) fragments; resolution picks the
     /// deepest (most-bits) fragment containing the child's dentry hash.
-    entries: HashMap<InodeId, Vec<(Frag, MdsRank)>>,
+    entries: BTreeMap<InodeId, Vec<(Frag, MdsRank)>>,
     /// Authority for the root directory inode `/` and the fallback for any
     /// path with no matching entry.
     root_rank: MdsRank,
@@ -77,7 +84,7 @@ impl SubtreeMap {
     /// state: the whole namespace is one subtree on mds.0).
     pub fn new(root_rank: MdsRank) -> Self {
         SubtreeMap {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             root_rank,
             generation: 0,
         }
@@ -195,7 +202,8 @@ impl SubtreeMap {
     /// between MDSs (the metric in Fig. 14's Dir-Hash comparison).
     pub fn forwards_on_path(&self, ns: &Namespace, ino: InodeId) -> u32 {
         let auths = self.authority_chain(ns, ino);
-        auths.windows(2).filter(|w| w[0] != w[1]).count() as u32
+        let crossings = auths.windows(2).filter(|w| w[0] != w[1]).count();
+        u32::try_from(crossings).unwrap_or(u32::MAX)
     }
 
     /// Rank of the entry keyed on exactly `(dir, frag)`, if any.

@@ -3,7 +3,7 @@
 use crate::error::{NsError, NsResult};
 use crate::frag::{dentry_hash, Frag, FragSet};
 use crate::inode::{FileType, Inode, InodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An in-memory hierarchical filesystem namespace.
 ///
@@ -17,7 +17,7 @@ pub struct Namespace {
     arena: Vec<Inode>,
     /// Fragment sets for fragmented directories only; an absent entry means
     /// the directory is undivided (implicit `[Frag::root()]`).
-    frags: HashMap<InodeId, FragSet>,
+    frags: BTreeMap<InodeId, FragSet>,
     n_files: usize,
     n_dirs: usize,
 }
@@ -35,7 +35,7 @@ impl Namespace {
                 depth: 0,
                 alive: true,
             }],
-            frags: HashMap::new(),
+            frags: BTreeMap::new(),
             n_files: 0,
             n_dirs: 1,
         }
@@ -80,6 +80,32 @@ impl Namespace {
     /// Creates a regular file under `parent` and returns its id.
     pub fn create_file(&mut self, parent: InodeId, name: &str, size: u64) -> NsResult<InodeId> {
         self.insert(parent, name, FileType::File, size)
+    }
+
+    /// Total [`Namespace::mkdir`] for generated datasets, whose parents are
+    /// directories by construction. A non-directory parent is a builder
+    /// bug: debug builds abort on it, release builds return `parent`
+    /// unchanged so dataset construction stays total (the same caller-bug
+    /// idiom as the simulator's `consume_op`).
+    pub fn mkdir_total(&mut self, parent: InodeId, name: &str) -> InodeId {
+        match self.mkdir(parent, name) {
+            Ok(id) => id,
+            Err(e) => {
+                debug_assert!(false, "mkdir under a generated parent failed: {e}");
+                parent
+            }
+        }
+    }
+
+    /// Total [`Namespace::create_file`]; see [`Namespace::mkdir_total`].
+    pub fn create_file_total(&mut self, parent: InodeId, name: &str, size: u64) -> InodeId {
+        match self.create_file(parent, name, size) {
+            Ok(id) => id,
+            Err(e) => {
+                debug_assert!(false, "create_file under a generated parent failed: {e}");
+                parent
+            }
+        }
     }
 
     fn insert(
@@ -186,12 +212,13 @@ impl Namespace {
         entry.name = new_name.into();
         // Recompute cached depths across the moved subtree.
         let base = self.arena[new_parent.index()].depth + 1;
-        let delta = base as i32 - self.arena[id.index()].depth as i32;
+        let delta = i32::from(base) - i32::from(self.arena[id.index()].depth);
         if delta != 0 {
             let subtree: Vec<InodeId> = self.walk_subtree(id).collect();
             for node in subtree {
                 let d = &mut self.arena[node.index()].depth;
-                *d = (*d as i32 + delta) as u16;
+                let shifted = i32::from(*d) + delta;
+                *d = u16::try_from(shifted).unwrap_or(0);
             }
         }
         Ok(())
@@ -207,7 +234,7 @@ impl Namespace {
     /// This is the traversal the metadata path performs; the simulator uses
     /// it to count authority-boundary crossings (request forwards).
     pub fn path_chain(&self, id: InodeId) -> Vec<InodeId> {
-        let mut chain = Vec::with_capacity(self.inode(id).depth as usize + 1);
+        let mut chain = Vec::with_capacity(usize::from(self.inode(id).depth) + 1);
         let mut cur = Some(id);
         while let Some(c) = cur {
             chain.push(c);

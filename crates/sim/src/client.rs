@@ -9,7 +9,8 @@
 
 use crate::request::{MetaOp, OpStream};
 use lunule_namespace::{dentry_hash, Frag, FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
-use std::collections::HashMap;
+use lunule_util::convert::usize_to_u64;
+use std::collections::BTreeMap;
 
 /// Outcome of resolving an op's route.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,7 +37,7 @@ pub struct Client {
     /// with the tick it was first attempted (for stall-latency tracking).
     pending: Option<(MetaOp, u64)>,
     /// Cached dirfrag→rank authority mappings.
-    cache: HashMap<InodeId, Vec<(Frag, MdsRank)>>,
+    cache: BTreeMap<InodeId, Vec<(Frag, MdsRank)>>,
     /// FIFO of cached directories for eviction when the cap is reached.
     cache_order: std::collections::VecDeque<InodeId>,
     /// Total cached entries (across all directories).
@@ -73,7 +74,7 @@ impl Client {
             id,
             stream,
             pending: None,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             cache_order: std::collections::VecDeque::new(),
             cache_count: 0,
             issued_this_tick: 0,
@@ -93,7 +94,7 @@ impl Client {
         !self.finished
             && tick >= self.starts_at
             && self.data_pending <= self.data_window
-            && (self.issued_this_tick as f64) < rate
+            && f64::from(self.issued_this_tick) < rate
     }
 
     /// The op the client wants served next (peeks without consuming).
@@ -217,7 +218,7 @@ impl Client {
                 Some(old) => {
                     if let Some(removed) = self.cache.remove(&old) {
                         self.cache_count -= removed.len();
-                        self.cache_evictions += removed.len() as u64;
+                        self.cache_evictions += usize_to_u64(removed.len());
                     }
                 }
                 None => break,

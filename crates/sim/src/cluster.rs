@@ -13,6 +13,7 @@ use lunule_core::{Access, Balancer, EpochStats, OpKind};
 use lunule_faults::FaultKind;
 use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
 use lunule_telemetry::{Event, Telemetry};
+use lunule_util::convert::{u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u32, usize_to_u64};
 #[cfg(feature = "strict-invariants")]
 use lunule_verify::InvariantChecker;
 
@@ -80,7 +81,7 @@ impl Simulation {
         cfg.validate();
         let telemetry = cfg.telemetry.clone();
         telemetry.emit(|| Event::RunStart {
-            n_mds: cfg.n_mds as u32,
+            n_mds: usize_to_u32(cfg.n_mds),
         });
         let mut map = SubtreeMap::new(MdsRank(0));
         balancer.setup(&ns, &mut map, cfg.n_mds);
@@ -88,7 +89,7 @@ impl Simulation {
         let resident: Vec<u64> = map
             .inode_counts(&ns, cfg.n_mds)
             .into_iter()
-            .map(|c| c as u64)
+            .map(usize_to_u64)
             .collect();
         let clients = streams
             .into_iter()
@@ -226,7 +227,7 @@ impl Simulation {
 
     /// Adds one MDS rank to the cluster (Fig. 12a's expansion events).
     pub fn add_mds(&mut self) {
-        let rank = self.mds.len() as u32;
+        let rank = usize_to_u32(self.mds.len());
         self.mds.push(MdsState::new(self.cfg.mds_capacity));
         self.resident.push(0);
         self.down_until.push(None);
@@ -287,7 +288,7 @@ impl Simulation {
         self.migrator.abandon_jobs_touching(rank);
         let survivors: Vec<MdsRank> = (0..self.mds.len())
             .filter(|r| *r != rank.index() && self.mds[*r].capacity > 0.0)
-            .map(|r| MdsRank(r as u16))
+            .map(MdsRank::from_index)
             .collect();
         assert!(!survivors.is_empty(), "no live rank to fail over to");
         // Subtree roots to move, largest first; deterministic order via
@@ -297,7 +298,7 @@ impl Simulation {
             .subtree_roots_of(rank)
             .into_iter()
             .map(|k| {
-                let n = self.ns.subtree_inode_count(k.dir, &k.frag) as u64;
+                let n = usize_to_u64(self.ns.subtree_inode_count(k.dir, &k.frag));
                 (k, n)
             })
             .collect();
@@ -306,13 +307,13 @@ impl Simulation {
                 .then(a.0.dir.cmp(&b.0.dir))
                 .then(a.0.frag.cmp(&b.0.frag))
         });
-        let elapsed = self.tick.max(1) as f64;
-        let failed_rate = self.mds[rank.index()].served_total as f64 / elapsed;
+        let elapsed = u64_to_f64(self.tick.max(1));
+        let failed_rate = u64_to_f64(self.mds[rank.index()].served_total) / elapsed;
         let failing_inodes: u64 = roots.iter().map(|(_, n)| *n).sum();
-        let rate_per_inode = failed_rate / failing_inodes.max(1) as f64;
+        let rate_per_inode = failed_rate / u64_to_f64(failing_inodes.max(1));
         let mut est: Vec<f64> = survivors
             .iter()
-            .map(|s| self.mds[s.index()].served_total as f64 / elapsed)
+            .map(|s| u64_to_f64(self.mds[s.index()].served_total) / elapsed)
             .collect();
         let argmin = |est: &[f64]| {
             let mut best = 0usize;
@@ -327,7 +328,7 @@ impl Simulation {
         for (key, n) in &roots {
             let best = argmin(&est);
             self.map.set_authority(*key, survivors[best]);
-            est[best] += *n as f64 * rate_per_inode;
+            est[best] += u64_to_f64(*n) * rate_per_inode;
             failed_over += 1;
         }
         // If the failed rank held the implicit root subtree, re-point the
@@ -349,7 +350,7 @@ impl Simulation {
             .map
             .inode_counts(&self.ns, self.mds.len())
             .into_iter()
-            .map(|c| c as u64)
+            .map(usize_to_u64)
             .collect();
         failed_over
     }
@@ -442,7 +443,7 @@ impl Simulation {
             self.mds[i].capacity = self.saved_capacity[i];
             self.telemetry.counter_add("faults.recovered", 1);
             self.telemetry.emit(|| Event::RankRecovered {
-                rank: i as u32,
+                rank: usize_to_u32(i),
                 down_ticks: tick.saturating_sub(crashed_at),
             });
         }
@@ -481,7 +482,7 @@ impl Simulation {
                 c.data_window = window;
                 c
             }));
-        let count = (self.clients.len() - base) as u64;
+        let count = usize_to_u64(self.clients.len() - base);
         self.telemetry.emit(|| Event::ClientsAdd { count });
     }
 
@@ -610,7 +611,7 @@ impl Simulation {
         // the starting client for fairness, until nobody can make progress.
         let n_clients = self.clients.len();
         if n_clients > 0 {
-            let offset = (tick as usize) % n_clients;
+            let offset = u64_to_usize(tick) % n_clients;
             self.stall_scratch.clear();
             self.stall_scratch.resize(n_clients, false);
             loop {
@@ -774,8 +775,8 @@ impl Simulation {
     /// enqueue its plan.
     fn close_epoch(&mut self) {
         let _span = self.telemetry.span("sim.close_epoch");
-        let epoch = self.epochs.len() as u64;
-        let epoch_secs = self.cfg.epoch_secs as f64;
+        let epoch = usize_to_u64(self.epochs.len());
+        let epoch_secs = u64_to_f64(self.cfg.epoch_secs);
         let requests: Vec<u64> = self.mds.iter().map(|m| m.epoch_requests()).collect();
         // A crashed rank files no load report; a report-loss fault drops an
         // otherwise-healthy rank's report on the floor. Either way the
@@ -793,27 +794,27 @@ impl Simulation {
                 .iter()
                 .filter(|c| !c.finished || c.data_pending > 0)
                 .count(),
-            inflight_migrations: self.migrator.in_flight() as usize,
+            inflight_migrations: u64_to_usize(self.migrator.in_flight()),
             per_mds_resident_inodes: self.resident.clone(),
             ..EpochRecord::from_stats(&stats, self.tick, self.cfg.mds_capacity)
         };
         if self.telemetry.is_enabled() {
             for (r, iops) in record.per_mds_iops.iter().enumerate() {
-                self.telemetry.gauge_set("mds.iops", r as u32, *iops);
+                self.telemetry.gauge_set("mds.iops", usize_to_u32(r), *iops);
             }
             for (r, res) in self.resident.iter().enumerate() {
                 self.telemetry
-                    .gauge_set("mds.resident_inodes", r as u32, *res as f64);
+                    .gauge_set("mds.resident_inodes", usize_to_u32(r), u64_to_f64(*res));
             }
             for (r, m) in self.mds.iter().enumerate() {
                 self.telemetry
-                    .gauge_set("mds.utilisation", r as u32, m.utilisation());
+                    .gauge_set("mds.utilisation", usize_to_u32(r), m.utilisation());
             }
             self.telemetry
-                .gauge_set("clients.active", 0, record.active_clients as f64);
+                .gauge_set("clients.active", 0, usize_to_f64(record.active_clients));
             let evictions: u64 = self.clients.iter().map(|c| c.cache_evictions).sum();
             self.telemetry
-                .gauge_set("clients.cache_evictions", 0, evictions as f64);
+                .gauge_set("clients.cache_evictions", 0, u64_to_f64(evictions));
         }
         let (record_if, record_iops) = (record.imbalance_factor, record.total_iops);
         self.epochs.push(record);
@@ -830,7 +831,7 @@ impl Simulation {
             };
             alive(t.from) && alive(t.to)
         });
-        let plan_subtrees = plan.subtree_count() as u64;
+        let plan_subtrees = usize_to_u64(plan.subtree_count());
         if !plan.is_empty() {
             self.migrator
                 .enqueue_plan(&mut self.ns, &self.map, &plan, self.tick);
@@ -1122,7 +1123,7 @@ mod tests {
             .subtree_map()
             .inode_counts(sim.namespace(), sim.n_mds())
             .into_iter()
-            .map(|c| c as u64)
+            .map(usize_to_u64)
             .collect();
         assert_eq!(sim.resident_inodes(), expect.as_slice());
         assert_eq!(sim.resident_inodes()[1], 0);
@@ -1161,7 +1162,7 @@ mod tests {
             .subtree_map()
             .inode_counts(sim.namespace(), sim.n_mds())
             .into_iter()
-            .map(|c| c as u64)
+            .map(usize_to_u64)
             .collect();
         assert_eq!(sim.resident_inodes(), expect.as_slice());
         assert!(

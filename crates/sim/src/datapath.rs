@@ -9,6 +9,7 @@
 //! share the OSD cluster's aggregate bandwidth fairly until paid off.
 
 use crate::client::Client;
+use lunule_util::convert::usize_to_u64;
 
 /// Fair-share bandwidth pool standing in for the OSD cluster.
 #[derive(Clone, Copy, Debug)]
@@ -38,7 +39,7 @@ impl DataPath {
             if waiting.is_empty() || budget == 0 {
                 return;
             }
-            let share = (budget / waiting.len() as u64).max(1);
+            let share = (budget / usize_to_u64(waiting.len())).max(1);
             let mut spent = 0u64;
             for i in waiting {
                 let c = &mut clients[i];

@@ -7,6 +7,8 @@
 //! the tail of this distribution is where imbalance hurts, which is why the
 //! paper lists latency next to throughput and job completion time.
 
+use lunule_util::convert::{f64_to_u64, u64_to_f64, u64_to_usize, usize_to_u64};
+
 /// Upper bucket bound: stalls this long or longer land in the last bucket.
 const MAX_TRACKED: usize = 64;
 
@@ -31,7 +33,7 @@ impl LatencyHistogram {
 
     /// Records one served op that stalled for `ticks`.
     pub fn record(&mut self, ticks: u64) {
-        let idx = (ticks as usize).min(MAX_TRACKED);
+        let idx = u64_to_usize(ticks).min(MAX_TRACKED);
         self.buckets[idx] += 1;
         self.total_ops += 1;
         self.total_stall_ticks += ticks;
@@ -47,7 +49,7 @@ impl LatencyHistogram {
         if self.total_ops == 0 {
             0.0
         } else {
-            self.total_stall_ticks as f64 / self.total_ops as f64
+            u64_to_f64(self.total_stall_ticks) / u64_to_f64(self.total_ops)
         }
     }
 
@@ -56,7 +58,7 @@ impl LatencyHistogram {
         if self.total_ops == 0 {
             0.0
         } else {
-            self.buckets[0] as f64 / self.total_ops as f64
+            u64_to_f64(self.buckets[0]) / u64_to_f64(self.total_ops)
         }
     }
 
@@ -67,15 +69,15 @@ impl LatencyHistogram {
         if self.total_ops == 0 {
             return 0;
         }
-        let threshold = (self.total_ops as f64 * p).ceil() as u64;
+        let threshold = f64_to_u64((u64_to_f64(self.total_ops) * p).ceil());
         let mut seen = 0;
         for (ticks, count) in self.buckets.iter().enumerate() {
             seen += count;
             if seen >= threshold {
-                return ticks as u64;
+                return usize_to_u64(ticks);
             }
         }
-        MAX_TRACKED as u64
+        usize_to_u64(MAX_TRACKED)
     }
 
     /// Merges another histogram into this one.

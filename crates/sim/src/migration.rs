@@ -12,6 +12,7 @@
 use lunule_core::{subtrees_overlap, MigrationPlan};
 use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
 use lunule_telemetry::{Event, Telemetry};
+use lunule_util::convert::{f64_to_u64, u64_to_f64, usize_to_f64, usize_to_u64};
 
 /// Phase of one in-flight migration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -157,7 +158,7 @@ impl Migrator {
     /// Jobs the ledger counts as in flight: actively transferring or
     /// committing, plus timed-out jobs waiting out their backoff.
     pub fn in_flight(&self) -> u64 {
-        (self.jobs.len() + self.retry_queue.len()) as u64
+        usize_to_u64(self.jobs.len() + self.retry_queue.len())
     }
 
     /// Timed-out jobs currently waiting to restart.
@@ -206,7 +207,7 @@ impl Migrator {
             }
             keep
         });
-        let n_dropped = (before - self.jobs.len() - self.retry_queue.len()) as u64;
+        let n_dropped = usize_to_u64(before - self.jobs.len() - self.retry_queue.len());
         self.counters.rejected_choices += n_dropped;
         self.counters.abandoned_jobs += n_dropped;
         if n_dropped > 0 {
@@ -255,7 +256,7 @@ impl Migrator {
                     self.counters.rejected_choices += 1;
                     continue;
                 }
-                let total_inodes = ns.subtree_inode_count(key.dir, &key.frag) as u64;
+                let total_inodes = usize_to_u64(ns.subtree_inode_count(key.dir, &key.frag));
                 if total_inodes == 0 {
                     self.counters.rejected_choices += 1;
                     continue;
@@ -325,11 +326,11 @@ impl Migrator {
                         .iter()
                         .find(|(r, _)| *r == job.from)
                         .map(|(_, n)| *n)
-                        .unwrap_or(1) as f64;
+                        .map_or(1.0, usize_to_f64);
                     let quota = (bw / n_active).max(1.0);
-                    let moved_now = quota.min((job.total_inodes - job.moved) as f64) as u64;
+                    let moved_now = f64_to_u64(quota.min(u64_to_f64(job.total_inodes - job.moved)));
                     job.moved += moved_now;
-                    let cost = moved_now as f64 * op_cost;
+                    let cost = u64_to_f64(moved_now) * op_cost;
                     if cost > 0.0 {
                         charges.push((job.from, cost));
                         charges.push((job.to, cost));
@@ -395,7 +396,8 @@ impl Migrator {
             let mut job = entry.job;
             let still_owned =
                 map.frag_authority(ns, job.subtree.dir, &job.subtree.frag) == job.from;
-            let total_inodes = ns.subtree_inode_count(job.subtree.dir, &job.subtree.frag) as u64;
+            let total_inodes =
+                usize_to_u64(ns.subtree_inode_count(job.subtree.dir, &job.subtree.frag));
             if !still_owned || total_inodes == 0 {
                 self.counters.abandoned_jobs += 1;
                 self.counters.rejected_choices += 1;

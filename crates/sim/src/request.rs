@@ -1,6 +1,7 @@
 //! Metadata operations and the op-stream interface workloads implement.
 
 use lunule_namespace::{InodeId, Namespace};
+use lunule_util::convert::usize_to_u64;
 
 /// One metadata operation a client issues.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,7 +78,7 @@ impl OpStream for FixedStream {
     }
 
     fn len_hint(&self) -> Option<u64> {
-        Some(self.ops.len() as u64)
+        Some(usize_to_u64(self.ops.len()))
     }
 }
 

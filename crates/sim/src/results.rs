@@ -2,6 +2,7 @@
 
 use crate::latency::LatencyHistogram;
 use lunule_core::EpochStats;
+use lunule_util::convert::{f64_to_usize, usize_to_f64};
 
 /// One epoch's worth of observed cluster behaviour.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -89,7 +90,7 @@ fn mean_over_active(epochs: &[EpochRecord], value: impl Fn(&EpochRecord) -> f64)
     if active.is_empty() {
         0.0
     } else {
-        active.iter().sum::<f64>() / active.len() as f64
+        active.iter().sum::<f64>() / usize_to_f64(active.len())
     }
 }
 
@@ -149,12 +150,13 @@ impl RunResult {
         if done.is_empty() {
             return None;
         }
-        let finished_share = done.len() as f64 / self.client_completion_secs.len().max(1) as f64;
+        let finished_share =
+            usize_to_f64(done.len()) / usize_to_f64(self.client_completion_secs.len().max(1));
         if finished_share < p {
             return None;
         }
         done.sort_unstable();
-        let idx = ((done.len() as f64 * p).ceil() as usize)
+        let idx = f64_to_usize((usize_to_f64(done.len()) * p).ceil())
             .saturating_sub(1)
             .min(done.len() - 1);
         Some(done[idx])

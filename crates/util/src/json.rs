@@ -193,6 +193,7 @@ fn write_number(out: &mut String, n: f64) {
         // JSON has no NaN/Inf; null is the conventional stand-in.
         out.push_str("null");
     } else if n == n.trunc() && n.abs() < 1e15 {
+        // as-ok: guarded integral and |n| < 1e15, well inside i64 range
         out.push_str(&format!("{}", n as i64));
     } else {
         out.push_str(&format!("{n}"));
@@ -208,7 +209,7 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }
@@ -405,6 +406,7 @@ macro_rules! impl_json_int {
         $(
             impl ToJson for $ty {
                 fn to_json(&self) -> Json {
+                    // as-ok: JSON numbers are f64; exact below 2^53 by contract
                     Json::Num(*self as f64)
                 }
             }
@@ -413,6 +415,7 @@ macro_rules! impl_json_int {
                     let n = v
                         .as_f64()
                         .ok_or_else(|| JsonError::new("expected number"))?;
+                    // Saturating float-to-int conversion; callers get a total decode.
                     Ok(n as $ty)
                 }
             }

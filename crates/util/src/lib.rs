@@ -12,10 +12,13 @@
 //!   report the failing case index on panic.
 //! * [`par`] — the sanctioned scoped worker pool with deterministic result
 //!   ordering; the only module in the workspace allowed to spawn threads.
+//! * [`convert`] — named, total numeric conversions; the only place the
+//!   cast-safety lint lets hot-path code spell a lossy `as` cast.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod convert;
 pub mod json;
 pub mod par;
 pub mod propcheck;

@@ -51,14 +51,14 @@ where
     let pool = crate::par::WorkerPool::new(jobs);
     let n = usize::try_from(cases).unwrap_or(usize::MAX);
     let outcomes = pool.map_indices(n, |i| {
-        let case = i as u64;
+        let case = crate::convert::usize_to_u64(i);
         let seed = case_seed(case);
         let mut rng = DetRng::seed_from_u64(seed);
         catch_unwind(AssertUnwindSafe(|| (property)(&mut rng))).err()
     });
     for (case, outcome) in outcomes.into_iter().enumerate() {
         if let Some(payload) = outcome {
-            let seed = case_seed(case as u64);
+            let seed = case_seed(crate::convert::usize_to_u64(case));
             eprintln!("propcheck: case {case}/{cases} failed (seed {seed:#018x})");
             resume_unwind(payload);
         }

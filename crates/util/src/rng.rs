@@ -52,6 +52,7 @@ impl DetRng {
 
     /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
     pub fn gen_f64(&mut self) -> f64 {
+        // as-ok: top 53 bits of a u64 are exact in f64; 2^53 likewise
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
@@ -71,11 +72,12 @@ impl DetRng {
         if range.end <= range.start {
             return range.start;
         }
-        let span = (range.end - range.start) as u64;
+        let span = crate::convert::usize_to_u64(range.end - range.start);
         // Multiply-shift bounded sampling (Lemire); the slight modulo bias
         // of the naive approach is avoided without a rejection loop.
-        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
-        range.start + hi as usize
+        // as-ok: u128 product of two u64s shifted down 64 fits u64 exactly
+        let hi = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        range.start + crate::convert::u64_to_usize(hi)
     }
 
     /// Uniform boolean.

@@ -55,14 +55,10 @@ impl CnnWorkload {
         );
         let files = Arc::new(dataset.files_in_scan_order());
         // Per-client output directories for the packed record files.
-        let out_root = ns
-            .mkdir(InodeId::ROOT, "cnn_out")
-            .expect("root is a directory");
+        let out_root = ns.mkdir_total(InodeId::ROOT, "cnn_out");
         (0..self.clients)
             .map(|c| {
-                let out = ns
-                    .mkdir(out_root, &format!("client{c:04}"))
-                    .expect("out root is a directory");
+                let out = ns.mkdir_total(out_root, &format!("client{c:04}"));
                 Box::new(ScanStream::new(
                     Arc::clone(&files),
                     Some((out, self.record_size)),

@@ -10,7 +10,7 @@
 use crate::streams::ReplayStream;
 use lunule_namespace::{InodeId, Namespace};
 use lunule_sim::OpStream;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A parsed trace: the namespace it references and the access sequence.
@@ -29,7 +29,7 @@ pub struct LoadedTrace {
 /// with `#` are skipped. Returns the access sequence over the materialised
 /// inodes.
 pub fn load_trace(ns: &mut Namespace, text: &str, file_size: u64) -> LoadedTrace {
-    let mut by_path: HashMap<String, InodeId> = HashMap::new();
+    let mut by_path: BTreeMap<String, InodeId> = BTreeMap::new();
     let mut accesses = Vec::new();
     for line in text.lines() {
         let line = line.trim();
@@ -56,15 +56,13 @@ fn materialise(ns: &mut Namespace, path: &str, file_size: u64) -> InodeId {
     for dir in &parts[..parts.len() - 1] {
         cur = match ns.child_by_name(cur, dir) {
             Some(existing) => existing,
-            None => ns.mkdir(cur, dir).expect("parents are directories"),
+            None => ns.mkdir_total(cur, dir),
         };
     }
     let leaf = parts[parts.len() - 1];
     match ns.child_by_name(cur, leaf) {
         Some(existing) => existing,
-        None => ns
-            .create_file(cur, leaf, file_size)
-            .expect("leaf parent is a directory"),
+        None => ns.create_file_total(cur, leaf, file_size),
     }
 }
 

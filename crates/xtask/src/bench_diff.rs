@@ -1,0 +1,225 @@
+//! The CI bench-regression gate: compares a fresh `BENCH.json` (from
+//! `cargo run --release -p lunule-bench --bin perf`) against a checked-in
+//! baseline and fails when any entry's `ns_per_op` regressed beyond the
+//! threshold (default 40% — microbenchmarks on shared CI runners are
+//! noisy; the job guards against step-change regressions, not
+//! percent-level drift).
+
+use std::fs;
+use std::process::ExitCode;
+
+use lunule_util::Json;
+
+/// One entry parsed from a `BENCH.json` array: the benchmark name and its
+/// wall-time cost per operation. The other emitted fields (`iters`,
+/// `ops_per_sec`) are derived or informational and do not gate CI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark name (`authority_resolve`, …).
+    pub bench: String,
+    /// Measured nanoseconds per operation.
+    pub ns_per_op: f64,
+}
+
+/// Outcome of comparing one baseline benchmark against the current run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within threshold; carries `current / baseline` for the report.
+    Ok(f64),
+    /// `current / baseline` exceeded `1 + threshold`.
+    Regressed(f64),
+    /// In the baseline but absent from the current run — a silently
+    /// dropped benchmark must fail the gate, not shrink it.
+    Missing,
+}
+
+/// Compares `current` against `baseline`: one verdict per baseline entry,
+/// in baseline order. Entries that exist only in `current` are newly added
+/// benchmarks and always pass (they gate once the baseline is refreshed).
+pub fn compare_benches(
+    baseline: &[BenchEntry],
+    current: &[BenchEntry],
+    threshold: f64,
+) -> Vec<(String, Verdict)> {
+    baseline
+        .iter()
+        .map(|b| {
+            let verdict = match current.iter().find(|c| c.bench == b.bench) {
+                None => Verdict::Missing,
+                Some(c) => {
+                    let ratio = if b.ns_per_op > 0.0 {
+                        c.ns_per_op / b.ns_per_op
+                    } else {
+                        f64::INFINITY
+                    };
+                    if ratio > 1.0 + threshold {
+                        Verdict::Regressed(ratio)
+                    } else {
+                        Verdict::Ok(ratio)
+                    }
+                }
+            };
+            (b.bench.clone(), verdict)
+        })
+        .collect()
+}
+
+/// Parses a `BENCH.json` document: a top-level array of objects with at
+/// least a string `bench` and a numeric `ns_per_op` field.
+pub fn parse_bench_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let json = Json::parse(text).map_err(|e| e.to_string())?;
+    let arr = json
+        .as_arr()
+        .ok_or_else(|| "top-level value must be an array".to_string())?;
+    let mut out = Vec::new();
+    for (i, item) in arr.iter().enumerate() {
+        let bench = item
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("entry {i}: missing string field `bench`"))?
+            .to_string();
+        let ns_per_op = item
+            .get("ns_per_op")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("entry {i} ({bench}): missing numeric field `ns_per_op`"))?;
+        out.push(BenchEntry { bench, ns_per_op });
+    }
+    Ok(out)
+}
+
+/// Implements `bench-diff <baseline.json> <current.json> [--threshold F]`.
+pub fn bench_diff_command(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold = 0.40_f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => {
+                    eprintln!("bench-diff: --threshold needs a positive number");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(a);
+        }
+    }
+    let (baseline_path, current_path) = match paths.as_slice() {
+        [b, c] => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!(
+                "usage: cargo run -p xtask -- bench-diff <baseline.json> <current.json> [--threshold 0.40]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let load = |path: &str| -> Result<Vec<BenchEntry>, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse_bench_entries(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let verdicts = compare_benches(&baseline, &current, threshold);
+    println!(
+        "{:<20} {:>12} {:>12} {:>7}  verdict (threshold +{:.0}%)",
+        "bench",
+        "base ns/op",
+        "cur ns/op",
+        "ratio",
+        threshold * 100.0
+    );
+    let ns_of = |entries: &[BenchEntry], name: &str| {
+        entries
+            .iter()
+            .find(|e| e.bench == name)
+            .map(|e| e.ns_per_op)
+    };
+    let mut regressions = 0usize;
+    for (name, verdict) in &verdicts {
+        let base = ns_of(&baseline, name).unwrap_or(f64::NAN);
+        match verdict {
+            Verdict::Ok(ratio) => {
+                let cur = ns_of(&current, name).unwrap_or(f64::NAN);
+                println!("{name:<20} {base:>12.1} {cur:>12.1} {ratio:>6.2}x  ok");
+            }
+            Verdict::Regressed(ratio) => {
+                let cur = ns_of(&current, name).unwrap_or(f64::NAN);
+                println!("{name:<20} {base:>12.1} {cur:>12.1} {ratio:>6.2}x  REGRESSED");
+                regressions += 1;
+            }
+            Verdict::Missing => {
+                println!(
+                    "{name:<20} {base:>12.1} {:>12} {:>7}  MISSING from current run",
+                    "-", "-"
+                );
+                regressions += 1;
+            }
+        }
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.bench == c.bench) {
+            println!(
+                "{:<20} {:>12} {:>12.1} {:>7}  new (no baseline, passes)",
+                c.bench, "-", c.ns_per_op, "-"
+            );
+        }
+    }
+    if regressions > 0 {
+        println!("bench-diff: {regressions} regression(s)");
+        ExitCode::from(1)
+    } else {
+        println!("bench-diff: clean ({} benchmark(s))", verdicts.len());
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_round_trip_parses() {
+        let text = "[\n  {\"bench\": \"a\", \"iters\": 10, \"ns_per_op\": 100.0, \"ops_per_sec\": 1.0e7},\n  {\"bench\": \"b\", \"iters\": 5, \"ns_per_op\": 42.5, \"ops_per_sec\": 2.35e7}\n]\n";
+        let entries = parse_bench_entries(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].bench, "a");
+        assert!((entries[1].ns_per_op - 42.5).abs() < 1e-9);
+        assert!(parse_bench_entries("{\"not\": \"an array\"}").is_err());
+        assert!(parse_bench_entries("[{\"iters\": 3}]").is_err());
+    }
+
+    #[test]
+    fn bench_compare_verdicts() {
+        let entry = |name: &str, ns: f64| BenchEntry {
+            bench: name.to_string(),
+            ns_per_op: ns,
+        };
+        let baseline = vec![
+            entry("tick", 100.0),
+            entry("frag", 10.0),
+            entry("gone", 5.0),
+        ];
+        let current = vec![
+            entry("tick", 139.0),    // +39% — inside the 40% threshold
+            entry("frag", 14.1),     // +41% — regression
+            entry("brand_new", 1.0), // no baseline — passes
+        ];
+        let verdicts = compare_benches(&baseline, &current, 0.40);
+        assert_eq!(verdicts.len(), 3);
+        assert!(matches!(verdicts[0].1, Verdict::Ok(_)));
+        assert!(matches!(verdicts[1].1, Verdict::Regressed(_)));
+        assert_eq!(verdicts[2].1, Verdict::Missing);
+        // Exactly at the threshold passes; strictly beyond fails.
+        let at = compare_benches(&[entry("x", 100.0)], &[entry("x", 140.0)], 0.40);
+        assert!(matches!(at[0].1, Verdict::Ok(_)));
+        let over = compare_benches(&[entry("x", 100.0)], &[entry("x", 140.1)], 0.40);
+        assert!(matches!(over[0].1, Verdict::Regressed(_)));
+    }
+}

@@ -1,0 +1,366 @@
+//! The project-rule lint pass, rebuilt on the token lexer.
+//!
+//! Rules (unchanged from the original regex-based pass, minus its false
+//! positives — a `panic!` inside a doc comment or string literal is now
+//! structurally invisible):
+//!
+//! - no `.unwrap()`, `.expect(` or `panic!(` in library code;
+//! - no `unsafe` anywhere;
+//! - no `==` / `!=` against floating-point literals;
+//! - no `println!` / `eprintln!` in library code;
+//! - no `std::thread` primitives outside the sanctioned pool module
+//!   (this rule also covers the bench harness and xtask itself);
+//! - every library crate root must carry `#![forbid(unsafe_code)]` and
+//!   `#![warn(missing_docs)]`.
+//!
+//! `#[cfg(test)]`-gated items are exempt, resolved by token-level brace
+//! matching rather than line heuristics.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::{
+    allowed, collect_rs_files, filter_with_stale_check, rel_path, AllowEntry, Finding, LIB_CRATES,
+};
+use std::fs;
+use std::path::Path;
+
+/// Check ids owned by the lint command (used for stale-waiver detection).
+pub const LINT_CHECKS: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "unsafe",
+    "float-eq",
+    "println",
+    "eprintln",
+    "thread-spawn",
+    "missing-docs-lint",
+    "missing-forbid-unsafe",
+];
+
+/// Crates outside [`LIB_CRATES`] that still get the thread-spawn rule:
+/// ad-hoc threading in the bench harness (or xtask itself) would break
+/// deterministic result ordering just as surely as in library code.
+const THREAD_RULE_CRATES: &[&str] = &["bench", "xtask"];
+
+/// Lints every library crate under `root`; returns unexempted findings
+/// plus stale-waiver findings for dead allowlist entries.
+pub fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<Vec<Finding>, String> {
+    for (path, check) in allow {
+        let known = LINT_CHECKS.contains(&check.as_str())
+            || crate::analyze::ANALYZE_CHECKS.contains(&check.as_str())
+            || check == "*";
+        if !known {
+            return Err(format!(
+                "allowlist: unknown check id `{check}` for `{path}`"
+            ));
+        }
+    }
+    let mut findings = Vec::new();
+    for krate in LIB_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        for file in collect_rs_files(&src_dir)? {
+            let text = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            let rel = rel_path(root, &file);
+            findings.extend(scan_source(&rel, &text));
+            if file.file_name().is_some_and(|n| n == "lib.rs") {
+                findings.extend(check_crate_root(&rel, &text));
+            }
+        }
+    }
+    for krate in THREAD_RULE_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        for file in collect_rs_files(&src_dir)? {
+            let text = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            let rel = rel_path(root, &file);
+            findings.extend(
+                scan_source(&rel, &text)
+                    .into_iter()
+                    .filter(|f| f.check == "thread-spawn"),
+            );
+        }
+    }
+    Ok(filter_with_stale_check(findings, allow, LINT_CHECKS))
+}
+
+/// Variant of [`lint_workspace`] without stale-waiver detection, used by
+/// tests that lint synthetic trees.
+pub fn scan_source(file: &str, text: &str) -> Vec<Finding> {
+    let toks = lex(text);
+    let in_test = cfg_test_mask(&toks);
+    let lines: Vec<&str> = text.lines().collect();
+    // Indices of significant (non-comment) tokens.
+    let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let tok_at = |s: Option<&usize>| s.map(|&i| &toks[i]);
+    let mut findings = Vec::new();
+    for (si, &ti) in sig.iter().enumerate() {
+        if in_test[ti] {
+            continue;
+        }
+        let t = &toks[ti];
+        let prev = tok_at(si.checked_sub(1).and_then(|p| sig.get(p)));
+        let next = tok_at(sig.get(si + 1));
+        let next2 = tok_at(sig.get(si + 2));
+        let mut hit = |check: &'static str| {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                check,
+                excerpt: lines.get(t.line - 1).copied().unwrap_or(t.text).to_string(),
+            });
+        };
+        match t.kind {
+            TokKind::Ident => match t.text {
+                "unwrap" if is_punct(prev, ".") && is_punct(next, "(") => hit("unwrap"),
+                "expect" if is_punct(prev, ".") && is_punct(next, "(") => hit("expect"),
+                "panic" if is_punct(next, "!") && is_punct(next2, "(") => hit("panic"),
+                "unsafe" => hit("unsafe"),
+                "println" if is_punct(next, "!") => hit("println"),
+                "eprintln" if is_punct(next, "!") => hit("eprintln"),
+                "thread"
+                    if is_punct(next, "::")
+                        && matches!(
+                            next2.map(|t| t.text),
+                            Some("spawn") | Some("scope") | Some("Builder")
+                        ) =>
+                {
+                    hit("thread-spawn")
+                }
+                _ => {}
+            },
+            TokKind::Punct if t.text == "==" || t.text == "!=" => {
+                let float = |t: Option<&Tok<'_>>| t.is_some_and(|t| t.kind == TokKind::Float);
+                if float(prev) || float(next) {
+                    hit("float-eq");
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+fn is_punct(t: Option<&Tok<'_>>, text: &str) -> bool {
+    t.is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// Checks that a crate root carries the two mandatory inner attributes.
+pub fn check_crate_root(file: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !text.contains("#![warn(missing_docs)]") {
+        findings.push(Finding {
+            file: file.to_string(),
+            line: 1,
+            check: "missing-docs-lint",
+            excerpt: "crate root lacks #![warn(missing_docs)]".to_string(),
+        });
+    }
+    if !text.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            file: file.to_string(),
+            line: 1,
+            check: "missing-forbid-unsafe",
+            excerpt: "crate root lacks #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+    findings
+}
+
+/// Per-token mask: `true` for tokens inside a `#[cfg(test)]`-gated item.
+///
+/// After a `#[cfg(test)]` attribute, any further attributes are skipped,
+/// then the gated item extends to its closing brace (brace-matched on
+/// tokens) or, for brace-less items like `use`, to the first `;`.
+pub fn cfg_test_mask(toks: &[Tok<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let is = |s: usize, kind: TokKind, text: &str| {
+        sig.get(s)
+            .is_some_and(|&i| toks[i].kind == kind && toks[i].text == text)
+    };
+    let mut s = 0;
+    while s < sig.len() {
+        let attr_here = is(s, TokKind::Punct, "#")
+            && is(s + 1, TokKind::Punct, "[")
+            && is(s + 2, TokKind::Ident, "cfg")
+            && is(s + 3, TokKind::Punct, "(")
+            && is(s + 4, TokKind::Ident, "test")
+            && is(s + 5, TokKind::Punct, ")")
+            && is(s + 6, TokKind::Punct, "]");
+        if !attr_here {
+            s += 1;
+            continue;
+        }
+        let start = s;
+        s += 7;
+        // Skip any further attributes (`#[test]`, `#[allow(...)]`, …).
+        while is(s, TokKind::Punct, "#") && is(s + 1, TokKind::Punct, "[") {
+            let mut depth = 0usize;
+            while s < sig.len() {
+                if is(s, TokKind::Punct, "[") {
+                    depth += 1;
+                } else if is(s, TokKind::Punct, "]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        s += 1;
+                        break;
+                    }
+                }
+                s += 1;
+            }
+        }
+        // The gated item: to the matching close brace, or `;` if brace-less.
+        let mut depth = 0usize;
+        let mut opened = false;
+        while s < sig.len() {
+            if !opened && is(s, TokKind::Punct, ";") {
+                s += 1;
+                break;
+            }
+            if is(s, TokKind::Punct, "{") {
+                depth += 1;
+                opened = true;
+            } else if is(s, TokKind::Punct, "}") {
+                depth = depth.saturating_sub(1);
+                if opened && depth == 0 {
+                    s += 1;
+                    break;
+                }
+            }
+            s += 1;
+        }
+        let end_tok = sig
+            .get(s.saturating_sub(1))
+            .copied()
+            .unwrap_or(toks.len() - 1);
+        for m in &mut mask[sig[start]..=end_tok] {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// Runs the lint pass plus allowlist filtering over a single file's text —
+/// the acceptance-test hook used by fixture tests.
+pub fn lint_text(file: &str, text: &str, allow: &[AllowEntry]) -> Vec<Finding> {
+    scan_source(file, text)
+        .into_iter()
+        .filter(|f| !allowed(allow, &f.file, f.check))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_expect_panic_in_library_code() {
+        let src = "fn f() {\n    let x = g().unwrap();\n    let y = h().expect(\"no\");\n    panic!(\"boom\");\n}\n";
+        let findings = scan_source("lib.rs", src);
+        let checks: Vec<&str> = findings.iter().map(|f| f.check).collect();
+        assert_eq!(checks, vec!["unwrap", "expect", "panic"]);
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[2].line, 4);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() {\n    let x = g().unwrap_or(0);\n    let y = g().unwrap_or_else(|| 1);\n    let z = g().unwrap_or_default();\n}\n";
+        assert!(scan_source("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        g().unwrap();\n        panic!(\"ok in tests\");\n    }\n}\n";
+        assert!(scan_source("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse helper::panicky;\nfn f() { g().unwrap(); }\n";
+        let findings = scan_source("lib.rs", src);
+        assert_eq!(findings.len(), 1, "code after the gated use is scanned");
+        assert_eq!(findings[0].check, "unwrap");
+    }
+
+    #[test]
+    fn comments_strings_and_doctests_are_exempt() {
+        let src = "//! let x = v.unwrap();\n/// calls `panic!(..)` on misuse\nfn f() {\n    let s = \".unwrap()\";\n    // panic!(\"not code\")\n    /* .expect( */\n    let r = r#\"panic!(\"raw\")\"#;\n    let _ = (s, r);\n}\n";
+        assert!(scan_source("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_block_comment_with_banned_call_is_exempt() {
+        let src = "/* outer /* v.unwrap() */ still comment panic!( */\nfn f() {}\n";
+        assert!(scan_source("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_is_flagged_but_forbid_attr_is_not() {
+        let clean = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        assert!(scan_source("lib.rs", clean).is_empty());
+        let dirty = "fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
+        let findings = scan_source("lib.rs", dirty);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].check, "unsafe");
+    }
+
+    #[test]
+    fn float_equality_is_flagged() {
+        let hits = |src: &str| !scan_source("lib.rs", &format!("fn f() {{ {src} }}")).is_empty();
+        assert!(hits("if x == 1.0 {}"));
+        assert!(hits("if 0.5 != y {}"));
+        assert!(hits("assert!(v == 1e-9);"));
+        assert!(!hits("if x == 1 {}"));
+        assert!(!hits("let r = 0.0..=1.0;"));
+        assert!(!hits("if x <= 1.0 {}"));
+        assert!(!hits("if x.to_bits() == y.to_bits() {}"));
+        assert!(!hits("match x { 1 => 2.0, _ => 3.0 };"));
+    }
+
+    #[test]
+    fn println_and_eprintln_are_flagged_separately() {
+        let src = "fn f() {\n    println!(\"to stdout\");\n    eprintln!(\"to stderr\");\n}\n";
+        let findings = scan_source("lib.rs", src);
+        let checks: Vec<&str> = findings.iter().map(|f| f.check).collect();
+        assert_eq!(checks, vec!["println", "eprintln"]);
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn prints_in_tests_comments_and_strings_are_exempt() {
+        let src = "//! println!(\"doc\")\nfn f() {\n    let s = \"println!(inside a string)\";\n    let _ = s;\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        println!(\"debugging a test is fine\");\n        eprintln!(\"so is this\");\n    }\n}\n";
+        assert!(scan_source("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_root_attribute_checks() {
+        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn f() {}\n";
+        assert!(check_crate_root("lib.rs", good).is_empty());
+        let bad = "fn f() {}\n";
+        let findings = check_crate_root("lib.rs", bad);
+        let checks: Vec<&str> = findings.iter().map(|f| f.check).collect();
+        assert!(checks.contains(&"missing-docs-lint"));
+        assert!(checks.contains(&"missing-forbid-unsafe"));
+    }
+
+    #[test]
+    fn thread_primitives_are_flagged() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|_s| {});\n    let b = std::thread::Builder::new();\n}\n";
+        let findings = scan_source("lib.rs", src);
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.check == "thread-spawn"));
+        // Mentions in comments and strings are not findings.
+        let clean = "// call thread::spawn here?\nfn f() {\n    let s = \"thread::scope\";\n    let _ = s;\n}\n";
+        assert!(scan_source("lib.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn injected_banned_pattern_is_reported_and_allowlistable() {
+        let src = "fn f() -> u32 {\n    std::env::var(\"X\").map(|v| v.len() as u32).unwrap()\n}\n";
+        let findings = scan_source("crates/demo/src/lib.rs", src);
+        assert_eq!(findings.len(), 1);
+        let allow = vec![("crates/demo/src/lib.rs".to_string(), "unwrap".to_string())];
+        assert!(lint_text("crates/demo/src/lib.rs", src, &allow).is_empty());
+    }
+}

@@ -1,148 +1,48 @@
 //! Workspace automation tasks, following the cargo-xtask convention.
 //!
-//! `lint` is a custom static-analysis pass over the *library* crates of
-//! the balancing stack (`namespace`, `core`, `sim`, `util`, `workloads`,
-//! `verify`). It enforces project rules that rustc and clippy do not cover
-//! out of the box:
-//!
-//! - no `.unwrap()`, `.expect(` or `panic!(` in library code (typed errors
-//!   or total fallbacks instead) — `#[cfg(test)]` blocks are exempt;
-//! - no `unsafe` anywhere (belt to the `#![forbid(unsafe_code)]` braces);
-//! - no direct `==` / `!=` against floating-point literals (use epsilon
-//!   comparisons or bit-pattern equality);
-//! - no `println!` / `eprintln!` in library code — observability goes
-//!   through `lunule-telemetry`, and stdout belongs to the bench binaries;
-//! - no `std::thread` usage (`thread::spawn` / `thread::scope` /
-//!   `thread::Builder`) outside the sanctioned pool module
-//!   `crates/util/src/par.rs` — ad-hoc threading could silently break the
-//!   byte-identical-results determinism contract. This rule also covers
-//!   the bench harness and xtask itself, which are otherwise exempt;
-//! - every library crate root must carry `#![forbid(unsafe_code)]` and
-//!   `#![warn(missing_docs)]`.
-//!
-//! Grandfathered sites live in `crates/xtask/lint-allow.txt` as
-//! `<repo-relative-path> <check-id>` lines.
-//!
-//! `bench-diff` compares a fresh `BENCH.json` (from `cargo run --release
-//! -p lunule-bench --bin perf`) against a checked-in baseline and fails
-//! when any entry's `ns_per_op` regressed beyond the threshold (default
-//! 40% — microbenchmarks on shared CI runners are noisy; the job guards
-//! against step-change regressions, not percent-level drift).
+//! All logic lives in the `xtask` library (see `lib.rs`); this binary is
+//! the thin CLI front:
 //!
 //! ```text
 //! cargo run -p xtask -- lint
+//! cargo run -p xtask -- analyze
 //! cargo run -p xtask -- bench-diff bench-baseline.json BENCH.json [--threshold 0.40]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings/regressions, 2 usage/IO error.
 
-use std::fmt;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lunule_util::Json;
-
-/// Library crates the lint pass covers (binaries and the bench harness are
-/// exempt: aborting on a broken experiment config is the right behavior
-/// there).
-const LIB_CRATES: &[&str] = &[
-    "namespace",
-    "core",
-    "sim",
-    "util",
-    "workloads",
-    "verify",
-    "telemetry",
-    "faults",
-];
-
-/// Identifier of one lint rule, used in reports and allowlist entries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Check {
-    /// `.unwrap()` in library code.
-    Unwrap,
-    /// `.expect(` in library code.
-    Expect,
-    /// `panic!(` in library code.
-    Panic,
-    /// Any `unsafe` token.
-    Unsafe,
-    /// `==` / `!=` against a floating-point literal.
-    FloatEq,
-    /// `println!` in library code (stdout belongs to the binaries).
-    Println,
-    /// `eprintln!` in library code (report through typed errors instead).
-    Eprintln,
-    /// `std::thread` usage outside the sanctioned worker-pool module.
-    ThreadSpawn,
-    /// Crate root missing `#![warn(missing_docs)]`.
-    MissingDocsLint,
-    /// Crate root missing `#![forbid(unsafe_code)]`.
-    MissingForbidUnsafe,
-}
-
-impl Check {
-    /// Stable name used in output and in the allowlist file.
-    fn id(self) -> &'static str {
-        match self {
-            Check::Unwrap => "unwrap",
-            Check::Expect => "expect",
-            Check::Panic => "panic",
-            Check::Unsafe => "unsafe",
-            Check::FloatEq => "float-eq",
-            Check::Println => "println",
-            Check::Eprintln => "eprintln",
-            Check::ThreadSpawn => "thread-spawn",
-            Check::MissingDocsLint => "missing-docs-lint",
-            Check::MissingForbidUnsafe => "missing-forbid-unsafe",
-        }
-    }
-}
-
-/// One lint hit: file, 1-based line, rule, and the offending line text.
-#[derive(Debug, Clone)]
-struct Finding {
-    file: String,
-    line: usize,
-    check: Check,
-    excerpt: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file,
-            self.line,
-            self.check.id(),
-            self.excerpt.trim()
-        )
-    }
-}
+use xtask::bench_diff::bench_diff_command;
+use xtask::{analyze, lint, load_allowlist, workspace_root, AllowEntry, Finding};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint_command(),
+        Some("lint") => findings_command("lint", lint::lint_workspace),
+        Some("analyze") => findings_command("analyze", analyze::analyze_workspace),
         Some("bench-diff") => bench_diff_command(&args[1..]),
         Some(other) => {
-            eprintln!("unknown task `{other}`; available tasks: lint, bench-diff");
+            eprintln!("unknown task `{other}`; available tasks: lint, analyze, bench-diff");
             ExitCode::from(2)
         }
         None => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- bench-diff <baseline.json> <current.json> [--threshold 0.40]"
+                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- analyze\n       cargo run -p xtask -- bench-diff <baseline.json> <current.json> [--threshold 0.40]"
             );
             ExitCode::from(2)
         }
     }
 }
 
-/// Runs the full lint pass from the workspace root and reports findings.
-fn lint_command() -> ExitCode {
-    let root = match workspace_root() {
+/// Shared driver for the finding-producing commands (`lint`, `analyze`):
+/// locates the workspace, loads the allowlist, runs the pass, reports.
+fn findings_command(
+    name: &str,
+    run: fn(&std::path::Path, &[AllowEntry]) -> Result<Vec<Finding>, String>,
+) -> ExitCode {
+    let root: PathBuf = match workspace_root() {
         Some(r) => r,
         None => {
             eprintln!("xtask: could not locate the workspace root");
@@ -156,844 +56,21 @@ fn lint_command() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match lint_workspace(&root, &allow) {
+    match run(&root, &allow) {
         Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: clean ({} library crates)", LIB_CRATES.len());
+            println!("xtask {name}: clean");
             ExitCode::SUCCESS
         }
         Ok(findings) => {
             for f in &findings {
                 println!("{f}");
             }
-            println!("xtask lint: {} finding(s)", findings.len());
+            println!("xtask {name}: {} finding(s)", findings.len());
             ExitCode::from(1)
         }
         Err(e) => {
-            eprintln!("xtask: lint failed: {e}");
+            eprintln!("xtask: {name} failed: {e}");
             ExitCode::from(2)
         }
-    }
-}
-
-/// One entry parsed from a `BENCH.json` array: the benchmark name and its
-/// wall-time cost per operation. The other emitted fields (`iters`,
-/// `ops_per_sec`) are derived or informational and do not gate CI.
-#[derive(Debug, Clone, PartialEq)]
-struct BenchEntry {
-    bench: String,
-    ns_per_op: f64,
-}
-
-/// Outcome of comparing one baseline benchmark against the current run.
-#[derive(Debug, Clone, PartialEq)]
-enum Verdict {
-    /// Within threshold; carries `current / baseline` for the report.
-    Ok(f64),
-    /// `current / baseline` exceeded `1 + threshold`.
-    Regressed(f64),
-    /// In the baseline but absent from the current run — a silently
-    /// dropped benchmark must fail the gate, not shrink it.
-    Missing,
-}
-
-/// Compares `current` against `baseline`: one verdict per baseline entry,
-/// in baseline order. Entries that exist only in `current` are newly added
-/// benchmarks and always pass (they gate once the baseline is refreshed).
-fn compare_benches(
-    baseline: &[BenchEntry],
-    current: &[BenchEntry],
-    threshold: f64,
-) -> Vec<(String, Verdict)> {
-    baseline
-        .iter()
-        .map(|b| {
-            let verdict = match current.iter().find(|c| c.bench == b.bench) {
-                None => Verdict::Missing,
-                Some(c) => {
-                    let ratio = if b.ns_per_op > 0.0 {
-                        c.ns_per_op / b.ns_per_op
-                    } else {
-                        f64::INFINITY
-                    };
-                    if ratio > 1.0 + threshold {
-                        Verdict::Regressed(ratio)
-                    } else {
-                        Verdict::Ok(ratio)
-                    }
-                }
-            };
-            (b.bench.clone(), verdict)
-        })
-        .collect()
-}
-
-/// Parses a `BENCH.json` document: a top-level array of objects with at
-/// least a string `bench` and a numeric `ns_per_op` field.
-fn parse_bench_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
-    let json = Json::parse(text).map_err(|e| e.to_string())?;
-    let arr = json
-        .as_arr()
-        .ok_or_else(|| "top-level value must be an array".to_string())?;
-    let mut out = Vec::new();
-    for (i, item) in arr.iter().enumerate() {
-        let bench = item
-            .get("bench")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("entry {i}: missing string field `bench`"))?
-            .to_string();
-        let ns_per_op = item
-            .get("ns_per_op")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("entry {i} ({bench}): missing numeric field `ns_per_op`"))?;
-        out.push(BenchEntry { bench, ns_per_op });
-    }
-    Ok(out)
-}
-
-/// Implements `bench-diff <baseline.json> <current.json> [--threshold F]`.
-fn bench_diff_command(args: &[String]) -> ExitCode {
-    let mut paths: Vec<&String> = Vec::new();
-    let mut threshold = 0.40_f64;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--threshold" {
-            match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(t) if t > 0.0 => threshold = t,
-                _ => {
-                    eprintln!("bench-diff: --threshold needs a positive number");
-                    return ExitCode::from(2);
-                }
-            }
-        } else {
-            paths.push(a);
-        }
-    }
-    let (baseline_path, current_path) = match paths.as_slice() {
-        [b, c] => (b.as_str(), c.as_str()),
-        _ => {
-            eprintln!(
-                "usage: cargo run -p xtask -- bench-diff <baseline.json> <current.json> [--threshold 0.40]"
-            );
-            return ExitCode::from(2);
-        }
-    };
-    let load = |path: &str| -> Result<Vec<BenchEntry>, String> {
-        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        parse_bench_entries(&text).map_err(|e| format!("{path}: {e}"))
-    };
-    let (baseline, current) = match (load(baseline_path), load(current_path)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("bench-diff: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
-    let verdicts = compare_benches(&baseline, &current, threshold);
-    println!(
-        "{:<20} {:>12} {:>12} {:>7}  verdict (threshold +{:.0}%)",
-        "bench",
-        "base ns/op",
-        "cur ns/op",
-        "ratio",
-        threshold * 100.0
-    );
-    let ns_of = |entries: &[BenchEntry], name: &str| {
-        entries
-            .iter()
-            .find(|e| e.bench == name)
-            .map(|e| e.ns_per_op)
-    };
-    let mut regressions = 0usize;
-    for (name, verdict) in &verdicts {
-        let base = ns_of(&baseline, name).unwrap_or(f64::NAN);
-        match verdict {
-            Verdict::Ok(ratio) => {
-                let cur = ns_of(&current, name).unwrap_or(f64::NAN);
-                println!("{name:<20} {base:>12.1} {cur:>12.1} {ratio:>6.2}x  ok");
-            }
-            Verdict::Regressed(ratio) => {
-                let cur = ns_of(&current, name).unwrap_or(f64::NAN);
-                println!("{name:<20} {base:>12.1} {cur:>12.1} {ratio:>6.2}x  REGRESSED");
-                regressions += 1;
-            }
-            Verdict::Missing => {
-                println!(
-                    "{name:<20} {base:>12.1} {:>12} {:>7}  MISSING from current run",
-                    "-", "-"
-                );
-                regressions += 1;
-            }
-        }
-    }
-    for c in &current {
-        if !baseline.iter().any(|b| b.bench == c.bench) {
-            println!(
-                "{:<20} {:>12} {:>12.1} {:>7}  new (no baseline, passes)",
-                c.bench, "-", c.ns_per_op, "-"
-            );
-        }
-    }
-    if regressions > 0 {
-        println!("bench-diff: {regressions} regression(s)");
-        ExitCode::from(1)
-    } else {
-        println!("bench-diff: clean ({} benchmark(s))", verdicts.len());
-        ExitCode::SUCCESS
-    }
-}
-
-/// Locates the workspace root: the manifest dir's grandparent when invoked
-/// via cargo (`crates/xtask` → repo root), else the current directory.
-fn workspace_root() -> Option<PathBuf> {
-    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
-        let p = PathBuf::from(manifest);
-        return Some(p.parent()?.parent()?.to_path_buf());
-    }
-    std::env::current_dir().ok()
-}
-
-/// An allowlist entry: repo-relative path plus the check id it exempts.
-type AllowEntry = (String, String);
-
-/// Parses the allowlist file: `<path> <check-id>` per line, `#` comments.
-/// A missing file is an empty allowlist.
-fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
-    let text = match fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(format!("{}: {e}", path.display())),
-    };
-    parse_allowlist(&text)
-}
-
-/// Parses allowlist text (split out for tests).
-fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
-    let mut entries = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        match (parts.next(), parts.next(), parts.next()) {
-            (Some(path), Some(check), None) => {
-                entries.push((path.to_string(), check.to_string()));
-            }
-            _ => {
-                return Err(format!(
-                    "allowlist line {}: expected `<path> <check-id>`, got `{raw}`",
-                    i + 1
-                ));
-            }
-        }
-    }
-    Ok(entries)
-}
-
-/// True when `(file, check)` is exempted by the allowlist.
-fn allowed(allow: &[AllowEntry], file: &str, check: Check) -> bool {
-    allow
-        .iter()
-        .any(|(p, c)| p == file && (c == check.id() || c == "*"))
-}
-
-/// Crates outside [`LIB_CRATES`] that still get the thread-spawn rule:
-/// ad-hoc threading in the bench harness (or xtask itself) would break
-/// deterministic result ordering just as surely as in library code.
-const THREAD_RULE_CRATES: &[&str] = &["bench", "xtask"];
-
-/// Lints every library crate under `root`, returning unexempted findings.
-/// The bench harness and xtask are additionally scanned for the
-/// thread-spawn rule only.
-fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
-    for krate in LIB_CRATES {
-        let src_dir = root.join("crates").join(krate).join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src_dir, &mut files)?;
-        files.sort();
-        for file in files {
-            let text = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
-            let rel = file
-                .strip_prefix(root)
-                .unwrap_or(&file)
-                .to_string_lossy()
-                .replace('\\', "/");
-            findings.extend(scan_source(&rel, &text));
-            if file.file_name().is_some_and(|n| n == "lib.rs") {
-                findings.extend(check_crate_root(&rel, &text));
-            }
-        }
-    }
-    for krate in THREAD_RULE_CRATES {
-        let src_dir = root.join("crates").join(krate).join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src_dir, &mut files)?;
-        files.sort();
-        for file in files {
-            let text = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
-            let rel = file
-                .strip_prefix(root)
-                .unwrap_or(&file)
-                .to_string_lossy()
-                .replace('\\', "/");
-            findings.extend(
-                scan_source(&rel, &text)
-                    .into_iter()
-                    .filter(|f| f.check == Check::ThreadSpawn),
-            );
-        }
-    }
-    findings.retain(|f| !allowed(allow, &f.file, f.check));
-    Ok(findings)
-}
-
-/// Recursively collects `.rs` files under `dir`.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|x| x == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Scans one source file for banned patterns. Comments and string literals
-/// are blanked first, and `#[cfg(test)]`-gated blocks are exempt.
-fn scan_source(file: &str, text: &str) -> Vec<Finding> {
-    let code = strip_comments_and_strings(text);
-    let in_test = test_block_mask(&code);
-    let mut findings = Vec::new();
-    let originals: Vec<&str> = text.lines().collect();
-    for (i, line) in code.lines().enumerate() {
-        if in_test[i] {
-            continue;
-        }
-        let excerpt = originals.get(i).copied().unwrap_or(line);
-        let mut hit = |check: Check| {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: i + 1,
-                check,
-                excerpt: excerpt.to_string(),
-            });
-        };
-        if line.contains(".unwrap()") {
-            hit(Check::Unwrap);
-        }
-        if line.contains(".expect(") {
-            hit(Check::Expect);
-        }
-        if line.contains("panic!(") {
-            hit(Check::Panic);
-        }
-        if has_word(line, "unsafe") {
-            hit(Check::Unsafe);
-        }
-        if has_float_eq(line) {
-            hit(Check::FloatEq);
-        }
-        // `has_word` keeps `println` from matching inside `eprintln`.
-        if has_word(line, "println") {
-            hit(Check::Println);
-        }
-        if has_word(line, "eprintln") {
-            hit(Check::Eprintln);
-        }
-        if line.contains("thread::spawn")
-            || line.contains("thread::scope")
-            || line.contains("thread::Builder")
-        {
-            hit(Check::ThreadSpawn);
-        }
-    }
-    findings
-}
-
-/// Checks that a crate root carries the two mandatory inner attributes.
-fn check_crate_root(file: &str, text: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    if !text.contains("#![warn(missing_docs)]") {
-        findings.push(Finding {
-            file: file.to_string(),
-            line: 1,
-            check: Check::MissingDocsLint,
-            excerpt: "crate root lacks #![warn(missing_docs)]".to_string(),
-        });
-    }
-    if !text.contains("#![forbid(unsafe_code)]") {
-        findings.push(Finding {
-            file: file.to_string(),
-            line: 1,
-            check: Check::MissingForbidUnsafe,
-            excerpt: "crate root lacks #![forbid(unsafe_code)]".to_string(),
-        });
-    }
-    findings
-}
-
-/// True when `word` occurs in `line` delimited by non-identifier characters
-/// on both sides (so `unsafe_code` does not match `unsafe`).
-fn has_word(line: &str, word: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(word) {
-        let start = from + pos;
-        let end = start + word.len();
-        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
-        let after_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
-        if before_ok && after_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Detects `==` / `!=` where either side is a floating-point literal
-/// (a digit run containing `.` or a `1e-9`-style exponent).
-fn has_float_eq(line: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        let op = (bytes[i] == b'=' || bytes[i] == b'!') && bytes[i + 1] == b'=';
-        // Exclude `..=`, `<=`, `>=`, `==` chains and `=>`.
-        let clean_left = i == 0 || !matches!(bytes[i - 1], b'=' | b'<' | b'>' | b'.' | b'!');
-        let clean_right = i + 2 >= bytes.len() || bytes[i + 2] != b'=';
-        if op && clean_left && clean_right {
-            let left = line[..i].trim_end();
-            let right = line[i + 2..].trim_start();
-            if ends_with_float_literal(left) || starts_with_float_literal(right) {
-                return true;
-            }
-        }
-        i += 1;
-    }
-    false
-}
-
-/// True when `s` begins with a floating-point literal token.
-fn starts_with_float_literal(s: &str) -> bool {
-    let tok: String = s
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_')
-        .collect();
-    is_float_literal(&tok)
-}
-
-/// True when `s` ends with a floating-point literal token.
-fn ends_with_float_literal(s: &str) -> bool {
-    let tok: String = s
-        .chars()
-        .rev()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_')
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-        .collect();
-    is_float_literal(&tok)
-}
-
-/// True for tokens like `1.0`, `0.5_f64`, `1e-9` (after exponent-sign
-/// stripping), but not for integers, idents, or version-like `a.b.c`.
-fn is_float_literal(tok: &str) -> bool {
-    let tok = tok.trim_end_matches("f64").trim_end_matches("f32");
-    let tok = tok.trim_end_matches('_');
-    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit()) {
-        return false;
-    }
-    let has_dot = tok.matches('.').count() == 1;
-    let has_exp = tok.contains('e') || tok.contains('E');
-    let digits_ok = tok
-        .chars()
-        .all(|c| c.is_ascii_digit() || matches!(c, '.' | '_' | 'e' | 'E'));
-    digits_ok && (has_dot || has_exp)
-}
-
-/// Per-line mask: `true` for lines inside a `#[cfg(test)]`-gated block.
-/// After the attribute, everything from the next `{` through its matching
-/// `}` is exempt (covers both `mod tests` and single gated items).
-fn test_block_mask(code: &str) -> Vec<bool> {
-    let lines: Vec<&str> = code.lines().collect();
-    let mut mask = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        if lines[i].contains("#[cfg(test)]") {
-            let mut depth = 0usize;
-            let mut opened = false;
-            let mut j = i;
-            'outer: while j < lines.len() {
-                mask[j] = true;
-                for b in lines[j].bytes() {
-                    match b {
-                        b'{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        b'}' => {
-                            depth = depth.saturating_sub(1);
-                            if opened && depth == 0 {
-                                break 'outer;
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    mask
-}
-
-/// Replaces comments (line, nested block, doc) and string/char literals
-/// with spaces, preserving line structure so reported line numbers match.
-fn strip_comments_and_strings(text: &str) -> String {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(usize),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let bytes = text.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut state = State::Code;
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        match state {
-            State::Code => match b {
-                b'/' if next == Some(b'/') => {
-                    state = State::LineComment;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                }
-                b'/' if next == Some(b'*') => {
-                    state = State::BlockComment(1);
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                }
-                b'"' => {
-                    state = State::Str;
-                    out.push(b' ');
-                    i += 1;
-                }
-                b'r' if matches!(next, Some(b'"') | Some(b'#'))
-                    && raw_str_hashes(bytes, i + 1).is_some() =>
-                {
-                    // Only treat as a raw string when `r` starts a token.
-                    let starts_token = i == 0 || !is_ident_byte(bytes[i - 1]);
-                    if let (true, Some(h)) = (starts_token, raw_str_hashes(bytes, i + 1)) {
-                        state = State::RawStr(h);
-                        let skip = 1 + h + 1; // r, hashes, quote
-                        out.extend(std::iter::repeat_n(b' ', skip));
-                        i += skip;
-                    } else {
-                        out.push(b);
-                        i += 1;
-                    }
-                }
-                b'\'' => {
-                    // Distinguish char literals from lifetimes: a lifetime is
-                    // `'ident` not followed by a closing quote.
-                    let is_lifetime = matches!(next, Some(n) if is_ident_byte(n))
-                        && bytes.get(i + 2) != Some(&b'\'');
-                    if is_lifetime {
-                        out.push(b);
-                        i += 1;
-                    } else {
-                        state = State::Char;
-                        out.push(b' ');
-                        i += 1;
-                    }
-                }
-                b'\n' => {
-                    out.push(b'\n');
-                    i += 1;
-                }
-                _ => {
-                    out.push(b);
-                    i += 1;
-                }
-            },
-            State::LineComment => {
-                if b == b'\n' {
-                    state = State::Code;
-                    out.push(b'\n');
-                } else {
-                    out.push(b' ');
-                }
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                if b == b'*' && next == Some(b'/') {
-                    let d = depth - 1;
-                    state = if d == 0 {
-                        State::Code
-                    } else {
-                        State::BlockComment(d)
-                    };
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if b == b'/' && next == Some(b'*') {
-                    state = State::BlockComment(depth + 1);
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else {
-                    out.push(if b == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if b == b'\\' {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if b == b'"' {
-                    state = State::Code;
-                    out.push(b' ');
-                    i += 1;
-                } else {
-                    out.push(if b == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if b == b'"' && closes_raw_str(bytes, i + 1, hashes) {
-                    state = State::Code;
-                    let skip = 1 + hashes;
-                    out.extend(std::iter::repeat_n(b' ', skip));
-                    i += skip;
-                } else {
-                    out.push(if b == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            State::Char => {
-                if b == b'\\' {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if b == b'\'' {
-                    state = State::Code;
-                    out.push(b' ');
-                    i += 1;
-                } else {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-/// For a raw string starting at `r` with hashes/quote at `pos`, returns the
-/// number of `#`s when `bytes[pos..]` looks like `#*"`, else `None`.
-fn raw_str_hashes(bytes: &[u8], pos: usize) -> Option<usize> {
-    let mut h = 0;
-    let mut i = pos;
-    while bytes.get(i) == Some(&b'#') {
-        h += 1;
-        i += 1;
-    }
-    (bytes.get(i) == Some(&b'"')).then_some(h)
-}
-
-/// True when `bytes[pos..]` is exactly `hashes` `#`s (closing a raw string).
-fn closes_raw_str(bytes: &[u8], pos: usize, hashes: usize) -> bool {
-    (0..hashes).all(|k| bytes.get(pos + k) == Some(&b'#'))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn flags_unwrap_expect_panic_in_library_code() {
-        let src = "fn f() {\n    let x = g().unwrap();\n    let y = h().expect(\"no\");\n    panic!(\"boom\");\n}\n";
-        let findings = scan_source("lib.rs", src);
-        let checks: Vec<Check> = findings.iter().map(|f| f.check).collect();
-        assert_eq!(checks, vec![Check::Unwrap, Check::Expect, Check::Panic]);
-        assert_eq!(findings[0].line, 2);
-        assert_eq!(findings[2].line, 4);
-    }
-
-    #[test]
-    fn unwrap_or_variants_are_not_flagged() {
-        let src = "fn f() {\n    let x = g().unwrap_or(0);\n    let y = g().unwrap_or_else(|| 1);\n    let z = g().unwrap_or_default();\n}\n";
-        assert!(scan_source("lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn cfg_test_blocks_are_exempt() {
-        let src = "fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        g().unwrap();\n        panic!(\"ok in tests\");\n    }\n}\n";
-        assert!(scan_source("lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn comments_strings_and_doctests_are_exempt() {
-        let src = "//! let x = v.unwrap();\n/// calls `panic!(..)` on misuse\nfn f() {\n    let s = \".unwrap()\";\n    // panic!(\"not code\")\n    /* .expect( */\n    let r = r#\"panic!(\"raw\")\"#;\n    let _ = (s, r);\n}\n";
-        assert!(scan_source("lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unsafe_is_flagged_but_forbid_attr_is_not() {
-        let clean = "#![forbid(unsafe_code)]\nfn f() {}\n";
-        assert!(scan_source("lib.rs", clean).is_empty());
-        let dirty = "fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
-        let findings = scan_source("lib.rs", dirty);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].check, Check::Unsafe);
-    }
-
-    #[test]
-    fn float_equality_is_flagged() {
-        assert!(has_float_eq("if x == 1.0 {"));
-        assert!(has_float_eq("if 0.5 != y {"));
-        assert!(has_float_eq("assert!(v == 1e-9);"));
-        assert!(!has_float_eq("if x == 1 {"));
-        assert!(!has_float_eq("let r = 0.0..=1.0;"));
-        assert!(!has_float_eq("if x <= 1.0 {"));
-        assert!(!has_float_eq("if x.to_bits() == y.to_bits() {"));
-        assert!(!has_float_eq("match x { 1 => 2.0, _ => 3.0 }"));
-    }
-
-    #[test]
-    fn println_and_eprintln_are_flagged_separately() {
-        let src = "fn f() {\n    println!(\"to stdout\");\n    eprintln!(\"to stderr\");\n}\n";
-        let findings = scan_source("lib.rs", src);
-        let checks: Vec<Check> = findings.iter().map(|f| f.check).collect();
-        assert_eq!(checks, vec![Check::Println, Check::Eprintln]);
-        assert_eq!(findings[0].line, 2);
-        assert_eq!(findings[1].line, 3);
-    }
-
-    #[test]
-    fn prints_in_tests_comments_and_strings_are_exempt() {
-        let src = "//! println!(\"doc\")\nfn f() {\n    let s = \"println!(inside a string)\";\n    let _ = s;\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        println!(\"debugging a test is fine\");\n        eprintln!(\"so is this\");\n    }\n}\n";
-        assert!(scan_source("lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn crate_root_attribute_checks() {
-        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn f() {}\n";
-        assert!(check_crate_root("lib.rs", good).is_empty());
-        let bad = "fn f() {}\n";
-        let findings = check_crate_root("lib.rs", bad);
-        let checks: Vec<Check> = findings.iter().map(|f| f.check).collect();
-        assert!(checks.contains(&Check::MissingDocsLint));
-        assert!(checks.contains(&Check::MissingForbidUnsafe));
-    }
-
-    #[test]
-    fn allowlist_parses_and_filters() {
-        let text = "# grandfathered\ncrates/a/src/x.rs expect\ncrates/b/src/y.rs *\n\n";
-        let allow = parse_allowlist(text).unwrap();
-        assert_eq!(allow.len(), 2);
-        assert!(allowed(&allow, "crates/a/src/x.rs", Check::Expect));
-        assert!(!allowed(&allow, "crates/a/src/x.rs", Check::Unwrap));
-        assert!(allowed(&allow, "crates/b/src/y.rs", Check::Panic));
-        assert!(parse_allowlist("one-field-only\n").is_err());
-    }
-
-    #[test]
-    fn injected_banned_pattern_is_reported_and_allowlistable() {
-        // The acceptance check: a source tree with a banned call produces a
-        // nonzero finding count, and the allowlist silences exactly it.
-        let src = "fn f() -> u32 {\n    std::env::var(\"X\").map(|v| v.len() as u32).unwrap()\n}\n";
-        let findings = scan_source("crates/demo/src/lib.rs", src);
-        assert_eq!(findings.len(), 1);
-        let allow = vec![("crates/demo/src/lib.rs".to_string(), "unwrap".to_string())];
-        let kept: Vec<_> = findings
-            .into_iter()
-            .filter(|f| !allowed(&allow, &f.file, f.check))
-            .collect();
-        assert!(kept.is_empty());
-    }
-
-    #[test]
-    fn thread_primitives_are_flagged() {
-        let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|_s| {});\n    let b = std::thread::Builder::new();\n}\n";
-        let findings = scan_source("lib.rs", src);
-        assert_eq!(findings.len(), 3);
-        assert!(findings.iter().all(|f| f.check == Check::ThreadSpawn));
-        // Mentions in comments and strings are not findings.
-        let clean = "// call thread::spawn here?\nfn f() {\n    let s = \"thread::scope\";\n    let _ = s;\n}\n";
-        assert!(scan_source("lib.rs", clean).is_empty());
-    }
-
-    #[test]
-    fn bench_json_round_trip_parses() {
-        let text = "[\n  {\"bench\": \"a\", \"iters\": 10, \"ns_per_op\": 100.0, \"ops_per_sec\": 1.0e7},\n  {\"bench\": \"b\", \"iters\": 5, \"ns_per_op\": 42.5, \"ops_per_sec\": 2.35e7}\n]\n";
-        let entries = parse_bench_entries(text).unwrap();
-        assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].bench, "a");
-        assert!((entries[1].ns_per_op - 42.5).abs() < 1e-9);
-        assert!(parse_bench_entries("{\"not\": \"an array\"}").is_err());
-        assert!(parse_bench_entries("[{\"iters\": 3}]").is_err());
-    }
-
-    #[test]
-    fn bench_compare_verdicts() {
-        let entry = |name: &str, ns: f64| BenchEntry {
-            bench: name.to_string(),
-            ns_per_op: ns,
-        };
-        let baseline = vec![
-            entry("tick", 100.0),
-            entry("frag", 10.0),
-            entry("gone", 5.0),
-        ];
-        let current = vec![
-            entry("tick", 139.0),    // +39% — inside the 40% threshold
-            entry("frag", 14.1),     // +41% — regression
-            entry("brand_new", 1.0), // no baseline — passes
-        ];
-        let verdicts = compare_benches(&baseline, &current, 0.40);
-        assert_eq!(verdicts.len(), 3);
-        assert!(matches!(verdicts[0].1, Verdict::Ok(_)));
-        assert!(matches!(verdicts[1].1, Verdict::Regressed(_)));
-        assert_eq!(verdicts[2].1, Verdict::Missing);
-        // Exactly at the threshold passes; strictly beyond fails.
-        let at = compare_benches(&[entry("x", 100.0)], &[entry("x", 140.0)], 0.40);
-        assert!(matches!(at[0].1, Verdict::Ok(_)));
-        let over = compare_benches(&[entry("x", 100.0)], &[entry("x", 140.1)], 0.40);
-        assert!(matches!(over[0].1, Verdict::Regressed(_)));
-    }
-
-    #[test]
-    fn real_workspace_is_clean_under_the_checked_in_allowlist() {
-        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .and_then(Path::parent)
-            .map(Path::to_path_buf)
-            .unwrap();
-        let allow = load_allowlist(&root.join("crates/xtask/lint-allow.txt")).unwrap();
-        let findings = lint_workspace(&root, &allow).unwrap();
-        assert!(
-            findings.is_empty(),
-            "workspace lint must stay clean:\n{}",
-            findings
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("\n")
-        );
     }
 }

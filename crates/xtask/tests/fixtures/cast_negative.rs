@@ -1,0 +1,51 @@
+//! Fixture: casts that must pass the safety lint without a waiver —
+//! suffixed-literal widenings, fitting unsuffixed literals, proven cast
+//! chains, waived casts, and casts inside test code. (A bare `x as u64`
+//! is deliberately absent: one token proves nothing about `x`, so the
+//! lint demands a named helper or a waiver for it.)
+
+pub fn suffixed_widening() -> u64 {
+    7u32 as u64
+}
+
+pub fn suffixed_unsigned_into_wider_signed() -> i64 {
+    7u32 as i64
+}
+
+pub fn literal_fits() -> u32 {
+    300 as u32
+}
+
+pub fn hex_literal_fits() -> u8 {
+    0xFF as u8
+}
+
+pub fn chain_widens() -> u64 {
+    7u16 as u32 as u64
+}
+
+pub fn small_literal_exact_in_float() -> f64 {
+    42 as f64
+}
+
+pub fn float_literal_default() -> f64 {
+    1.5 as f64
+}
+
+pub fn waived(x: u64) -> u32 {
+    x as u32 // as-ok: callers mask to 24 bits first
+}
+
+pub fn waived_above(x: u64) -> u16 {
+    // as-ok: waiver on the preceding line covers the cast below
+    x as u16
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast() {
+        let x = 70_000u64;
+        assert_eq!(x as u16, 4_464);
+    }
+}

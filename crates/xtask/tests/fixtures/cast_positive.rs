@@ -1,0 +1,16 @@
+//! Fixture: casts the safety lint must flag, plus one dead waiver.
+
+pub fn lossy_narrowing(x: u64) -> u16 {
+    x as u16
+}
+
+pub fn lossy_signed(x: i64) -> u64 {
+    x as u64
+}
+
+pub fn lossy_float(x: f64) -> f32 {
+    x as f32
+}
+
+// as-ok: this waiver covers no cast and must be reported as stale
+pub fn no_cast_here() {}

@@ -1,0 +1,21 @@
+//! Fixture: mentions that must NOT trip the determinism auditor.
+//! A HashMap in a line comment is documentation, and so is SystemTime.
+
+/* Block comments may discuss Instant and RandomState freely. */
+
+/// Doc comments naming HashSet or std::env are documentation too.
+pub fn clean() -> &'static str {
+    "HashMap, SystemTime, Instant, RandomState, std::env — all in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_hash_and_clock() {
+        let mut m = HashMap::new();
+        m.insert(1u32, std::time::Instant::now());
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: one genuine occurrence of every determinism hazard. The
+//! auditor must report exactly one finding per check on the lines below.
+
+pub fn hazards() {
+    let _m = std::collections::HashMap::<u32, u32>::new();
+    let _t = std::time::Instant::now();
+    let _v = std::env::var("X");
+    let _s = std::collections::hash_map::RandomState::new();
+}

@@ -1,0 +1,19 @@
+//! Fixture: a tour of the token shapes the lexer must classify without
+//! ever confusing code with text. This file is lexed, never compiled.
+
+/* A nested /* block */ comment is one token. */
+
+pub fn tour<'a>(s: &'a str) -> usize {
+    let _plain = "a \" escaped quote and a // non-comment";
+    let _raw = r#"raw "inner" text with # marks"#;
+    let _bytes = b"byte string";
+    let _braw = br##"raw # bytes"##;
+    let _quote = '\'';
+    let _newline = '\n';
+    let r#type = 1u64 << 3;
+    let _exp = 2.5e-3_f32;
+    let _hex = 0x1f32; // an integer: f32 here is hex digits, not a suffix
+    let _range = 0..10;
+    let _static: &'static str = "done";
+    s.len() + r#type as usize
+}
