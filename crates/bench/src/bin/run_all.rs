@@ -15,7 +15,7 @@ use std::process::{Command, ExitCode};
 
 use lunule_util::WorkerPool;
 
-const EXPERIMENTS: [&str; 19] = [
+const EXPERIMENTS: [&str; 20] = [
     "table1",
     "fig2_request_distribution",
     "fig3_permds_throughput",
@@ -35,6 +35,7 @@ const EXPERIMENTS: [&str; 19] = [
     "hetero",
     "resilience",
     "memory",
+    "session",
 ];
 
 /// Why the suite (or one experiment in it) could not run.

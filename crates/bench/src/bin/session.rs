@@ -1,0 +1,88 @@
+//! Daemon smoke experiment: runs the checked-in demonstration session
+//! (`examples/session.lds`) through the daemon loop at max speed *and*
+//! through the one-shot reference path, asserts the two telemetry
+//! journals are byte-identical, and reports what the session did. This is
+//! the operability story of the daemon distilled into a suite entry: if a
+//! refactor ever makes the live loop journal differently from a batch
+//! run, this experiment fails before any CI diff does.
+
+use lunule_bench::{write_json, CommonArgs};
+use lunule_daemon::{run_oneshot, Daemon, JsonlWriter, MaxSpeed, ScriptSource, Session};
+use lunule_telemetry::{events_jsonl, Telemetry};
+
+const SESSION_SCRIPT: &str = include_str!("../../../../examples/session.lds");
+
+fn main() {
+    let args = CommonArgs::parse();
+    let session = match Session::parse(SESSION_SCRIPT) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("session: examples/session.lds does not parse: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Daemon path: stream the journal into a buffer subscriber.
+    let (sim, pool) = session.build(Telemetry::enabled());
+    let mut daemon = Daemon::new(sim, pool, ScriptSource::new(session.commands.clone()));
+    daemon.subscribe(Box::new(JsonlWriter::new(Vec::new())));
+    let streamed = (|| -> std::io::Result<String> {
+        daemon.run(&mut MaxSpeed)?;
+        let telemetry = daemon.sim().telemetry().clone();
+        let result = daemon.finish()?;
+        let (events, _) = telemetry.events_since(0);
+        println!(
+            "# daemon: {} ticks, {} total ops, {} journal events",
+            result.duration_secs,
+            result.total_ops,
+            events.len()
+        );
+        Ok(events_jsonl(&lunule_telemetry::Snapshot {
+            events,
+            ..Default::default()
+        }))
+    })()
+    .unwrap_or_else(|e| {
+        eprintln!("session: daemon run failed: {e}");
+        std::process::exit(1);
+    });
+
+    // Reference path: same session, batch semantics.
+    let (result, snapshot) = run_oneshot(&session);
+    let exported = events_jsonl(&snapshot);
+    println!(
+        "# oneshot: {} ticks, {} total ops, {} journal events",
+        result.duration_secs,
+        result.total_ops,
+        snapshot.events.len()
+    );
+
+    let identical = streamed == exported;
+    println!(
+        "# journals byte-identical: {}",
+        if identical { "yes" } else { "NO" }
+    );
+    let count = |kind: &str| {
+        snapshot
+            .events
+            .iter()
+            .filter(|r| r.event.kind() == kind)
+            .count()
+    };
+    let summary = vec![
+        ("journal_events", snapshot.events.len()),
+        ("rank_crashed", count("rank_crashed")),
+        ("rank_recovered", count("rank_recovered")),
+        ("mds_add", count("mds_add")),
+        ("knob_set", count("knob_set")),
+        ("byte_identical", usize::from(identical)),
+    ];
+    for (name, value) in &summary {
+        println!("{name:<16} {value:>8}");
+    }
+    write_json(&args.out_dir, "session_smoke", &summary);
+    if !identical {
+        eprintln!("session: daemon journal diverged from one-shot journal");
+        std::process::exit(1);
+    }
+}

@@ -100,6 +100,13 @@ pub trait Balancer: Send {
     /// keep this default and stay telemetry-free.
     fn attach_telemetry(&mut self, _telemetry: Telemetry) {}
 
+    /// Sets a named tuning knob at runtime (the daemon control plane).
+    /// Returns `true` when the knob exists and the value was applied;
+    /// policies without runtime knobs keep this default and report `false`.
+    fn set_knob(&mut self, _name: &str, _value: f64) -> bool {
+        false
+    }
+
     /// Records one served metadata request.
     fn record_access(&mut self, ns: &Namespace, access: Access);
 

@@ -31,6 +31,12 @@ impl HeatMap {
         }
     }
 
+    /// Changes the decay factor in place, keeping accumulated counters
+    /// (runtime tuning). The factor is clamped into `[0, 1)`.
+    pub fn set_decay(&mut self, decay: f64) {
+        self.decay = decay.clamp(0.0, 0.999);
+    }
+
     /// Charges one request against the directory containing `ino`.
     pub fn record(&mut self, ns: &Namespace, ino: InodeId) {
         let dir = match ns.inode(ino).parent() {

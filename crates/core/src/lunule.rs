@@ -169,6 +169,34 @@ impl Balancer for LunuleBalancer {
         self.telemetry = telemetry;
     }
 
+    /// Runtime-tunable knobs: `if_threshold`, `if_smoothness` (rebuilds the
+    /// IF model), `max_report_age_epochs`, `deviation_threshold`, and
+    /// `heat_decay` (takes effect for subsequently recorded heat).
+    fn set_knob(&mut self, name: &str, value: f64) -> bool {
+        match name {
+            "if_threshold" => {
+                self.cfg.if_threshold = value.max(0.0);
+            }
+            "if_smoothness" => {
+                self.cfg.if_model.smoothness = value.clamp(0.01, 0.99);
+                self.model = ImbalanceFactorModel::new(self.cfg.if_model);
+            }
+            "max_report_age_epochs" => {
+                // as-ok: clamped non-negative; saturation at u64::MAX is fine
+                self.cfg.max_report_age_epochs = value.max(0.0) as u64;
+            }
+            "deviation_threshold" => {
+                self.cfg.roles.deviation_threshold = value.max(0.0);
+            }
+            "heat_decay" => {
+                self.cfg.heat_decay = value.clamp(0.0, 0.999);
+                self.heat.set_decay(self.cfg.heat_decay);
+            }
+            _ => return false,
+        }
+        true
+    }
+
     fn record_access(&mut self, ns: &Namespace, access: Access) {
         if self.cfg.workload_aware {
             self.analyzer
@@ -366,6 +394,28 @@ mod tests {
                 },
             );
         }
+    }
+
+    #[test]
+    fn knobs_apply_and_unknown_names_are_rejected() {
+        let mut b = LunuleBalancer::new(small_cfg());
+        assert!(b.set_knob("if_threshold", 0.42));
+        assert!((b.cfg.if_threshold - 0.42).abs() < 1e-12);
+        assert!(b.set_knob("if_smoothness", 0.3));
+        assert!((b.cfg.if_model.smoothness - 0.3).abs() < 1e-12);
+        assert!(b.set_knob("max_report_age_epochs", 7.0));
+        assert_eq!(b.cfg.max_report_age_epochs, 7);
+        assert!(b.set_knob("deviation_threshold", 0.05));
+        assert!(b.set_knob("heat_decay", 0.8));
+        assert!(!b.set_knob("warp_factor", 9.0));
+        // A raised threshold suppresses migration on a skew that would
+        // otherwise trigger.
+        let (ns, map, files) = fixture();
+        let mut tuned = LunuleBalancer::new(small_cfg());
+        feed(&mut tuned, &ns, &files);
+        assert!(tuned.set_knob("if_threshold", 1.0));
+        let plan = tuned.on_epoch(&ns, &map, &EpochStats::new(0, 10.0, vec![300, 0, 0]));
+        assert!(plan.is_empty(), "threshold 1.0 must suppress migration");
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! The event bus: streaming journal events and status snapshots out of
+//! the daemon.
+//!
+//! Subscribers receive two disjoint streams:
+//!
+//! * **journal events** — the typed `lunule-telemetry` [`EventRecord`]s,
+//!   streamed in emission order via [`Subscriber::on_events`]. A journal
+//!   sink writes exactly what `lunule_telemetry::events_jsonl` would
+//!   export — one compact JSON object per line — which is what makes the
+//!   streamed journal byte-identical to the one-shot export;
+//! * **status snapshots** — periodic [`StatusSnapshot`]s via
+//!   [`Subscriber::on_status`]. Status is operator feedback, *never* part
+//!   of the journal: it goes to separate sinks so pausing, stepping and
+//!   `status` commands cannot perturb the byte-identity invariant.
+
+use lunule_sim::Simulation;
+use lunule_telemetry::EventRecord;
+use lunule_util::json::{Json, ToJson};
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A point-in-time operator view of the cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatusSnapshot {
+    /// Current simulated tick.
+    pub tick: u64,
+    /// Whether the loop is paused.
+    pub paused: bool,
+    /// MDS ranks in the cluster (including down/drained ones).
+    pub n_mds: usize,
+    /// Per-rank crash status (`true` = currently down).
+    pub down_ranks: Vec<bool>,
+    /// Clients attached (including finished ones).
+    pub clients: usize,
+    /// Metadata ops completed so far.
+    pub total_ops: u64,
+    /// Migration jobs in flight (transferring, committing, or parked).
+    pub inflight_migrations: u64,
+    /// Resident (authoritative) inodes per rank.
+    pub resident_inodes: Vec<u64>,
+}
+
+impl StatusSnapshot {
+    /// Captures the current cluster state.
+    pub fn capture(sim: &Simulation, paused: bool) -> Self {
+        StatusSnapshot {
+            tick: sim.now(),
+            paused,
+            n_mds: sim.n_mds(),
+            down_ranks: sim.down_ranks(),
+            clients: sim.n_clients(),
+            total_ops: sim.total_ops(),
+            inflight_migrations: sim.inflight_migrations(),
+            resident_inodes: sim.resident_inodes().to_vec(),
+        }
+    }
+
+    /// One compact JSON line, tagged `"type":"status"` so consumers can
+    /// tell it apart from journal events on a shared stream.
+    pub fn to_json_line(&self) -> String {
+        let down: Vec<Json> = self.down_ranks.iter().map(|d| Json::Bool(*d)).collect();
+        let resident: Vec<Json> = self.resident_inodes.iter().map(|r| r.to_json()).collect();
+        Json::Obj(vec![
+            ("type".to_string(), "status".to_json()),
+            ("tick".to_string(), self.tick.to_json()),
+            ("paused".to_string(), self.paused.to_json()),
+            ("n_mds".to_string(), self.n_mds.to_json()),
+            ("down_ranks".to_string(), Json::Arr(down)),
+            ("clients".to_string(), self.clients.to_json()),
+            ("total_ops".to_string(), self.total_ops.to_json()),
+            (
+                "inflight_migrations".to_string(),
+                self.inflight_migrations.to_json(),
+            ),
+            ("resident_inodes".to_string(), Json::Arr(resident)),
+        ])
+        .to_string_compact()
+    }
+}
+
+/// A consumer on the event bus.
+pub trait Subscriber {
+    /// Delivers a batch of journal events, in emission order.
+    fn on_events(&mut self, batch: &[EventRecord]) -> io::Result<()>;
+
+    /// Delivers a status snapshot. Default: ignore (journal-only sinks).
+    fn on_status(&mut self, _status: &StatusSnapshot) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Flushes buffered output (called at session end).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes journal events as compact JSONL — byte-for-byte what
+/// `lunule_telemetry::events_jsonl` exports — and, when `with_status` is
+/// set, interleaves `"type":"status"` lines (for stdout streaming; never
+/// for a journal file that will be diffed).
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    with_status: bool,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// A journal-only writer (no status lines).
+    pub fn new(out: W) -> Self {
+        JsonlWriter {
+            out,
+            with_status: false,
+        }
+    }
+
+    /// A combined stream: journal events plus status lines.
+    pub fn with_status(out: W) -> Self {
+        JsonlWriter {
+            out,
+            with_status: true,
+        }
+    }
+}
+
+impl<W: Write> Subscriber for JsonlWriter<W> {
+    fn on_events(&mut self, batch: &[EventRecord]) -> io::Result<()> {
+        for record in batch {
+            self.out
+                .write_all(record.to_json().to_string_compact().as_bytes())?;
+            self.out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    fn on_status(&mut self, status: &StatusSnapshot) -> io::Result<()> {
+        if self.with_status {
+            self.out.write_all(status.to_json_line().as_bytes())?;
+            self.out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Keeps export stems portable: lowercase alphanumerics, `-`, `_` (same
+/// policy as the bench harness's telemetry sink).
+fn sanitize_label(label: &str) -> String {
+    let mut out: String = label
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | '0'..='9' | '-' | '_' => c,
+            'A'..='Z' => c.to_ascii_lowercase(),
+            _ => '_',
+        })
+        .collect();
+    if out.is_empty() {
+        out.push_str("session");
+    }
+    out
+}
+
+/// A journal file sink: `<dir>/<label>.events.jsonl`, the same naming the
+/// telemetry exporter uses, so `telemetry_check` validates daemon journals
+/// unchanged.
+pub struct JournalFileSink {
+    path: PathBuf,
+    writer: JsonlWriter<BufWriter<fs::File>>,
+}
+
+impl JournalFileSink {
+    /// Creates `dir` (and parents) and opens the journal file fresh.
+    pub fn create(dir: &Path, label: &str) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.events.jsonl", sanitize_label(label)));
+        let file = fs::File::create(&path)?;
+        Ok(JournalFileSink {
+            path,
+            writer: JsonlWriter::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Where the journal is being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Subscriber for JournalFileSink {
+    fn on_events(&mut self, batch: &[EventRecord]) -> io::Result<()> {
+        self.writer.on_events(batch)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// An in-memory collector for tests.
+#[derive(Default)]
+pub struct MemorySink {
+    /// Every event received, in order.
+    pub events: Vec<EventRecord>,
+    /// Every status snapshot received, in order.
+    pub statuses: Vec<StatusSnapshot>,
+}
+
+impl Subscriber for MemorySink {
+    fn on_events(&mut self, batch: &[EventRecord]) -> io::Result<()> {
+        self.events.extend_from_slice(batch);
+        Ok(())
+    }
+
+    fn on_status(&mut self, status: &StatusSnapshot) -> io::Result<()> {
+        self.statuses.push(status.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lunule_telemetry::{Event, Snapshot};
+
+    fn records() -> Vec<EventRecord> {
+        vec![
+            EventRecord {
+                t: 0,
+                seq: 0,
+                event: Event::RunStart { n_mds: 2 },
+            },
+            EventRecord {
+                t: 3,
+                seq: 1,
+                event: Event::MdsAdd { rank: 2 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_writer_matches_the_exporter_byte_for_byte() {
+        let recs = records();
+        let mut sink = JsonlWriter::new(Vec::new());
+        sink.on_events(&recs).unwrap();
+        let exported = lunule_telemetry::events_jsonl(&Snapshot {
+            events: recs,
+            ..Snapshot::default()
+        });
+        assert_eq!(String::from_utf8(sink.out).unwrap(), exported);
+    }
+
+    #[test]
+    fn status_lines_only_appear_when_asked() {
+        let status = StatusSnapshot {
+            tick: 9,
+            paused: true,
+            n_mds: 2,
+            down_ranks: vec![false, true],
+            clients: 4,
+            total_ops: 123,
+            inflight_migrations: 1,
+            resident_inodes: vec![10, 0],
+        };
+        let mut plain = JsonlWriter::new(Vec::new());
+        plain.on_status(&status).unwrap();
+        assert!(plain.out.is_empty());
+        let mut chatty = JsonlWriter::with_status(Vec::new());
+        chatty.on_status(&status).unwrap();
+        let line = String::from_utf8(chatty.out).unwrap();
+        assert!(line.starts_with(r#"{"type":"status","tick":9"#), "{line}");
+        assert!(line.contains(r#""paused":true"#));
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        assert_eq!(sanitize_label("My Run/7"), "my_run_7");
+        assert_eq!(sanitize_label(""), "session");
+        assert_eq!(sanitize_label("ok-label_2"), "ok-label_2");
+    }
+}

@@ -1,0 +1,299 @@
+//! The daemon loop: poll commands, advance one tick, publish events.
+//!
+//! Every loop iteration is the same tick-boundary sequence:
+//!
+//! 1. poll the [`CommandSource`] for commands due at the current tick and
+//!    apply them (state-changing ones through
+//!    [`crate::command::apply_command`], pacing ones to the loop state);
+//! 2. advance the simulation one tick — unless paused with no step budget;
+//! 3. drain newly journaled telemetry events to every subscriber, plus a
+//!    status snapshot every `status_every` ticks.
+//!
+//! Because commands apply at the *same* boundaries the one-shot runner
+//! uses, and pause/step/resume only decide whether step 2 happens (never
+//! what it computes), a scripted session through this loop journals
+//! byte-identically to [`crate::oneshot::run_oneshot`]. The loop itself
+//! never reads the wall clock; pacing lives behind the [`Pacer`] passed to
+//! [`Daemon::run`].
+
+use crate::bus::{StatusSnapshot, Subscriber};
+use crate::command::{apply_command, Command};
+use crate::pacing::Pacer;
+use crate::source::CommandSource;
+use lunule_sim::{OpStream, RunResult, Simulation};
+use std::io;
+
+/// Loop state: whether ticks advance freely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunState {
+    /// Advancing one tick per iteration.
+    Running,
+    /// Holding; only `step` commands advance ticks.
+    Paused,
+    /// Finished (duration reached, all clients done, or `stop` command).
+    Stopped,
+}
+
+/// The long-lived service: simulation + command source + subscribers.
+pub struct Daemon<S: CommandSource> {
+    sim: Simulation,
+    /// Deferred client streams `clients@T:N` commands draw from.
+    pool: Vec<Box<dyn OpStream>>,
+    source: S,
+    subscribers: Vec<Box<dyn Subscriber>>,
+    /// How much of the telemetry journal has been streamed out.
+    cursor: usize,
+    state: RunState,
+    /// Ticks still owed to `step` commands while paused.
+    step_budget: u64,
+    /// Status snapshot cadence in ticks (0 = only on `status` commands).
+    status_every: u64,
+}
+
+impl<S: CommandSource> Daemon<S> {
+    /// Wraps a built session (see [`crate::Session::build`]).
+    pub fn new(sim: Simulation, pool: Vec<Box<dyn OpStream>>, source: S) -> Self {
+        Daemon {
+            sim,
+            pool,
+            source,
+            subscribers: Vec::new(),
+            cursor: 0,
+            state: RunState::Running,
+            step_budget: 0,
+            status_every: 0,
+        }
+    }
+
+    /// Attaches a subscriber to the event bus.
+    pub fn subscribe(&mut self, subscriber: Box<dyn Subscriber>) {
+        self.subscribers.push(subscriber);
+    }
+
+    /// Emits a status snapshot every `ticks` ticks (0 disables periodic
+    /// status; `status` commands always work).
+    pub fn set_status_every(&mut self, ticks: u64) {
+        self.status_every = ticks;
+    }
+
+    /// Current loop state.
+    pub fn state(&self) -> RunState {
+        self.state
+    }
+
+    /// The simulation under management.
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    fn publish_events(&mut self) -> io::Result<()> {
+        let (batch, cursor) = self.sim.telemetry().events_since(self.cursor);
+        self.cursor = cursor;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for sub in &mut self.subscribers {
+            sub.on_events(&batch)?;
+        }
+        Ok(())
+    }
+
+    fn publish_status(&mut self) -> io::Result<()> {
+        let status = StatusSnapshot::capture(&self.sim, self.state == RunState::Paused);
+        for sub in &mut self.subscribers {
+            sub.on_status(&status)?;
+        }
+        Ok(())
+    }
+
+    /// One loop iteration: poll + apply commands, maybe advance a tick,
+    /// publish. Returns `false` once the session is over.
+    pub fn tick_once(&mut self) -> io::Result<bool> {
+        let tick = self.sim.now();
+        let paused = self.state == RunState::Paused;
+        let commands = self.source.poll(tick, self.sim.n_mds(), paused);
+        for command in commands {
+            match command {
+                Command::Pause => {
+                    self.state = RunState::Paused;
+                    self.step_budget = 0;
+                }
+                Command::Resume => {
+                    if self.state == RunState::Paused {
+                        self.state = RunState::Running;
+                        self.step_budget = 0;
+                    }
+                }
+                Command::Step(n) => {
+                    if self.state == RunState::Paused {
+                        self.step_budget = self.step_budget.saturating_add(n);
+                    }
+                }
+                Command::Status => self.publish_status()?,
+                Command::Stop => {
+                    self.state = RunState::Stopped;
+                }
+                other => {
+                    apply_command(&mut self.sim, &mut self.pool, &other);
+                }
+            }
+            if self.state == RunState::Stopped {
+                break;
+            }
+        }
+        if self.state == RunState::Stopped {
+            return Ok(false);
+        }
+
+        let advance = match self.state {
+            RunState::Running => true,
+            RunState::Paused => self.step_budget > 0,
+            RunState::Stopped => false,
+        };
+        if advance {
+            if self.state == RunState::Paused {
+                self.step_budget -= 1;
+            }
+            let advanced = self.sim.step();
+            self.publish_events()?;
+            if !advanced {
+                self.state = RunState::Stopped;
+                return Ok(false);
+            }
+            if self.status_every > 0 && self.sim.now().is_multiple_of(self.status_every) {
+                self.publish_status()?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs the session to completion under `pacer`. The pacer is told
+    /// whether the loop is idle (paused with nothing to do) so it can
+    /// sleep instead of spin; at max speed it does nothing while running.
+    pub fn run(&mut self, pacer: &mut dyn Pacer) -> io::Result<()> {
+        loop {
+            if !self.tick_once()? {
+                return Ok(());
+            }
+            let idle = self.state == RunState::Paused && self.step_budget == 0;
+            pacer.pace(idle);
+        }
+    }
+
+    /// Ends the session: finalises the simulation (flushing a partial
+    /// epoch into the journal), streams the tail of the journal to every
+    /// subscriber, flushes them, and returns the run results.
+    pub fn finish(self) -> io::Result<RunResult> {
+        let Daemon {
+            sim,
+            mut subscribers,
+            cursor,
+            ..
+        } = self;
+        let telemetry = sim.telemetry().clone();
+        let result = sim.finish();
+        let (tail, _) = telemetry.events_since(cursor);
+        for sub in &mut subscribers {
+            if !tail.is_empty() {
+                sub.on_events(&tail)?;
+            }
+            sub.flush()?;
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::MemorySink;
+    use crate::pacing::MaxSpeed;
+    use crate::session::Session;
+    use crate::source::{QueueSource, ScriptSource};
+    use lunule_telemetry::Telemetry;
+
+    fn tiny_session() -> Session {
+        Session::parse(
+            "seed=3\nmds=2\nduration=40\nepoch=10\nclients=2\nscale=0.01\n\
+             workload=zipf\nbalancer=off\ncapacity=100\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn daemon_runs_a_session_to_completion() {
+        let session = tiny_session();
+        let (sim, pool) = session.build(Telemetry::enabled());
+        let mut daemon = Daemon::new(sim, pool, ScriptSource::new(Vec::new()));
+        daemon.subscribe(Box::new(MemorySink::default()));
+        daemon.run(&mut MaxSpeed).unwrap();
+        assert_eq!(daemon.state(), RunState::Stopped);
+        assert_eq!(daemon.sim().now(), 40);
+        let result = daemon.finish().unwrap();
+        assert_eq!(result.duration_secs, 40);
+    }
+
+    #[test]
+    fn pause_holds_the_clock_and_step_advances_it() {
+        let session = tiny_session();
+        let (sim, pool) = session.build(Telemetry::enabled());
+        let mut source = QueueSource::new();
+        source.push(Command::Pause);
+        let mut daemon = Daemon::new(sim, pool, source);
+        assert!(daemon.tick_once().unwrap());
+        assert_eq!(daemon.state(), RunState::Paused);
+        let held = daemon.sim().now();
+        for _ in 0..5 {
+            assert!(daemon.tick_once().unwrap());
+        }
+        assert_eq!(daemon.sim().now(), held, "paused clock must hold");
+        // Stepping is only legal while paused and advances exactly n.
+        // (QueueSource drained, so push through a fresh command.)
+        let mut daemon = {
+            let session = tiny_session();
+            let (sim, pool) = session.build(Telemetry::enabled());
+            let mut source = QueueSource::new();
+            source.push(Command::Pause);
+            source.push(Command::Step(3));
+            Daemon::new(sim, pool, source)
+        };
+        assert!(daemon.tick_once().unwrap()); // pause + step(3), advances 1
+        assert!(daemon.tick_once().unwrap()); // budget 2 -> 1
+        assert!(daemon.tick_once().unwrap()); // budget 1 -> 0
+        assert_eq!(daemon.sim().now(), 3);
+        assert!(daemon.tick_once().unwrap()); // budget exhausted: holds
+        assert_eq!(daemon.sim().now(), 3);
+        assert_eq!(daemon.state(), RunState::Paused);
+    }
+
+    #[test]
+    fn stop_command_ends_the_loop() {
+        let session = tiny_session();
+        let (sim, pool) = session.build(Telemetry::enabled());
+        let mut source = QueueSource::new();
+        source.push(Command::Stop);
+        let mut daemon = Daemon::new(sim, pool, source);
+        assert!(!daemon.tick_once().unwrap());
+        assert_eq!(daemon.sim().now(), 0, "stop fires before the tick runs");
+    }
+
+    #[test]
+    fn status_commands_do_not_touch_the_journal() {
+        let run = |with_status: bool| {
+            let session = tiny_session();
+            let (sim, pool) = session.build(Telemetry::enabled());
+            let mut source = QueueSource::new();
+            if with_status {
+                source.push(Command::Status);
+            }
+            let mut daemon = Daemon::new(sim, pool, source);
+            daemon.subscribe(Box::new(MemorySink::default()));
+            daemon.run(&mut MaxSpeed).unwrap();
+            let telemetry = daemon.sim().telemetry().clone();
+            let _ = daemon.finish().unwrap();
+            let (events, _) = telemetry.events_since(0);
+            events
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

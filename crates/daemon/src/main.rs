@@ -1,0 +1,198 @@
+//! `lunule-daemon`: run a Lunule cluster as a long-lived, operable
+//! service.
+//!
+//! ```text
+//! lunule-daemon --script examples/session.lds [flags]
+//!
+//!   --script FILE        session script (.lds) to run (required)
+//!   --oneshot            run the batch reference path instead of the loop
+//!   --max-speed          no pacing: ticks run as fast as they compute (default)
+//!   --ticks-per-sec F    real-time pacing at F ticks per wall second
+//!   --journal-dir DIR    write <label>.events.jsonl here (default: results)
+//!   --label NAME         journal file stem (default: script file stem)
+//!   --status-every N     periodic status line cadence in ticks (default 0 = off)
+//!   --interactive        also accept commands on stdin (crash:1:60, pause, ...)
+//!   --stdout             stream journal events (and status) to stdout too
+//! ```
+//!
+//! The same script through `--oneshot` and through the daemon loop at
+//! `--max-speed` produces byte-identical journal files — that equivalence
+//! is the headline invariant this binary exists to demonstrate.
+
+use lunule_daemon::{
+    run_oneshot, CommandSource, CompositeSource, Daemon, JournalFileSink, JsonlWriter, MaxSpeed,
+    Pacer, RealTime, ScriptSource, Session, StdinSource,
+};
+use std::io::Write;
+use std::path::PathBuf;
+
+struct Cli {
+    script: PathBuf,
+    oneshot: bool,
+    ticks_per_sec: Option<f64>,
+    journal_dir: PathBuf,
+    label: Option<String>,
+    status_every: u64,
+    interactive: bool,
+    stdout: bool,
+}
+
+#[allow(clippy::exit)]
+fn usage(err: &str) -> ! {
+    let mut stderr = std::io::stderr();
+    let _ = writeln!(stderr, "lunule-daemon: {err}");
+    let _ = writeln!(
+        stderr,
+        "usage: lunule-daemon --script FILE [--oneshot] [--max-speed | --ticks-per-sec F]\n\
+         \x20                    [--journal-dir DIR] [--label NAME] [--status-every N]\n\
+         \x20                    [--interactive] [--stdout]"
+    );
+    std::process::exit(2)
+}
+
+#[allow(clippy::exit)]
+fn fail(err: &str) -> ! {
+    let _ = writeln!(std::io::stderr(), "lunule-daemon: {err}");
+    std::process::exit(1)
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        script: PathBuf::new(),
+        oneshot: false,
+        ticks_per_sec: None,
+        journal_dir: PathBuf::from("results"),
+        label: None,
+        status_every: 0,
+        interactive: false,
+        stdout: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--script" => match args.next() {
+                Some(v) => cli.script = PathBuf::from(v),
+                None => usage("--script needs a file"),
+            },
+            "--oneshot" => cli.oneshot = true,
+            "--max-speed" => cli.ticks_per_sec = None,
+            "--ticks-per-sec" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => cli.ticks_per_sec = Some(v),
+                _ => usage("--ticks-per-sec needs a positive number"),
+            },
+            "--journal-dir" => match args.next() {
+                Some(v) => cli.journal_dir = PathBuf::from(v),
+                None => usage("--journal-dir needs a directory"),
+            },
+            "--label" => match args.next() {
+                Some(v) => cli.label = Some(v),
+                None => usage("--label needs a name"),
+            },
+            "--status-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => cli.status_every = v,
+                None => usage("--status-every needs a tick count"),
+            },
+            "--interactive" => cli.interactive = true,
+            "--stdout" => cli.stdout = true,
+            "--help" | "-h" => usage("help"),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    if cli.script.as_os_str().is_empty() {
+        usage("--script is required");
+    }
+    cli
+}
+
+fn script_label(cli: &Cli) -> String {
+    if let Some(label) = &cli.label {
+        return label.clone();
+    }
+    cli.script
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "session".to_string())
+}
+
+fn main() {
+    let cli = parse_cli();
+    let text = match std::fs::read_to_string(&cli.script) {
+        Ok(text) => text,
+        Err(e) => fail(&format!("cannot read {}: {e}", cli.script.display())),
+    };
+    let session = match Session::parse(&text) {
+        Ok(session) => session,
+        Err(e) => fail(&format!("{}: {e}", cli.script.display())),
+    };
+    let label = script_label(&cli);
+
+    if cli.oneshot {
+        let (result, snapshot) = run_oneshot(&session);
+        if let Err(e) = std::fs::create_dir_all(&cli.journal_dir) {
+            fail(&format!("cannot create {}: {e}", cli.journal_dir.display()));
+        }
+        let path = cli.journal_dir.join(format!("{label}.events.jsonl"));
+        if let Err(e) = std::fs::write(&path, lunule_telemetry::events_jsonl(&snapshot)) {
+            fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        let _ = writeln!(
+            std::io::stderr(),
+            "oneshot: {} ticks, {} ops, {} events -> {}",
+            result.duration_secs,
+            result.total_ops,
+            snapshot.events.len(),
+            path.display()
+        );
+        return;
+    }
+
+    let telemetry = lunule_telemetry::Telemetry::enabled();
+    let (sim, pool) = session.build(telemetry);
+    let script = ScriptSource::new(session.commands.clone());
+    let source: Box<dyn CommandSource> = if cli.interactive {
+        let lines = lunule_daemon::spawn_stdin_reader();
+        Box::new(CompositeSource(script, StdinSource::new(lines)))
+    } else {
+        Box::new(script)
+    };
+    let mut daemon = Daemon::new(sim, pool, source);
+    daemon.set_status_every(cli.status_every);
+    let sink = match JournalFileSink::create(&cli.journal_dir, &label) {
+        Ok(sink) => sink,
+        Err(e) => fail(&format!(
+            "cannot open journal in {}: {e}",
+            cli.journal_dir.display()
+        )),
+    };
+    let journal_path = sink.path().to_path_buf();
+    daemon.subscribe(Box::new(sink));
+    if cli.stdout {
+        daemon.subscribe(Box::new(JsonlWriter::with_status(std::io::stdout())));
+    }
+
+    let mut max_speed = MaxSpeed;
+    let mut real_time;
+    let pacer: &mut dyn Pacer = match cli.ticks_per_sec {
+        Some(tps) => {
+            real_time = RealTime::new(tps);
+            &mut real_time
+        }
+        None => &mut max_speed,
+    };
+    if let Err(e) = daemon.run(pacer) {
+        fail(&format!("event bus error: {e}"));
+    }
+    let ticks = daemon.sim().now();
+    match daemon.finish() {
+        Ok(result) => {
+            let _ = writeln!(
+                std::io::stderr(),
+                "daemon: {} ticks, {} ops -> {}",
+                ticks,
+                result.total_ops,
+                journal_path.display()
+            );
+        }
+        Err(e) => fail(&format!("finish failed: {e}")),
+    }
+}

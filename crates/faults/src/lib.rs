@@ -12,6 +12,11 @@
 //! Everything here is tick-based and free of wall time or ambient
 //! randomness: the same seed always yields the same schedule, so a failing
 //! chaos run reproduces exactly from its seed.
+//!
+//! The `kind@tick:field:...` event tokenizer behind [`parse_spec`] is
+//! exported ([`tokenize_event`], [`EventLine`], [`parse_fault_kind`],
+//! [`format_spec`]) so extension grammars — the `lunule-daemon` session
+//! scripts — parse fault events through exactly this code path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,4 +27,7 @@ mod spec;
 
 pub use plan::{seeded, ChaosProfile, FaultPlan};
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
-pub use spec::{parse_spec, SpecError};
+pub use spec::{
+    format_fault_event, format_spec, parse_fault_kind, parse_spec, tokenize_event, EventLine,
+    SpecError,
+};

@@ -74,6 +74,25 @@ impl FaultPlan {
         self
     }
 
+    /// Adds an already-typed event, applying the same parameter clamps as
+    /// the kind-specific builders. This is the entry point for parsed
+    /// specs ([`crate::parse_spec`] and the daemon session grammar).
+    pub fn event(self, at_tick: u64, kind: FaultKind) -> Self {
+        match kind {
+            FaultKind::Crash { rank, down_ticks } => self.crash(at_tick, rank, down_ticks),
+            FaultKind::Limp {
+                rank,
+                factor,
+                duration_ticks,
+            } => self.limp(at_tick, rank, factor, duration_ticks),
+            FaultKind::ReportLoss { rank, epochs } => self.report_loss(at_tick, rank, epochs),
+            FaultKind::MigrationStall {
+                rank,
+                duration_ticks,
+            } => self.migration_stall(at_tick, rank, duration_ticks),
+        }
+    }
+
     /// Finalises the plan into a sorted schedule.
     pub fn build(self) -> FaultSchedule {
         FaultSchedule::from_events(self.events)

@@ -12,9 +12,17 @@
 //!   use [`ChaosProfile::default`]; `seed` defaults to 0.
 //!
 //! The scripted form is recognised by the presence of `@`.
+//!
+//! The `kind@tick:field:...` event shape is shared with the
+//! `lunule-daemon` session-script grammar (`.lds` files): both go through
+//! [`tokenize_event`], and the four fault kinds parse through
+//! [`parse_fault_kind`], so there is exactly one code path for fault
+//! events whether they arrive on the CLI or in a session script.
+//! [`format_spec`] renders a schedule back into the scripted form, and
+//! `parse → format → parse` is the identity (see the round-trip tests).
 
 use crate::plan::{seeded, ChaosProfile, FaultPlan};
-use crate::schedule::FaultSchedule;
+use crate::schedule::{FaultEvent, FaultKind, FaultSchedule};
 use lunule_namespace::MdsRank;
 
 /// A malformed `--faults` spec string.
@@ -24,7 +32,10 @@ pub struct SpecError {
 }
 
 impl SpecError {
-    fn new(msg: impl Into<String>) -> Self {
+    /// Builds an error carrying a human-readable message. Public so the
+    /// daemon's session parser (which extends this grammar) can report its
+    /// own line-level errors through the same type.
+    pub fn new(msg: impl Into<String>) -> Self {
         SpecError { msg: msg.into() }
     }
 }
@@ -36,6 +47,163 @@ impl std::fmt::Display for SpecError {
 }
 
 impl std::error::Error for SpecError {}
+
+/// One tokenized `kind@tick:field:...` event, borrowed from its spec
+/// string. The shared shape of fault-spec events and daemon session-script
+/// commands: `kind` names the event, `at_tick` schedules it, and `fields`
+/// carries the remaining `:`-separated arguments (everything after the
+/// tick).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventLine<'a> {
+    /// The event kind (`crash`, `limp`, … or a daemon command name).
+    pub kind: &'a str,
+    /// Simulated tick the event fires at.
+    pub at_tick: u64,
+    /// The `:`-separated fields after the tick.
+    pub fields: Vec<&'a str>,
+    /// The raw event text, for error messages.
+    pub raw: &'a str,
+}
+
+impl<'a> EventLine<'a> {
+    /// Fails unless exactly `want` fields follow the tick.
+    pub fn expect_fields(&self, want: usize) -> Result<(), SpecError> {
+        if self.fields.len() == want {
+            Ok(())
+        } else {
+            Err(SpecError::new(format!(
+                "event '{}': expected {want} field(s) after the tick, got {}",
+                self.raw,
+                self.fields.len()
+            )))
+        }
+    }
+
+    /// Field `i` parsed as `u64`.
+    pub fn num(&self, i: usize) -> Result<u64, SpecError> {
+        self.fields
+            .get(i)
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| SpecError::new(format!("event '{}': bad field {i}", self.raw)))
+    }
+
+    /// Field `i` parsed as `f64`.
+    pub fn float(&self, i: usize) -> Result<f64, SpecError> {
+        self.fields
+            .get(i)
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| SpecError::new(format!("event '{}': bad float field {i}", self.raw)))
+    }
+
+    /// Field `i` parsed as an MDS rank, bounds-checked against `n_mds`.
+    pub fn rank(&self, i: usize, n_mds: usize) -> Result<MdsRank, SpecError> {
+        let raw = self.num(i)?;
+        if raw as usize >= n_mds {
+            return Err(SpecError::new(format!(
+                "event '{}': rank {raw} outside cluster of {n_mds}",
+                self.raw
+            )));
+        }
+        // as-ok: bounded by n_mds, which fits u16 by construction
+        Ok(MdsRank(raw as u16))
+    }
+}
+
+/// Tokenizes one `kind@tick:field:...` event string. This is the single
+/// tokenizer behind fault specs and daemon session scripts.
+pub fn tokenize_event(part: &str) -> Result<EventLine<'_>, SpecError> {
+    let part = part.trim();
+    let (kind, rest) = part
+        .split_once('@')
+        .ok_or_else(|| SpecError::new(format!("event '{part}' missing '@'")))?;
+    let mut fields: Vec<&str> = rest.split(':').collect();
+    let tick_text = fields.remove(0);
+    let at_tick = tick_text
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| SpecError::new(format!("event '{part}': bad tick '{tick_text}'")))?;
+    Ok(EventLine {
+        kind: kind.trim(),
+        at_tick,
+        fields,
+        raw: part,
+    })
+}
+
+/// Parses the four fault kinds out of a tokenized event. Returns
+/// `Ok(None)` when `line.kind` is not a fault kind, so grammars that
+/// extend this one (the daemon session scripts) can fall through to their
+/// own commands; arity and field errors on a *known* kind still fail.
+pub fn parse_fault_kind(
+    line: &EventLine<'_>,
+    n_mds: usize,
+) -> Result<Option<FaultKind>, SpecError> {
+    let kind = match line.kind {
+        "crash" => {
+            line.expect_fields(2)?;
+            FaultKind::Crash {
+                rank: line.rank(0, n_mds)?,
+                down_ticks: line.num(1)?,
+            }
+        }
+        "limp" => {
+            line.expect_fields(3)?;
+            let factor = line.float(1)?;
+            FaultKind::Limp {
+                rank: line.rank(0, n_mds)?,
+                factor,
+                duration_ticks: line.num(2)?,
+            }
+        }
+        "loss" => {
+            line.expect_fields(2)?;
+            FaultKind::ReportLoss {
+                rank: line.rank(0, n_mds)?,
+                epochs: line.num(1)?,
+            }
+        }
+        "stall" => {
+            line.expect_fields(2)?;
+            FaultKind::MigrationStall {
+                rank: line.rank(0, n_mds)?,
+                duration_ticks: line.num(1)?,
+            }
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(kind))
+}
+
+/// Renders one fault event in the scripted spec form, the exact inverse of
+/// [`tokenize_event`] + [`parse_fault_kind`].
+pub fn format_fault_event(event: &FaultEvent) -> String {
+    let t = event.at_tick;
+    match event.kind {
+        FaultKind::Crash { rank, down_ticks } => format!("crash@{t}:{}:{down_ticks}", rank.0),
+        FaultKind::Limp {
+            rank,
+            factor,
+            duration_ticks,
+        } => format!("limp@{t}:{}:{factor}:{duration_ticks}", rank.0),
+        FaultKind::ReportLoss { rank, epochs } => format!("loss@{t}:{}:{epochs}", rank.0),
+        FaultKind::MigrationStall {
+            rank,
+            duration_ticks,
+        } => format!("stall@{t}:{}:{duration_ticks}", rank.0),
+    }
+}
+
+/// Renders a whole schedule as a scripted spec string
+/// (`crash@120:1:60;limp@200:2:0.5:100;...`). `parse_spec` of the result
+/// reproduces the schedule exactly.
+pub fn format_spec(schedule: &FaultSchedule) -> String {
+    schedule
+        .events()
+        .iter()
+        .map(format_fault_event)
+        .collect::<Vec<_>>()
+        .join(";")
+}
 
 /// Parses a `--faults` spec (see module docs) into a schedule.
 ///
@@ -65,66 +233,20 @@ fn parse_scripted(
 ) -> Result<FaultSchedule, SpecError> {
     let mut plan = FaultPlan::new();
     for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
-        let part = part.trim();
-        let (kind, rest) = part
-            .split_once('@')
-            .ok_or_else(|| SpecError::new(format!("event '{part}' missing '@'")))?;
-        let fields: Vec<&str> = rest.split(':').collect();
-        let num = |i: usize| -> Result<u64, SpecError> {
-            fields
-                .get(i)
-                .and_then(|s| s.parse::<u64>().ok())
-                .ok_or_else(|| SpecError::new(format!("event '{part}': bad field {i}")))
-        };
-        let tick = num(0)?;
-        if tick >= duration_ticks {
+        let line = tokenize_event(part)?;
+        if line.at_tick >= duration_ticks {
             return Err(SpecError::new(format!(
-                "event '{part}': tick {tick} beyond run of {duration_ticks} ticks"
+                "event '{}': tick {} beyond run of {duration_ticks} ticks",
+                line.raw, line.at_tick
             )));
         }
-        let rank_raw = num(1)?;
-        if rank_raw as usize >= n_mds {
+        let Some(kind) = parse_fault_kind(&line, n_mds)? else {
             return Err(SpecError::new(format!(
-                "event '{part}': rank {rank_raw} outside cluster of {n_mds}"
+                "unknown fault kind '{}' (want crash/limp/loss/stall)",
+                line.kind
             )));
-        }
-        let rank = MdsRank(rank_raw as u16);
-        let arity = |want: usize| -> Result<(), SpecError> {
-            if fields.len() == want {
-                Ok(())
-            } else {
-                Err(SpecError::new(format!(
-                    "event '{part}': expected {want} ':'-fields, got {}",
-                    fields.len()
-                )))
-            }
         };
-        plan = match kind {
-            "crash" => {
-                arity(3)?;
-                plan.crash(tick, rank, num(2)?)
-            }
-            "limp" => {
-                arity(4)?;
-                let factor = fields[2]
-                    .parse::<f64>()
-                    .map_err(|_| SpecError::new(format!("event '{part}': bad limp factor")))?;
-                plan.limp(tick, rank, factor, num(3)?)
-            }
-            "loss" => {
-                arity(3)?;
-                plan.report_loss(tick, rank, num(2)?)
-            }
-            "stall" => {
-                arity(3)?;
-                plan.migration_stall(tick, rank, num(2)?)
-            }
-            other => {
-                return Err(SpecError::new(format!(
-                    "unknown fault kind '{other}' (want crash/limp/loss/stall)"
-                )))
-            }
-        };
+        plan = plan.event(line.at_tick, kind);
     }
     Ok(plan.build())
 }
@@ -214,5 +336,39 @@ mod tests {
         assert!(parse_spec("limp@10:0:high:5", 3, 100).is_err(), "factor");
         assert!(parse_spec("frequency=11", 3, 100).is_err(), "seeded key");
         assert!(parse_spec("seed=banana", 3, 100).is_err(), "seeded value");
+    }
+
+    #[test]
+    fn tokenizer_splits_kind_tick_fields() {
+        let line = tokenize_event(" limp@200:2:0.5:100 ").unwrap();
+        assert_eq!(line.kind, "limp");
+        assert_eq!(line.at_tick, 200);
+        assert_eq!(line.fields, vec!["2", "0.5", "100"]);
+        assert!(tokenize_event("noat").is_err());
+        assert!(tokenize_event("crash@x:1:2").is_err(), "bad tick");
+        // Unknown kinds tokenize fine — extension grammars own them.
+        let other = tokenize_event("addmds@300").unwrap();
+        assert_eq!(other.kind, "addmds");
+        assert!(other.fields.is_empty());
+        assert!(parse_fault_kind(&other, 3).unwrap().is_none());
+    }
+
+    #[test]
+    fn format_spec_round_trips_byte_exact() {
+        let spec = "loss@30:0:2;stall@40:1:50;crash@120:1:60;limp@200:2:0.5:100";
+        let schedule = parse_spec(spec, 3, 400).unwrap();
+        let formatted = format_spec(&schedule);
+        // The schedule is tick-sorted, so the canonical form is too.
+        assert_eq!(formatted, spec);
+        let back = parse_spec(&formatted, 3, 400).unwrap();
+        assert_eq!(back, schedule);
+    }
+
+    #[test]
+    fn format_of_seeded_schedule_reparses_identically() {
+        let schedule = parse_spec("seed=11,crashes=2,limps=1,stalls=1", 5, 800).unwrap();
+        let formatted = format_spec(&schedule);
+        let back = parse_spec(&formatted, 5, 800).unwrap();
+        assert_eq!(back, schedule, "seeded -> scripted -> schedule identity");
     }
 }

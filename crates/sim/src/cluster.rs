@@ -44,6 +44,10 @@ pub struct Simulation {
     /// Events of `cfg.faults` injected so far (the schedule is tick-sorted,
     /// so a cursor suffices).
     fault_cursor: usize,
+    /// Operator-queued faults (daemon control plane), drained at the next
+    /// tick start — after the scheduled events — so their journal entries
+    /// carry the tick they actually fire at.
+    pending_faults: Vec<FaultKind>,
     /// Per-rank crash state: `Some((recover_at, crashed_at))` while down.
     down_until: Vec<Option<(u64, u64)>>,
     /// Capacity saved at crash time, restored on recovery.
@@ -135,6 +139,7 @@ impl Simulation {
             epochs: Vec::new(),
             telemetry,
             fault_cursor: 0,
+            pending_faults: Vec::new(),
             down_until: vec![None; cfg.n_mds],
             saved_capacity: vec![0.0; cfg.n_mds],
             limp: vec![None; cfg.n_mds],
@@ -504,6 +509,74 @@ impl Simulation {
         }
     }
 
+    /// Advances the simulation by exactly one tick, honoring the same stop
+    /// conditions as [`Simulation::run_until`]: returns `false` (without
+    /// stepping) once the configured duration is reached or, under
+    /// `stop_when_done`, once every client has drained. A loop of `step()`
+    /// calls is therefore tick-for-tick identical to one `run_until` over
+    /// the full duration — the daemon's pacing layer relies on this.
+    pub fn step(&mut self) -> bool {
+        if self.tick >= self.cfg.duration_secs {
+            return false;
+        }
+        if self.cfg.stop_when_done && self.all_done() {
+            return false;
+        }
+        self.step_tick();
+        true
+    }
+
+    /// Queues a fault for injection at the start of the next tick, after
+    /// any events the configured schedule has due. Going through the queue
+    /// (rather than injecting immediately) stamps the fault's journal
+    /// events with the tick it takes effect on, exactly like a scheduled
+    /// fault — the daemon's interactive `crash`/`limp`/... commands land
+    /// here.
+    pub fn queue_fault(&mut self, kind: FaultKind) {
+        self.pending_faults.push(kind);
+    }
+
+    /// Schedules a crashed rank for recovery at the start of the next tick
+    /// regardless of its remaining outage (the operator's `recover`
+    /// command). Returns `false` when the rank is unknown or not down.
+    pub fn force_recover(&mut self, rank: MdsRank) -> bool {
+        let Some(slot) = self.down_until.get_mut(rank.index()) else {
+            return false;
+        };
+        let Some((_, crashed_at)) = *slot else {
+            return false;
+        };
+        *slot = Some((0, crashed_at));
+        true
+    }
+
+    /// Sets a named balancer tuning knob (see [`Balancer::set_knob`]),
+    /// journaling a `knob_set` event when the policy accepts it. Returns
+    /// whether the knob was applied.
+    pub fn set_balancer_knob(&mut self, name: &str, value: f64) -> bool {
+        let applied = self.balancer.set_knob(name, value);
+        if applied {
+            let name = name.to_string();
+            self.telemetry.emit(|| Event::KnobSet { name, value });
+        }
+        applied
+    }
+
+    /// Number of clients attached (including finished ones).
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Total metadata operations completed by all clients so far.
+    pub fn total_ops(&self) -> u64 {
+        self.clients.iter().map(|c| c.ops_done).sum()
+    }
+
+    /// The configuration this simulation was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
     /// Runs the whole configured duration and returns the results.
     pub fn run(mut self) -> RunResult {
         self.run_until(self.cfg.duration_secs);
@@ -547,9 +620,16 @@ impl Simulation {
         self.telemetry.set_clock(tick);
         self.telemetry.emit(|| Event::TickStart);
 
-        // 0. Fault schedule: inject everything due this tick, then bring
-        // ranks whose outage has elapsed back online.
+        // 0. Fault schedule: inject everything due this tick (scheduled
+        // events first, then operator-queued ones), then bring ranks whose
+        // outage has elapsed back online.
         self.apply_fault_events(tick);
+        if !self.pending_faults.is_empty() {
+            let queued = std::mem::take(&mut self.pending_faults);
+            for kind in queued {
+                self.inject_fault(kind, tick);
+            }
+        }
         self.recover_ranks(tick);
 
         // 1. Migration progress; transfer costs drain MDS budgets. A rank
@@ -997,6 +1077,91 @@ mod tests {
         let result = sim.finish();
         assert_eq!(result.client_completion_secs.len(), 2);
         assert_eq!(result.total_ops, 20);
+    }
+
+    #[test]
+    fn step_loop_is_tick_identical_to_run_until() {
+        let journal = |stepped: bool| {
+            let (ns, ids) = tiny_ns(50);
+            let streams: Vec<Box<dyn OpStream>> = vec![
+                Box::new(FixedStream::new(ids.clone())),
+                Box::new(FixedStream::new(ids)),
+            ];
+            let cfg = SimConfig {
+                stop_when_done: false,
+                duration_secs: 12,
+                telemetry: Telemetry::enabled(),
+                ..tiny_cfg()
+            };
+            let mut sim =
+                Simulation::new(cfg, ns, make_balancer(BalancerKind::Lunule, 100.0), streams);
+            if stepped {
+                while sim.step() {}
+            } else {
+                sim.run_until(u64::MAX);
+            }
+            let snap = sim.telemetry().snapshot().unwrap();
+            let _ = sim.finish();
+            lunule_telemetry::events_jsonl(&snap)
+        };
+        assert_eq!(
+            journal(true),
+            journal(false),
+            "step loop must equal run_until"
+        );
+    }
+
+    #[test]
+    fn queued_fault_and_forced_recovery() {
+        let (ns, ids) = tiny_ns(10);
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids))];
+        let mut sim = Simulation::new(
+            SimConfig {
+                stop_when_done: false,
+                duration_secs: 50,
+                telemetry: Telemetry::enabled(),
+                ..tiny_cfg()
+            },
+            ns,
+            Box::new(NoopBalancer),
+            streams,
+        );
+        sim.run_until(3);
+        assert!(!sim.force_recover(MdsRank(1)), "rank 1 is not down yet");
+        sim.queue_fault(FaultKind::Crash {
+            rank: MdsRank(1),
+            down_ticks: 1_000,
+        });
+        assert!(!sim.is_rank_down(MdsRank(1)), "queued, not yet injected");
+        sim.step();
+        assert!(sim.is_rank_down(MdsRank(1)), "fires at next tick start");
+        assert!(sim.force_recover(MdsRank(1)));
+        sim.step();
+        assert!(
+            !sim.is_rank_down(MdsRank(1)),
+            "forced recovery beats outage"
+        );
+        let t = sim.telemetry();
+        assert_eq!(t.count_kind("rank_crashed"), 1);
+        assert_eq!(t.count_kind("rank_recovered"), 1);
+    }
+
+    #[test]
+    fn balancer_knob_journals_when_applied() {
+        let (ns, ids) = tiny_ns(10);
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids))];
+        let mut sim = Simulation::new(
+            SimConfig {
+                telemetry: Telemetry::enabled(),
+                ..tiny_cfg()
+            },
+            ns,
+            make_balancer(BalancerKind::Lunule, 100.0),
+            streams,
+        );
+        assert!(sim.set_balancer_knob("if_threshold", 0.2));
+        assert!(!sim.set_balancer_knob("not_a_knob", 1.0));
+        assert_eq!(sim.telemetry().count_kind("knob_set"), 1);
     }
 
     #[test]

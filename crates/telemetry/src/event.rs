@@ -169,6 +169,14 @@ pub enum Event {
         /// Inodes moved when the deadline passed.
         moved: u64,
     },
+    /// A balancer tuning knob was changed at runtime (daemon control
+    /// plane).
+    KnobSet {
+        /// Knob name, e.g. `"if_threshold"`.
+        name: String,
+        /// The new value.
+        value: f64,
+    },
     /// A timed-out migration job was re-queued after backoff.
     MigrationRetried {
         /// Exporting rank.
@@ -206,6 +214,7 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::RankCrashed { .. } => "rank_crashed",
             Event::RankRecovered { .. } => "rank_recovered",
+            Event::KnobSet { .. } => "knob_set",
             Event::MigrationTimedOut { .. } => "migration_timeout",
             Event::MigrationRetried { .. } => "migration_retry",
         }
@@ -326,6 +335,9 @@ impl Event {
                 field("attempt", attempt),
                 field("moved", moved),
             ],
+            Event::KnobSet { name, value } => {
+                vec![field("name", name), field("value", value)]
+            }
             Event::MigrationRetried {
                 from,
                 to,
@@ -437,6 +449,10 @@ impl FromJson for Event {
             "rank_recovered" => Ok(Event::RankRecovered {
                 rank: req(v, "rank")?,
                 down_ticks: req(v, "down_ticks")?,
+            }),
+            "knob_set" => Ok(Event::KnobSet {
+                name: req(v, "name")?,
+                value: req(v, "value")?,
             }),
             "migration_timeout" => Ok(Event::MigrationTimedOut {
                 from: req(v, "from")?,
@@ -564,6 +580,10 @@ mod tests {
             Event::RankRecovered {
                 rank: 1,
                 down_ticks: 61,
+            },
+            Event::KnobSet {
+                name: "if_threshold".into(),
+                value: 0.15,
             },
             Event::MigrationTimedOut {
                 from: 0,

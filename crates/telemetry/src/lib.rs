@@ -183,6 +183,25 @@ impl Telemetry {
             .count() as u64
     }
 
+    /// Copies every journal event recorded at or after index `cursor` and
+    /// returns it with the new cursor (the total journal length). This is
+    /// the streaming interface for live subscribers (the daemon event
+    /// bus): repeated calls with the returned cursor see each event exactly
+    /// once, in emission order, without draining the journal — exporters
+    /// still see the full run. A disabled handle yields no events and a
+    /// zero cursor.
+    pub fn events_since(&self, cursor: usize) -> (Vec<EventRecord>, usize) {
+        let Some(inner) = &self.inner else {
+            return (Vec::new(), 0);
+        };
+        let c = Self::lock(inner);
+        let end = c.events.len();
+        if cursor >= end {
+            return (Vec::new(), end);
+        }
+        (c.events[cursor..].to_vec(), end)
+    }
+
     /// A deep copy of everything collected so far (`None` when disabled).
     pub fn snapshot(&self) -> Option<Snapshot> {
         let inner = self.inner.as_ref()?;
@@ -320,6 +339,27 @@ mod tests {
         t.emit(|| Event::TickStart);
         assert_eq!(t.count_kind("migration_start"), 1);
         assert_eq!(t.count_kind("migration_commit"), 0);
+    }
+
+    #[test]
+    fn events_since_streams_each_event_exactly_once() {
+        let t = Telemetry::enabled();
+        t.emit(|| Event::TickStart);
+        t.emit(|| Event::MdsAdd { rank: 1 });
+        let (batch, cur) = t.events_since(0);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(cur, 2);
+        let (empty, cur2) = t.events_since(cur);
+        assert!(empty.is_empty());
+        assert_eq!(cur2, 2);
+        t.emit(|| Event::TickStart);
+        let (tail, cur3) = t.events_since(cur2);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(cur3, 3);
+        // Streaming never drains: the snapshot still holds the full run.
+        assert_eq!(t.snapshot().unwrap().events.len(), 3);
+        // Disabled handles stream nothing.
+        assert_eq!(Telemetry::disabled().events_since(0), (Vec::new(), 0));
     }
 
     #[test]

@@ -78,8 +78,8 @@ pub struct CrateLayer {
 ///
 /// ```text
 /// util ─┬─ namespace ─┬─ faults ──────────┐
-///       │             └─ core ─ verify ── sim ── workloads ── bench
-///       └─ telemetry ──┘ (core, sim)      (facade `lunule` atop all)
+///       │             └─ core ─ verify ── sim ── workloads ─┬─ bench
+///       └─ telemetry ──┘ (core, sim)      (facade atop all) └─ daemon
 /// ```
 pub const LAYERING: &[CrateLayer] = &[
     CrateLayer {
@@ -130,10 +130,24 @@ pub const LAYERING: &[CrateLayer] = &[
         deps: &["lunule-namespace", "lunule-sim", "lunule-util"],
     },
     CrateLayer {
+        name: "lunule-daemon",
+        dir: "crates/daemon",
+        deps: &[
+            "lunule-core",
+            "lunule-faults",
+            "lunule-namespace",
+            "lunule-sim",
+            "lunule-telemetry",
+            "lunule-util",
+            "lunule-workloads",
+        ],
+    },
+    CrateLayer {
         name: "lunule-bench",
         dir: "crates/bench",
         deps: &[
             "lunule-core",
+            "lunule-daemon",
             "lunule-faults",
             "lunule-namespace",
             "lunule-sim",
@@ -153,6 +167,7 @@ pub const LAYERING: &[CrateLayer] = &[
         dir: ".",
         deps: &[
             "lunule-core",
+            "lunule-daemon",
             "lunule-faults",
             "lunule-namespace",
             "lunule-sim",

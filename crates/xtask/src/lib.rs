@@ -45,6 +45,7 @@ pub const LIB_CRATES: &[&str] = &[
     "verify",
     "telemetry",
     "faults",
+    "daemon",
 ];
 
 /// Hot-path crates covered by the cast-safety pass: the per-op and per-tick

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub use lunule_core as core;
+pub use lunule_daemon as daemon;
 pub use lunule_faults as faults;
 pub use lunule_namespace as namespace;
 pub use lunule_sim as sim;
@@ -20,6 +21,7 @@ pub use lunule_workloads as workloads;
 /// Convenience prelude bringing the types most programs need into scope.
 pub mod prelude {
     pub use lunule_core::{Balancer, BalancerKind, ImbalanceFactorModel, MigrationPlan};
+    pub use lunule_daemon::{Daemon, Session};
     pub use lunule_faults::{FaultPlan, FaultSchedule};
     pub use lunule_namespace::{FileType, Frag, FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
     pub use lunule_sim::{RunResult, SimConfig, Simulation};
