@@ -47,6 +47,7 @@ fn check_dir(dir: &Path) -> Result<(usize, usize), String> {
             let events = parse_events_jsonl(&text)
                 .map_err(|e| format!("{}: bad event log: {e}", path.display()))?;
             check_fault_events(&events).map_err(|e| format!("{}: {e}", path.display()))?;
+            check_stamps(&events).map_err(|e| format!("{}: {e}", path.display()))?;
             n_events += events.len();
             n_files += 1;
         } else if name.ends_with(".trace.json") {
@@ -61,6 +62,31 @@ fn check_dir(dir: &Path) -> Result<(usize, usize), String> {
         return Err(format!("no telemetry files found in {}", dir.display()));
     }
     Ok((n_events, n_trace))
+}
+
+/// Validates the `(t, seq)` stamping discipline the deterministic clock
+/// guarantees: ticks never go backwards, the first event of each tick has
+/// `seq == 0`, and within a tick `seq` is contiguous. An uninterrupted run
+/// satisfies this by construction; a journal stitched together across a
+/// crash/restore (`--restore`) must satisfy it too — a duplicate, dropped,
+/// or out-of-order record at the stitch point fails here.
+fn check_stamps(events: &[lunule_telemetry::EventRecord]) -> Result<(), String> {
+    let mut prev: Option<(u64, u64)> = None;
+    for rec in events {
+        let ok = match prev {
+            None => true,
+            Some((t, seq)) if rec.t == t => rec.seq == seq + 1,
+            Some((t, _)) => rec.t > t && rec.seq == 0,
+        };
+        if !ok {
+            return Err(format!(
+                "stamp ({}, {}) after {:?} breaks (t, seq) monotonicity",
+                rec.t, rec.seq, prev
+            ));
+        }
+        prev = Some((rec.t, rec.seq));
+    }
+    Ok(())
 }
 
 /// Structural validation of the fault-injection event family: every

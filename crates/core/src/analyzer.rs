@@ -26,7 +26,7 @@
 //! elsewhere" behaviour the paper credits for the CNN/NLP wins.
 
 use lunule_namespace::{InodeId, Namespace};
-use lunule_util::convert::{u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u64};
+use lunule_util::convert::{u32_to_usize, u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u64};
 use std::collections::BTreeMap;
 
 /// Number of cutting windows the per-inode visit mask can remember.
@@ -369,6 +369,89 @@ impl PatternAnalyzer {
     /// Number of directories with live statistics.
     pub fn tracked_dirs(&self) -> usize {
         self.dirs.len()
+    }
+
+    /// Writes the analyzer's dynamic state (window cursor, per-inode visit
+    /// masks, per-directory rings, RNG position) to a snapshot section.
+    /// The configuration is *not* serialized — a restored analyzer is
+    /// rebuilt from the run configuration first.
+    pub fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_u64(self.window);
+        e.put_seq(&self.inodes, |e, iv| {
+            e.put_u64(iv.last_window);
+            e.put_u64(iv.mask);
+            e.put_bool(iv.ever_visited);
+        });
+        let dirs: Vec<(&InodeId, &DirWindows)> = self.dirs.iter().collect();
+        e.put_seq(&dirs, |e, (id, dw)| {
+            e.put_u64(id.raw());
+            e.put_seq(&dw.ring, |e, w| {
+                e.put_u32(w.visits);
+                e.put_u32(w.recurrent);
+                e.put_u32(w.first_visits);
+                e.put_u32(w.sibling_bumps);
+            });
+            e.put_usize(dw.cursor);
+            e.put_u64(dw.window);
+            e.put_u64(dw.total_inodes);
+            e.put_u64(dw.visited_ever);
+        });
+        e.put_u64(self.rng_state);
+    }
+
+    /// Restores the dynamic state written by [`PatternAnalyzer::save_state`]
+    /// into this (freshly configured) analyzer.
+    pub fn load_state(
+        &mut self,
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        use lunule_util::codec::CodecError;
+        self.window = d.get_u64("analyzer window")?;
+        self.inodes = d.get_seq("analyzer inodes", |d| {
+            Ok(InodeVisits {
+                last_window: d.get_u64("visit last_window")?,
+                mask: d.get_u64("visit mask")?,
+                ever_visited: d.get_bool("visit ever")?,
+            })
+        })?;
+        let dirs = d.get_seq("analyzer dirs", |d| {
+            let raw = d.get_u64("analyzer dir id")?;
+            let idx = u32::try_from(raw).map_err(|_| CodecError::Invalid {
+                what: "analyzer dir id",
+            })?;
+            let ring = d.get_seq("dir ring", |d| {
+                Ok(WindowCounters {
+                    visits: d.get_u32("ring visits")?,
+                    recurrent: d.get_u32("ring recurrent")?,
+                    first_visits: d.get_u32("ring first_visits")?,
+                    sibling_bumps: d.get_u32("ring sibling_bumps")?,
+                })
+            })?;
+            let cursor = d.get_usize("dir cursor")?;
+            if ring.is_empty() || cursor >= ring.len() {
+                return Err(CodecError::Invalid {
+                    what: "analyzer ring",
+                });
+            }
+            let dw = DirWindows {
+                ring,
+                cursor,
+                window: d.get_u64("dir window")?,
+                total_inodes: d.get_u64("dir total_inodes")?,
+                visited_ever: d.get_u64("dir visited_ever")?,
+            };
+            Ok((InodeId::from_index(u32_to_usize(idx)), dw))
+        })?;
+        self.dirs.clear();
+        for (id, dw) in dirs {
+            if self.dirs.insert(id, dw).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "analyzer dirs",
+                });
+            }
+        }
+        self.rng_state = d.get_u64("analyzer rng state")?;
+        Ok(())
     }
 
     /// Records the analyzer's bookkeeping size into the telemetry stream:

@@ -112,6 +112,21 @@ pub trait Balancer: Send {
 
     /// Epoch boundary: decide whether and what to migrate.
     fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan;
+
+    /// Writes the policy's *dynamic* state (heat counters, histories,
+    /// analyzer windows, runtime-tuned knobs) to a snapshot section.
+    /// Stateless policies keep the default and write nothing; what matters
+    /// is that `save_state` and [`Balancer::load_state`] agree.
+    fn save_state(&self, _e: &mut lunule_util::codec::Encoder) {}
+
+    /// Restores the state written by [`Balancer::save_state`] into this
+    /// freshly configured policy instance.
+    fn load_state(
+        &mut self,
+        _d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        Ok(())
+    }
 }
 
 /// Identifies one of the shipped balancer implementations; used by the

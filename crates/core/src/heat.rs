@@ -75,6 +75,49 @@ impl HeatMap {
     pub fn is_empty(&self) -> bool {
         self.heat.is_empty()
     }
+
+    /// Writes the decay factor and every counter (bit-exact) to a
+    /// snapshot section.
+    pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_f64(self.decay);
+        let entries: Vec<(&InodeId, &f64)> = self.heat.iter().collect();
+        e.put_seq(&entries, |e, (id, h)| {
+            e.put_u64(id.raw());
+            e.put_f64(**h);
+        });
+    }
+
+    /// Reads a heat map back; counters restore bit-exactly.
+    pub fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<HeatMap, lunule_util::codec::CodecError> {
+        use lunule_util::codec::CodecError;
+        let decay = d.get_f64("heat decay")?;
+        if !(0.0..1.0).contains(&decay) {
+            return Err(CodecError::Invalid { what: "heat decay" });
+        }
+        let entries = d.get_seq("heat entries", |d| {
+            let raw = d.get_u64("heat dir id")?;
+            // `from_index` aborts past u32 space; reject corruption first.
+            let idx = u32::try_from(raw).map_err(|_| CodecError::Invalid {
+                what: "heat dir id",
+            })?;
+            let h = d.get_f64("heat value")?;
+            Ok((
+                InodeId::from_index(lunule_util::convert::u32_to_usize(idx)),
+                h,
+            ))
+        })?;
+        let mut heat = BTreeMap::new();
+        for (id, h) in entries {
+            if heat.insert(id, h).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "heat entries",
+                });
+            }
+        }
+        Ok(HeatMap { decay, heat })
+    }
 }
 
 #[cfg(test)]

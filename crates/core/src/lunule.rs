@@ -348,6 +348,51 @@ impl Balancer for LunuleBalancer {
         });
         plan
     }
+
+    fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
+        // Knob-mutable configuration first: a restored balancer is built
+        // from the *run* configuration, which does not reflect `setknob`
+        // commands applied mid-run.
+        e.put_f64(self.cfg.if_threshold);
+        e.put_f64(self.cfg.if_model.smoothness);
+        e.put_u64(self.cfg.max_report_age_epochs);
+        e.put_f64(self.cfg.roles.deviation_threshold);
+        e.put_f64(self.cfg.heat_decay);
+        e.put_f64(self.last_if);
+        self.history.encode(e);
+        self.heat.encode(e);
+        self.analyzer.save_state(e);
+        e.put_seq(&self.last_good, |e, slot| {
+            e.put_option(slot, |e, (req, epoch)| {
+                e.put_u64(*req);
+                e.put_u64(*epoch);
+            });
+        });
+    }
+
+    fn load_state(
+        &mut self,
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        self.cfg.if_threshold = d.get_f64("lunule if_threshold")?;
+        self.cfg.if_model.smoothness = d.get_f64("lunule if_smoothness")?;
+        self.model = ImbalanceFactorModel::new(self.cfg.if_model);
+        self.cfg.max_report_age_epochs = d.get_u64("lunule max_report_age")?;
+        self.cfg.roles.deviation_threshold = d.get_f64("lunule deviation_threshold")?;
+        self.cfg.heat_decay = d.get_f64("lunule heat_decay")?;
+        self.last_if = d.get_f64("lunule last_if")?;
+        self.history = LoadHistory::decode(d)?;
+        self.heat = HeatMap::decode(d)?;
+        self.analyzer.load_state(d)?;
+        self.last_good = d.get_seq("lunule last_good", |d| {
+            d.get_option("last_good slot", |d| {
+                let req = d.get_u64("last_good requests")?;
+                let epoch = d.get_u64("last_good epoch")?;
+                Ok((req, epoch))
+            })
+        })?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +426,42 @@ mod tests {
             }
         }
         (ns, SubtreeMap::new(MdsRank(0)), files)
+    }
+
+    #[test]
+    fn save_and_load_state_round_trips() {
+        let (ns, map, files) = fixture();
+        let mut b = LunuleBalancer::new(small_cfg());
+        feed(&mut b, &ns, &files);
+        let stats = EpochStats::new(0, 10.0, vec![900, 10]);
+        let _ = b.on_epoch(&ns, &map, &stats);
+        assert!(b.set_knob("if_threshold", 0.42));
+        assert!(b.set_knob("heat_decay", 0.7));
+
+        let mut e = lunule_util::codec::Encoder::new();
+        b.save_state(&mut e);
+        let bytes = e.into_bytes();
+
+        // Restore into a *fresh* balancer built from the run config.
+        let mut restored = LunuleBalancer::new(small_cfg());
+        let mut d = lunule_util::codec::Decoder::new(&bytes);
+        restored.load_state(&mut d).unwrap();
+        d.finish().unwrap();
+
+        // The restored instance re-saves byte-identically…
+        let mut e2 = lunule_util::codec::Encoder::new();
+        restored.save_state(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+
+        // …and behaves identically from here on.
+        let stats2 = EpochStats::new(1, 10.0, vec![800, 120]);
+        let plan_a = b.on_epoch(&ns, &map, &stats2);
+        let plan_b = restored.on_epoch(&ns, &map, &stats2);
+        assert_eq!(plan_a.exports.len(), plan_b.exports.len());
+        assert_eq!(
+            b.last_imbalance_factor().to_bits(),
+            restored.last_imbalance_factor().to_bits()
+        );
     }
 
     fn feed(b: &mut LunuleBalancer, ns: &Namespace, files: &[InodeId]) {

@@ -120,6 +120,20 @@ impl Balancer for ProgrammableBalancer {
         self.name
     }
 
+    fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
+        self.heat.encode(e);
+        self.history.encode(e);
+    }
+
+    fn load_state(
+        &mut self,
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        self.heat = HeatMap::decode(d)?;
+        self.history = LoadHistory::decode(d)?;
+        Ok(())
+    }
+
     fn record_access(&mut self, ns: &Namespace, access: Access) {
         self.heat.record(ns, access.ino);
     }

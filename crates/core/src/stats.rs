@@ -135,6 +135,31 @@ impl LoadHistory {
     pub fn n_ranks(&self) -> usize {
         self.per_rank.len()
     }
+
+    /// Writes the window and every per-rank series (bit-exact) to a
+    /// snapshot section.
+    pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_usize(self.window);
+        e.put_seq(&self.per_rank, |e, series| {
+            e.put_seq(series, |e, v| e.put_f64(*v));
+        });
+    }
+
+    /// Reads a history back; series restore bit-exactly.
+    pub fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<LoadHistory, lunule_util::codec::CodecError> {
+        let window = d.get_usize("history window")?;
+        let per_rank = d.get_seq("history ranks", |d| {
+            d.get_seq("history series", |d| d.get_f64("history point"))
+        })?;
+        if per_rank.iter().any(|s| s.len() > window) {
+            return Err(lunule_util::codec::CodecError::Invalid {
+                what: "load history",
+            });
+        }
+        Ok(LoadHistory { window, per_rank })
+    }
 }
 
 #[cfg(test)]

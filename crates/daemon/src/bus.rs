@@ -39,6 +39,11 @@ pub struct StatusSnapshot {
     pub inflight_migrations: u64,
     /// Resident (authoritative) inodes per rank.
     pub resident_inodes: Vec<u64>,
+    /// Tick of the most recent on-disk snapshot this session wrote
+    /// (`None` until the first one; always `None` when snapshots are off).
+    pub last_snapshot_tick: Option<u64>,
+    /// Snapshots written so far this session.
+    pub snapshots: u64,
 }
 
 impl StatusSnapshot {
@@ -53,6 +58,8 @@ impl StatusSnapshot {
             total_ops: sim.total_ops(),
             inflight_migrations: sim.inflight_migrations(),
             resident_inodes: sim.resident_inodes().to_vec(),
+            last_snapshot_tick: None,
+            snapshots: 0,
         }
     }
 
@@ -74,6 +81,14 @@ impl StatusSnapshot {
                 self.inflight_migrations.to_json(),
             ),
             ("resident_inodes".to_string(), Json::Arr(resident)),
+            (
+                "last_snapshot_tick".to_string(),
+                match self.last_snapshot_tick {
+                    Some(t) => t.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("snapshots".to_string(), self.snapshots.to_json()),
         ])
         .to_string_compact()
     }
@@ -92,6 +107,15 @@ pub trait Subscriber {
     /// Flushes buffered output (called at session end).
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
+    }
+
+    /// Makes everything delivered so far *durable* — for file sinks,
+    /// flush **and** fsync. The daemon calls this right before writing a
+    /// snapshot, so a crash immediately after the snapshot still finds
+    /// every journal record the snapshot covers on disk. Default: plain
+    /// flush (non-file sinks have nothing more durable to offer).
+    fn sync(&mut self) -> io::Result<()> {
+        self.flush()
     }
 }
 
@@ -119,6 +143,12 @@ impl<W: Write> JsonlWriter<W> {
             out,
             with_status: true,
         }
+    }
+
+    /// The underlying stream — for owners that need more than `Write`
+    /// (e.g. a file sink fsyncing after a flush).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.out
     }
 }
 
@@ -174,7 +204,7 @@ impl JournalFileSink {
     /// Creates `dir` (and parents) and opens the journal file fresh.
     pub fn create(dir: &Path, label: &str) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.events.jsonl", sanitize_label(label)));
+        let path = journal_path(dir, label);
         let file = fs::File::create(&path)?;
         Ok(JournalFileSink {
             path,
@@ -182,9 +212,70 @@ impl JournalFileSink {
         })
     }
 
+    /// Reopens an existing journal for a **restored** session and stitches
+    /// it: keeps exactly the records the snapshot covers — those stamped
+    /// strictly before the snapshot's telemetry clock position
+    /// `(clock, seq)` — truncates anything the interrupted run wrote past
+    /// that point (including a torn final line from a mid-write kill), and
+    /// appends from there. The restored run re-emits the truncated records
+    /// byte-identically, so the finished file matches an uninterrupted
+    /// run's journal exactly.
+    ///
+    /// Returns the sink plus the highest event tick the old journal had
+    /// reached — the catch-up target for [`crate::pacing::Catchup`]. A
+    /// missing journal file degrades to [`JournalFileSink::create`] with a
+    /// target of zero.
+    pub fn resume(dir: &Path, label: &str, clock: u64, seq: u64) -> io::Result<(Self, u64)> {
+        let path = journal_path(dir, label);
+        let old = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok((JournalFileSink::create(dir, label)?, 0));
+            }
+            Err(e) => return Err(e),
+        };
+        let mut kept = String::new();
+        let mut keeping = true;
+        let mut reached = 0u64;
+        for line in old.lines() {
+            // A torn line (the write the kill interrupted) can only be
+            // the last one; it and anything after it is discarded.
+            let Some((t, s)) = record_position(line) else {
+                break;
+            };
+            reached = reached.max(t);
+            if keeping && (t, s) < (clock, seq) {
+                kept.push_str(line);
+                kept.push('\n');
+            } else {
+                keeping = false;
+            }
+        }
+        // Truncate atomically: a kill during the stitch must not lose the
+        // journal prefix the snapshot depends on.
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(kept.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        let file = fs::OpenOptions::new().append(true).open(&path)?;
+        let sink = JournalFileSink {
+            path,
+            writer: JsonlWriter::new(BufWriter::new(file)),
+        };
+        Ok((sink, reached))
+    }
+
     /// Where the journal is being written.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    fn sync_file(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_mut().get_ref().sync_all()
     }
 }
 
@@ -196,6 +287,34 @@ impl Subscriber for JournalFileSink {
     fn flush(&mut self) -> io::Result<()> {
         self.writer.flush()
     }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_file()
+    }
+}
+
+impl Drop for JournalFileSink {
+    /// Best-effort durability on any exit path — a daemon stopping via
+    /// `stop` (or unwinding) leaves the journal flushed and fsynced.
+    fn drop(&mut self) {
+        let _ = self.sync_file();
+    }
+}
+
+/// `<dir>/<label>.events.jsonl` — the telemetry exporter's naming, so
+/// `telemetry_check` validates daemon journals unchanged.
+fn journal_path(dir: &Path, label: &str) -> PathBuf {
+    dir.join(format!("{}.events.jsonl", sanitize_label(label)))
+}
+
+/// Extracts the `(t, seq)` stamp from one journal line; `None` for a line
+/// that is not a complete event record (torn tail write).
+fn record_position(line: &str) -> Option<(u64, u64)> {
+    use lunule_util::FromJson;
+    let v = Json::parse(line).ok()?;
+    let t = u64::from_json(v.get("t")?).ok()?;
+    let seq = u64::from_json(v.get("seq")?).ok()?;
+    Some((t, seq))
 }
 
 /// An in-memory collector for tests.
@@ -262,6 +381,8 @@ mod tests {
             total_ops: 123,
             inflight_migrations: 1,
             resident_inodes: vec![10, 0],
+            last_snapshot_tick: Some(8),
+            snapshots: 2,
         };
         let mut plain = JsonlWriter::new(Vec::new());
         plain.on_status(&status).unwrap();
@@ -271,6 +392,61 @@ mod tests {
         let line = String::from_utf8(chatty.out).unwrap();
         assert!(line.starts_with(r#"{"type":"status","tick":9"#), "{line}");
         assert!(line.contains(r#""paused":true"#));
+        assert!(line.contains(r#""last_snapshot_tick":8"#));
+        assert!(line.contains(r#""snapshots":2"#));
+    }
+
+    #[test]
+    fn resume_truncates_to_the_snapshot_position_and_appends() {
+        let dir =
+            std::env::temp_dir().join(format!("lunule-daemon-bus-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+
+        // An interrupted run's journal: records through (t=3, seq=1),
+        // then a torn final line from the kill.
+        let mut sink = JournalFileSink::create(&dir, "run").unwrap();
+        let pre: Vec<EventRecord> = (0..4u64)
+            .flat_map(|t| {
+                (0..2u64).map(move |seq| EventRecord {
+                    t,
+                    seq,
+                    event: Event::MdsAdd { rank: 2 },
+                })
+            })
+            .collect();
+        sink.on_events(&pre).unwrap();
+        sink.flush().unwrap();
+        let path = sink.path().to_path_buf();
+        drop(sink);
+        fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(b"{\"t\":4,\"se")
+            .unwrap();
+
+        // Snapshot position (2, 1): keep (0,0)..(2,0), drop the rest.
+        let (mut sink, reached) = JournalFileSink::resume(&dir, "run", 2, 1).unwrap();
+        assert_eq!(reached, 3, "catch-up target is the last full record's tick");
+        sink.on_events(&[EventRecord {
+            t: 2,
+            seq: 1,
+            event: Event::MdsAdd { rank: 2 },
+        }])
+        .unwrap();
+        sink.sync().unwrap();
+        drop(sink);
+        let text = fs::read_to_string(&path).unwrap();
+        let stamps: Vec<(u64, u64)> = text.lines().map(|l| record_position(l).unwrap()).collect();
+        assert_eq!(stamps, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+
+        // No prior journal: behaves like `create` with target 0.
+        let (fresh, reached) = JournalFileSink::resume(&dir, "other", 5, 0).unwrap();
+        assert_eq!(reached, 0);
+        assert!(fresh.path().exists());
+        drop(fresh);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub enum Command {
     },
     /// Emit a status snapshot to the status subscribers (journal-neutral).
     Status,
+    /// Write an on-disk state snapshot now (journal-neutral; a no-op when
+    /// the daemon has no snapshot directory configured).
+    Snapshot,
     /// Stop advancing ticks until `Resume`/`Step` (journal-neutral).
     Pause,
     /// Resume free running after a pause (journal-neutral).
@@ -52,7 +55,11 @@ impl Command {
     pub fn is_journal_neutral(&self) -> bool {
         matches!(
             self,
-            Command::Status | Command::Pause | Command::Resume | Command::Step(_)
+            Command::Status
+                | Command::Snapshot
+                | Command::Pause
+                | Command::Resume
+                | Command::Step(_)
         )
     }
 }
@@ -129,6 +136,10 @@ pub fn parse_command(line: &EventLine<'_>, max_ranks: usize) -> Result<Command, 
             line.expect_fields(0)?;
             Command::Status
         }
+        "snapshot" => {
+            line.expect_fields(0)?;
+            Command::Snapshot
+        }
         "pause" => {
             line.expect_fields(0)?;
             Command::Pause
@@ -150,8 +161,8 @@ pub fn parse_command(line: &EventLine<'_>, max_ranks: usize) -> Result<Command, 
         }
         other => {
             return Err(SpecError::new(format!(
-                "unknown command '{other}' (want a fault kind or \
-                 recover/addmds/drain/clients/knob/status/pause/resume/step/stop)"
+                "unknown command '{other}' (want a fault kind or recover/addmds/\
+                 drain/clients/knob/status/snapshot/pause/resume/step/stop)"
             )))
         }
     };
@@ -222,9 +233,12 @@ pub fn apply_command(
                 Applied::Noop("unknown knob")
             }
         }
-        Command::Status | Command::Pause | Command::Resume | Command::Step(_) | Command::Stop => {
-            Applied::Noop("control command")
-        }
+        Command::Status
+        | Command::Snapshot
+        | Command::Pause
+        | Command::Resume
+        | Command::Step(_)
+        | Command::Stop => Applied::Noop("control command"),
     }
 }
 
@@ -255,6 +269,7 @@ mod tests {
             }
             other => unreachable!("expected knob, got {other:?}"),
         }
+        assert!(matches!(cmd("snapshot@50"), Command::Snapshot));
         assert!(matches!(cmd("pause@50"), Command::Pause));
         assert!(matches!(cmd("step@50:10"), Command::Step(10)));
         assert!(matches!(cmd("resume@60"), Command::Resume));
@@ -283,6 +298,7 @@ mod tests {
     #[test]
     fn journal_neutral_classification() {
         assert!(cmd("pause@1").is_journal_neutral());
+        assert!(cmd("snapshot@1").is_journal_neutral());
         assert!(cmd("status@1").is_journal_neutral());
         assert!(cmd("step@1:5").is_journal_neutral());
         assert!(!cmd("stop@1").is_journal_neutral());

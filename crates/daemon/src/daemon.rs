@@ -22,6 +22,7 @@ use crate::pacing::Pacer;
 use crate::source::CommandSource;
 use lunule_sim::{OpStream, RunResult, Simulation};
 use std::io;
+use std::path::PathBuf;
 
 /// Loop state: whether ticks advance freely.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +49,14 @@ pub struct Daemon<S: CommandSource> {
     step_budget: u64,
     /// Status snapshot cadence in ticks (0 = only on `status` commands).
     status_every: u64,
+    /// Where on-disk state snapshots go (`None` = snapshotting off).
+    snapshot_dir: Option<PathBuf>,
+    /// State snapshot cadence in ticks (0 = only on `snapshot` commands).
+    snapshot_every: u64,
+    /// Tick of the most recent snapshot written this session.
+    last_snapshot_tick: Option<u64>,
+    /// Snapshots written this session.
+    snapshot_count: u64,
 }
 
 impl<S: CommandSource> Daemon<S> {
@@ -62,6 +71,10 @@ impl<S: CommandSource> Daemon<S> {
             state: RunState::Running,
             step_budget: 0,
             status_every: 0,
+            snapshot_dir: None,
+            snapshot_every: 0,
+            last_snapshot_tick: None,
+            snapshot_count: 0,
         }
     }
 
@@ -74,6 +87,26 @@ impl<S: CommandSource> Daemon<S> {
     /// status; `status` commands always work).
     pub fn set_status_every(&mut self, ticks: u64) {
         self.status_every = ticks;
+    }
+
+    /// Enables on-disk state snapshots into `dir`: one every `every` ticks
+    /// (0 = only when a `snapshot` command asks), written crash-safely via
+    /// `lunule_snapshot::write_atomic` after the journal sinks have been
+    /// fsynced — so a kill at *any* instant leaves a snapshot whose covered
+    /// journal prefix is already durable.
+    pub fn set_snapshots(&mut self, dir: PathBuf, every: u64) {
+        self.snapshot_dir = Some(dir);
+        self.snapshot_every = every;
+    }
+
+    /// Number of state snapshots written this session.
+    pub fn snapshot_count(&self) -> u64 {
+        self.snapshot_count
+    }
+
+    /// Tick of the most recent state snapshot, if any were written.
+    pub fn last_snapshot_tick(&self) -> Option<u64> {
+        self.last_snapshot_tick
     }
 
     /// Current loop state.
@@ -99,10 +132,32 @@ impl<S: CommandSource> Daemon<S> {
     }
 
     fn publish_status(&mut self) -> io::Result<()> {
-        let status = StatusSnapshot::capture(&self.sim, self.state == RunState::Paused);
+        let mut status = StatusSnapshot::capture(&self.sim, self.state == RunState::Paused);
+        status.last_snapshot_tick = self.last_snapshot_tick;
+        status.snapshots = self.snapshot_count;
         for sub in &mut self.subscribers {
             sub.on_status(&status)?;
         }
+        Ok(())
+    }
+
+    /// Writes a state snapshot now (between ticks). Journal durability
+    /// first: every record the snapshot covers is flushed and fsynced
+    /// before the snapshot file appears, so a crash straddling the two
+    /// writes can never leave a snapshot pointing past the journal.
+    /// Silently a no-op without a configured snapshot directory.
+    fn take_snapshot(&mut self) -> io::Result<()> {
+        let Some(dir) = self.snapshot_dir.clone() else {
+            return Ok(());
+        };
+        for sub in &mut self.subscribers {
+            sub.sync()?;
+        }
+        let snap = self.sim.snapshot();
+        let path = dir.join(lunule_snapshot::snapshot_filename(snap.tick));
+        lunule_snapshot::write_atomic(&path, &snap).map_err(|e| io::Error::other(e.to_string()))?;
+        self.last_snapshot_tick = Some(snap.tick);
+        self.snapshot_count += 1;
         Ok(())
     }
 
@@ -130,6 +185,7 @@ impl<S: CommandSource> Daemon<S> {
                     }
                 }
                 Command::Status => self.publish_status()?,
+                Command::Snapshot => self.take_snapshot()?,
                 Command::Stop => {
                     self.state = RunState::Stopped;
                 }
@@ -163,6 +219,9 @@ impl<S: CommandSource> Daemon<S> {
             if self.status_every > 0 && self.sim.now().is_multiple_of(self.status_every) {
                 self.publish_status()?;
             }
+            if self.snapshot_every > 0 && self.sim.now().is_multiple_of(self.snapshot_every) {
+                self.take_snapshot()?;
+            }
         }
         Ok(true)
     }
@@ -176,6 +235,7 @@ impl<S: CommandSource> Daemon<S> {
                 return Ok(());
             }
             let idle = self.state == RunState::Paused && self.step_budget == 0;
+            pacer.observe_tick(self.sim.now());
             pacer.pace(idle);
         }
     }
@@ -197,7 +257,9 @@ impl<S: CommandSource> Daemon<S> {
             if !tail.is_empty() {
                 sub.on_events(&tail)?;
             }
-            sub.flush()?;
+            // Durable flush: a daemon ending via `stop` leaves its journal
+            // fsynced, not just pushed into the OS page cache.
+            sub.sync()?;
         }
         Ok(result)
     }
@@ -275,6 +337,127 @@ mod tests {
         let mut daemon = Daemon::new(sim, pool, source);
         assert!(!daemon.tick_once().unwrap());
         assert_eq!(daemon.sim().now(), 0, "stop fires before the tick runs");
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lunule-daemon-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_command_writes_a_file_and_status_reports_it() {
+        let session = tiny_session();
+        let dir = tmpdir("cmd");
+        let (sim, pool) = session.build(Telemetry::enabled());
+        let mut source = QueueSource::new();
+        source.push(Command::Snapshot);
+        source.push(Command::Status);
+        let mut daemon = Daemon::new(sim, pool, source);
+        daemon.set_snapshots(dir.clone(), 0);
+        daemon.subscribe(Box::new(MemorySink::default()));
+        assert!(daemon.tick_once().unwrap());
+        assert_eq!(daemon.snapshot_count(), 1);
+        assert_eq!(daemon.last_snapshot_tick(), Some(0));
+        let path = dir.join(lunule_snapshot::snapshot_filename(0));
+        let snap = lunule_snapshot::read(&path).unwrap();
+        assert_eq!(snap.tick, 0);
+        assert_eq!(snap.seed, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn periodic_snapshots_follow_the_cadence() {
+        let session = tiny_session();
+        let dir = tmpdir("cadence");
+        let (sim, pool) = session.build(Telemetry::enabled());
+        let mut daemon = Daemon::new(sim, pool, ScriptSource::new(Vec::new()));
+        daemon.set_snapshots(dir.clone(), 15);
+        daemon.run(&mut MaxSpeed).unwrap();
+        // duration=40 with a snapshot every 15 ticks: ticks 15 and 30.
+        assert_eq!(daemon.snapshot_count(), 2);
+        assert_eq!(daemon.last_snapshot_tick(), Some(30));
+        let mut status = crate::bus::StatusSnapshot::capture(daemon.sim(), false);
+        status.last_snapshot_tick = daemon.last_snapshot_tick();
+        status.snapshots = daemon.snapshot_count();
+        assert!(status.to_json_line().contains(r#""last_snapshot_tick":30"#));
+        let _ = daemon.finish().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_and_restore_resumes_byte_identically() {
+        // State changes on both sides of the snapshot: a crash fault and a
+        // client attach before it, an MDS add after it.
+        let script = "seed=11\nmds=3\nduration=60\nepoch=10\nclients=2\nscale=0.01\n\
+                      workload=zipf\nbalancer=lunule\ncapacity=200\n\
+                      crash@8:1:10\nclients@5:2\naddmds@30\n";
+        let session = Session::parse(script).unwrap();
+
+        // Reference: the uninterrupted daemon journal.
+        let reference = {
+            let (sim, pool) = session.build(Telemetry::enabled());
+            let mut daemon = Daemon::new(sim, pool, ScriptSource::new(session.commands.clone()));
+            daemon.run(&mut MaxSpeed).unwrap();
+            let telemetry = daemon.sim().telemetry().clone();
+            let _ = daemon.finish().unwrap();
+            lunule_telemetry::events_jsonl(&telemetry.snapshot().unwrap_or_default())
+        };
+
+        // Interrupted run: snapshot at tick 17, "killed" (dropped without
+        // finish) at tick 20.
+        let dir = tmpdir("restore");
+        let pre_all = {
+            let (sim, pool) = session.build(Telemetry::enabled());
+            let mut daemon = Daemon::new(sim, pool, ScriptSource::new(session.commands.clone()));
+            daemon.set_snapshots(dir.clone(), 17);
+            for _ in 0..20 {
+                assert!(daemon.tick_once().unwrap());
+            }
+            assert_eq!(daemon.snapshot_count(), 1);
+            daemon
+                .sim()
+                .telemetry()
+                .snapshot()
+                .unwrap_or_default()
+                .events
+        };
+
+        // Recover: newest valid snapshot for this session's digest.
+        let (_, snap) = lunule_snapshot::find_latest_valid(&dir, Some(session.digest()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(snap.tick, 17);
+        let telemetry = Telemetry::enabled();
+        let (sim, pool) = session.build_restored(telemetry.clone(), &snap).unwrap();
+        assert_eq!(sim.now(), 17);
+        assert_eq!(sim.n_clients(), 4, "clients@5 is inside the snapshot");
+        assert!(pool.is_empty());
+        let (clock, seq) = sim.telemetry().clock_position();
+        let mut source = ScriptSource::new(session.commands.clone());
+        source.skip_until(snap.tick);
+        let mut daemon = Daemon::new(sim, pool, source);
+        daemon.run(&mut MaxSpeed).unwrap();
+        assert_eq!(daemon.sim().now(), 60);
+        assert_eq!(daemon.sim().n_mds(), 4, "addmds@30 fires after restore");
+        let _ = daemon.finish().unwrap();
+        let post = telemetry.snapshot().unwrap_or_default().events;
+
+        // Stitch: journal records the snapshot covers, then the restored
+        // run's journal — byte-identical to the uninterrupted reference.
+        let stitched: Vec<_> = pre_all
+            .into_iter()
+            .filter(|r| (r.t, r.seq) < (clock, seq))
+            .chain(post)
+            .collect();
+        let stitched_jsonl = lunule_telemetry::events_jsonl(&lunule_telemetry::Snapshot {
+            events: stitched,
+            ..lunule_telemetry::Snapshot::default()
+        });
+        assert_eq!(stitched_jsonl, reference);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use bus::{JournalFileSink, JsonlWriter, StatusSnapshot, Subscriber};
 pub use command::{apply_command, Command, TimedCommand};
 pub use daemon::{Daemon, RunState};
 pub use oneshot::run_oneshot;
-pub use pacing::{spawn_stdin_reader, MaxSpeed, Pacer, RealTime};
+pub use pacing::{spawn_stdin_reader, Catchup, MaxSpeed, Pacer, RealTime};
 pub use session::Session;
 pub use source::{
     parse_interactive, CommandSource, CompositeSource, QueueSource, ScriptSource, StdinSource,

@@ -13,18 +13,28 @@
 //!   --status-every N     periodic status line cadence in ticks (default 0 = off)
 //!   --interactive        also accept commands on stdin (crash:1:60, pause, ...)
 //!   --stdout             stream journal events (and status) to stdout too
+//!   --snapshot-dir DIR   write crash-safe state snapshots here
+//!   --snapshot-every N   snapshot cadence in ticks (0 = only on `snapshot` commands)
+//!   --restore PATH       resume from a snapshot file, or from the newest
+//!                        valid snapshot when PATH is a directory
 //! ```
 //!
 //! The same script through `--oneshot` and through the daemon loop at
 //! `--max-speed` produces byte-identical journal files — that equivalence
-//! is the headline invariant this binary exists to demonstrate.
+//! is the headline invariant this binary exists to demonstrate. With
+//! snapshots enabled the invariant survives a kill at **any** instant:
+//! `--restore` stitches the old journal at the snapshot's clock position,
+//! re-simulates from there (catching up at max speed under real-time
+//! pacing), and the finished journal is byte-identical to an
+//! uninterrupted run's.
 
 use lunule_daemon::{
-    run_oneshot, CommandSource, CompositeSource, Daemon, JournalFileSink, JsonlWriter, MaxSpeed,
-    Pacer, RealTime, ScriptSource, Session, StdinSource,
+    run_oneshot, Catchup, CommandSource, CompositeSource, Daemon, JournalFileSink, JsonlWriter,
+    MaxSpeed, Pacer, RealTime, ScriptSource, Session, StdinSource,
 };
+use lunule_snapshot::Snapshot;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 struct Cli {
     script: PathBuf,
@@ -35,6 +45,9 @@ struct Cli {
     status_every: u64,
     interactive: bool,
     stdout: bool,
+    snapshot_dir: Option<PathBuf>,
+    snapshot_every: u64,
+    restore: Option<PathBuf>,
 }
 
 #[allow(clippy::exit)]
@@ -45,7 +58,8 @@ fn usage(err: &str) -> ! {
         stderr,
         "usage: lunule-daemon --script FILE [--oneshot] [--max-speed | --ticks-per-sec F]\n\
          \x20                    [--journal-dir DIR] [--label NAME] [--status-every N]\n\
-         \x20                    [--interactive] [--stdout]"
+         \x20                    [--interactive] [--stdout] [--snapshot-dir DIR]\n\
+         \x20                    [--snapshot-every N] [--restore PATH]"
     );
     std::process::exit(2)
 }
@@ -66,6 +80,9 @@ fn parse_cli() -> Cli {
         status_every: 0,
         interactive: false,
         stdout: false,
+        snapshot_dir: None,
+        snapshot_every: 0,
+        restore: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,6 +111,18 @@ fn parse_cli() -> Cli {
             },
             "--interactive" => cli.interactive = true,
             "--stdout" => cli.stdout = true,
+            "--snapshot-dir" => match args.next() {
+                Some(v) => cli.snapshot_dir = Some(PathBuf::from(v)),
+                None => usage("--snapshot-dir needs a directory"),
+            },
+            "--snapshot-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => cli.snapshot_every = v,
+                None => usage("--snapshot-every needs a tick count"),
+            },
+            "--restore" => match args.next() {
+                Some(v) => cli.restore = Some(PathBuf::from(v)),
+                None => usage("--restore needs a snapshot file or directory"),
+            },
             "--help" | "-h" => usage("help"),
             other => usage(&format!("unknown flag '{other}'")),
         }
@@ -101,7 +130,65 @@ fn parse_cli() -> Cli {
     if cli.script.as_os_str().is_empty() {
         usage("--script is required");
     }
+    if cli.oneshot && cli.restore.is_some() {
+        usage("--restore does not combine with --oneshot");
+    }
     cli
+}
+
+/// Loads the snapshot `--restore` names: a snapshot file directly, or the
+/// newest valid snapshot in a directory. A corrupt, truncated, or foreign
+/// file falls back to the newest valid sibling in its directory — the
+/// recovery behaviour the self-validating format exists for.
+fn load_snapshot(restore: &Path, digest: u64) -> Snapshot {
+    let scan = |dir: &Path| match lunule_snapshot::find_latest_valid(dir, Some(digest)) {
+        Ok(found) => found,
+        Err(e) => fail(&format!("cannot scan {}: {e}", dir.display())),
+    };
+    if restore.is_dir() {
+        match scan(restore) {
+            Some((path, snap)) => {
+                let _ = writeln!(
+                    std::io::stderr(),
+                    "restoring from {} (tick {})",
+                    path.display(),
+                    snap.tick
+                );
+                return snap;
+            }
+            None => fail(&format!(
+                "no valid snapshot for this session in {}",
+                restore.display()
+            )),
+        }
+    }
+    let direct = lunule_snapshot::read(restore).and_then(|s| {
+        s.check_digest(digest)?;
+        Ok(s)
+    });
+    match direct {
+        Ok(snap) => snap,
+        Err(e) => {
+            let dir = restore.parent().filter(|d| !d.as_os_str().is_empty());
+            let fallback = dir.and_then(scan);
+            match fallback {
+                Some((path, snap)) => {
+                    let _ = writeln!(
+                        std::io::stderr(),
+                        "lunule-daemon: {}: {e}; falling back to {} (tick {})",
+                        restore.display(),
+                        path.display(),
+                        snap.tick
+                    );
+                    snap
+                }
+                None => fail(&format!(
+                    "{}: {e} (and no valid fallback snapshot found)",
+                    restore.display()
+                )),
+            }
+        }
+    }
 }
 
 fn script_label(cli: &Cli) -> String {
@@ -147,8 +234,23 @@ fn main() {
     }
 
     let telemetry = lunule_telemetry::Telemetry::enabled();
-    let (sim, pool) = session.build(telemetry);
-    let script = ScriptSource::new(session.commands.clone());
+    let restored = cli
+        .restore
+        .as_deref()
+        .map(|path| load_snapshot(path, session.digest()));
+    let (sim, pool) = match &restored {
+        Some(snap) => match session.build_restored(telemetry, snap) {
+            Ok(built) => built,
+            Err(e) => fail(&format!("cannot restore: {e}")),
+        },
+        None => session.build(telemetry),
+    };
+    let mut script = ScriptSource::new(session.commands.clone());
+    if let Some(snap) = &restored {
+        // Commands before the snapshot tick already applied; their effects
+        // are part of the restored state.
+        script.skip_until(snap.tick);
+    }
     let source: Box<dyn CommandSource> = if cli.interactive {
         let lines = lunule_daemon::spawn_stdin_reader();
         Box::new(CompositeSource(script, StdinSource::new(lines)))
@@ -157,12 +259,31 @@ fn main() {
     };
     let mut daemon = Daemon::new(sim, pool, source);
     daemon.set_status_every(cli.status_every);
-    let sink = match JournalFileSink::create(&cli.journal_dir, &label) {
-        Ok(sink) => sink,
-        Err(e) => fail(&format!(
-            "cannot open journal in {}: {e}",
-            cli.journal_dir.display()
-        )),
+    if let Some(dir) = &cli.snapshot_dir {
+        daemon.set_snapshots(dir.clone(), cli.snapshot_every);
+    }
+    // Journal sink: fresh for a new run; for a restore, the interrupted
+    // run's journal stitched at the snapshot's clock position so the
+    // finished file matches an uninterrupted run byte-for-byte.
+    let (sink, catchup_target) = if restored.is_some() {
+        let (clock, seq) = daemon.sim().telemetry().clock_position();
+        match JournalFileSink::resume(&cli.journal_dir, &label, clock, seq) {
+            // The dead run had completed every tick whose events it
+            // journaled, so catching up means passing the last stamped one.
+            Ok((sink, reached)) => (sink, Some(reached + 1)),
+            Err(e) => fail(&format!(
+                "cannot resume journal in {}: {e}",
+                cli.journal_dir.display()
+            )),
+        }
+    } else {
+        match JournalFileSink::create(&cli.journal_dir, &label) {
+            Ok(sink) => (sink, None),
+            Err(e) => fail(&format!(
+                "cannot open journal in {}: {e}",
+                cli.journal_dir.display()
+            )),
+        }
     };
     let journal_path = sink.path().to_path_buf();
     daemon.subscribe(Box::new(sink));
@@ -170,16 +291,12 @@ fn main() {
         daemon.subscribe(Box::new(JsonlWriter::with_status(std::io::stdout())));
     }
 
-    let mut max_speed = MaxSpeed;
-    let mut real_time;
-    let pacer: &mut dyn Pacer = match cli.ticks_per_sec {
-        Some(tps) => {
-            real_time = RealTime::new(tps);
-            &mut real_time
-        }
-        None => &mut max_speed,
+    let mut pacer: Box<dyn Pacer> = match (cli.ticks_per_sec, catchup_target) {
+        (Some(tps), Some(target)) => Box::new(Catchup::new(target, RealTime::new(tps))),
+        (Some(tps), None) => Box::new(RealTime::new(tps)),
+        (None, _) => Box::new(MaxSpeed),
     };
-    if let Err(e) = daemon.run(pacer) {
+    if let Err(e) = daemon.run(pacer.as_mut()) {
         fail(&format!("event bus error: {e}"));
     }
     let ticks = daemon.sim().now();

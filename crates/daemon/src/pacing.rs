@@ -19,6 +19,11 @@ use std::time::{Duration, Instant};
 pub trait Pacer {
     /// Called after every loop iteration.
     fn pace(&mut self, idle: bool);
+
+    /// Tells the pacer how far the simulation has advanced (called once
+    /// per iteration, before [`Pacer::pace`]). Default: ignore — only
+    /// pacers whose cadence depends on progress (e.g. [`Catchup`]) care.
+    fn observe_tick(&mut self, _tick: u64) {}
 }
 
 /// No pacing: ticks run back-to-back as fast as the simulation computes
@@ -77,6 +82,52 @@ impl Pacer for RealTime {
     }
 }
 
+/// Catch-up pacing for restored sessions: runs at max speed until the
+/// simulation reaches `target` — the tick the interrupted run had gotten
+/// to before it died — then hands pacing over to the wrapped pacer. An
+/// operator restoring a real-time session re-simulates the lost interval
+/// as fast as it computes instead of watching the replay in real time.
+pub struct Catchup<P: Pacer> {
+    target: u64,
+    caught_up: bool,
+    inner: P,
+}
+
+impl<P: Pacer> Catchup<P> {
+    /// Replays at max speed until the simulated tick reaches `target`,
+    /// then paces with `inner`.
+    pub fn new(target: u64, inner: P) -> Self {
+        Catchup {
+            target,
+            caught_up: false,
+            inner,
+        }
+    }
+
+    /// True once the replay has reached the target and `inner` paces.
+    pub fn is_caught_up(&self) -> bool {
+        self.caught_up
+    }
+}
+
+impl<P: Pacer> Pacer for Catchup<P> {
+    fn observe_tick(&mut self, tick: u64) {
+        if !self.caught_up && tick >= self.target {
+            self.caught_up = true;
+        }
+        self.inner.observe_tick(tick);
+    }
+
+    fn pace(&mut self, idle: bool) {
+        if self.caught_up {
+            self.inner.pace(idle);
+        } else if idle {
+            // Still catching up but paused: nap like MaxSpeed does.
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
 /// Spawns the interactive input thread: reads stdin line-by-line and
 /// forwards each line over a channel the non-blocking
 /// [`crate::StdinSource`] drains at tick boundaries. The thread exits
@@ -116,6 +167,27 @@ mod tests {
             pacer.pace(false);
         }
         assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn catchup_is_free_until_the_target_then_delegates() {
+        struct CountingPacer(u32);
+        impl Pacer for CountingPacer {
+            fn pace(&mut self, _idle: bool) {
+                self.0 += 1;
+            }
+        }
+        let mut pacer = Catchup::new(10, CountingPacer(0));
+        for tick in 1..=9 {
+            pacer.observe_tick(tick);
+            pacer.pace(false);
+        }
+        assert!(!pacer.is_caught_up());
+        assert_eq!(pacer.inner.0, 0, "inner pacer must not run during replay");
+        pacer.observe_tick(10);
+        pacer.pace(false);
+        assert!(pacer.is_caught_up());
+        assert_eq!(pacer.inner.0, 1);
     }
 
     #[test]

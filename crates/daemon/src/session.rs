@@ -36,6 +36,7 @@ use crate::command::{parse_command, Command, TimedCommand};
 use lunule_core::{make_balancer, BalancerKind};
 use lunule_faults::{format_fault_event, tokenize_event, FaultPlan, FaultSchedule, SpecError};
 use lunule_sim::{OpStream, SimConfig, Simulation};
+use lunule_snapshot::{Snapshot, SnapshotError};
 use lunule_telemetry::Telemetry;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
@@ -284,7 +285,55 @@ impl Session {
         } else {
             Vec::new()
         };
-        let cfg = SimConfig {
+        let cfg = self.sim_config(telemetry);
+        let balancer = make_balancer(self.balancer, self.capacity);
+        (Simulation::new(cfg, ns, balancer, streams), deferred)
+    }
+
+    /// Materialises the session **from a snapshot** instead of from tick
+    /// zero: the same workload inputs, configuration, and balancer policy
+    /// are rebuilt — exactly as [`Session::build`] would — but all dynamic
+    /// state comes from `snap` via [`Simulation::restore`]. The stream
+    /// split honours the snapshot's own client count (a session that grew
+    /// clients mid-run snapshots more than it started with), so the
+    /// returned deferred pool holds exactly the streams that were still
+    /// unattached at capture time.
+    pub fn build_restored(
+        &self,
+        telemetry: Telemetry,
+        snap: &Snapshot,
+    ) -> Result<(Simulation, Vec<Box<dyn OpStream>>), SnapshotError> {
+        let attached = lunule_sim::snapshot_client_count(snap)?;
+        let spec = WorkloadSpec {
+            kind: self.workload,
+            clients: self.clients + self.extra_clients,
+            scale: self.scale,
+            seed: self.seed,
+        };
+        // The namespace tree is rebuilt by the spec but superseded by the
+        // snapshot's own copy (heat decays, ops mutate it); only the
+        // streams are structural inputs to the restore.
+        let (_ns, mut streams) = spec.build();
+        let deferred = if streams.len() > attached {
+            streams.split_off(attached)
+        } else {
+            Vec::new()
+        };
+        let cfg = self.sim_config(telemetry);
+        let balancer = make_balancer(self.balancer, self.capacity);
+        let sim = Simulation::restore(cfg, balancer, streams, snap)?;
+        Ok((sim, deferred))
+    }
+
+    /// The session's run identity digest (see
+    /// [`lunule_sim::config::config_digest`]) — what its snapshots are
+    /// stamped with, and the filter restore paths scan directories by.
+    pub fn digest(&self) -> u64 {
+        lunule_sim::config::config_digest(&self.sim_config(Telemetry::disabled()))
+    }
+
+    fn sim_config(&self, telemetry: Telemetry) -> SimConfig {
+        SimConfig {
             n_mds: self.n_mds,
             mds_capacity: self.capacity,
             epoch_secs: self.epoch,
@@ -294,9 +343,7 @@ impl Session {
             telemetry,
             faults: self.faults.clone(),
             ..SimConfig::default()
-        };
-        let balancer = make_balancer(self.balancer, self.capacity);
-        (Simulation::new(cfg, ns, balancer, streams), deferred)
+        }
     }
 }
 
@@ -316,6 +363,7 @@ pub fn format_timed_command(tc: &TimedCommand) -> String {
         Command::AddClients(n) => format!("clients@{t}:{n}"),
         Command::SetKnob { name, value } => format!("knob@{t}:{name}:{value}"),
         Command::Status => format!("status@{t}"),
+        Command::Snapshot => format!("snapshot@{t}"),
         Command::Pause => format!("pause@{t}"),
         Command::Resume => format!("resume@{t}"),
         Command::Step(n) => format!("step@{t}:{n}"),

@@ -48,6 +48,17 @@ impl ScriptSource {
     pub fn is_drained(&self) -> bool {
         self.cursor >= self.commands.len()
     }
+
+    /// Skips every command an interrupted run already applied: a restored
+    /// simulation at tick `T` has executed the boundary commands of ticks
+    /// `0..T-1` (their effects are inside the snapshot), while commands at
+    /// `T` itself have not fired yet. Re-delivering the earlier ones would
+    /// double-apply state changes and corrupt the restore.
+    pub fn skip_until(&mut self, tick: u64) {
+        while self.cursor < self.commands.len() && self.commands[self.cursor].at_tick < tick {
+            self.cursor += 1;
+        }
+    }
 }
 
 impl CommandSource for ScriptSource {
@@ -199,6 +210,31 @@ mod tests {
         let late = src.poll(50, 2, false);
         assert_eq!(late.len(), 1);
         assert!(src.is_drained());
+    }
+
+    #[test]
+    fn skip_until_drops_already_applied_commands() {
+        let mut src = ScriptSource::new(vec![
+            TimedCommand {
+                at_tick: 3,
+                command: Command::AddMds(1),
+            },
+            TimedCommand {
+                at_tick: 7,
+                command: Command::AddClients(2),
+            },
+            TimedCommand {
+                at_tick: 9,
+                command: Command::Stop,
+            },
+        ]);
+        // Restored at tick 7: the tick-3 command is inside the snapshot,
+        // the tick-7 command has not fired yet.
+        src.skip_until(7);
+        let due = src.poll(7, 2, false);
+        assert_eq!(due.len(), 1);
+        assert!(matches!(due[0], Command::AddClients(2)));
+        assert!(!src.is_drained());
     }
 
     #[test]

@@ -80,6 +80,79 @@ impl FaultKind {
             FaultKind::MigrationStall { duration_ticks, .. } => *duration_ticks,
         }
     }
+
+    /// Serialises the fault for a snapshot section (operator-queued faults
+    /// are part of a run's restorable state).
+    pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        match self {
+            FaultKind::Crash { rank, down_ticks } => {
+                e.put_u8(0);
+                e.put_u16(rank.0);
+                e.put_u64(*down_ticks);
+            }
+            FaultKind::Limp {
+                rank,
+                factor,
+                duration_ticks,
+            } => {
+                e.put_u8(1);
+                e.put_u16(rank.0);
+                e.put_f64(*factor);
+                e.put_u64(*duration_ticks);
+            }
+            FaultKind::ReportLoss { rank, epochs } => {
+                e.put_u8(2);
+                e.put_u16(rank.0);
+                e.put_u64(*epochs);
+            }
+            FaultKind::MigrationStall {
+                rank,
+                duration_ticks,
+            } => {
+                e.put_u8(3);
+                e.put_u16(rank.0);
+                e.put_u64(*duration_ticks);
+            }
+        }
+    }
+
+    /// Inverse of [`FaultKind::encode`]; rejects unknown variant tags and
+    /// out-of-range limp factors.
+    pub fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<Self, lunule_util::codec::CodecError> {
+        use lunule_util::codec::CodecError;
+        let tag = d.get_u8("fault.tag")?;
+        let rank = MdsRank(d.get_u16("fault.rank")?);
+        match tag {
+            0 => Ok(FaultKind::Crash {
+                rank,
+                down_ticks: d.get_u64("fault.down_ticks")?,
+            }),
+            1 => {
+                let factor = d.get_f64("fault.factor")?;
+                if !(factor > 0.0 && factor <= 1.0) {
+                    return Err(CodecError::Invalid {
+                        what: "fault.factor",
+                    });
+                }
+                Ok(FaultKind::Limp {
+                    rank,
+                    factor,
+                    duration_ticks: d.get_u64("fault.duration_ticks")?,
+                })
+            }
+            2 => Ok(FaultKind::ReportLoss {
+                rank,
+                epochs: d.get_u64("fault.epochs")?,
+            }),
+            3 => Ok(FaultKind::MigrationStall {
+                rank,
+                duration_ticks: d.get_u64("fault.duration_ticks")?,
+            }),
+            _ => Err(CodecError::Invalid { what: "fault.tag" }),
+        }
+    }
 }
 
 /// A fault scheduled at a specific simulated tick.
@@ -169,6 +242,61 @@ mod tests {
         assert_eq!(s.events()[1], a, "stable: a scripted before c at t=30");
         assert_eq!(s.events()[2], c);
         assert_eq!(s.max_rank(), Some(MdsRank(2)));
+    }
+
+    #[test]
+    fn fault_kind_codec_round_trips_and_rejects_garbage() {
+        use lunule_util::codec::{CodecError, Decoder, Encoder};
+        let kinds = [
+            FaultKind::Crash {
+                rank: MdsRank(1),
+                down_ticks: 10,
+            },
+            FaultKind::Limp {
+                rank: MdsRank(2),
+                factor: 0.25,
+                duration_ticks: 40,
+            },
+            FaultKind::ReportLoss {
+                rank: MdsRank(0),
+                epochs: 3,
+            },
+            FaultKind::MigrationStall {
+                rank: MdsRank(3),
+                duration_ticks: 7,
+            },
+        ];
+        let mut e = Encoder::new();
+        for k in &kinds {
+            k.encode(&mut e);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        for k in &kinds {
+            assert_eq!(FaultKind::decode(&mut d).unwrap(), *k);
+        }
+        d.finish().unwrap();
+        // Unknown tags and out-of-range limp factors are typed errors.
+        let mut bad = Encoder::new();
+        bad.put_u8(9);
+        bad.put_u16(0);
+        let bad = bad.into_bytes();
+        assert!(matches!(
+            FaultKind::decode(&mut Decoder::new(&bad)),
+            Err(CodecError::Invalid { what: "fault.tag" })
+        ));
+        let mut bad = Encoder::new();
+        bad.put_u8(1);
+        bad.put_u16(0);
+        bad.put_f64(1.5);
+        bad.put_u64(1);
+        let bad = bad.into_bytes();
+        assert!(matches!(
+            FaultKind::decode(&mut Decoder::new(&bad)),
+            Err(CodecError::Invalid {
+                what: "fault.factor"
+            })
+        ));
     }
 
     #[test]

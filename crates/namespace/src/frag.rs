@@ -156,6 +156,28 @@ impl Frag {
     }
 }
 
+impl Frag {
+    /// Writes the fragment to a snapshot section.
+    pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_u32(self.value);
+        e.put_u8(self.bits);
+    }
+
+    /// Reads a fragment back, rejecting values that violate the `Frag`
+    /// invariant (so a corrupted snapshot cannot smuggle in a frag that
+    /// [`Frag::new`] would panic on).
+    pub fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<Frag, lunule_util::codec::CodecError> {
+        let value = d.get_u32("frag value")?;
+        let bits = d.get_u8("frag bits")?;
+        if bits > HASH_BITS || (bits < HASH_BITS && value >= (1u32 << bits)) {
+            return Err(lunule_util::codec::CodecError::Invalid { what: "frag" });
+        }
+        Ok(Frag { value, bits })
+    }
+}
+
 impl Default for Frag {
     fn default() -> Self {
         Frag::root()
@@ -283,6 +305,25 @@ impl FragSet {
 
     fn debug_check(&self) {
         debug_assert!(self.partition_holds(), "FragSet no longer partitions");
+    }
+
+    /// Writes the fragment set to a snapshot section.
+    pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_seq(&self.frags, |e, f| f.encode(e));
+    }
+
+    /// Reads a fragment set back, rejecting one that no longer partitions
+    /// the hash space (corruption surfaced as a typed error, not a
+    /// debug-assert later).
+    pub fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<FragSet, lunule_util::codec::CodecError> {
+        let frags = d.get_seq("fragset", Frag::decode)?;
+        let set = FragSet { frags };
+        if !set.partition_holds() {
+            return Err(lunule_util::codec::CodecError::Invalid { what: "fragset" });
+        }
+        Ok(set)
     }
 
     /// Checks the partition invariant: fragments are disjoint and cover the

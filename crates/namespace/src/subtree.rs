@@ -343,6 +343,65 @@ impl SubtreeMap {
         self.generation = generation;
     }
 
+    /// Writes the authority table — including the exact generation
+    /// counter, which client caches key their invalidation on — to a
+    /// snapshot section.
+    pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        let dirs: Vec<(&InodeId, &Vec<(Frag, MdsRank)>)> = self.entries.iter().collect();
+        e.put_seq(&dirs, |e, (dir, v)| {
+            e.put_u64(dir.raw());
+            e.put_seq(v, |e, (f, r)| {
+                f.encode(e);
+                e.put_u16(r.0);
+            });
+        });
+        e.put_u16(self.root_rank.0);
+        e.put_u64(self.generation);
+    }
+
+    /// Reads an authority table back, rejecting duplicate per-directory
+    /// fragments as corruption.
+    pub fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<SubtreeMap, lunule_util::codec::CodecError> {
+        use lunule_util::codec::CodecError;
+        let dirs = d.get_seq("subtree entries", |d| {
+            let raw = d.get_u64("subtree dir id")?;
+            let dir = u32::try_from(raw)
+                .map(InodeId)
+                .map_err(|_| CodecError::Invalid {
+                    what: "subtree dir id",
+                })?;
+            let v = d.get_seq("dir entries", |d| {
+                let f = Frag::decode(d)?;
+                let r = MdsRank(d.get_u16("entry rank")?);
+                Ok((f, r))
+            })?;
+            Ok((dir, v))
+        })?;
+        let root_rank = MdsRank(d.get_u16("root rank")?);
+        let generation = d.get_u64("subtree generation")?;
+        let mut entries = BTreeMap::new();
+        for (dir, v) in dirs {
+            if v.is_empty() || entries.insert(dir, v).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "subtree map",
+                });
+            }
+        }
+        let map = SubtreeMap {
+            entries,
+            root_rank,
+            generation,
+        };
+        if !map.invariants_hold() {
+            return Err(CodecError::Invalid {
+                what: "subtree map",
+            });
+        }
+        Ok(map)
+    }
+
     /// Checks that every explicit entry's fragment value is well-formed and
     /// that per-directory entries never duplicate a fragment. Exposed for
     /// property tests.
@@ -540,6 +599,28 @@ mod tests {
         map.set_authority(FragKey::whole(a1), MdsRank(2));
         assert_eq!(map.simplify(&ns), 0);
         assert_eq!(map.authority(&ns, f), MdsRank(2));
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_generation() {
+        let (ns, a, a1, f, _) = fixture();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        map.set_authority(FragKey::whole(a), MdsRank(1));
+        map.set_authority(FragKey::whole(a1), MdsRank(2));
+        map.set_root_rank(MdsRank(3));
+        let mut e = lunule_util::codec::Encoder::new();
+        map.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = lunule_util::codec::Decoder::new(&bytes);
+        let back = SubtreeMap::decode(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.generation(), map.generation());
+        assert_eq!(back.root_rank(), MdsRank(3));
+        assert_eq!(back.all_entries(), map.all_entries());
+        assert_eq!(back.authority(&ns, f), map.authority(&ns, f));
+        let mut e2 = lunule_util::codec::Encoder::new();
+        back.encode(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
     }
 
     #[test]

@@ -406,6 +406,103 @@ impl Namespace {
     }
 }
 
+impl Namespace {
+    /// Writes the complete arena (including tombstones — ids are never
+    /// reused, so slots must survive a round-trip) and every fragment set
+    /// to a snapshot section.
+    pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_seq(&self.arena, |e, ino| {
+            e.put_option(&ino.parent, |e, p| e.put_u64(p.raw()));
+            e.put_str(&ino.name);
+            e.put_bool(ino.ftype == FileType::Dir);
+            e.put_u64(ino.size);
+            e.put_seq(&ino.children, |e, c| e.put_u64(c.raw()));
+            e.put_u16(ino.depth);
+            e.put_bool(ino.alive);
+        });
+        let frag_dirs: Vec<(&InodeId, &FragSet)> = self.frags.iter().collect();
+        e.put_seq(&frag_dirs, |e, (dir, set)| {
+            e.put_u64(dir.raw());
+            set.encode(e);
+        });
+        e.put_usize(self.n_files);
+        e.put_usize(self.n_dirs);
+    }
+
+    /// Reads a namespace back. Structural corruption (dangling ids,
+    /// counter drift, broken parent/child links) is reported as a typed
+    /// error rather than trusted.
+    pub fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<Namespace, lunule_util::codec::CodecError> {
+        use lunule_util::codec::CodecError;
+        let invalid = || CodecError::Invalid { what: "namespace" };
+        let arena = d.get_seq("namespace arena", |d| {
+            let parent = d
+                .get_option("inode parent", |d| d.get_u64("parent id"))?
+                .map(id_from_raw)
+                .transpose()?;
+            let name: Box<str> = d.get_str("inode name")?.into();
+            let ftype = if d.get_bool("inode is_dir")? {
+                FileType::Dir
+            } else {
+                FileType::File
+            };
+            let size = d.get_u64("inode size")?;
+            let children = d.get_seq("inode children", |d| id_from_raw(d.get_u64("child id")?))?;
+            let depth = d.get_u16("inode depth")?;
+            let alive = d.get_bool("inode alive")?;
+            Ok(Inode {
+                parent,
+                name,
+                ftype,
+                size,
+                children,
+                depth,
+                alive,
+            })
+        })?;
+        let frag_pairs = d.get_seq("namespace frags", |d| {
+            let dir = id_from_raw(d.get_u64("frag dir id")?)?;
+            let set = FragSet::decode(d)?;
+            Ok((dir, set))
+        })?;
+        let n_files = d.get_usize("namespace n_files")?;
+        let n_dirs = d.get_usize("namespace n_dirs")?;
+        let mut frags = BTreeMap::new();
+        for (dir, set) in frag_pairs {
+            if dir.index() >= arena.len() || frags.insert(dir, set).is_some() {
+                return Err(invalid());
+            }
+        }
+        let ns = Namespace {
+            arena,
+            frags,
+            n_files,
+            n_dirs,
+        };
+        if ns.arena.is_empty()
+            || ns
+                .arena
+                .iter()
+                .flat_map(|ino| ino.children.iter().chain(ino.parent.iter()))
+                .any(|id| id.index() >= ns.arena.len())
+            || !ns.invariants_hold()
+        {
+            return Err(invalid());
+        }
+        Ok(ns)
+    }
+}
+
+/// Rebuilds an [`InodeId`] from its serialized raw form, bounds-checked
+/// into `u32` space.
+fn id_from_raw(raw: u64) -> Result<InodeId, lunule_util::codec::CodecError> {
+    u32::try_from(raw)
+        .map(InodeId)
+        .map_err(|_| lunule_util::codec::CodecError::Invalid { what: "inode id" })
+}
+
 impl Default for Namespace {
     fn default() -> Self {
         Namespace::new()
@@ -599,6 +696,42 @@ mod tests {
             NsError::RootIsImmovable
         );
         assert!(ns.invariants_hold());
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_everything() {
+        let (mut ns, d, f, _) = tiny();
+        ns.split_frag(d, &Frag::root(), 1).unwrap();
+        ns.unlink(f).unwrap(); // keep a tombstone in the arena
+        let mut e = lunule_util::codec::Encoder::new();
+        ns.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut dec = lunule_util::codec::Decoder::new(&bytes);
+        let back = Namespace::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back.len(), ns.len());
+        assert_eq!(back.file_count(), ns.file_count());
+        assert_eq!(back.dir_count(), ns.dir_count());
+        assert_eq!(back.frags_of(d), ns.frags_of(d));
+        assert!(!back.inode(f).is_alive());
+        assert!(back.invariants_hold());
+        // Re-encoding is byte-stable.
+        let mut e2 = lunule_util::codec::Encoder::new();
+        back.encode(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_counters() {
+        let (ns, _, _, _) = tiny();
+        let mut e = lunule_util::codec::Encoder::new();
+        ns.encode(&mut e);
+        let mut bytes = e.into_bytes();
+        // The trailing 16 bytes are n_files/n_dirs; corrupt n_dirs.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let mut dec = lunule_util::codec::Decoder::new(&bytes);
+        assert!(Namespace::decode(&mut dec).is_err());
     }
 
     #[test]

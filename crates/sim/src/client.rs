@@ -275,6 +275,133 @@ impl Client {
     pub fn cache_len(&self) -> usize {
         self.cache.values().map(Vec::len).sum()
     }
+
+    /// Serialises the client's complete dynamic state — buffered retry op,
+    /// authority cache (with its FIFO eviction order), lifecycle flags and
+    /// counters — plus the wrapped op stream's own state, for a snapshot
+    /// section.
+    pub(crate) fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_usize(self.id);
+        let mut se = lunule_util::codec::Encoder::new();
+        self.stream.save_state(&mut se);
+        e.put_bytes(&se.into_bytes());
+        e.put_option(&self.pending, |e, (op, first_attempt)| {
+            op.encode(e);
+            e.put_u64(*first_attempt);
+        });
+        e.put_usize(self.cache.len());
+        for (dir, entries) in &self.cache {
+            e.put_u64(dir.raw());
+            e.put_seq(entries, |e, (f, r)| {
+                f.encode(e);
+                e.put_u16(r.0);
+            });
+        }
+        e.put_usize(self.cache_order.len());
+        for dir in &self.cache_order {
+            e.put_u64(dir.raw());
+        }
+        e.put_u32(self.issued_this_tick);
+        e.put_bool(self.finished);
+        e.put_option(&self.finished_at, |e, t| e.put_u64(*t));
+        e.put_u64(self.data_pending);
+        e.put_u64(self.ops_done);
+        e.put_u64(self.starts_at);
+        e.put_usize(self.cache_cap);
+        e.put_u64(self.data_window);
+        e.put_u64(self.cache_evictions);
+    }
+
+    /// Inverse of [`Client::encode`], wrapping `stream` (freshly built from
+    /// the run configuration) and replaying its saved cursor state. Rejects
+    /// caches whose FIFO order disagrees with the map, duplicate or empty
+    /// cache entries, and malformed stream payloads.
+    pub(crate) fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+        mut stream: Box<dyn OpStream>,
+    ) -> Result<Self, lunule_util::codec::CodecError> {
+        use lunule_util::codec::{CodecError, Decoder};
+        let id = d.get_usize("client.id")?;
+        let payload = d.get_bytes("client.stream")?;
+        let mut sd = Decoder::new(&payload);
+        stream.load_state(&mut sd)?;
+        sd.finish()?;
+        let pending = d.get_option("client.pending", |d| {
+            let op = MetaOp::decode(d)?;
+            let first_attempt = d.get_u64("client.pending_tick")?;
+            Ok((op, first_attempt))
+        })?;
+        let n_dirs = d.get_usize("client.cache")?;
+        let mut cache: BTreeMap<InodeId, Vec<(Frag, MdsRank)>> = BTreeMap::new();
+        let mut cache_count = 0usize;
+        for _ in 0..n_dirs {
+            let dir = crate::request::inode_from_raw(d.get_u64("client.cache_dir")?)?;
+            let entries = d.get_seq("client.cache_entries", |d| {
+                let f = Frag::decode(d)?;
+                let r = MdsRank(d.get_u16("client.cache_rank")?);
+                Ok((f, r))
+            })?;
+            if entries.is_empty() {
+                return Err(CodecError::Invalid {
+                    what: "client.cache_entries",
+                });
+            }
+            cache_count += entries.len();
+            if cache.insert(dir, entries).is_some() {
+                return Err(CodecError::Invalid {
+                    what: "client.cache_dir",
+                });
+            }
+        }
+        let n_order = d.get_usize("client.cache_order")?;
+        let mut cache_order = std::collections::VecDeque::with_capacity(n_order.min(1024));
+        for _ in 0..n_order {
+            cache_order.push_back(crate::request::inode_from_raw(
+                d.get_u64("client.cache_order_dir")?,
+            )?);
+        }
+        // The FIFO must list exactly the cached directories, once each.
+        if cache_order.len() != cache.len() {
+            return Err(CodecError::Invalid {
+                what: "client.cache_order",
+            });
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for dir in &cache_order {
+            if !cache.contains_key(dir) || !seen.insert(*dir) {
+                return Err(CodecError::Invalid {
+                    what: "client.cache_order",
+                });
+            }
+        }
+        let issued_this_tick = d.get_u32("client.issued_this_tick")?;
+        let finished = d.get_bool("client.finished")?;
+        let finished_at =
+            d.get_option("client.finished_at", |d| d.get_u64("client.finished_at"))?;
+        let data_pending = d.get_u64("client.data_pending")?;
+        let ops_done = d.get_u64("client.ops_done")?;
+        let starts_at = d.get_u64("client.starts_at")?;
+        let cache_cap = d.get_usize("client.cache_cap")?;
+        let data_window = d.get_u64("client.data_window")?;
+        let cache_evictions = d.get_u64("client.cache_evictions")?;
+        Ok(Client {
+            id,
+            stream,
+            pending,
+            cache,
+            cache_order,
+            cache_count,
+            issued_this_tick,
+            finished,
+            finished_at,
+            data_pending,
+            ops_done,
+            starts_at,
+            cache_cap,
+            data_window,
+            cache_evictions,
+        })
+    }
 }
 
 /// True when directory `dir` lies strictly inside the subtree rooted at
@@ -487,6 +614,77 @@ mod tests {
         let (dir, hash) = routing_anchor(&ns, &MetaOp::Create { parent: d, size: 0 });
         assert_eq!(dir, d);
         assert_eq!(hash, dentry_hash(InodeId::from_index(ns.len()).raw()));
+    }
+
+    #[test]
+    fn codec_round_trips_cache_and_pending_op() {
+        use lunule_util::codec::{Decoder, Encoder};
+        let (ns, map, d, f) = setup();
+        let ids = vec![f, f, f];
+        let mut c = Client::new(3, Box::new(FixedStream::new(ids.clone())), 2);
+        c.cache_cap = 7;
+        c.data_window = 1024;
+        let hash = dentry_hash(f.raw());
+        let (r0, _) = c.resolve(&ns, &map, d, hash);
+        c.learn_route(&ns, d, hash, r0.target);
+        assert_eq!(c.peek_op(&ns, 5), Some(MetaOp::Read(f)));
+        assert_eq!(c.consume_op(6), 1);
+        assert_eq!(c.peek_op(&ns, 7), Some(MetaOp::Read(f)));
+        c.data_pending = 99;
+
+        let mut e = Encoder::new();
+        c.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let mut back = Client::decode(&mut dec, Box::new(FixedStream::new(ids))).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(back.id, 3);
+        assert_eq!(back.cache_cap, 7);
+        assert_eq!(back.data_window, 1024);
+        assert_eq!(back.data_pending, 99);
+        assert_eq!(back.ops_done, 1);
+        assert_eq!(back.starts_at, 2);
+        assert_eq!(back.cache_len(), c.cache_len());
+        // The buffered retry op survives with its first-attempt stamp.
+        assert_eq!(back.peek_op(&ns, 9), Some(MetaOp::Read(f)));
+        assert_eq!(back.consume_op(9), 2, "stamped at tick 7, served at 9");
+        // The cache still answers and the stream resumes where it left off.
+        let (_, hit) = back.resolve(&ns, &map, d, hash);
+        assert!(hit, "restored cache must answer");
+        assert_eq!(back.peek_op(&ns, 9), Some(MetaOp::Read(f)), "third op");
+        // Re-encoding the restored client is byte-identical.
+        let mut e2 = Encoder::new();
+        let mut dec = Decoder::new(&bytes);
+        Client::decode(&mut dec, Box::new(FixedStream::new(vec![f, f, f])))
+            .unwrap()
+            .encode(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_inconsistent_fifo_order() {
+        use lunule_util::codec::{CodecError, Decoder, Encoder};
+        let (ns, _map, d, f) = setup();
+        let mut c = Client::new(0, Box::new(FixedStream::new(vec![])), 0);
+        c.learn_route(&ns, d, dentry_hash(f.raw()), MdsRank(0));
+        let mut e = Encoder::new();
+        c.encode(&mut e);
+        let mut bytes = e.into_bytes();
+        // The FIFO holds exactly one dir id, sitting right before the 54
+        // bytes of fixed-width trailer fields (issued 4 + finished 1 +
+        // finished_at-none 1 + six u64 counters). Flip its low byte so it
+        // no longer matches the cached directory.
+        let at = bytes.len() - 54 - 8;
+        bytes[at] ^= 0x01;
+        let mut dec = Decoder::new(&bytes);
+        let got = Client::decode(&mut dec, Box::new(FixedStream::new(vec![])));
+        assert!(matches!(
+            got,
+            Err(CodecError::Invalid {
+                what: "client.cache_order"
+            })
+        ));
     }
 
     #[test]

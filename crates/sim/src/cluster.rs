@@ -12,7 +12,9 @@ use crate::results::{EpochRecord, RunResult};
 use lunule_core::{Access, Balancer, EpochStats, OpKind};
 use lunule_faults::FaultKind;
 use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
+use lunule_snapshot::{Snapshot, SnapshotError};
 use lunule_telemetry::{Event, Telemetry};
+use lunule_util::codec::{CodecError, Decoder, Encoder};
 use lunule_util::convert::{u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u32, usize_to_u64};
 #[cfg(feature = "strict-invariants")]
 use lunule_verify::InvariantChecker;
@@ -57,6 +59,12 @@ pub struct Simulation {
     /// Per-rank report loss: the rank's epoch reports are treated as
     /// missing while `tick < report_loss_until[rank]`.
     report_loss_until: Vec<u64>,
+    /// Migration journal-event counts (`start`, `commit`, `abandon`)
+    /// accumulated by runs *before* the last restore. A restored run's
+    /// telemetry journal starts empty, so the ledger audit adds these
+    /// offsets to the fresh journal's counts to reconcile against the
+    /// migrator's cumulative counters. `(0, 0, 0)` for an uninterrupted run.
+    journal_base: (u64, u64, u64),
     /// Per-client stall flags reused across ticks so the issue loop does
     /// not allocate every simulated second.
     stall_scratch: Vec<bool>,
@@ -144,6 +152,7 @@ impl Simulation {
             saved_capacity: vec![0.0; cfg.n_mds],
             limp: vec![None; cfg.n_mds],
             report_loss_until: vec![0; cfg.n_mds],
+            journal_base: (0, 0, 0),
             stall_scratch: Vec::new(),
             costs_scratch: Vec::new(),
             #[cfg(feature = "strict-invariants")]
@@ -195,9 +204,9 @@ impl Simulation {
         let c = self.migrator.counters();
         let journal = self.telemetry.is_enabled().then(|| {
             (
-                self.telemetry.count_kind("migration_start"),
-                self.telemetry.count_kind("migration_commit"),
-                self.telemetry.count_kind("migration_abandon"),
+                self.journal_base.0 + self.telemetry.count_kind("migration_start"),
+                self.journal_base.1 + self.telemetry.count_kind("migration_commit"),
+                self.journal_base.2 + self.telemetry.count_kind("migration_abandon"),
             )
         });
         self.checker.check_migration_ledger(
@@ -935,6 +944,328 @@ impl Simulation {
             self.audit_epoch(&iops);
         }
     }
+
+    /// Captures the complete simulation state into a snapshot container.
+    ///
+    /// A snapshot is always taken *between* ticks: everything tick
+    /// `self.now() - 1` did is included, nothing of tick `self.now()` has
+    /// happened yet. Restoring via [`Simulation::restore`] and stepping on
+    /// produces the byte-identical telemetry journal an uninterrupted run
+    /// would have written — that is the contract the daemon's crash-safety
+    /// and the warm-started benches rely on.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new(
+            self.tick,
+            self.cfg.seed,
+            crate::config::config_digest(&self.cfg),
+        );
+
+        let mut e = Encoder::new();
+        self.ns.encode(&mut e);
+        snap.push_section("namespace", e.into_bytes());
+
+        let mut e = Encoder::new();
+        self.map.encode(&mut e);
+        snap.push_section("subtrees", e.into_bytes());
+
+        // MDS budgets/counters plus the incremental residency ledger (kept
+        // verbatim rather than recomputed, so restarts cannot drift).
+        let mut e = Encoder::new();
+        e.put_seq(&self.mds, |e, m| {
+            e.put_f64(m.capacity);
+            e.put_f64(m.budget);
+            e.put_u64(m.served_epoch);
+            e.put_u64(m.forwards_epoch);
+            e.put_u64(m.served_total);
+            e.put_u64(m.forwards_total);
+        });
+        e.put_seq(&self.resident, |e, r| e.put_u64(*r));
+        snap.push_section("mds", e.into_bytes());
+
+        let mut e = Encoder::new();
+        e.put_seq(&self.clients, |e, c| c.encode(e));
+        snap.push_section("clients", e.into_bytes());
+
+        let mut e = Encoder::new();
+        self.migrator.save_state(&mut e);
+        snap.push_section("migrator", e.into_bytes());
+
+        // The policy name is written alongside its state so a restore with
+        // the wrong balancer fails loudly instead of misreading the bytes.
+        let mut e = Encoder::new();
+        e.put_str(self.balancer.name());
+        self.balancer.save_state(&mut e);
+        snap.push_section("balancer", e.into_bytes());
+
+        let mut e = Encoder::new();
+        self.latency.encode(&mut e);
+        e.put_seq(&self.epochs, |e, r| r.encode(e));
+        snap.push_section("results", e.into_bytes());
+
+        let mut e = Encoder::new();
+        e.put_usize(self.fault_cursor);
+        e.put_seq(&self.pending_faults, |e, k| k.encode(e));
+        e.put_seq(&self.down_until, |e, v| {
+            e.put_option(v, |e, (recover_at, crashed_at)| {
+                e.put_u64(*recover_at);
+                e.put_u64(*crashed_at);
+            });
+        });
+        e.put_seq(&self.saved_capacity, |e, c| e.put_f64(*c));
+        e.put_seq(&self.limp, |e, v| {
+            e.put_option(v, |e, (factor, until)| {
+                e.put_f64(*factor);
+                e.put_u64(*until);
+            });
+        });
+        e.put_seq(&self.report_loss_until, |e, t| e.put_u64(*t));
+        snap.push_section("faults", e.into_bytes());
+
+        // Stamping position plus cumulative migration journal counts; the
+        // restored run's fresh journal continues from this position and the
+        // ledger audit offsets its counts by these totals.
+        let (clock, seq) = self.telemetry.clock_position();
+        let mut e = Encoder::new();
+        e.put_u64(clock);
+        e.put_u64(seq);
+        e.put_u64(self.journal_base.0 + self.telemetry.count_kind("migration_start"));
+        e.put_u64(self.journal_base.1 + self.telemetry.count_kind("migration_commit"));
+        e.put_u64(self.journal_base.2 + self.telemetry.count_kind("migration_abandon"));
+        snap.push_section("telemetry", e.into_bytes());
+
+        snap
+    }
+
+    /// Rebuilds a simulation from a snapshot and continues byte-identically.
+    ///
+    /// The caller supplies the same *inputs* the original run was built
+    /// from — the configuration (whose digest must match the snapshot's),
+    /// a freshly constructed balancer of the same policy, and one freshly
+    /// built op stream per original client — and the snapshot supplies all
+    /// *state*: the namespace replaces whatever the streams were built
+    /// against, stream cursors/RNG positions are replayed via
+    /// [`OpStream::load_state`], and the balancer's dynamic state via
+    /// [`Balancer::load_state`] (its `setup` hook does **not** run again).
+    /// No `RunStart` event is re-emitted; telemetry stamping resumes from
+    /// the saved position.
+    pub fn restore(
+        cfg: SimConfig,
+        mut balancer: Box<dyn Balancer>,
+        streams: Vec<Box<dyn OpStream>>,
+        snap: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        cfg.validate();
+        snap.check_digest(crate::config::config_digest(&cfg))?;
+        if snap.seed != cfg.seed {
+            return Err(SnapshotError::DigestMismatch {
+                found: snap.seed,
+                expected: cfg.seed,
+            });
+        }
+        let telemetry = cfg.telemetry.clone();
+
+        let ns = decode_section(snap, "namespace", Namespace::decode)?;
+        let map = decode_section(snap, "subtrees", SubtreeMap::decode)?;
+
+        let (mds, resident) = decode_section(snap, "mds", |d| {
+            let mds = d.get_seq("mds states", |d| {
+                let mut m = MdsState::new(1.0);
+                m.capacity = d.get_f64("mds.capacity")?;
+                m.budget = d.get_f64("mds.budget")?;
+                m.served_epoch = d.get_u64("mds.served_epoch")?;
+                m.forwards_epoch = d.get_u64("mds.forwards_epoch")?;
+                m.served_total = d.get_u64("mds.served_total")?;
+                m.forwards_total = d.get_u64("mds.forwards_total")?;
+                if !m.capacity.is_finite()
+                    || m.capacity < 0.0
+                    || !m.budget.is_finite()
+                    || m.budget < 0.0
+                {
+                    return Err(CodecError::Invalid {
+                        what: "mds.capacity",
+                    });
+                }
+                Ok(m)
+            })?;
+            let resident = d.get_seq("mds residency", |d| d.get_u64("mds.resident"))?;
+            // The cluster only ever grows, and every parallel ledger is
+            // indexed by rank.
+            if mds.len() < cfg.n_mds || resident.len() != mds.len() {
+                return Err(CodecError::Invalid { what: "mds.count" });
+            }
+            Ok((mds, resident))
+        })?;
+        let n_ranks = mds.len();
+        if map.root_rank().index() >= n_ranks
+            || map.all_entries().iter().any(|(_, r)| r.index() >= n_ranks)
+        {
+            return Err(SnapshotError::Decode {
+                section: "subtrees",
+                source: CodecError::Invalid {
+                    what: "subtree rank",
+                },
+            });
+        }
+
+        let clients = decode_section(snap, "clients", |d| {
+            let n = d.get_usize("clients")?;
+            if n != streams.len() {
+                return Err(CodecError::Invalid { what: "clients" });
+            }
+            let mut clients = Vec::with_capacity(n);
+            for (i, stream) in streams.into_iter().enumerate() {
+                let c = Client::decode(d, stream)?;
+                if c.id != i {
+                    return Err(CodecError::Invalid { what: "client.id" });
+                }
+                clients.push(c);
+            }
+            Ok(clients)
+        })?;
+
+        let mut migrator = Migrator::new(
+            cfg.migration_bw,
+            cfg.migration_freeze_secs,
+            cfg.migration_op_cost,
+        );
+        migrator.configure_retry(
+            cfg.migration_timeout_ticks,
+            cfg.migration_max_retries,
+            cfg.migration_backoff_ticks,
+        );
+        migrator.set_telemetry(telemetry.clone());
+        decode_section(snap, "migrator", |d| migrator.load_state(d))?;
+
+        balancer.attach_telemetry(telemetry.clone());
+        decode_section(snap, "balancer", |d| {
+            let name = d.get_str("balancer.name")?;
+            if name != balancer.name() {
+                return Err(CodecError::Invalid {
+                    what: "balancer.name",
+                });
+            }
+            balancer.load_state(d)
+        })?;
+
+        let (latency, epochs) = decode_section(snap, "results", |d| {
+            let latency = LatencyHistogram::decode(d)?;
+            let epochs = d.get_seq("epoch records", EpochRecord::decode)?;
+            Ok((latency, epochs))
+        })?;
+
+        let (fault_cursor, pending_faults, down_until, saved_capacity, limp, report_loss_until) =
+            decode_section(snap, "faults", |d| {
+                let cursor = d.get_usize("fault.cursor")?;
+                if cursor > cfg.faults.events().len() {
+                    return Err(CodecError::Invalid {
+                        what: "fault.cursor",
+                    });
+                }
+                let pending = d.get_seq("fault.pending", FaultKind::decode)?;
+                let down = d.get_seq("fault.down", |d| {
+                    d.get_option("fault.down_until", |d| {
+                        Ok((
+                            d.get_u64("fault.recover_at")?,
+                            d.get_u64("fault.crashed_at")?,
+                        ))
+                    })
+                })?;
+                let saved = d.get_seq("fault.saved_capacity", |d| {
+                    d.get_f64("fault.saved_capacity")
+                })?;
+                let limp = d.get_seq("fault.limp", |d| {
+                    d.get_option("fault.limp_entry", |d| {
+                        Ok((
+                            d.get_f64("fault.limp_factor")?,
+                            d.get_u64("fault.limp_until")?,
+                        ))
+                    })
+                })?;
+                let loss = d.get_seq("fault.report_loss", |d| d.get_u64("fault.report_loss"))?;
+                if down.len() != n_ranks
+                    || saved.len() != n_ranks
+                    || limp.len() != n_ranks
+                    || loss.len() != n_ranks
+                {
+                    return Err(CodecError::Invalid {
+                        what: "fault.ranks",
+                    });
+                }
+                Ok((cursor, pending, down, saved, limp, loss))
+            })?;
+
+        let (clock, seq, journal_base) = decode_section(snap, "telemetry", |d| {
+            let clock = d.get_u64("telemetry.clock")?;
+            let seq = d.get_u64("telemetry.seq")?;
+            let base = (
+                d.get_u64("telemetry.migration_start")?,
+                d.get_u64("telemetry.migration_commit")?,
+                d.get_u64("telemetry.migration_abandon")?,
+            );
+            Ok((clock, seq, base))
+        })?;
+        telemetry.restore_clock_position(clock, seq);
+
+        Ok(Simulation {
+            mds,
+            migrator,
+            datapath: cfg.data_path.map(|dp| DataPath::new(dp.osd_bandwidth)),
+            latency,
+            resident,
+            clients,
+            balancer,
+            ns,
+            map,
+            tick: snap.tick,
+            epochs,
+            telemetry,
+            fault_cursor,
+            pending_faults,
+            down_until,
+            saved_capacity,
+            limp,
+            report_loss_until,
+            journal_base,
+            stall_scratch: Vec::new(),
+            costs_scratch: Vec::new(),
+            #[cfg(feature = "strict-invariants")]
+            checker: InvariantChecker::new(lunule_core::IfModelConfig {
+                mds_capacity: cfg.mds_capacity,
+                ..lunule_core::IfModelConfig::default()
+            }),
+            cfg,
+        })
+    }
+}
+
+/// Reads the number of clients recorded in a snapshot's `clients` section
+/// — the exact number of freshly built op streams [`Simulation::restore`]
+/// expects. A session that attached clients mid-run snapshots more than it
+/// started with, so restoring callers size their stream split from here
+/// rather than from their initial-client configuration.
+pub fn snapshot_client_count(snap: &Snapshot) -> Result<usize, SnapshotError> {
+    let payload = snap.require_section("clients")?;
+    let mut d = Decoder::new(payload);
+    d.get_usize("clients")
+        .map_err(|source| SnapshotError::Decode {
+            section: "clients",
+            source,
+        })
+}
+
+/// Runs a section decoder, mapping codec failures (including trailing
+/// bytes) to a [`SnapshotError::Decode`] that names the section.
+fn decode_section<T>(
+    snap: &Snapshot,
+    section: &'static str,
+    f: impl FnOnce(&mut Decoder<'_>) -> Result<T, CodecError>,
+) -> Result<T, SnapshotError> {
+    let payload = snap.require_section(section)?;
+    let mut d = Decoder::new(payload);
+    let value = f(&mut d).map_err(|source| SnapshotError::Decode { section, source })?;
+    d.finish()
+        .map_err(|source| SnapshotError::Decode { section, source })?;
+    Ok(value)
 }
 
 enum IssueOutcome {
@@ -1435,6 +1766,172 @@ mod tests {
         assert!(
             limping > healthy,
             "limp must lengthen JCT: {healthy} vs {limping}"
+        );
+    }
+
+    /// The kill-anywhere guarantee at the library level: snapshot a run
+    /// mid-flight (with a crash fault in progress), restore into a fresh
+    /// simulation, continue — and the pre-kill journal concatenated with
+    /// the post-restore journal is byte-identical to an uninterrupted run.
+    #[test]
+    fn snapshot_restore_continues_byte_identically() {
+        let cfg = || SimConfig {
+            stop_when_done: false,
+            duration_secs: 30,
+            telemetry: Telemetry::enabled(),
+            faults: lunule_faults::FaultPlan::new()
+                .crash(8, MdsRank(1), 10)
+                .build(),
+            ..tiny_cfg()
+        };
+        let build = |cfg: SimConfig| {
+            let (ns, ids) = tiny_ns(300);
+            let streams: Vec<Box<dyn OpStream>> = vec![
+                Box::new(FixedStream::new(ids.clone())),
+                Box::new(FixedStream::new(ids)),
+            ];
+            Simulation::new(cfg, ns, make_balancer(BalancerKind::Lunule, 100.0), streams)
+        };
+        let mut reference = build(cfg());
+        reference.run_until(30);
+        let full = lunule_telemetry::events_jsonl(&reference.telemetry().snapshot().unwrap());
+
+        let mut first = build(cfg());
+        first.run_until(12);
+        let snap = first.snapshot();
+        assert_eq!(snap.tick, 12);
+        let pre = lunule_telemetry::events_jsonl(&first.telemetry().snapshot().unwrap());
+        drop(first); // the "kill"
+
+        // Streams are rebuilt exactly as the original run built them; the
+        // namespace they were built against is discarded in favour of the
+        // snapshot's.
+        let (_, ids) = tiny_ns(300);
+        let streams: Vec<Box<dyn OpStream>> = vec![
+            Box::new(FixedStream::new(ids.clone())),
+            Box::new(FixedStream::new(ids)),
+        ];
+        let mut resumed = Simulation::restore(
+            cfg(),
+            make_balancer(BalancerKind::Lunule, 100.0),
+            streams,
+            &snap,
+        )
+        .unwrap();
+        assert_eq!(resumed.now(), 12);
+        assert!(resumed.is_rank_down(MdsRank(1)), "mid-outage crash state");
+        resumed.run_until(30);
+        let post = lunule_telemetry::events_jsonl(&resumed.telemetry().snapshot().unwrap());
+        assert_eq!(
+            format!("{pre}{post}"),
+            full,
+            "stitched journal must equal the uninterrupted run's"
+        );
+        assert_eq!(
+            resumed.finish().per_mds_requests_total,
+            reference.finish().per_mds_requests_total
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_snapshot_is_byte_stable() {
+        for enabled in [false, true] {
+            let cfg = || SimConfig {
+                stop_when_done: false,
+                duration_secs: 20,
+                telemetry: if enabled {
+                    Telemetry::enabled()
+                } else {
+                    Telemetry::disabled()
+                },
+                ..tiny_cfg()
+            };
+            let streams = || -> Vec<Box<dyn OpStream>> {
+                let (_, ids) = tiny_ns(60);
+                vec![Box::new(FixedStream::new(ids))]
+            };
+            let (ns, _) = tiny_ns(60);
+            let mut sim = Simulation::new(
+                cfg(),
+                ns,
+                make_balancer(BalancerKind::Lunule, 100.0),
+                streams(),
+            );
+            sim.run_until(7);
+            let s1 = sim.snapshot();
+            let resumed = Simulation::restore(
+                cfg(),
+                make_balancer(BalancerKind::Lunule, 100.0),
+                streams(),
+                &s1,
+            )
+            .unwrap();
+            let s2 = resumed.snapshot();
+            assert_eq!(
+                s1.to_bytes(),
+                s2.to_bytes(),
+                "snapshot -> restore -> snapshot must be byte-stable (telemetry={enabled})"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_identity() {
+        use lunule_snapshot::SnapshotError;
+        let (ns, ids) = tiny_ns(20);
+        let streams: Vec<Box<dyn OpStream>> = vec![Box::new(FixedStream::new(ids.clone()))];
+        let mut sim = Simulation::new(tiny_cfg(), ns, Box::new(NoopBalancer), streams);
+        sim.run_until(3);
+        let snap = sim.snapshot();
+
+        let reseeded = SimConfig {
+            seed: 999,
+            ..tiny_cfg()
+        };
+        let reject = |r: Result<Simulation, SnapshotError>| match r {
+            Ok(_) => panic!("restore must be refused"),
+            Err(e) => e,
+        };
+        let err = reject(Simulation::restore(
+            reseeded,
+            Box::new(NoopBalancer),
+            vec![Box::new(FixedStream::new(ids.clone()))],
+            &snap,
+        ));
+        assert!(matches!(err, SnapshotError::DigestMismatch { .. }));
+
+        let err = reject(Simulation::restore(
+            tiny_cfg(),
+            make_balancer(BalancerKind::Lunule, 100.0),
+            vec![Box::new(FixedStream::new(ids.clone()))],
+            &snap,
+        ));
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Decode {
+                    section: "balancer",
+                    ..
+                }
+            ),
+            "wrong policy must be refused: {err}"
+        );
+
+        let err = reject(Simulation::restore(
+            tiny_cfg(),
+            Box::new(NoopBalancer),
+            Vec::new(),
+            &snap,
+        ));
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Decode {
+                    section: "clients",
+                    ..
+                }
+            ),
+            "stream count must match: {err}"
         );
     }
 

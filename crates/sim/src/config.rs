@@ -161,6 +161,19 @@ impl Default for SimConfig {
     }
 }
 
+/// Digest identifying a run setup for snapshot compatibility: FNV-1a over
+/// the config's canonical JSON (which carries the seed) plus the fault
+/// schedule's spec string (excluded from the JSON round-trip, but part of
+/// what makes two runs byte-identical). A snapshot restored under a
+/// different digest would silently diverge, so the container refuses it.
+pub fn config_digest(cfg: &SimConfig) -> u64 {
+    use lunule_util::ToJson;
+    let mut canonical = cfg.to_json().to_string_compact();
+    canonical.push('\n');
+    canonical.push_str(&lunule_faults::format_spec(&cfg.faults));
+    lunule_util::codec::fnv1a64(canonical.as_bytes())
+}
+
 impl SimConfig {
     /// Validates internal consistency; called by the simulation constructor.
     pub fn validate(&self) {
@@ -254,6 +267,28 @@ mod tests {
         assert!(!json.contains("telemetry"), "handle must not serialise");
         let back = SimConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert!(!back.telemetry.is_enabled(), "parsed configs are disabled");
+    }
+
+    #[test]
+    fn digest_is_stable_and_covers_seed_and_faults() {
+        let base = SimConfig::default();
+        assert_eq!(config_digest(&base), config_digest(&SimConfig::default()));
+        let reseeded = SimConfig {
+            seed: base.seed + 1,
+            ..SimConfig::default()
+        };
+        assert_ne!(config_digest(&base), config_digest(&reseeded));
+        let faulted = SimConfig {
+            faults: lunule_faults::FaultPlan::new()
+                .crash(10, lunule_namespace::MdsRank(1), 5)
+                .build(),
+            ..SimConfig::default()
+        };
+        assert_ne!(
+            config_digest(&base),
+            config_digest(&faulted),
+            "fault schedules are outside the JSON dump but inside the digest"
+        );
     }
 
     #[test]

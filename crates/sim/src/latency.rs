@@ -80,6 +80,45 @@ impl LatencyHistogram {
         usize_to_u64(MAX_TRACKED)
     }
 
+    /// Serialises the histogram for a snapshot section.
+    pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_seq(&self.buckets, |e, b| e.put_u64(*b));
+        e.put_u64(self.total_ops);
+        e.put_u64(self.total_stall_ticks);
+    }
+
+    /// Inverse of [`LatencyHistogram::encode`]; rejects a bucket vector of
+    /// the wrong width and counters that disagree with the buckets.
+    pub fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<Self, lunule_util::codec::CodecError> {
+        use lunule_util::codec::CodecError;
+        let buckets = d.get_seq("latency.buckets", |d| d.get_u64("latency.bucket"))?;
+        if buckets.len() != MAX_TRACKED + 1 {
+            return Err(CodecError::Invalid {
+                what: "latency.buckets",
+            });
+        }
+        let total_ops = d.get_u64("latency.total_ops")?;
+        let total_stall_ticks = d.get_u64("latency.total_stall_ticks")?;
+        let summed = buckets
+            .iter()
+            .try_fold(0u64, |acc, b| acc.checked_add(*b))
+            .ok_or(CodecError::Invalid {
+                what: "latency.buckets",
+            })?;
+        if summed != total_ops {
+            return Err(CodecError::Invalid {
+                what: "latency.total_ops",
+            });
+        }
+        Ok(LatencyHistogram {
+            buckets,
+            total_ops,
+            total_stall_ticks,
+        })
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -146,6 +185,34 @@ mod tests {
         let text = h.to_json().to_string_compact();
         let back = LatencyHistogram::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, h);
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        use lunule_util::codec::{CodecError, Decoder, Encoder};
+        let mut h = LatencyHistogram::new();
+        for t in [0, 0, 2, 7, 99] {
+            h.record(t);
+        }
+        let mut e = Encoder::new();
+        h.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = LatencyHistogram::decode(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back, h);
+        // Corrupting the op counter trips the bucket/counter cross-check.
+        let mut e = Encoder::new();
+        h.encode(&mut e);
+        let mut bytes = e.into_bytes();
+        let n = bytes.len();
+        bytes[n - 16] ^= 0xFF; // low byte of total_ops
+        assert!(matches!(
+            LatencyHistogram::decode(&mut Decoder::new(&bytes)),
+            Err(CodecError::Invalid {
+                what: "latency.total_ops"
+            })
+        ));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod results;
 pub use client::{Client, Route};
 // Fault-injection types, re-exported so simulator users need not depend on
 // `lunule-faults` directly to build a `SimConfig::faults` schedule.
-pub use cluster::Simulation;
+pub use cluster::{snapshot_client_count, Simulation};
 pub use config::{DataPathConfig, SimConfig};
 pub use datapath::DataPath;
 pub use latency::LatencyHistogram;

@@ -29,6 +29,51 @@ impl MetaOp {
             MetaOp::Create { parent, .. } => *parent,
         }
     }
+
+    /// Serialises the op for a snapshot section (a client's buffered retry
+    /// op is part of its restorable state).
+    pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        match self {
+            MetaOp::Read(ino) => {
+                e.put_u8(0);
+                e.put_u64(ino.raw());
+            }
+            MetaOp::Create { parent, size } => {
+                e.put_u8(1);
+                e.put_u64(parent.raw());
+                e.put_u64(*size);
+            }
+            MetaOp::Remove(ino) => {
+                e.put_u8(2);
+                e.put_u64(ino.raw());
+            }
+        }
+    }
+
+    /// Inverse of [`MetaOp::encode`]; rejects unknown tags and inode ids
+    /// outside the arena's 32-bit id space.
+    pub fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<Self, lunule_util::codec::CodecError> {
+        match d.get_u8("op.tag")? {
+            0 => Ok(MetaOp::Read(inode_from_raw(d.get_u64("op.ino")?)?)),
+            1 => Ok(MetaOp::Create {
+                parent: inode_from_raw(d.get_u64("op.parent")?)?,
+                size: d.get_u64("op.size")?,
+            }),
+            2 => Ok(MetaOp::Remove(inode_from_raw(d.get_u64("op.ino")?)?)),
+            _ => Err(lunule_util::codec::CodecError::Invalid { what: "op.tag" }),
+        }
+    }
+}
+
+/// Rebuilds an [`InodeId`] from its journal/snapshot representation,
+/// bounds-checking against the 32-bit id space before the (panicking)
+/// index constructor runs.
+pub(crate) fn inode_from_raw(raw: u64) -> Result<InodeId, lunule_util::codec::CodecError> {
+    let idx = u32::try_from(raw)
+        .map_err(|_| lunule_util::codec::CodecError::Invalid { what: "inode id" })?;
+    Ok(InodeId::from_index(lunule_util::convert::u32_to_usize(idx)))
 }
 
 /// A client's metadata op generator.
@@ -51,6 +96,22 @@ pub trait OpStream: Send {
     /// progress reporting only).
     fn len_hint(&self) -> Option<u64> {
         None
+    }
+
+    /// Serialises the stream's *dynamic* state (cursors, RNG positions,
+    /// remaining-op counters) into a snapshot section. Structural inputs —
+    /// which inodes a replay visits, a workload's shape parameters — are
+    /// rebuilt from the run configuration on restore, so stateless streams
+    /// keep the default no-op.
+    fn save_state(&self, _e: &mut lunule_util::codec::Encoder) {}
+
+    /// Restores what [`OpStream::save_state`] wrote, applied to a stream
+    /// freshly built from the same run configuration.
+    fn load_state(
+        &mut self,
+        _d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        Ok(())
     }
 }
 
@@ -80,6 +141,24 @@ impl OpStream for FixedStream {
     fn len_hint(&self) -> Option<u64> {
         Some(usize_to_u64(self.ops.len()))
     }
+
+    fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_usize(self.pos);
+    }
+
+    fn load_state(
+        &mut self,
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        let pos = d.get_usize("fixed_stream.pos")?;
+        if pos > self.ops.len() {
+            return Err(lunule_util::codec::CodecError::Invalid {
+                what: "fixed_stream.pos",
+            });
+        }
+        self.pos = pos;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +177,60 @@ mod tests {
             .anchor(),
             ino
         );
+    }
+
+    #[test]
+    fn stream_state_round_trips_mid_drain() {
+        use lunule_util::codec::{Decoder, Encoder};
+        let ns = Namespace::new();
+        let ids: Vec<_> = (0..4).map(InodeId::from_index).collect();
+        let mut s = FixedStream::new(ids.clone());
+        s.next_op(&ns);
+        s.next_op(&ns);
+        let mut e = Encoder::new();
+        s.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut fresh = FixedStream::new(ids.clone());
+        let mut d = Decoder::new(&bytes);
+        fresh.load_state(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(fresh.next_op(&ns), Some(MetaOp::Read(ids[2])));
+        // A cursor past the end of the op list is rejected.
+        let mut e = Encoder::new();
+        e.put_usize(99);
+        let bytes = e.into_bytes();
+        let mut fresh = FixedStream::new(ids);
+        assert!(fresh.load_state(&mut Decoder::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn meta_op_codec_round_trips() {
+        use lunule_util::codec::{Decoder, Encoder};
+        let ops = [
+            MetaOp::Read(InodeId::from_index(5)),
+            MetaOp::Create {
+                parent: InodeId::from_index(1),
+                size: 4096,
+            },
+            MetaOp::Remove(InodeId::from_index(9)),
+        ];
+        let mut e = Encoder::new();
+        for op in &ops {
+            op.encode(&mut e);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        for op in &ops {
+            assert_eq!(MetaOp::decode(&mut d).unwrap(), *op);
+        }
+        d.finish().unwrap();
+        // An id past the 32-bit arena space must not reach the panicking
+        // index constructor.
+        let mut e = Encoder::new();
+        e.put_u8(0);
+        e.put_u64(u64::from(u32::MAX) + 1);
+        let bytes = e.into_bytes();
+        assert!(MetaOp::decode(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

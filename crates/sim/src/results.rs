@@ -59,6 +59,58 @@ pub struct RunResult {
 }
 
 impl EpochRecord {
+    /// Serialises the record for the snapshot's results section (the
+    /// per-epoch series accumulated so far must survive a restore so the
+    /// stitched run's `RunResult` matches an uninterrupted one).
+    pub(crate) fn encode(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_u64(self.epoch);
+        e.put_u64(self.time_secs);
+        e.put_seq(&self.per_mds_requests, |e, v| e.put_u64(*v));
+        e.put_seq(&self.per_mds_iops, |e, v| e.put_f64(*v));
+        e.put_f64(self.total_iops);
+        e.put_f64(self.imbalance_factor);
+        e.put_u64(self.migrated_inodes_cum);
+        e.put_u64(self.forwards_cum);
+        e.put_usize(self.active_clients);
+        e.put_usize(self.inflight_migrations);
+        e.put_seq(&self.per_mds_resident_inodes, |e, v| e.put_u64(*v));
+    }
+
+    /// Inverse of [`EpochRecord::encode`]; rejects per-rank vectors of
+    /// mismatched widths.
+    pub(crate) fn decode(
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<Self, lunule_util::codec::CodecError> {
+        let epoch = d.get_u64("epoch.index")?;
+        let time_secs = d.get_u64("epoch.time_secs")?;
+        let per_mds_requests = d.get_seq("epoch.requests", |d| d.get_u64("epoch.requests"))?;
+        let per_mds_iops = d.get_seq("epoch.iops", |d| d.get_f64("epoch.iops"))?;
+        let total_iops = d.get_f64("epoch.total_iops")?;
+        let imbalance_factor = d.get_f64("epoch.imbalance_factor")?;
+        let migrated_inodes_cum = d.get_u64("epoch.migrated_inodes_cum")?;
+        let forwards_cum = d.get_u64("epoch.forwards_cum")?;
+        let active_clients = d.get_usize("epoch.active_clients")?;
+        let inflight_migrations = d.get_usize("epoch.inflight_migrations")?;
+        let per_mds_resident_inodes =
+            d.get_seq("epoch.resident", |d| d.get_u64("epoch.resident"))?;
+        if per_mds_iops.len() != per_mds_requests.len() {
+            return Err(lunule_util::codec::CodecError::Invalid { what: "epoch.iops" });
+        }
+        Ok(EpochRecord {
+            epoch,
+            time_secs,
+            per_mds_requests,
+            per_mds_iops,
+            total_iops,
+            imbalance_factor,
+            migrated_inodes_cum,
+            forwards_cum,
+            active_clients,
+            inflight_migrations,
+            per_mds_resident_inodes,
+        })
+    }
+
     /// Builds the stats-derived half of a record from an epoch's load
     /// vector, routing IOPS and imbalance-factor math through
     /// `lunule-core` (the single authoritative implementation of Eq. 3)

@@ -202,6 +202,29 @@ impl Telemetry {
         (c.events[cursor..].to_vec(), end)
     }
 
+    /// The collector's current `(clock, seq)` stamping position. Snapshots
+    /// persist this so a restored run keeps stamping from exactly where the
+    /// original stopped — `(0, 0)` for a disabled handle.
+    pub fn clock_position(&self) -> (u64, u64) {
+        let Some(inner) = &self.inner else {
+            return (0, 0);
+        };
+        let c = Self::lock(inner);
+        (c.clock, c.seq)
+    }
+
+    /// Restores the stamping position saved by
+    /// [`Telemetry::clock_position`]. Unlike [`Telemetry::set_clock`] this
+    /// sets the intra-tick sequence too, so events emitted right after a
+    /// restore continue the original numbering instead of restarting at
+    /// `seq = 0`. No-op on a disabled handle.
+    pub fn restore_clock_position(&self, clock: u64, seq: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut c = Self::lock(inner);
+        c.clock = clock;
+        c.seq = seq;
+    }
+
     /// A deep copy of everything collected so far (`None` when disabled).
     pub fn snapshot(&self) -> Option<Snapshot> {
         let inner = self.inner.as_ref()?;
@@ -360,6 +383,32 @@ mod tests {
         assert_eq!(t.snapshot().unwrap().events.len(), 3);
         // Disabled handles stream nothing.
         assert_eq!(Telemetry::disabled().events_since(0), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn clock_position_round_trips_mid_tick() {
+        let t = Telemetry::enabled();
+        t.set_clock(9);
+        t.emit(|| Event::TickStart);
+        t.emit(|| Event::MdsAdd { rank: 0 });
+        assert_eq!(t.clock_position(), (9, 2));
+        // A fresh handle restored to that position continues the numbering.
+        let fresh = Telemetry::enabled();
+        fresh.restore_clock_position(9, 2);
+        fresh.emit(|| Event::TickStart);
+        let snap = fresh.snapshot().unwrap();
+        assert_eq!((snap.events[0].t, snap.events[0].seq), (9, 2));
+        // set_clock to the *same* tick must not reset the restored seq.
+        let fresh2 = Telemetry::enabled();
+        fresh2.restore_clock_position(9, 2);
+        fresh2.set_clock(9);
+        fresh2.emit(|| Event::TickStart);
+        let snap2 = fresh2.snapshot().unwrap();
+        assert_eq!((snap2.events[0].t, snap2.events[0].seq), (9, 2));
+        // Disabled handles report the origin and ignore restores.
+        let off = Telemetry::disabled();
+        off.restore_clock_position(4, 4);
+        assert_eq!(off.clock_position(), (0, 0));
     }
 
     #[test]

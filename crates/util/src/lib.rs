@@ -14,10 +14,13 @@
 //!   ordering; the only module in the workspace allowed to spawn threads.
 //! * [`convert`] — named, total numeric conversions; the only place the
 //!   cast-safety lint lets hot-path code spell a lossy `as` cast.
+//! * [`codec`] — the little-endian binary codec (plus CRC-32 and FNV-1a)
+//!   snapshot sections are written with; floats round-trip bit-exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod convert;
 pub mod json;
 pub mod par;

@@ -80,6 +80,17 @@ impl DetRng {
         range.start + crate::convert::u64_to_usize(hi)
     }
 
+    /// The generator's internal state, for checkpointing. Restoring via
+    /// [`DetRng::from_state`] resumes the exact stream position.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`DetRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        DetRng { s }
+    }
+
     /// Uniform boolean.
     pub fn gen_bool(&mut self) -> bool {
         self.next_u64() & 1 == 1

@@ -57,6 +57,27 @@ impl OpStream for ScanStream {
     fn len_hint(&self) -> Option<u64> {
         Some(self.files.len() as u64 + u64::from(self.record.is_some()))
     }
+
+    fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_usize(self.pos);
+        e.put_bool(self.record_done);
+    }
+
+    fn load_state(
+        &mut self,
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        let pos = d.get_usize("scan_stream.pos")?;
+        let record_done = d.get_bool("scan_stream.record_done")?;
+        if pos > self.files.len() || (record_done && self.record.is_none()) {
+            return Err(lunule_util::codec::CodecError::Invalid {
+                what: "scan_stream.pos",
+            });
+        }
+        self.pos = pos;
+        self.record_done = record_done;
+        Ok(())
+    }
 }
 
 /// Replays a shared, pre-generated access trace in order (Web workload).
@@ -83,6 +104,24 @@ impl OpStream for ReplayStream {
 
     fn len_hint(&self) -> Option<u64> {
         Some(self.trace.len() as u64)
+    }
+
+    fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_usize(self.pos);
+    }
+
+    fn load_state(
+        &mut self,
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        let pos = d.get_usize("replay_stream.pos")?;
+        if pos > self.trace.len() {
+            return Err(lunule_util::codec::CodecError::Invalid {
+                what: "replay_stream.pos",
+            });
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 
@@ -121,6 +160,34 @@ impl OpStream for HotSetStream {
     fn len_hint(&self) -> Option<u64> {
         Some(self.remaining)
     }
+
+    fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
+        for word in self.rng.state() {
+            e.put_u64(word);
+        }
+        e.put_u64(self.remaining);
+    }
+
+    fn load_state(
+        &mut self,
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = d.get_u64("hotset_stream.rng")?;
+        }
+        let remaining = d.get_u64("hotset_stream.remaining")?;
+        // A snapshot can only have drained ops, never added them; the
+        // freshly built stream holds the configured total.
+        if remaining > self.remaining {
+            return Err(lunule_util::codec::CodecError::Invalid {
+                what: "hotset_stream.remaining",
+            });
+        }
+        self.rng = DetRng::from_state(state);
+        self.remaining = remaining;
+        Ok(())
+    }
 }
 
 /// Endless-until-quota creates into a private directory (MDtest-create).
@@ -155,6 +222,24 @@ impl OpStream for CreateStream {
 
     fn len_hint(&self) -> Option<u64> {
         Some(self.remaining)
+    }
+
+    fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
+        e.put_u64(self.remaining);
+    }
+
+    fn load_state(
+        &mut self,
+        d: &mut lunule_util::codec::Decoder<'_>,
+    ) -> Result<(), lunule_util::codec::CodecError> {
+        let remaining = d.get_u64("create_stream.remaining")?;
+        if remaining > self.remaining {
+            return Err(lunule_util::codec::CodecError::Invalid {
+                what: "create_stream.remaining",
+            });
+        }
+        self.remaining = remaining;
+        Ok(())
     }
 }
 
@@ -233,6 +318,82 @@ mod tests {
         assert!(matches!(s.next_op(&ns), Some(MetaOp::Create { .. })));
         assert!(matches!(s.next_op(&ns), Some(MetaOp::Create { .. })));
         assert_eq!(s.next_op(&ns), None);
+    }
+
+    /// Each stream type resumes exactly where it left off after a
+    /// save/load cycle into a freshly built instance, and rejects cursors
+    /// that claim more progress than the configuration allows.
+    #[test]
+    fn stream_states_round_trip_mid_drain() {
+        use lunule_util::codec::{CodecError, Decoder, Encoder};
+        let (ns, d, files) = ns_with_files(10);
+
+        // Drains `burn` ops from `stream`, round-trips its state into
+        // `fresh`, and checks both produce the identical remaining tail.
+        fn check(ns: &Namespace, mut stream: impl OpStream, mut fresh: impl OpStream, burn: usize) {
+            for _ in 0..burn {
+                stream.next_op(ns);
+            }
+            let mut e = Encoder::new();
+            stream.save_state(&mut e);
+            let bytes = e.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            fresh.load_state(&mut dec).unwrap();
+            dec.finish().unwrap();
+            loop {
+                let (a, b) = (stream.next_op(ns), fresh.next_op(ns));
+                assert_eq!(a, b, "restored stream diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+
+        let shared = Arc::new(files.clone());
+        check(
+            &ns,
+            ScanStream::new(shared.clone(), Some((d, 64))),
+            ScanStream::new(shared.clone(), Some((d, 64))),
+            10, // mid record-phase: all reads done, create pending
+        );
+        check(
+            &ns,
+            ReplayStream::new(shared.clone()),
+            ReplayStream::new(shared.clone()),
+            4,
+        );
+        check(
+            &ns,
+            HotSetStream::new(files.clone(), 50, 7),
+            HotSetStream::new(files.clone(), 50, 7),
+            23,
+        );
+        check(
+            &ns,
+            CreateStream::new(d, 8, 16),
+            CreateStream::new(d, 8, 16),
+            3,
+        );
+
+        // Impossible progress is refused: more ops remaining than the
+        // configuration ever had.
+        let mut e = Encoder::new();
+        e.put_u64(99);
+        let bytes = e.into_bytes();
+        let mut s = CreateStream::new(d, 8, 16);
+        assert!(matches!(
+            s.load_state(&mut Decoder::new(&bytes)),
+            Err(CodecError::Invalid {
+                what: "create_stream.remaining"
+            })
+        ));
+        // A scan cursor past the file list is refused.
+        let mut e = Encoder::new();
+        e.put_usize(11);
+        e.put_bool(false);
+        let bytes = e.into_bytes();
+        let mut s = ScanStream::new(shared, None);
+        assert!(s.load_state(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

@@ -78,8 +78,8 @@ pub struct CrateLayer {
 ///
 /// ```text
 /// util ─┬─ namespace ─┬─ faults ──────────┐
-///       │             └─ core ─ verify ── sim ── workloads ─┬─ bench
-///       └─ telemetry ──┘ (core, sim)      (facade atop all) └─ daemon
+///       ├─ telemetry ─┴─ core ─ verify ── sim ── workloads ─┬─ bench
+///       └─ snapshot ───────────────────────┘ (facade atop all) └─ daemon
 /// ```
 pub const LAYERING: &[CrateLayer] = &[
     CrateLayer {
@@ -95,6 +95,11 @@ pub const LAYERING: &[CrateLayer] = &[
     CrateLayer {
         name: "lunule-telemetry",
         dir: "crates/telemetry",
+        deps: &["lunule-util"],
+    },
+    CrateLayer {
+        name: "lunule-snapshot",
+        dir: "crates/snapshot",
         deps: &["lunule-util"],
     },
     CrateLayer {
@@ -119,6 +124,7 @@ pub const LAYERING: &[CrateLayer] = &[
             "lunule-core",
             "lunule-faults",
             "lunule-namespace",
+            "lunule-snapshot",
             "lunule-telemetry",
             "lunule-util",
             "lunule-verify",
@@ -137,6 +143,7 @@ pub const LAYERING: &[CrateLayer] = &[
             "lunule-faults",
             "lunule-namespace",
             "lunule-sim",
+            "lunule-snapshot",
             "lunule-telemetry",
             "lunule-util",
             "lunule-workloads",
@@ -151,6 +158,7 @@ pub const LAYERING: &[CrateLayer] = &[
             "lunule-faults",
             "lunule-namespace",
             "lunule-sim",
+            "lunule-snapshot",
             "lunule-telemetry",
             "lunule-util",
             "lunule-verify",
@@ -171,6 +179,7 @@ pub const LAYERING: &[CrateLayer] = &[
             "lunule-faults",
             "lunule-namespace",
             "lunule-sim",
+            "lunule-snapshot",
             "lunule-telemetry",
             "lunule-util",
             "lunule-verify",

@@ -46,6 +46,7 @@ pub const LIB_CRATES: &[&str] = &[
     "telemetry",
     "faults",
     "daemon",
+    "snapshot",
 ];
 
 /// Hot-path crates covered by the cast-safety pass: the per-op and per-tick
