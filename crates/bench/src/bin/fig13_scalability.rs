@@ -3,14 +3,18 @@
 //! until the fixed client population stops saturating the cluster; and
 //! (b) Lunule vs CephFS-Vanilla vs Dir-Hash on the Web workload.
 
-use lunule_bench::{default_sim, run_grid_jobs, write_json, CommonArgs, ExperimentConfig};
+use lunule_bench::{
+    build_sim, default_sim, run_grid_jobs, write_json, CommonArgs, ExperimentConfig, ScaleSpec,
+};
 use lunule_core::BalancerKind;
+use lunule_telemetry::Telemetry;
 use lunule_workloads::{WorkloadKind, WorkloadSpec};
 
 fn main() {
     let args = CommonArgs::parse();
     scalability(&args);
     hash_comparison(&args);
+    scale_frontier(&args);
 }
 
 /// Fig 13(a): peak IOPS vs MDS count.
@@ -104,4 +108,52 @@ fn hash_comparison(args: &CommonArgs) {
         ));
     }
     write_json(&args.out_dir, "fig13b_hash_comparison", &dump);
+}
+
+/// Fig 13(c): the scale frontier the paper never reaches — 32 to 128 ranks
+/// under a million-client cohort population on a 10^7-inode namespace.
+/// Quick mode shrinks the population two orders so `run_all --quick` stays
+/// within CI budgets; the `megascale` binary owns the full-size CI gate.
+fn scale_frontier(args: &CommonArgs) {
+    let (counts, base): (&[usize], ScaleSpec) = if args.quick {
+        (
+            &[32],
+            ScaleSpec {
+                clients: 10_000,
+                dirs: 250,
+                files_per_dir: 400,
+                duration_secs: 8,
+                epoch_secs: 4,
+                ..ScaleSpec::quick()
+            },
+        )
+    } else {
+        (&[32, 64, 128], ScaleSpec::full())
+    };
+    println!("\n# Fig 13c — scale frontier, cohort client model");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "MDSs", "clients", "flows", "total ops", "peak IOPS"
+    );
+    let mut dump = Vec::new();
+    for n in counts {
+        let spec = ScaleSpec {
+            n_mds: *n,
+            seed: args.seed,
+            ..base
+        };
+        let sim = build_sim(&spec, args.client_model, args.jobs, Telemetry::disabled());
+        let flows = sim.n_flows();
+        let r = sim.run();
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10.0}",
+            n,
+            spec.clients,
+            flows,
+            r.total_ops,
+            r.peak_iops()
+        );
+        dump.push((*n, spec.clients, flows, r.total_ops, r.peak_iops()));
+    }
+    write_json(&args.out_dir, "fig13c_scale_frontier", &dump);
 }

@@ -12,10 +12,12 @@ pub mod args;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod sink;
 
 pub use args::CommonArgs;
 pub use perf::{run_bench, BenchResult, Protocol};
 pub use report::{print_series, write_json, Series};
 pub use runner::{default_sim, run_experiment, run_grid, run_grid_jobs, ExperimentConfig};
+pub use scale::{build_namespace, build_sim, ScaleSpec};
 pub use sink::TelemetrySink;

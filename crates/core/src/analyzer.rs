@@ -253,6 +253,52 @@ impl PatternAnalyzer {
     /// created inode (it grows its directory's total and counts as a first
     /// visit by definition).
     pub fn record_access(&mut self, ns: &Namespace, ino: InodeId, is_create: bool) {
+        self.record_access_inner(ns, ino, is_create);
+    }
+
+    /// Records `n` identical accesses to `ino` in one call, bit-identically
+    /// to `n` sequential [`PatternAnalyzer::record_access`] calls.
+    ///
+    /// Exactness argument: after the first access of a window, the inode's
+    /// visit mask has bit 0 set, so repeats in the same window see the same
+    /// `recurrent` verdict (the mask shifted right by one is unchanged by
+    /// setting bit 0), are never `first_ever` (no sibling coin is drawn, so
+    /// the RNG position matches the sequential run), and only bump the
+    /// directory's integer visit counters — which add associatively.
+    pub fn record_access_n(&mut self, ns: &Namespace, ino: InodeId, is_create: bool, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let recurrent = self.record_access_inner(ns, ino, is_create);
+        if n == 1 {
+            return;
+        }
+        debug_assert!(
+            !is_create,
+            "batched accesses are reads; creates touch distinct inodes"
+        );
+        let window = self.window;
+        let dir = ns.inode(ino).parent().unwrap_or(ino);
+        let dw = self.dir_windows(ns, dir);
+        dw.roll_to(window);
+        let cur = dw.current();
+        // Window counters are u32; a cohort run is bounded by the client
+        // count, which the simulator caps far below u32::MAX. Saturate
+        // rather than abort if that ever stops holding.
+        let extra = u32::try_from(n - 1).unwrap_or_else(|_| {
+            debug_assert!(false, "batched access count exceeds u32");
+            u32::MAX
+        });
+        cur.visits += extra;
+        if recurrent {
+            cur.recurrent += extra;
+        }
+    }
+
+    /// Shared body of the single- and batched-access recorders; returns
+    /// whether this access counted as recurrent (repeats within the same
+    /// window share the verdict).
+    fn record_access_inner(&mut self, ns: &Namespace, ino: InodeId, is_create: bool) -> bool {
         let window = self.window;
         let lookback = self.cfg.recurrence_lookback;
 
@@ -306,6 +352,7 @@ impl PatternAnalyzer {
                 }
             }
         }
+        recurrent
     }
 
     /// The locality factors of `dir` over the recent windows, or `None` if

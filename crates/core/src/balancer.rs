@@ -110,6 +110,19 @@ pub trait Balancer: Send {
     /// Records one served metadata request.
     fn record_access(&mut self, ns: &Namespace, access: Access);
 
+    /// Records `n` identical served requests in one call. The contract is
+    /// bit-exact equivalence with `n` sequential [`Balancer::record_access`]
+    /// calls — the cohort client engine batches a run of identical client
+    /// ops through here, and the differential tests compare the resulting
+    /// balancer state byte-for-byte against the per-client path. Policies
+    /// with a cheaper exact batch (integer counters) override this; the
+    /// default simply loops.
+    fn record_access_n(&mut self, ns: &Namespace, access: Access, n: u64) {
+        for _ in 0..n {
+            self.record_access(ns, access);
+        }
+    }
+
     /// Epoch boundary: decide whether and what to migrate.
     fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan;
 

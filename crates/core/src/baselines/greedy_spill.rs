@@ -78,6 +78,10 @@ impl Balancer for GreedySpillBalancer {
         self.heat.record(ns, access.ino);
     }
 
+    fn record_access_n(&mut self, ns: &Namespace, access: Access, n: u64) {
+        self.heat.record_n(ns, access.ino, n);
+    }
+
     fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan {
         self.heat.decay_epoch();
         let loads = stats.iops();

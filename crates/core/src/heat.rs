@@ -46,6 +46,36 @@ impl HeatMap {
         *self.heat.entry(dir).or_insert(0.0) += 1.0;
     }
 
+    /// Charges `n` identical requests against the directory containing
+    /// `ino`, bit-identically to calling [`HeatMap::record`] `n` times.
+    ///
+    /// When the counter is integer-valued (and stays within f64's exact
+    /// integer range) the `n` unit additions collapse to one — the common
+    /// case for undecayed counters. Fractional counters (after a non-dyadic
+    /// decay) fall back to the sequential unit additions, because repeated
+    /// `+ 1.0` is not associative at the bit level there.
+    pub fn record_n(&mut self, ns: &Namespace, ino: InodeId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let dir = match ns.inode(ino).parent() {
+            Some(p) => p,
+            None => ino,
+        };
+        let h = self.heat.entry(dir).or_insert(0.0);
+        const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        let n_f = lunule_util::convert::u64_to_f64(n);
+        // Bit-exact integrality test (heat is never negative, so +0.0 is
+        // the only zero fract can produce here).
+        if h.fract().to_bits() == 0 && *h + n_f < EXACT {
+            *h += n_f;
+        } else {
+            for _ in 0..n {
+                *h += 1.0;
+            }
+        }
+    }
+
     /// Applies one epoch of decay, dropping counters that have become
     /// negligible so the map does not grow without bound.
     pub fn decay_epoch(&mut self) {

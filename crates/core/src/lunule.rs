@@ -209,6 +209,23 @@ impl Balancer for LunuleBalancer {
         }
     }
 
+    fn record_access_n(&mut self, ns: &Namespace, access: Access, n: u64) {
+        if self.cfg.workload_aware {
+            if access.kind == OpKind::Remove {
+                // Removes mutate per-inode population ledgers; the engine
+                // never batches them, so keep the exact sequential path.
+                for _ in 0..n {
+                    self.record_access(ns, access);
+                }
+            } else {
+                self.analyzer
+                    .record_access_n(ns, access.ino, access.kind == OpKind::Create, n);
+            }
+        } else {
+            self.heat.record_n(ns, access.ino, n);
+        }
+    }
+
     fn on_epoch(&mut self, ns: &Namespace, map: &SubtreeMap, stats: &EpochStats) -> MigrationPlan {
         let _epoch_span = self.telemetry.span("balancer.epoch");
         let patched = self.patch_missing_reports(stats);

@@ -33,6 +33,10 @@ pub struct StatusSnapshot {
     pub down_ranks: Vec<bool>,
     /// Clients attached (including finished ones).
     pub clients: usize,
+    /// Flows actually stepped per tick: cohorts under the cohort client
+    /// model (a million clients can be a handful of flows), one per client
+    /// under the legacy model.
+    pub flows: usize,
     /// Metadata ops completed so far.
     pub total_ops: u64,
     /// Migration jobs in flight (transferring, committing, or parked).
@@ -55,6 +59,7 @@ impl StatusSnapshot {
             n_mds: sim.n_mds(),
             down_ranks: sim.down_ranks(),
             clients: sim.n_clients(),
+            flows: sim.n_flows(),
             total_ops: sim.total_ops(),
             inflight_migrations: sim.inflight_migrations(),
             resident_inodes: sim.resident_inodes().to_vec(),
@@ -75,6 +80,7 @@ impl StatusSnapshot {
             ("n_mds".to_string(), self.n_mds.to_json()),
             ("down_ranks".to_string(), Json::Arr(down)),
             ("clients".to_string(), self.clients.to_json()),
+            ("flows".to_string(), self.flows.to_json()),
             ("total_ops".to_string(), self.total_ops.to_json()),
             (
                 "inflight_migrations".to_string(),
@@ -378,6 +384,7 @@ mod tests {
             n_mds: 2,
             down_ranks: vec![false, true],
             clients: 4,
+            flows: 4,
             total_ops: 123,
             inflight_migrations: 1,
             resident_inodes: vec![10, 0],

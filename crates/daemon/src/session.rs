@@ -294,16 +294,18 @@ impl Session {
     /// zero: the same workload inputs, configuration, and balancer policy
     /// are rebuilt — exactly as [`Session::build`] would — but all dynamic
     /// state comes from `snap` via [`Simulation::restore`]. The stream
-    /// split honours the snapshot's own client count (a session that grew
+    /// split honours the snapshot's own stream count (a session that grew
     /// clients mid-run snapshots more than it started with), so the
     /// returned deferred pool holds exactly the streams that were still
-    /// unattached at capture time.
+    /// unattached at capture time. Sizing is by *streams*, not members:
+    /// under the cohort model a group of identical clients shares one
+    /// stream, and restore wants exactly one stream per group.
     pub fn build_restored(
         &self,
         telemetry: Telemetry,
         snap: &Snapshot,
     ) -> Result<(Simulation, Vec<Box<dyn OpStream>>), SnapshotError> {
-        let attached = lunule_sim::snapshot_client_count(snap)?;
+        let attached = lunule_sim::snapshot_stream_count(snap)?;
         let spec = WorkloadSpec {
             kind: self.workload,
             clients: self.clients + self.extra_clients,

@@ -1,0 +1,190 @@
+//! Sharding plan over the inode arena.
+//!
+//! The cohort client engine fans per-tick route resolution out over a
+//! worker pool. To keep that fan-out deterministic, work is grouped by the
+//! *shard* of the directory anchoring each lookup, where shards are
+//! contiguous ranges of stable arena indices. Contiguity matters twice:
+//! the shard of an inode is pure index arithmetic (no map lookups on the
+//! hot path), and the merge order — shard 0's results, then shard 1's, … —
+//! equals arena order, so `--jobs 1` and `--jobs N` produce byte-identical
+//! journals.
+//!
+//! A plan is built for a snapshot of the arena length. Inodes created after
+//! the plan was cut land in the last shard; plans are rebuilt at tick
+//! granularity so the skew never exceeds one tick's creates.
+
+use crate::inode::InodeId;
+use crate::tree::Namespace;
+
+/// A partition of arena indices `0..len` into contiguous shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Arena length the plan was cut for.
+    len: usize,
+    /// Exclusive upper index bound per shard; `bounds.last() == len`.
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Cuts `0..len` into `n_shards` near-equal contiguous ranges. The
+    /// first `len % n_shards` shards hold one extra index. A zero shard
+    /// count is treated as one; an empty arena yields empty shards.
+    pub fn new(len: usize, n_shards: usize) -> ShardPlan {
+        let n = n_shards.max(1);
+        let base = len / n;
+        let rem = len % n;
+        let mut bounds = Vec::with_capacity(n);
+        let mut at = 0usize;
+        for s in 0..n {
+            at += base + usize::from(s < rem);
+            bounds.push(at);
+        }
+        debug_assert_eq!(at, len);
+        ShardPlan { len, bounds }
+    }
+
+    /// Number of shards (always at least one).
+    pub fn n_shards(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Arena length the plan was cut for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the plan was cut for an empty arena.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The shard holding `ino`. Indices at or past the plan's length —
+    /// inodes created after the cut — map to the last shard.
+    pub fn shard_of(&self, ino: InodeId) -> usize {
+        let idx = ino.index();
+        let n = self.bounds.len();
+        if self.len == 0 || idx >= self.len {
+            return n - 1;
+        }
+        // Shards differ in size by at most one, so the arithmetic guess is
+        // off by at most one position in either direction.
+        let base = self.len / n;
+        let rem = self.len % n;
+        let wide = (base + 1) * rem; // indices covered by the wider shards
+        let guess = if idx < wide {
+            idx / (base + 1)
+        } else {
+            // idx >= wide implies base > 0: when base == 0 every index
+            // lands in a wide shard (wide == len) and never reaches here.
+            rem + (idx - wide) / base
+        };
+        debug_assert!(idx < self.bounds[guess]);
+        debug_assert!(guess == 0 || idx >= self.bounds[guess - 1]);
+        guess
+    }
+
+    /// The half-open index range `[start, end)` of one shard.
+    ///
+    /// # Panics
+    /// Panics when `shard` is out of range.
+    pub fn range(&self, shard: usize) -> (usize, usize) {
+        let end = self.bounds[shard];
+        let start = if shard == 0 {
+            0
+        } else {
+            self.bounds[shard - 1]
+        };
+        (start, end)
+    }
+
+    /// All shard ranges in order.
+    pub fn ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.bounds.len()).map(|s| self.range(s))
+    }
+
+    /// Verifies the plan is an exact partition of the arena: ranges are
+    /// non-overlapping, in order, and jointly cover `0..ns.len()` (allowing
+    /// the arena to have grown past the cut — the tail belongs to the last
+    /// shard by [`ShardPlan::shard_of`]'s clamp).
+    pub fn covers(&self, ns: &Namespace) -> bool {
+        let mut at = 0usize;
+        for (start, end) in self.ranges() {
+            if start != at || end < start {
+                return false;
+            }
+            at = end;
+        }
+        at == self.len && self.len <= ns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_is_exact() {
+        let p = ShardPlan::new(12, 4);
+        assert_eq!(p.n_shards(), 4);
+        let ranges: Vec<_> = p.ranges().collect();
+        assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 9), (9, 12)]);
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_shards() {
+        let p = ShardPlan::new(10, 4);
+        let ranges: Vec<_> = p.ranges().collect();
+        assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+    }
+
+    #[test]
+    fn shard_of_matches_ranges_exhaustively() {
+        for len in [0usize, 1, 2, 7, 10, 63, 64, 65, 1000] {
+            for n in [1usize, 2, 3, 4, 7, 8, 16, 100] {
+                let p = ShardPlan::new(len, n);
+                for idx in 0..len {
+                    let s = p.shard_of(InodeId::from_index(idx));
+                    let (start, end) = p.range(s);
+                    assert!(
+                        start <= idx && idx < end,
+                        "len={len} n={n} idx={idx} shard={s} range=({start},{end})"
+                    );
+                }
+                // Past-the-cut indices clamp to the last shard.
+                let s = p.shard_of(InodeId::from_index(len + 5));
+                assert_eq!(s, p.n_shards() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_indices() {
+        let p = ShardPlan::new(3, 8);
+        assert_eq!(p.n_shards(), 8);
+        let total: usize = p.ranges().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 3);
+        assert_eq!(p.shard_of(InodeId::from_index(0)), 0);
+        assert_eq!(p.shard_of(InodeId::from_index(2)), 2);
+    }
+
+    #[test]
+    fn covers_tracks_arena_growth() {
+        let mut ns = Namespace::new();
+        let d = ns.mkdir(InodeId::ROOT, "d").unwrap();
+        let p = ShardPlan::new(ns.len(), 2);
+        assert!(p.covers(&ns));
+        // Arena grows past the cut: still covered (tail → last shard).
+        ns.create_file(d, "f", 0).unwrap();
+        assert!(p.covers(&ns));
+        // A plan cut for a longer arena than exists is not a cover.
+        let q = ShardPlan::new(ns.len() + 3, 2);
+        assert!(!q.covers(&ns));
+    }
+
+    #[test]
+    fn zero_shards_is_one_shard() {
+        let p = ShardPlan::new(5, 0);
+        assert_eq!(p.n_shards(), 1);
+        assert_eq!(p.range(0), (0, 5));
+    }
+}

@@ -30,18 +30,19 @@ pub const CLIENT_CACHE_CAP: usize = 256;
 
 /// One simulated client.
 pub struct Client {
-    /// Client index (stable across the run).
+    /// Client index (stable across the run). Under the cohort engine this
+    /// is the cohort's canonical id: the lowest member id.
     pub id: usize,
-    stream: Box<dyn OpStream>,
+    pub(crate) stream: Box<dyn OpStream>,
     /// Op returned by the stream but not yet served (stall retry buffer),
     /// with the tick it was first attempted (for stall-latency tracking).
-    pending: Option<(MetaOp, u64)>,
+    pub(crate) pending: Option<(MetaOp, u64)>,
     /// Cached dirfrag→rank authority mappings.
-    cache: BTreeMap<InodeId, Vec<(Frag, MdsRank)>>,
+    pub(crate) cache: BTreeMap<InodeId, Vec<(Frag, MdsRank)>>,
     /// FIFO of cached directories for eviction when the cap is reached.
-    cache_order: std::collections::VecDeque<InodeId>,
+    pub(crate) cache_order: std::collections::VecDeque<InodeId>,
     /// Total cached entries (across all directories).
-    cache_count: usize,
+    pub(crate) cache_count: usize,
     /// Ops issued in the current tick (rate limiting).
     pub issued_this_tick: u32,
     /// True once `next_op` returned `None`.
@@ -148,60 +149,78 @@ impl Client {
         dir: InodeId,
         hash: u32,
     ) -> (Route, bool) {
-        let cached = self.cache.get(&dir).and_then(|entries| {
-            entries
-                .iter()
-                .filter(|(f, _)| f.contains_hash(hash))
-                .max_by_key(|(f, _)| f.bits())
-                .map(|(_, r)| *r)
-        });
-        if let Some(cached_rank) = cached {
-            // Verify against the live map (the "send and get redirected"
-            // round-trip, collapsed to one forward).
-            let dir_auth = map.authority(ns, dir);
-            let true_auth = resolve_child(map, ns, dir, hash, dir_auth);
-            if true_auth == cached_rank {
-                return (
-                    Route {
-                        target: cached_rank,
-                        forwards: Vec::new(),
-                    },
-                    true,
-                );
-            }
+        resolve_route(&self.cache, ns, map, dir, hash)
+    }
+}
+
+/// [`Client::resolve`] as a free function over the bare authority cache.
+///
+/// The cohort engine resolves routes for many cohorts in parallel on the
+/// worker pool; `&Client` is not `Sync` (the boxed op stream is only
+/// `Send`), but the cache map is plain data, so the parallel phase borrows
+/// caches directly and calls this.
+pub(crate) fn resolve_route(
+    cache: &BTreeMap<InodeId, Vec<(Frag, MdsRank)>>,
+    ns: &Namespace,
+    map: &SubtreeMap,
+    dir: InodeId,
+    hash: u32,
+) -> (Route, bool) {
+    let cached = cache.get(&dir).and_then(|entries| {
+        entries
+            .iter()
+            .filter(|(f, _)| f.contains_hash(hash))
+            .max_by_key(|(f, _)| f.bits())
+            .map(|(_, r)| *r)
+    });
+    if let Some(cached_rank) = cached {
+        // Verify against the live map (the "send and get redirected"
+        // round-trip, collapsed to one forward).
+        let dir_auth = map.authority(ns, dir);
+        let true_auth = resolve_child(map, ns, dir, hash, dir_auth);
+        if true_auth == cached_rank {
             return (
                 Route {
-                    target: true_auth,
-                    forwards: vec![cached_rank],
+                    target: cached_rank,
+                    forwards: Vec::new(),
                 },
-                false,
+                true,
             );
         }
-        // Cache miss: full traversal from the root. The authority chain of
-        // the *directory* plus the final hop for the dentry hash.
-        let mut auths = map.authority_chain(ns, dir);
-        // The chain always holds at least the root's authority; fall back to
-        // the map's root rank rather than panic if that ever changes.
-        let dir_auth = auths.last().copied().unwrap_or_else(|| map.root_rank());
-        let final_auth = resolve_child(map, ns, dir, hash, dir_auth);
-        auths.push(final_auth);
-        // Forwards: each change of authority along the way is one forward,
-        // performed by the rank that held the request before the hop.
-        let mut forwards = Vec::new();
-        for w in auths.windows(2) {
-            if w[0] != w[1] {
-                forwards.push(w[0]);
-            }
-        }
-        (
+        return (
             Route {
-                target: final_auth,
-                forwards,
+                target: true_auth,
+                forwards: vec![cached_rank],
             },
             false,
-        )
+        );
     }
+    // Cache miss: full traversal from the root. The authority chain of
+    // the *directory* plus the final hop for the dentry hash.
+    let mut auths = map.authority_chain(ns, dir);
+    // The chain always holds at least the root's authority; fall back to
+    // the map's root rank rather than panic if that ever changes.
+    let dir_auth = auths.last().copied().unwrap_or_else(|| map.root_rank());
+    let final_auth = resolve_child(map, ns, dir, hash, dir_auth);
+    auths.push(final_auth);
+    // Forwards: each change of authority along the way is one forward,
+    // performed by the rank that held the request before the hop.
+    let mut forwards = Vec::new();
+    for w in auths.windows(2) {
+        if w[0] != w[1] {
+            forwards.push(w[0]);
+        }
+    }
+    (
+        Route {
+            target: final_auth,
+            forwards,
+        },
+        false,
+    )
+}
 
+impl Client {
     /// Records the resolved authority for `(dir, hash)` once the op was
     /// served (the reply carries the authoritative rank).
     pub fn learn_route(&mut self, ns: &Namespace, dir: InodeId, hash: u32, rank: MdsRank) {
@@ -274,6 +293,41 @@ impl Client {
     /// Number of cached dirfrag entries (test/inspection hook).
     pub fn cache_len(&self) -> usize {
         self.cache.values().map(Vec::len).sum()
+    }
+
+    /// A deep copy of the whole client session, including the op stream's
+    /// dynamic state — `None` when the stream is not cloneable. The cohort
+    /// engine uses this to split a diverging cohort.
+    pub(crate) fn try_clone(&self) -> Option<Client> {
+        let stream = self.stream.try_clone_box()?;
+        Some(Client {
+            id: self.id,
+            stream,
+            pending: self.pending,
+            cache: self.cache.clone(),
+            cache_order: self.cache_order.clone(),
+            cache_count: self.cache_count,
+            issued_this_tick: self.issued_this_tick,
+            finished: self.finished,
+            finished_at: self.finished_at,
+            data_pending: self.data_pending,
+            ops_done: self.ops_done,
+            starts_at: self.starts_at,
+            cache_cap: self.cache_cap,
+            data_window: self.data_window,
+            cache_evictions: self.cache_evictions,
+        })
+    }
+
+    /// The client's complete dynamic state as snapshot bytes, *excluding*
+    /// the id prefix. Two cohorts whose members have re-converged compare
+    /// equal here even though their canonical ids differ.
+    pub(crate) fn state_bytes_sans_id(&self) -> Vec<u8> {
+        let mut e = lunule_util::codec::Encoder::new();
+        self.encode(&mut e);
+        let bytes = e.into_bytes();
+        // `encode` writes the id first as a fixed-width u64.
+        bytes[8..].to_vec()
     }
 
     /// Serialises the client's complete dynamic state — buffered retry op,

@@ -1,7 +1,8 @@
 //! The simulation driver: tick loop, request routing, balancer epochs.
 
 use crate::client::{routing_anchor, Client};
-use crate::config::SimConfig;
+use crate::cohort::{Cohort, CohortSet, Interval};
+use crate::config::{ClientModel, SimConfig};
 use crate::datapath::DataPath;
 use crate::latency::LatencyHistogram;
 use crate::mds::MdsState;
@@ -15,7 +16,9 @@ use lunule_namespace::{FragKey, MdsRank, Namespace, SubtreeMap};
 use lunule_snapshot::{Snapshot, SnapshotError};
 use lunule_telemetry::{Event, Telemetry};
 use lunule_util::codec::{CodecError, Decoder, Encoder};
-use lunule_util::convert::{u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u32, usize_to_u64};
+use lunule_util::convert::{
+    u32_to_usize, u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u32, usize_to_u64,
+};
 #[cfg(feature = "strict-invariants")]
 use lunule_verify::InvariantChecker;
 
@@ -26,23 +29,32 @@ use lunule_verify::InvariantChecker;
 /// interleaved with [`Simulation::add_mds`] / [`Simulation::add_clients`]
 /// for the dynamic-adaptation experiments.
 pub struct Simulation {
-    cfg: SimConfig,
-    ns: Namespace,
-    map: SubtreeMap,
-    mds: Vec<MdsState>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) ns: Namespace,
+    pub(crate) map: SubtreeMap,
+    pub(crate) mds: Vec<MdsState>,
+    /// Per-client state under [`ClientModel::Legacy`]; empty otherwise.
     clients: Vec<Client>,
-    migrator: Migrator,
-    balancer: Box<dyn Balancer>,
-    datapath: Option<DataPath>,
-    latency: LatencyHistogram,
+    /// Aggregated client state under [`ClientModel::Cohort`] (the
+    /// default); `None` under the legacy model. Wrapped in `Option` so the
+    /// cohort engine can temporarily move the set out while it borrows the
+    /// rest of the simulation mutably.
+    pub(crate) cohorts: Option<CohortSet>,
+    /// Worker pool for the cohort engine's parallel resolve phase (and any
+    /// future sharded work). Worker count never affects results.
+    pub(crate) pool: lunule_util::par::WorkerPool,
+    pub(crate) migrator: Migrator,
+    pub(crate) balancer: Box<dyn Balancer>,
+    pub(crate) datapath: Option<DataPath>,
+    pub(crate) latency: LatencyHistogram,
     /// Resident (authoritative) inodes per rank, maintained incrementally
     /// on creates, removes, migrations, and drains.
-    resident: Vec<u64>,
+    pub(crate) resident: Vec<u64>,
     tick: u64,
     epochs: Vec<EpochRecord>,
     /// Shared handle every layer journals into (cloned from the config;
     /// disabled by default, in which case each site is a single branch).
-    telemetry: Telemetry,
+    pub(crate) telemetry: Telemetry,
     /// Events of `cfg.faults` injected so far (the schedule is tick-sorted,
     /// so a cursor suffices).
     fault_cursor: usize,
@@ -71,7 +83,7 @@ pub struct Simulation {
     /// Per-rank route-cost accumulator reused across ops; a traversal
     /// touches a handful of ranks, and this buffer used to be allocated
     /// once per issued op.
-    costs_scratch: Vec<(usize, f64)>,
+    pub(crate) costs_scratch: Vec<(usize, f64)>,
     /// Cross-layer invariant auditor (strict builds only): the cheap map
     /// checks run after every tick, the full battery — conservation, frag
     /// partitions, IF-model laws — at every epoch close. Any violation
@@ -87,8 +99,41 @@ impl Simulation {
     pub fn new(
         cfg: SimConfig,
         ns: Namespace,
-        mut balancer: Box<dyn Balancer>,
+        balancer: Box<dyn Balancer>,
         streams: Vec<Box<dyn OpStream>>,
+    ) -> Self {
+        // Every stream is its own group of one: distinct clients never
+        // merge (cohorts only merge within a group), so this is safe for
+        // arbitrary per-client streams, cloneable or not. Aggregation wins
+        // come from [`Simulation::new_grouped`].
+        let groups = streams.into_iter().map(|s| (s, 1)).collect();
+        Self::build(cfg, ns, balancer, groups)
+    }
+
+    /// Builds a simulation whose clients arrive as *groups*: `count`
+    /// identical clients per op stream, advanced as one cohort until their
+    /// states diverge. This is the million-client entry point — memory and
+    /// per-tick work scale with the number of *distinct* client states,
+    /// not the member count. Group streams with `count > 1` must be
+    /// cloneable ([`OpStream::try_clone_box`]) so cohorts can split.
+    ///
+    /// Under [`ClientModel::Legacy`] the groups are expanded to individual
+    /// clients (clones of the group stream), which is exactly what the
+    /// differential-equivalence battery compares against.
+    pub fn new_grouped(
+        cfg: SimConfig,
+        ns: Namespace,
+        balancer: Box<dyn Balancer>,
+        groups: Vec<(Box<dyn OpStream>, u64)>,
+    ) -> Self {
+        Self::build(cfg, ns, balancer, groups)
+    }
+
+    fn build(
+        cfg: SimConfig,
+        ns: Namespace,
+        mut balancer: Box<dyn Balancer>,
+        groups: Vec<(Box<dyn OpStream>, u64)>,
     ) -> Self {
         cfg.validate();
         let telemetry = cfg.telemetry.clone();
@@ -103,16 +148,52 @@ impl Simulation {
             .into_iter()
             .map(usize_to_u64)
             .collect();
-        let clients = streams
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let mut c = Client::new(i, s, 0);
-                c.cache_cap = cfg.client_cache_cap;
-                c.data_window = cfg.data_path.map(|dp| dp.client_window).unwrap_or(0);
-                c
-            })
-            .collect();
+        let new_client = |id: usize, s: Box<dyn OpStream>| {
+            let mut c = Client::new(id, s, 0);
+            c.cache_cap = cfg.client_cache_cap;
+            c.data_window = cfg.data_path.map(|dp| dp.client_window).unwrap_or(0);
+            c
+        };
+        let (clients, cohorts): (Vec<Client>, Option<CohortSet>) = match cfg.client_model {
+            ClientModel::Cohort => {
+                let mut at = 0usize;
+                let groups: Vec<(Client, u64)> = groups
+                    .into_iter()
+                    .map(|(s, count)| {
+                        assert!(count >= 1, "client group must have at least one member");
+                        assert!(
+                            count == 1 || s.try_clone_box().is_some(),
+                            "multi-member client group needs a cloneable op stream"
+                        );
+                        let c = new_client(at, s);
+                        at += u64_to_usize(count);
+                        (c, count)
+                    })
+                    .collect();
+                (Vec::new(), Some(CohortSet::new(groups)))
+            }
+            ClientModel::Legacy => {
+                let mut clients = Vec::new();
+                for (s, count) in groups {
+                    assert!(count >= 1, "client group must have at least one member");
+                    assert!(
+                        count == 1 || s.try_clone_box().is_some(),
+                        "multi-member client group needs a cloneable op stream"
+                    );
+                    // Clones for the first count-1 members, the group's own
+                    // stream for the last, so singleton groups never clone.
+                    for _ in 1..count {
+                        if let Some(st) = s.try_clone_box() {
+                            let id = clients.len();
+                            clients.push(new_client(id, st));
+                        }
+                    }
+                    let id = clients.len();
+                    clients.push(new_client(id, s));
+                }
+                (clients, None)
+            }
+        };
         let mut migrator = Migrator::new(
             cfg.migration_bw,
             cfg.migration_freeze_secs,
@@ -140,6 +221,8 @@ impl Simulation {
             latency: LatencyHistogram::new(),
             resident,
             clients,
+            cohorts,
+            pool: lunule_util::par::WorkerPool::new(cfg.jobs),
             balancer,
             ns,
             map,
@@ -216,6 +299,27 @@ impl Simulation {
             self.migrator.in_flight(),
             journal,
         );
+        // Cohort model: member conservation against the configured client
+        // total, the id-interval partition's integrity, and the shard
+        // plan's coverage of the inode arena. The checker re-derives these
+        // from plain data rather than trusting `CohortSet::check_invariants`
+        // — an independent implementation is the point of the audit.
+        if let Some(set) = &self.cohorts {
+            let counts: Vec<u64> = set.cohorts.iter().map(|c| c.count).collect();
+            let ids: Vec<usize> = set.cohorts.iter().map(|c| c.state.id).collect();
+            let intervals: Vec<(usize, usize, usize)> = set
+                .intervals
+                .iter()
+                .map(|iv| (iv.start, iv.len, iv.cohort))
+                .collect();
+            self.checker
+                .check_cohort_conservation(&counts, None, usize_to_u64(set.n_clients()));
+            self.checker
+                .check_cohort_partition(&intervals, &counts, &ids, set.n_clients());
+            let plan = lunule_namespace::ShardPlan::new(self.ns.len(), self.pool.jobs());
+            let ranges: Vec<(usize, usize)> = plan.ranges().collect();
+            self.checker.check_shard_coverage(&ranges, self.ns.len());
+        }
         self.checker.assert_clean();
     }
 
@@ -359,6 +463,9 @@ impl Simulation {
         for c in &mut self.clients {
             c.forget_rank(rank);
         }
+        if let Some(set) = &mut self.cohorts {
+            set.for_each_state_mut(|st, _| st.forget_rank(rank));
+        }
         // Failover rewrote authorities wholesale; recompute residency.
         self.resident = self
             .map
@@ -485,26 +592,45 @@ impl Simulation {
     /// Adds clients mid-run; they start issuing on the next tick (Fig. 12b's
     /// staged client arrival).
     pub fn add_clients(&mut self, streams: Vec<Box<dyn OpStream>>) {
-        let base = self.clients.len();
+        let count = usize_to_u64(streams.len());
         let start = self.tick;
         let cap = self.cfg.client_cache_cap;
         let window = self.cfg.data_path.map(|dp| dp.client_window).unwrap_or(0);
-        self.clients
-            .extend(streams.into_iter().enumerate().map(|(i, s)| {
-                let mut c = Client::new(base + i, s, start);
-                c.cache_cap = cap;
-                c.data_window = window;
-                c
-            }));
-        let count = usize_to_u64(self.clients.len() - base);
+        let new_client = |id: usize, s: Box<dyn OpStream>| {
+            let mut c = Client::new(id, s, start);
+            c.cache_cap = cap;
+            c.data_window = window;
+            c
+        };
+        match &mut self.cohorts {
+            Some(set) => {
+                for s in streams {
+                    let id = set.n_clients();
+                    set.append_group(new_client(id, s), 1);
+                }
+            }
+            None => {
+                let base = self.clients.len();
+                self.clients.extend(
+                    streams
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, s)| new_client(base + i, s)),
+                );
+            }
+        }
         self.telemetry.emit(|| Event::ClientsAdd { count });
     }
 
     /// True once every client has drained its stream and data debt.
     pub fn all_done(&self) -> bool {
-        self.clients
-            .iter()
-            .all(|c| c.finished && c.data_pending == 0)
+        match &self.cohorts {
+            Some(set) => set.all_done(),
+            None => self
+                .clients
+                .iter()
+                .all(|c| c.finished && c.data_pending == 0),
+        }
     }
 
     /// Runs until `deadline` (simulated seconds) or until all clients are
@@ -571,14 +697,31 @@ impl Simulation {
         applied
     }
 
-    /// Number of clients attached (including finished ones).
+    /// Number of clients attached (including finished ones). Under the
+    /// cohort model this counts *members*, not cohorts.
     pub fn n_clients(&self) -> usize {
-        self.clients.len()
+        match &self.cohorts {
+            Some(set) => set.n_clients(),
+            None => self.clients.len(),
+        }
+    }
+
+    /// Number of distinct client flows currently materialised: cohorts
+    /// under the cohort model (the quantity per-tick work scales with),
+    /// individual clients under the legacy model.
+    pub fn n_flows(&self) -> usize {
+        match &self.cohorts {
+            Some(set) => set.n_cohorts(),
+            None => self.clients.len(),
+        }
     }
 
     /// Total metadata operations completed by all clients so far.
     pub fn total_ops(&self) -> u64 {
-        self.clients.iter().map(|c| c.ops_done).sum()
+        match &self.cohorts {
+            Some(set) => set.total_ops(),
+            None => self.clients.iter().map(|c| c.ops_done).sum(),
+        }
     }
 
     /// The configuration this simulation was built with.
@@ -601,19 +744,22 @@ impl Simulation {
             balancer: self.balancer.name().to_string(),
             per_mds_requests_total: self.mds.iter().map(|m| m.served_total).collect(),
             per_mds_forwards_total: self.mds.iter().map(|m| m.forwards_total).collect(),
-            client_completion_secs: self
-                .clients
-                .iter()
-                .map(|c| {
-                    if c.finished && c.data_pending == 0 {
-                        c.finished_at
-                    } else {
-                        None
-                    }
-                })
-                .collect(),
+            client_completion_secs: match &self.cohorts {
+                Some(set) => set.completion_expanded(),
+                None => self
+                    .clients
+                    .iter()
+                    .map(|c| {
+                        if c.finished && c.data_pending == 0 {
+                            c.finished_at
+                        } else {
+                            None
+                        }
+                    })
+                    .collect(),
+            },
             duration_secs: self.tick,
-            total_ops: self.clients.iter().map(|c| c.ops_done).sum(),
+            total_ops: self.total_ops(),
             final_inodes: self.ns.len(),
             rejected_choices: self.migrator.counters().rejected_choices,
             latency: self.latency,
@@ -677,6 +823,10 @@ impl Simulation {
             for c in &mut self.clients {
                 c.apply_migration(&self.ns, &job.subtree, job.to);
             }
+            if let Some(set) = &mut self.cohorts {
+                let ns = &self.ns;
+                set.for_each_state_mut(|st, _| st.apply_migration(ns, &job.subtree, job.to));
+            }
             if let Some(r) = self.resident.get_mut(job.from.index()) {
                 *r = r.saturating_sub(job.total_inodes);
             }
@@ -686,39 +836,51 @@ impl Simulation {
         }
 
         // 2. Data-path progress frees blocked clients.
-        if let Some(dp) = &self.datapath {
-            dp.step(&mut self.clients);
-        }
-        for c in &mut self.clients {
-            c.issued_this_tick = 0;
-            if c.finished && c.data_pending == 0 && c.finished_at.is_none() {
-                c.finished_at = Some(tick);
+        if self.cohorts.is_some() {
+            if let Some(dp) = &self.datapath {
+                let bandwidth = dp.bandwidth();
+                self.cohort_datapath_step(bandwidth);
+            }
+            self.cohort_tick_reset(tick);
+        } else {
+            if let Some(dp) = &self.datapath {
+                dp.step(&mut self.clients);
+            }
+            for c in &mut self.clients {
+                c.issued_this_tick = 0;
+                if c.finished && c.data_pending == 0 && c.finished_at.is_none() {
+                    c.finished_at = Some(tick);
+                }
             }
         }
 
         // 3. Closed-loop issue rounds: one op per client per round, rotating
         // the starting client for fairness, until nobody can make progress.
-        let n_clients = self.clients.len();
-        if n_clients > 0 {
-            let offset = u64_to_usize(tick) % n_clients;
-            self.stall_scratch.clear();
-            self.stall_scratch.resize(n_clients, false);
-            loop {
-                let mut progressed = false;
-                for i in 0..n_clients {
-                    let idx = (offset + i) % n_clients;
-                    if self.stall_scratch[idx] {
-                        continue;
-                    }
-                    match self.try_issue(idx, tick) {
-                        IssueOutcome::Served => progressed = true,
-                        IssueOutcome::Stalled | IssueOutcome::Inactive => {
-                            self.stall_scratch[idx] = true;
+        if self.cohorts.is_some() {
+            self.cohort_issue_rounds(tick);
+        } else {
+            let n_clients = self.clients.len();
+            if n_clients > 0 {
+                let offset = u64_to_usize(tick) % n_clients;
+                self.stall_scratch.clear();
+                self.stall_scratch.resize(n_clients, false);
+                loop {
+                    let mut progressed = false;
+                    for i in 0..n_clients {
+                        let idx = (offset + i) % n_clients;
+                        if self.stall_scratch[idx] {
+                            continue;
+                        }
+                        match self.try_issue(idx, tick) {
+                            IssueOutcome::Served => progressed = true,
+                            IssueOutcome::Stalled | IssueOutcome::Inactive => {
+                                self.stall_scratch[idx] = true;
+                            }
                         }
                     }
-                }
-                if !progressed {
-                    break;
+                    if !progressed {
+                        break;
+                    }
                 }
             }
         }
@@ -878,11 +1040,14 @@ impl Simulation {
         let record = EpochRecord {
             migrated_inodes_cum: self.migrator.counters().migrated_inodes,
             forwards_cum: self.mds.iter().map(|m| m.forwards_total).sum(),
-            active_clients: self
-                .clients
-                .iter()
-                .filter(|c| !c.finished || c.data_pending > 0)
-                .count(),
+            active_clients: match &self.cohorts {
+                Some(set) => set.active_members(),
+                None => self
+                    .clients
+                    .iter()
+                    .filter(|c| !c.finished || c.data_pending > 0)
+                    .count(),
+            },
             inflight_migrations: u64_to_usize(self.migrator.in_flight()),
             per_mds_resident_inodes: self.resident.clone(),
             ..EpochRecord::from_stats(&stats, self.tick, self.cfg.mds_capacity)
@@ -901,7 +1066,10 @@ impl Simulation {
             }
             self.telemetry
                 .gauge_set("clients.active", 0, usize_to_f64(record.active_clients));
-            let evictions: u64 = self.clients.iter().map(|c| c.cache_evictions).sum();
+            let evictions: u64 = match &self.cohorts {
+                Some(set) => set.evictions_total(),
+                None => self.clients.iter().map(|c| c.cache_evictions).sum(),
+            };
             self.telemetry
                 .gauge_set("clients.cache_evictions", 0, u64_to_f64(evictions));
         }
@@ -933,6 +1101,13 @@ impl Simulation {
         });
         for m in &mut self.mds {
             m.reset_epoch();
+        }
+        // Cohorts whose members re-converged (same stream position, cache,
+        // debt) merge back into one flow. Epoch close is the natural seam:
+        // it bounds within-tick divergence growth without scanning every
+        // tick, and runs at a point where no issue round is in flight.
+        if let Some(set) = &mut self.cohorts {
+            set.merge_equal_states();
         }
         #[cfg(feature = "strict-invariants")]
         {
@@ -982,9 +1157,20 @@ impl Simulation {
         e.put_seq(&self.resident, |e, r| e.put_u64(*r));
         snap.push_section("mds", e.into_bytes());
 
-        let mut e = Encoder::new();
-        e.put_seq(&self.clients, |e, c| c.encode(e));
-        snap.push_section("clients", e.into_bytes());
+        // Client state: one section per model, so a cross-model restore
+        // fails on a missing section even before the digest check would.
+        match &self.cohorts {
+            Some(set) => {
+                let mut e = Encoder::new();
+                encode_cohorts(set, &mut e);
+                snap.push_section("cohorts", e.into_bytes());
+            }
+            None => {
+                let mut e = Encoder::new();
+                e.put_seq(&self.clients, |e, c| c.encode(e));
+                snap.push_section("clients", e.into_bytes());
+            }
+        }
 
         let mut e = Encoder::new();
         self.migrator.save_state(&mut e);
@@ -1107,21 +1293,34 @@ impl Simulation {
             });
         }
 
-        let clients = decode_section(snap, "clients", |d| {
-            let n = d.get_usize("clients")?;
-            if n != streams.len() {
-                return Err(CodecError::Invalid { what: "clients" });
+        // Client state: the model is part of the config digest, so the
+        // matching section is guaranteed present for an honest snapshot —
+        // a tampered one fails on the missing section. Under the cohort
+        // model `streams` carries one stream per *group*, not per member.
+        let (clients, cohorts) = match cfg.client_model {
+            ClientModel::Legacy => {
+                let clients = decode_section(snap, "clients", |d| {
+                    let n = d.get_usize("clients")?;
+                    if n != streams.len() {
+                        return Err(CodecError::Invalid { what: "clients" });
+                    }
+                    let mut clients = Vec::with_capacity(n);
+                    for (i, stream) in streams.into_iter().enumerate() {
+                        let c = Client::decode(d, stream)?;
+                        if c.id != i {
+                            return Err(CodecError::Invalid { what: "client.id" });
+                        }
+                        clients.push(c);
+                    }
+                    Ok(clients)
+                })?;
+                (clients, None)
             }
-            let mut clients = Vec::with_capacity(n);
-            for (i, stream) in streams.into_iter().enumerate() {
-                let c = Client::decode(d, stream)?;
-                if c.id != i {
-                    return Err(CodecError::Invalid { what: "client.id" });
-                }
-                clients.push(c);
+            ClientModel::Cohort => {
+                let set = decode_section(snap, "cohorts", |d| decode_cohorts(d, streams))?;
+                (Vec::new(), Some(set))
             }
-            Ok(clients)
-        })?;
+        };
 
         let mut migrator = Migrator::new(
             cfg.migration_bw,
@@ -1213,6 +1412,8 @@ impl Simulation {
             latency,
             resident,
             clients,
+            cohorts,
+            pool: lunule_util::par::WorkerPool::new(cfg.jobs),
             balancer,
             ns,
             map,
@@ -1238,12 +1439,155 @@ impl Simulation {
     }
 }
 
-/// Reads the number of clients recorded in a snapshot's `clients` section
-/// — the exact number of freshly built op streams [`Simulation::restore`]
-/// expects. A session that attached clients mid-run snapshots more than it
+/// Writes a cohort set's persistent state.
+///
+/// Cohorts are written in canonical-member-id order, *not* internal index
+/// order: indices depend on the split/merge history (an uninterrupted run
+/// and a restored one can interleave slots differently), while the lowest
+/// member id of each cohort is a stable name. Ordering by it keeps
+/// snapshots of equal logical state byte-identical — the property the
+/// snapshot round-trip battery pins.
+fn encode_cohorts(set: &CohortSet, e: &mut Encoder) {
+    e.put_usize(set.n_groups);
+    e.put_usize(set.n_clients);
+    let mut order: Vec<usize> = (0..set.cohorts.len())
+        .filter(|&c| set.cohorts[c].count > 0)
+        .collect();
+    // How many live cohorts each origin currently has: the restore side
+    // needs this *before* decoding a cohort to know whether the origin's
+    // freshly built stream can be moved in or must be cloned.
+    let mut per_origin = vec![0usize; set.n_groups];
+    for &c in &order {
+        per_origin[u32_to_usize(set.cohorts[c].origin)] += 1;
+    }
+    e.put_seq(&per_origin, |e, n| e.put_usize(*n));
+    order.sort_by_key(|&c| set.cohorts[c].state.id);
+    e.put_seq(&order, |e, &c| {
+        let co = &set.cohorts[c];
+        e.put_u32(co.origin);
+        let ivs: Vec<(usize, usize)> = set
+            .intervals
+            .iter()
+            .filter(|iv| iv.cohort == c)
+            .map(|iv| (iv.start, iv.len))
+            .collect();
+        e.put_seq(&ivs, |e, (start, len)| {
+            e.put_usize(*start);
+            e.put_usize(*len);
+        });
+        co.state.encode(e);
+    });
+}
+
+/// Rebuilds a cohort set from snapshot bytes plus one freshly built op
+/// stream per original client *group*. An origin that still has a single
+/// cohort takes its group stream directly; origins that split clone the
+/// stream per cohort (the stream cursor is then overwritten by the state
+/// replay inside [`Client::decode`], so clones land at the right position).
+fn decode_cohorts(
+    d: &mut Decoder<'_>,
+    streams: Vec<Box<dyn OpStream>>,
+) -> Result<CohortSet, CodecError> {
+    let n_groups = d.get_usize("cohorts.groups")?;
+    let n_clients = d.get_usize("cohorts.members")?;
+    if n_groups != streams.len() {
+        return Err(CodecError::Invalid {
+            what: "cohorts.groups",
+        });
+    }
+    let per_origin = d.get_seq("cohorts.per_origin", |d| d.get_usize("cohorts.per_origin"))?;
+    if per_origin.len() != n_groups {
+        return Err(CodecError::Invalid {
+            what: "cohorts.per_origin",
+        });
+    }
+    let mut masters: Vec<Option<Box<dyn OpStream>>> = streams.into_iter().map(Some).collect();
+    let mut cohorts: Vec<Cohort> = Vec::new();
+    let mut intervals: Vec<Interval> = Vec::new();
+    d.get_seq("cohorts", |d| {
+        let origin = d.get_u32("cohort.origin")?;
+        let og = u32_to_usize(origin);
+        if og >= n_groups {
+            return Err(CodecError::Invalid {
+                what: "cohort.origin",
+            });
+        }
+        let ivs = d.get_seq("cohort.intervals", |d| {
+            let start = d.get_usize("interval.start")?;
+            let len = d.get_usize("interval.len")?;
+            if len == 0 {
+                return Err(CodecError::Invalid {
+                    what: "interval.len",
+                });
+            }
+            Ok((start, len))
+        })?;
+        let members: u64 = ivs.iter().map(|&(_, len)| usize_to_u64(len)).sum();
+        let stream = if per_origin[og] == 1 {
+            let m = masters[og].take().ok_or(CodecError::Invalid {
+                what: "cohort.origin",
+            })?;
+            // Even a lone cohort must stay splittable if it has members
+            // to diverge.
+            if members > 1 && m.try_clone_box().is_none() {
+                return Err(CodecError::Invalid {
+                    what: "cohort.stream",
+                });
+            }
+            m
+        } else {
+            masters[og]
+                .as_ref()
+                .and_then(|m| m.try_clone_box())
+                .ok_or(CodecError::Invalid {
+                    what: "cohort.stream",
+                })?
+        };
+        let state = Client::decode(d, stream)?;
+        let slot = cohorts.len();
+        for (start, len) in ivs {
+            intervals.push(Interval {
+                start,
+                len,
+                cohort: slot,
+            });
+        }
+        cohorts.push(Cohort {
+            state,
+            origin,
+            count: members,
+        });
+        Ok(())
+    })?;
+    intervals.sort_by_key(|iv| iv.start);
+    let set = CohortSet {
+        cohorts,
+        intervals,
+        n_clients,
+        n_groups,
+    };
+    set.check_invariants()
+        .map_err(|_| CodecError::Invalid { what: "cohorts" })?;
+    Ok(set)
+}
+
+/// Reads the number of client *members* recorded in a snapshot — from the
+/// `clients` section (legacy model) or the `cohorts` header (cohort
+/// model). A session that attached clients mid-run snapshots more than it
 /// started with, so restoring callers size their stream split from here
 /// rather than from their initial-client configuration.
 pub fn snapshot_client_count(snap: &Snapshot) -> Result<usize, SnapshotError> {
+    if let Some(payload) = snap.section("cohorts") {
+        let mut d = Decoder::new(payload);
+        return (|| {
+            let _groups = d.get_usize("cohorts.groups")?;
+            d.get_usize("cohorts.members")
+        })()
+        .map_err(|source| SnapshotError::Decode {
+            section: "cohorts",
+            source,
+        });
+    }
     let payload = snap.require_section("clients")?;
     let mut d = Decoder::new(payload);
     d.get_usize("clients")
@@ -1251,6 +1595,23 @@ pub fn snapshot_client_count(snap: &Snapshot) -> Result<usize, SnapshotError> {
             section: "clients",
             source,
         })
+}
+
+/// Reads the number of op streams [`Simulation::restore`] expects for a
+/// snapshot: the client count under the legacy model, the *group* count
+/// under the cohort model (one stream per group, however many cohorts the
+/// group has split into).
+pub fn snapshot_stream_count(snap: &Snapshot) -> Result<usize, SnapshotError> {
+    if let Some(payload) = snap.section("cohorts") {
+        let mut d = Decoder::new(payload);
+        return d
+            .get_usize("cohorts.groups")
+            .map_err(|source| SnapshotError::Decode {
+                section: "cohorts",
+                source,
+            });
+    }
+    snapshot_client_count(snap)
 }
 
 /// Runs a section decoder, mapping codec failures (including trailing
@@ -1927,7 +2288,7 @@ mod tests {
             matches!(
                 err,
                 SnapshotError::Decode {
-                    section: "clients",
+                    section: "cohorts",
                     ..
                 }
             ),

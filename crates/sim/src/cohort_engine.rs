@@ -1,0 +1,792 @@
+//! The cohort issue engine: the legacy per-client tick loop, re-derived
+//! over aggregated cohorts.
+//!
+//! The legacy engine's tick is a sequence of *rounds*: each round walks
+//! every client once in rotation order (starting at `tick % n_clients`),
+//! serving at most one op per client, until a round serves nothing. The
+//! cohort engine reproduces that walk exactly, but a run of consecutive
+//! identical clients advances as one batch:
+//!
+//! 1. **Classify** (sequential, cohort-local): per round, each live cohort
+//!    is inactive (rate-capped, finished, data-blocked), frozen behind a
+//!    migration commit window, a batchable read, or a mutating op. Multi-
+//!    member cohorts holding a create/remove explode into singletons first
+//!    — mutations change the namespace mid-round, so they serve one at a
+//!    time exactly like legacy clients.
+//! 2. **Resolve** (parallel, pure): read/remove routes are looked up
+//!    against the immutable namespace + subtree map, grouped by the
+//!    [`ShardPlan`] shard owning the anchor directory and fanned out over
+//!    the workspace [`WorkerPool`]. Results merge in submission order, so
+//!    `--jobs 1` and `--jobs N` are byte-identical.
+//! 3. **Serve** (sequential, effect-ordered): runs are walked in rotation
+//!    order; each run drains MDS budgets member-by-member (f64 budget
+//!    arithmetic in exactly the legacy order) and applies the world
+//!    effects — forwards, served counters, latency/telemetry, balancer
+//!    accesses — as batched equivalents at the run's position.
+//!
+//! After a round, each cohort that served advances its shared state once
+//! (stream cursor, route cache, data debt). A cohort that only partially
+//! served splits: the stalled members keep the pre-round state in a new
+//! cohort that sits out the rest of the tick, mirroring the legacy
+//! per-client stall flags.
+//!
+//! Equivalence to the legacy engine holds member-for-member because within
+//! a round (a) identical clients resolve identical routes against state
+//! that cannot change until the round ends, (b) budgets only ever decrease
+//! within a tick, so the first member of a run to fail a budget check
+//! decides for every member after it, and (c) every batched recorder
+//! (`record_n`-style) is an exact aggregate of its sequential form.
+
+use crate::client::{resolve_route, routing_anchor, Client, Route};
+use crate::cluster::Simulation;
+use crate::cohort::{Cohort, CohortSet};
+use crate::request::MetaOp;
+use lunule_core::{Access, OpKind};
+use lunule_namespace::{Frag, InodeId, MdsRank, ShardPlan};
+use lunule_util::convert::{u64_to_usize, usize_to_u64};
+use std::collections::BTreeMap;
+
+/// What a classified cohort does this round.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Read/remove with a precomputed route from the parallel phase.
+    Resolve,
+    /// Singleton create: resolved and served inline at its run position
+    /// (its routing anchor depends on the live arena length).
+    CreateInline,
+}
+
+/// A client-authority-cache reference — the only part of a client the
+/// parallel resolve phase reads, and (unlike the full `Client`, whose op
+/// stream is `Send`-only) safely shareable across worker threads.
+type CacheRef<'a> = &'a BTreeMap<InodeId, Vec<(Frag, MdsRank)>>;
+
+/// Smallest resolve batch worth fanning out. The pool spawns scoped
+/// threads per call (it keeps none between calls), which costs tens of
+/// microseconds — far more than resolving a handful of routes inline. A
+/// round below this cutoff resolves serially; the outcome is identical
+/// either way (resolution is pure and results are keyed by cohort), so
+/// the threshold is invisible to journals.
+const PAR_RESOLVE_MIN: usize = 256;
+
+/// Transient per-round buffers, reused across the rounds of one tick. The
+/// round loop runs once per served op per client at small populations, so
+/// fresh allocations every round dominate small-run profiles; none of this
+/// is simulation state and none of it is ever snapshotted.
+#[derive(Default)]
+struct RoundScratch {
+    runs: Vec<(usize, usize, usize)>,
+    seen: Vec<bool>,
+    worklist: Vec<usize>,
+    class: Vec<Option<Class>>,
+    anchor_of: Vec<Option<(InodeId, u32)>>,
+    resolve_reqs: Vec<(usize, InodeId, u32)>,
+    routes: Vec<Option<(Route, bool)>>,
+    served_count: Vec<u64>,
+    budget_stalled: Vec<bool>,
+    runs_of: Vec<Vec<(usize, usize, usize)>>,
+    costs_of: Vec<Vec<(usize, f64)>>,
+    costs_built: Vec<bool>,
+    bytes_of: Vec<u64>,
+    touched: Vec<usize>,
+}
+
+impl Simulation {
+    /// Cohort-model issue phase for one tick: rounds until no member
+    /// serves, exactly like the legacy `stall_scratch` loop.
+    pub(crate) fn cohort_issue_rounds(&mut self, tick: u64) {
+        let Some(mut set) = self.cohorts.take() else {
+            return;
+        };
+        let n = set.n_clients();
+        if n == 0 {
+            self.cohorts = Some(set);
+            return;
+        }
+        let offset = u64_to_usize(tick) % n;
+        // Per-tick stall flags, indexed by cohort: the cohort analogue of
+        // the legacy per-client `stall_scratch`. Transient scratch — ticks
+        // never snapshot mid-round, so these are never persisted.
+        let mut tick_stalled = vec![false; set.cohorts.len()];
+        let mut scratch = RoundScratch::default();
+        while self.cohort_round(&mut set, &mut tick_stalled, offset, tick, &mut scratch) {}
+        self.cohorts = Some(set);
+    }
+
+    /// One issue round. Returns whether any member was served.
+    fn cohort_round(
+        &mut self,
+        set: &mut CohortSet,
+        stalled: &mut Vec<bool>,
+        offset: usize,
+        tick: u64,
+        scratch: &mut RoundScratch,
+    ) -> bool {
+        let rate = self.cfg.client_rate;
+
+        // Phase 1: classify cohorts in rotation (first-encounter) order.
+        // Classification only touches cohort-local state, so handling each
+        // cohort once at its first member's position matches the legacy
+        // per-member checks exactly.
+        let mut worklist = std::mem::take(&mut scratch.worklist);
+        worklist.clear();
+        {
+            let mut seen = std::mem::take(&mut scratch.seen);
+            seen.clear();
+            seen.resize(set.cohorts.len(), false);
+            let mut runs = std::mem::take(&mut scratch.runs);
+            rotated_runs_into(set, offset, &mut runs);
+            for &(_, _, c) in &runs {
+                if !seen[c] {
+                    seen[c] = true;
+                    if !stalled[c] {
+                        worklist.push(c);
+                    }
+                }
+            }
+            scratch.seen = seen;
+            scratch.runs = runs;
+        }
+        let mut class = std::mem::take(&mut scratch.class);
+        class.clear();
+        class.resize(set.cohorts.len(), None);
+        let mut anchor_of = std::mem::take(&mut scratch.anchor_of);
+        anchor_of.clear();
+        anchor_of.resize(set.cohorts.len(), None);
+        let mut resolve_reqs = std::mem::take(&mut scratch.resolve_reqs);
+        resolve_reqs.clear();
+        let mut exploded = false;
+        let mut wi = 0;
+        while wi < worklist.len() {
+            let c = worklist[wi];
+            wi += 1;
+            let st = &mut set.cohorts[c].state;
+            if !st.can_issue(tick, rate) {
+                if st.finished && st.data_pending == 0 && st.finished_at.is_none() {
+                    st.finished_at = Some(tick);
+                }
+                stalled[c] = true;
+                continue;
+            }
+            let Some(op) = st.peek_op(&self.ns, tick) else {
+                let st = &mut set.cohorts[c].state;
+                if st.data_pending == 0 && st.finished_at.is_none() {
+                    st.finished_at = Some(tick);
+                }
+                stalled[c] = true;
+                continue;
+            };
+            if set.cohorts[c].count > 1 && !matches!(op, MetaOp::Read(_)) {
+                // Creates and removes mutate the namespace as they serve,
+                // so members must go one at a time: explode to singletons
+                // and re-classify each (the checks above re-run cheaply
+                // and identically). The op type can change every round,
+                // which is why this is a per-round check, not a
+                // construction-time property.
+                let parts = set.explode(c);
+                exploded = true;
+                stalled.resize(set.cohorts.len(), false);
+                class.resize(set.cohorts.len(), None);
+                anchor_of.resize(set.cohorts.len(), None);
+                worklist.extend(parts);
+                continue;
+            }
+            if self.migrator.is_frozen(&self.ns, op.anchor()) {
+                stalled[c] = true;
+                continue;
+            }
+            match op {
+                MetaOp::Read(_) | MetaOp::Remove(_) => {
+                    let (dir, hash) = routing_anchor(&self.ns, &op);
+                    class[c] = Some(Class::Resolve);
+                    anchor_of[c] = Some((dir, hash));
+                    resolve_reqs.push((c, dir, hash));
+                }
+                MetaOp::Create { .. } => {
+                    class[c] = Some(Class::CreateInline);
+                }
+            }
+        }
+
+        // Phase 2: resolve routes in parallel, sharded by the arena shard
+        // that owns the anchor directory. Resolution is pure (namespace,
+        // subtree map, and caches are all frozen for the round) and the
+        // pool merges results in submission order, so worker count cannot
+        // leak into the outcome.
+        let mut routes = std::mem::take(&mut scratch.routes);
+        routes.clear();
+        routes.resize(set.cohorts.len(), None);
+        if resolve_reqs.len() < PAR_RESOLVE_MIN || self.pool.jobs() == 1 {
+            for &(c, dir, hash) in &resolve_reqs {
+                routes[c] = Some(resolve_route(
+                    &set.cohorts[c].state.cache,
+                    &self.ns,
+                    &self.map,
+                    dir,
+                    hash,
+                ));
+            }
+        } else {
+            let plan = ShardPlan::new(self.ns.len(), self.pool.jobs());
+            let mut buckets: Vec<Vec<(usize, CacheRef<'_>, InodeId, u32)>> =
+                (0..plan.n_shards()).map(|_| Vec::new()).collect();
+            for &(c, dir, hash) in &resolve_reqs {
+                buckets[plan.shard_of(dir)].push((c, &set.cohorts[c].state.cache, dir, hash));
+            }
+            let ns = &self.ns;
+            let map = &self.map;
+            let resolved = self.pool.map(&buckets, |_, bucket| {
+                bucket
+                    .iter()
+                    .map(|&(c, cache, dir, hash)| (c, resolve_route(cache, ns, map, dir, hash)))
+                    .collect::<Vec<_>>()
+            });
+            for shard in resolved {
+                for (c, r) in shard {
+                    routes[c] = Some(r);
+                }
+            }
+        }
+
+        // Phase 3: serve runs in rotation order with legacy effect order.
+        let n_cohorts = set.cohorts.len();
+        let mut served_count = std::mem::take(&mut scratch.served_count);
+        served_count.clear();
+        served_count.resize(n_cohorts, 0);
+        let mut budget_stalled = std::mem::take(&mut scratch.budget_stalled);
+        budget_stalled.clear();
+        budget_stalled.resize(n_cohorts, false);
+        // Per cohort: (run start, members served, run length) per run, in
+        // rotation order — the split bookkeeping. Inner vectors keep their
+        // capacity across rounds; entries past this round's cohort count
+        // are simply never indexed.
+        let mut runs_of = std::mem::take(&mut scratch.runs_of);
+        for v in runs_of.iter_mut() {
+            v.clear();
+        }
+        if runs_of.len() < n_cohorts {
+            runs_of.resize_with(n_cohorts, Vec::new);
+        }
+        let mut costs_of = std::mem::take(&mut scratch.costs_of);
+        for v in costs_of.iter_mut() {
+            v.clear();
+        }
+        if costs_of.len() < n_cohorts {
+            costs_of.resize_with(n_cohorts, Vec::new);
+        }
+        let mut costs_built = std::mem::take(&mut scratch.costs_built);
+        costs_built.clear();
+        costs_built.resize(n_cohorts, false);
+        let mut bytes_of = std::mem::take(&mut scratch.bytes_of);
+        bytes_of.clear();
+        bytes_of.resize(n_cohorts, 0);
+        let mut touched = std::mem::take(&mut scratch.touched);
+        touched.clear();
+        let mut progressed = false;
+        // Phase 1 already computed the rotation; it only goes stale when an
+        // explode re-tiled the intervals mid-classify.
+        let mut serve_runs = std::mem::take(&mut scratch.runs);
+        if exploded {
+            rotated_runs_into(set, offset, &mut serve_runs);
+        }
+        for &(start, len, c) in &serve_runs {
+            if stalled[c] {
+                continue;
+            }
+            match class[c] {
+                None => {}
+                Some(Class::CreateInline) => {
+                    debug_assert_eq!(len, 1, "creates serve as singletons");
+                    let st = &mut set.cohorts[c].state;
+                    if self.serve_singleton_create(st, tick) {
+                        progressed = true;
+                    } else {
+                        stalled[c] = true;
+                    }
+                }
+                Some(Class::Resolve) => {
+                    if runs_of[c].is_empty() {
+                        touched.push(c);
+                    }
+                    if budget_stalled[c] {
+                        // Budgets only decrease within a tick: once one
+                        // member failed the check, every later member of
+                        // the cohort fails it identically.
+                        runs_of[c].push((start, 0, len));
+                        continue;
+                    }
+                    let Some((route, _hit)) = routes[c].as_ref() else {
+                        debug_assert!(false, "resolve-classified cohort has a route");
+                        stalled[c] = true;
+                        continue;
+                    };
+                    let target_idx = route.target.index();
+                    if target_idx >= self.mds.len()
+                        || route.forwards.iter().any(|r| r.index() >= self.mds.len())
+                    {
+                        stalled[c] = true;
+                        continue;
+                    }
+                    if !costs_built[c] {
+                        // Aggregate per-rank route cost, forwards first
+                        // then target — the legacy accumulation order. The
+                        // per-cohort buffer keeps its capacity round over
+                        // round.
+                        costs_built[c] = true;
+                        let costs = &mut costs_of[c];
+                        let add = |costs: &mut Vec<(usize, f64)>, idx: usize| match costs
+                            .iter_mut()
+                            .find(|(i, _)| *i == idx)
+                        {
+                            Some((_, cost)) => *cost += 1.0,
+                            None => costs.push((idx, 1.0)),
+                        };
+                        for r in &route.forwards {
+                            add(costs, r.index());
+                        }
+                        add(costs, target_idx);
+                    }
+                    let costs = &costs_of[c];
+                    // Member-by-member budget drain: identical f64
+                    // operations in identical order to the legacy loop.
+                    let mut s = 0usize;
+                    for _ in 0..len {
+                        if costs.iter().any(|&(i, cost)| self.mds[i].budget < cost) {
+                            break;
+                        }
+                        for &(i, cost) in costs {
+                            let ok = self.mds[i].try_consume(cost);
+                            debug_assert!(ok, "budget pre-checked per rank");
+                        }
+                        s += 1;
+                    }
+                    runs_of[c].push((start, s, len));
+                    if s < len {
+                        budget_stalled[c] = true;
+                    }
+                    if s == 0 {
+                        continue;
+                    }
+                    progressed = true;
+                    served_count[c] += usize_to_u64(s);
+                    let m = usize_to_u64(s);
+                    for r in &route.forwards {
+                        self.mds[r.index()].record_forward_n(m);
+                    }
+                    self.mds[target_idx].record_served_n(m);
+                    let Some((op, first_attempt)) = set.cohorts[c].state.pending else {
+                        debug_assert!(false, "resolve-classified cohort has a pending op");
+                        continue;
+                    };
+                    let (ino, kind) = match op {
+                        MetaOp::Read(ino) => (ino, OpKind::Read),
+                        MetaOp::Remove(ino) => (ino, OpKind::Remove),
+                        MetaOp::Create { .. } => unreachable!("creates serve inline"),
+                    };
+                    if kind == OpKind::Read {
+                        bytes_of[c] = self.ns.inode(ino).size();
+                    }
+                    let stall_ticks = tick.saturating_sub(first_attempt);
+                    self.latency.record_n(stall_ticks, m);
+                    self.telemetry
+                        .histogram_record_n("client.stall_ticks", stall_ticks, m);
+                    self.telemetry
+                        .counter_add_labeled("ops.served", u32::from(route.target.0), m);
+                    // Record the access while the inode is still
+                    // resolvable, then apply the unlink for removes —
+                    // same order as the legacy serve.
+                    self.balancer.record_access_n(
+                        &self.ns,
+                        Access {
+                            ino,
+                            served_by: route.target,
+                            kind,
+                        },
+                        m,
+                    );
+                    if kind == OpKind::Remove {
+                        debug_assert_eq!(s, 1, "removes serve as singletons");
+                        let removed = self.ns.unlink(ino);
+                        debug_assert!(removed.is_ok(), "stale remove of {ino:?}");
+                        if removed.is_ok() {
+                            if let Some(r) = self.resident.get_mut(target_idx) {
+                                *r = r.saturating_sub(1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Post-round: split partially served cohorts, then advance each
+        // served cohort's shared state exactly once (stream cursor, route
+        // cache, data debt — all member-private, so deferring them past
+        // the round's world effects changes nothing observable).
+        for &c in &touched {
+            if served_count[c] == 0 {
+                stalled[c] = true;
+                continue;
+            }
+            let total = set.cohorts[c].count;
+            if served_count[c] < total {
+                // Stalled members keep the pre-advance state in a fresh
+                // cohort that sits out the rest of the tick.
+                let origin = set.cohorts[c].origin;
+                let clone = set.cohorts[c].state.try_clone();
+                assert!(
+                    clone.is_some(),
+                    "multi-member cohort stream must be cloneable"
+                );
+                let Some(clone) = clone else { continue };
+                let slot = set.cohorts.len();
+                set.cohorts.push(Cohort {
+                    state: clone,
+                    origin,
+                    count: 0,
+                });
+                for &(run_start, srv, run_len) in &runs_of[c] {
+                    if srv < run_len {
+                        set.carve(run_start + srv, run_len - srv, slot);
+                    }
+                }
+                set.refresh_canonical_id(c);
+                set.refresh_canonical_id(slot);
+                stalled.push(true);
+                debug_assert_eq!(stalled.len(), set.cohorts.len());
+            }
+            let (Some((route, _)), Some((dir, hash))) = (routes[c].as_ref(), anchor_of[c]) else {
+                debug_assert!(false, "served cohort has a route and an anchor");
+                continue;
+            };
+            let target = route.target;
+            let st = &mut set.cohorts[c].state;
+            st.consume_op(tick);
+            st.learn_route(&self.ns, dir, hash, target);
+            if self.datapath.is_some() && bytes_of[c] > 0 {
+                st.data_pending += bytes_of[c];
+            }
+        }
+        scratch.runs = serve_runs;
+        scratch.worklist = worklist;
+        scratch.class = class;
+        scratch.anchor_of = anchor_of;
+        scratch.resolve_reqs = resolve_reqs;
+        scratch.routes = routes;
+        scratch.served_count = served_count;
+        scratch.budget_stalled = budget_stalled;
+        scratch.runs_of = runs_of;
+        scratch.costs_of = costs_of;
+        scratch.costs_built = costs_built;
+        scratch.bytes_of = bytes_of;
+        scratch.touched = touched;
+        progressed
+    }
+
+    /// Serves one create for a singleton cohort — the legacy `try_issue`
+    /// serve path verbatim, minus the checks phase 1 already ran this
+    /// round. Returns whether the op was served.
+    fn serve_singleton_create(&mut self, st: &mut Client, tick: u64) -> bool {
+        let Some((op, _)) = st.pending else {
+            debug_assert!(false, "create-classified cohort lost its pending op");
+            return false;
+        };
+        let (dir, hash) = routing_anchor(&self.ns, &op);
+        let (route, _hit) = st.resolve(&self.ns, &self.map, dir, hash);
+        let target_idx = route.target.index();
+        if target_idx >= self.mds.len() {
+            return false;
+        }
+        self.costs_scratch.clear();
+        let add_cost = |costs: &mut Vec<(usize, f64)>, idx: usize| match costs
+            .iter_mut()
+            .find(|(i, _)| *i == idx)
+        {
+            Some((_, c)) => *c += 1.0,
+            None => costs.push((idx, 1.0)),
+        };
+        for r in &route.forwards {
+            if r.index() >= self.mds.len() {
+                return false;
+            }
+            add_cost(&mut self.costs_scratch, r.index());
+        }
+        add_cost(&mut self.costs_scratch, target_idx);
+        if self
+            .costs_scratch
+            .iter()
+            .any(|(idx, cost)| self.mds[*idx].budget < *cost)
+        {
+            return false;
+        }
+        for (idx, cost) in &self.costs_scratch {
+            let ok = self.mds[*idx].try_consume(*cost);
+            debug_assert!(ok, "budget pre-checked per rank");
+        }
+        for r in &route.forwards {
+            self.mds[r.index()].record_forward();
+        }
+        self.mds[target_idx].record_served();
+
+        let MetaOp::Create { parent, size } = op else {
+            unreachable!("serve_singleton_create takes creates only")
+        };
+        let name = format!("c{}_{}", st.id, st.ops_done);
+        let (ino, kind, data_bytes) = match self.ns.create_file(parent, &name, size) {
+            Ok(id) => {
+                st.notify_created(id);
+                (id, OpKind::Create, size)
+            }
+            // Streams only create under live directories; a failure means
+            // the op went stale. Account it against the parent as a plain
+            // read so the stream still advances.
+            Err(e) => {
+                debug_assert!(false, "stale create under {parent:?}: {e}");
+                (parent, OpKind::Read, 0)
+            }
+        };
+        let stall_ticks = st.consume_op(tick);
+        self.latency.record(stall_ticks);
+        self.telemetry
+            .histogram_record("client.stall_ticks", stall_ticks);
+        self.telemetry
+            .counter_add_labeled("ops.served", u32::from(route.target.0), 1);
+        st.learn_route(&self.ns, dir, hash, route.target);
+        if self.datapath.is_some() && data_bytes > 0 {
+            st.data_pending += data_bytes;
+        }
+        self.balancer.record_access(
+            &self.ns,
+            Access {
+                ino,
+                served_by: route.target,
+                kind,
+            },
+        );
+        if kind == OpKind::Create {
+            if let Some(r) = self.resident.get_mut(route.target.index()) {
+                *r += 1;
+            }
+        }
+        true
+    }
+
+    /// Cohort-model data-path tick: the legacy max-min fair-share loop
+    /// over per-client data debt, run over id-ordered member segments.
+    /// Members of one cohort all owe the same debt, so a segment advances
+    /// as a unit until the budget runs out inside it — at which point the
+    /// segment splits (full share / partial / nothing), and cohorts whose
+    /// members ended the tick with different debts split to match.
+    pub(crate) fn cohort_datapath_step(&mut self, bandwidth: u64) {
+        let Some(mut set) = self.cohorts.take() else {
+            return;
+        };
+        // Working segments in id order; `pending` starts as the owning
+        // cohort's shared debt and diverges as the budget cuts across.
+        let mut segs: Vec<(usize, usize, usize, u64)> = set
+            .intervals()
+            .iter()
+            .map(|iv| {
+                (
+                    iv.start,
+                    iv.len,
+                    iv.cohort,
+                    set.cohorts[iv.cohort].state.data_pending,
+                )
+            })
+            .collect();
+        let mut budget = bandwidth;
+        loop {
+            let waiting: u64 = segs
+                .iter()
+                .filter(|s| s.3 > 0)
+                .map(|s| usize_to_u64(s.1))
+                .sum();
+            if waiting == 0 || budget == 0 {
+                break;
+            }
+            let share = (budget / waiting).max(1);
+            let mut spent = 0u64;
+            let mut i = 0;
+            while i < segs.len() {
+                let (start, len, cohort, pending) = segs[i];
+                if pending == 0 {
+                    i += 1;
+                    continue;
+                }
+                let t = share.min(pending);
+                let avail = budget - spent;
+                // Members each take `min(t, budget left)`: the first q
+                // take the full t, at most one takes a partial remainder,
+                // the rest take nothing — the legacy per-member loop.
+                let q = u64_to_usize((avail / t).min(usize_to_u64(len)));
+                if q == len {
+                    segs[i].3 -= t;
+                    spent += usize_to_u64(len) * t;
+                    if spent >= budget {
+                        break;
+                    }
+                    i += 1;
+                    continue;
+                }
+                let partial = avail - usize_to_u64(q) * t;
+                let mut pieces: Vec<(usize, usize, usize, u64)> = Vec::with_capacity(3);
+                if q > 0 {
+                    pieces.push((start, q, cohort, pending - t));
+                }
+                if partial > 0 {
+                    pieces.push((start + q, 1, cohort, pending - partial));
+                }
+                let rest = start + q + usize::from(partial > 0);
+                if rest < start + len {
+                    pieces.push((rest, start + len - rest, cohort, pending));
+                }
+                segs.splice(i..=i, pieces);
+                spent = budget;
+                break;
+            }
+            if spent == 0 {
+                break;
+            }
+            budget -= spent;
+        }
+        // Apply: cohorts whose members ended with distinct debts split,
+        // one cohort per distinct value in id order of first occurrence
+        // (the first group contains the lowest member, so the original
+        // cohort keeps its canonical id).
+        let n_cohorts = set.cohorts.len();
+        let mut by_cohort: Vec<Vec<(usize, usize, u64)>> = vec![Vec::new(); n_cohorts];
+        for &(start, len, cohort, pending) in &segs {
+            by_cohort[cohort].push((start, len, pending));
+        }
+        for (c, parts) in by_cohort.iter().enumerate() {
+            if parts.is_empty() {
+                continue;
+            }
+            let mut values: Vec<u64> = Vec::new();
+            for &(_, _, p) in parts {
+                if !values.contains(&p) {
+                    values.push(p);
+                }
+            }
+            set.cohorts[c].state.data_pending = values[0];
+            for &v in values.iter().skip(1) {
+                let origin = set.cohorts[c].origin;
+                let clone = set.cohorts[c].state.try_clone();
+                assert!(
+                    clone.is_some(),
+                    "multi-member cohort stream must be cloneable"
+                );
+                let Some(mut clone) = clone else { continue };
+                clone.data_pending = v;
+                let slot = set.cohorts.len();
+                set.cohorts.push(Cohort {
+                    state: clone,
+                    origin,
+                    count: 0,
+                });
+                for &(start, len, p) in parts {
+                    if p == v {
+                        set.carve(start, len, slot);
+                    }
+                }
+                set.refresh_canonical_id(slot);
+            }
+            if values.len() > 1 {
+                set.refresh_canonical_id(c);
+            }
+        }
+        self.cohorts = Some(set);
+    }
+
+    /// Per-tick client reset + completion stamping (legacy step 2), over
+    /// cohorts.
+    pub(crate) fn cohort_tick_reset(&mut self, tick: u64) {
+        if let Some(set) = &mut self.cohorts {
+            set.for_each_state_mut(|st, _| {
+                st.issued_this_tick = 0;
+                if st.finished && st.data_pending == 0 && st.finished_at.is_none() {
+                    st.finished_at = Some(tick);
+                }
+            });
+        }
+    }
+}
+
+/// The id-interval partition walked in rotation order: members `offset,
+/// offset+1, …, n-1, 0, …, offset-1`, as `(start, len, cohort)` runs. An
+/// interval containing the rotation point contributes two runs. Fills the
+/// caller's buffer so the round loop can reuse one allocation.
+fn rotated_runs_into(set: &CohortSet, offset: usize, out: &mut Vec<(usize, usize, usize)>) {
+    out.clear();
+    let ivs = set.intervals();
+    if offset == 0 || ivs.is_empty() {
+        out.extend(ivs.iter().map(|iv| (iv.start, iv.len, iv.cohort)));
+        return;
+    }
+    let pos = ivs.partition_point(|iv| iv.end() <= offset);
+    let pivot = ivs[pos];
+    out.push((offset, pivot.end() - offset, pivot.cohort));
+    for iv in &ivs[pos + 1..] {
+        out.push((iv.start, iv.len, iv.cohort));
+    }
+    for iv in &ivs[..pos] {
+        out.push((iv.start, iv.len, iv.cohort));
+    }
+    if pivot.start < offset {
+        out.push((pivot.start, offset - pivot.start, pivot.cohort));
+    }
+}
+
+#[cfg(test)]
+fn rotated_runs(set: &CohortSet, offset: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    rotated_runs_into(set, offset, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::FixedStream;
+
+    fn set_of(counts: &[u64]) -> CohortSet {
+        let mut groups = Vec::new();
+        let mut at = 0usize;
+        for &c in counts {
+            groups.push((
+                Client::new(at, Box::new(FixedStream::new(vec![InodeId::ROOT])), 0),
+                c,
+            ));
+            at += u64_to_usize(c);
+        }
+        CohortSet::new(groups)
+    }
+
+    #[test]
+    fn rotation_covers_every_member_exactly_once() {
+        let set = set_of(&[3, 5, 2]);
+        for offset in 0..10 {
+            let runs = rotated_runs(&set, offset);
+            let members: Vec<usize> = runs
+                .iter()
+                .flat_map(|&(start, len, _)| start..start + len)
+                .collect();
+            assert_eq!(members.len(), 10, "offset {offset}");
+            // Order must be offset, offset+1, ..., wrapping.
+            for (k, &m) in members.iter().enumerate() {
+                assert_eq!(m, (offset + k) % 10, "offset {offset}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_splits_the_pivot_interval() {
+        let set = set_of(&[10]);
+        let runs = rotated_runs(&set, 4);
+        assert_eq!(runs, vec![(4, 6, 0), (0, 4, 0)]);
+        // Offset on an interval boundary: no split.
+        let set = set_of(&[4, 6]);
+        let runs = rotated_runs(&set, 4);
+        assert_eq!(runs, vec![(4, 6, 1), (0, 4, 0)]);
+    }
+}

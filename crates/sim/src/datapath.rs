@@ -24,6 +24,11 @@ impl DataPath {
         DataPath { bandwidth }
     }
 
+    /// The pool's aggregate per-tick byte budget.
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth
+    }
+
     /// Advances one tick: distributes this second's bytes among clients
     /// with outstanding data, equally, with leftover re-distributed to
     /// still-indebted clients (max-min fairness within one tick).

@@ -39,6 +39,19 @@ impl LatencyHistogram {
         self.total_stall_ticks += ticks;
     }
 
+    /// Records `n` ops that each stalled for `ticks`, identically to `n`
+    /// sequential [`LatencyHistogram::record`] calls (integer counters add
+    /// associatively).
+    pub fn record_n(&mut self, ticks: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = u64_to_usize(ticks).min(MAX_TRACKED);
+        self.buckets[idx] += n;
+        self.total_ops += n;
+        self.total_stall_ticks += ticks * n;
+    }
+
     /// Number of ops recorded.
     pub fn count(&self) -> u64 {
         self.total_ops

@@ -16,6 +16,8 @@
 
 pub mod client;
 pub mod cluster;
+pub mod cohort;
+mod cohort_engine;
 pub mod config;
 pub mod datapath;
 pub mod latency;
@@ -25,10 +27,11 @@ pub mod request;
 pub mod results;
 
 pub use client::{Client, Route};
+pub use cohort::{Cohort, CohortSet, Interval};
 // Fault-injection types, re-exported so simulator users need not depend on
 // `lunule-faults` directly to build a `SimConfig::faults` schedule.
-pub use cluster::{snapshot_client_count, Simulation};
-pub use config::{DataPathConfig, SimConfig};
+pub use cluster::{snapshot_client_count, snapshot_stream_count, Simulation};
+pub use config::{ClientModel, DataPathConfig, SimConfig};
 pub use datapath::DataPath;
 pub use latency::LatencyHistogram;
 pub use lunule_faults::{seeded, ChaosProfile, FaultEvent, FaultKind, FaultPlan, FaultSchedule};

@@ -74,6 +74,19 @@ impl MdsState {
         self.forwards_total += 1;
     }
 
+    /// Records `n` served requests (cohort batch; integer counters add
+    /// associatively, so this equals `n` [`MdsState::record_served`] calls).
+    pub fn record_served_n(&mut self, n: u64) {
+        self.served_epoch += n;
+        self.served_total += n;
+    }
+
+    /// Records `n` forwarded requests (cohort batch).
+    pub fn record_forward_n(&mut self, n: u64) {
+        self.forwards_epoch += n;
+        self.forwards_total += n;
+    }
+
     /// Requests handled this epoch (served + forwards), the paper's
     /// per-MDS load metric.
     pub fn epoch_requests(&self) -> u64 {

@@ -113,6 +113,16 @@ pub trait OpStream: Send {
     ) -> Result<(), lunule_util::codec::CodecError> {
         Ok(())
     }
+
+    /// A deep copy of the stream *including* its dynamic state (cursor, RNG
+    /// position), or `None` for streams that cannot be duplicated. The
+    /// cohort client engine splits a many-member cohort by cloning its
+    /// shared stream, so grouped construction with a member count above one
+    /// requires `Some`; per-client (singleton) streams never split and may
+    /// keep the default.
+    fn try_clone_box(&self) -> Option<Box<dyn OpStream>> {
+        None
+    }
 }
 
 /// A trivial op stream replaying a fixed list of reads; handy in tests.
@@ -158,6 +168,10 @@ impl OpStream for FixedStream {
         }
         self.pos = pos;
         Ok(())
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn OpStream>> {
+        Some(Box::new(self.clone()))
     }
 }
 

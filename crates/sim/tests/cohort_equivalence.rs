@@ -1,0 +1,400 @@
+//! Differential equivalence of the cohort client engine.
+//!
+//! The cohort engine's correctness claim is *byte-identity*, twice over:
+//!
+//! 1. **Cohort vs legacy** — for any config and seed, the cohort engine
+//!    must produce exactly the telemetry journal (and results) the legacy
+//!    one-struct-per-client engine produces. The legacy path is the
+//!    oracle; it stays in the tree behind `--client-model legacy` for this
+//!    battery.
+//! 2. **Jobs 1 vs N** — the sharded route-resolution fan-out may change
+//!    wall time only, never a journal byte.
+//!
+//! The matrix runs seeds × fault schedules × simulator knobs (memory
+//! pressure, data path) over a mixed read/create/remove workload, plus a
+//! grouped-construction battery where a population built as shared-stream
+//! cohorts must match the same population expanded one client at a time.
+
+use lunule_core::{make_balancer, BalancerKind};
+use lunule_faults::FaultPlan;
+use lunule_namespace::{InodeId, MdsRank, Namespace};
+use lunule_sim::{
+    ClientModel, DataPathConfig, FixedStream, MetaOp, OpStream, SimConfig, Simulation,
+};
+use lunule_telemetry::{events_jsonl, Telemetry};
+
+const DIRS: usize = 6;
+const FILES: usize = 12;
+/// File slots 0..REMOVE_POOL are reserved as per-client removal victims;
+/// reads only ever touch slots at or above it. Removes must be
+/// client-unique AND never read afterwards: a second remove (or a read of
+/// the tombstone) is stale in *both* engines and trips debug asserts.
+const REMOVE_POOL: usize = 4;
+
+/// An op stream replaying an explicit script of mixed metadata ops —
+/// `FixedStream` only reads, and equivalence wants creates and removes in
+/// the mix too.
+#[derive(Clone, Debug)]
+struct ScriptStream {
+    ops: Vec<MetaOp>,
+    pos: usize,
+}
+
+impl ScriptStream {
+    fn new(ops: Vec<MetaOp>) -> Self {
+        ScriptStream { ops, pos: 0 }
+    }
+}
+
+impl OpStream for ScriptStream {
+    fn next_op(&mut self, _ns: &Namespace) -> Option<MetaOp> {
+        let op = self.ops.get(self.pos).copied();
+        if op.is_some() {
+            self.pos += 1;
+        }
+        op
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.ops.len() as u64)
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn OpStream>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+/// `DIRS` directories with `FILES` files each; returns the dir ids and
+/// the file ids grouped by directory. Deterministic, so separate calls
+/// yield id-compatible namespaces.
+fn fixture() -> (Namespace, Vec<InodeId>, Vec<Vec<InodeId>>) {
+    let mut ns = Namespace::new();
+    let mut dirs = Vec::new();
+    let files = (0..DIRS)
+        .map(|d| {
+            let dir = ns.mkdir(InodeId::ROOT, &format!("d{d}")).unwrap();
+            dirs.push(dir);
+            (0..FILES)
+                .map(|f| ns.create_file(dir, &format!("f{f}"), 8).unwrap())
+                .collect()
+        })
+        .collect();
+    (ns, dirs, files)
+}
+
+/// A mixed per-client script: reads spread over the shared pool, a few
+/// creates under live directories, and one remove of a file only this
+/// client ever touches.
+fn script_for(client: usize, dirs: &[InodeId], files: &[Vec<InodeId>], seed: u64) -> Vec<MetaOp> {
+    let mut ops = Vec::new();
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(((client as u64) << 7) | 1);
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for k in 0..16 {
+        let d = (next() as usize) % DIRS;
+        let f = REMOVE_POOL + (next() as usize) % (FILES - REMOVE_POOL);
+        ops.push(MetaOp::Read(files[d][f]));
+        if k % 5 == 3 {
+            ops.push(MetaOp::Create {
+                parent: dirs[(next() as usize) % DIRS],
+                size: 64,
+            });
+        }
+    }
+    // Client c's victim: dir (c mod DIRS), file slot (c div DIRS) — unique
+    // per client for populations up to DIRS * REMOVE_POOL members.
+    let d = client % DIRS;
+    let f = client / DIRS;
+    assert!(f < REMOVE_POOL, "population too large for the victim pool");
+    ops.push(MetaOp::Remove(files[d][f]));
+    ops
+}
+
+fn base_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        n_mds: 3,
+        mds_capacity: 60.0,
+        epoch_secs: 3,
+        duration_secs: 21,
+        stop_when_done: false,
+        migration_bw: 1_000.0,
+        migration_freeze_secs: 1,
+        client_rate: 6.0,
+        client_cache_cap: 8,
+        seed,
+        telemetry: Telemetry::enabled(),
+        ..SimConfig::default()
+    }
+}
+
+fn streams_for(n: usize, seed: u64) -> Vec<Box<dyn OpStream>> {
+    let (_, dirs, files) = fixture();
+    (0..n)
+        .map(|c| {
+            Box::new(ScriptStream::new(script_for(c, &dirs, &files, seed))) as Box<dyn OpStream>
+        })
+        .collect()
+}
+
+/// Builds and runs one simulation to its configured duration; returns the
+/// journal and the headline result numbers.
+fn run_once(
+    cfg: SimConfig,
+    model: ClientModel,
+    jobs: usize,
+    streams: Vec<Box<dyn OpStream>>,
+) -> (String, u64, Vec<u64>) {
+    let (ns, _, _) = fixture();
+    let cfg = SimConfig {
+        client_model: model,
+        jobs,
+        telemetry: Telemetry::enabled(),
+        ..cfg
+    };
+    let tel = cfg.telemetry.clone();
+    let balancer = make_balancer(BalancerKind::Lunule, cfg.mds_capacity);
+    let mut sim = Simulation::new(cfg, ns, balancer, streams);
+    sim.run_until(u64::MAX);
+    let journal = events_jsonl(&tel.snapshot().unwrap());
+    let r = sim.finish();
+    (journal, r.total_ops, r.per_mds_requests_total)
+}
+
+/// The headline matrix: seeds × fault schedules × knobs, cohort vs legacy,
+/// journals compared byte-for-byte.
+#[test]
+fn cohort_matches_legacy_across_the_matrix() {
+    type KnobFn = fn(SimConfig) -> SimConfig;
+    let plain: KnobFn = |c| c;
+    let memory: KnobFn = |c| SimConfig {
+        mds_memory_inodes: 40,
+        memory_thrash_factor: 0.5,
+        ..c
+    };
+    let datapath: KnobFn = |c| SimConfig {
+        data_path: Some(DataPathConfig {
+            osd_bandwidth: 4_096,
+            client_window: 1_024,
+        }),
+        ..c
+    };
+    let knobs: [(&str, KnobFn); 3] = [("plain", plain), ("memory", memory), ("datapath", datapath)];
+    let schedules = [
+        ("quiet", FaultPlan::new().build()),
+        (
+            "chaotic",
+            FaultPlan::new()
+                .crash(4, MdsRank(1), 5)
+                .limp(8, MdsRank(2), 0.5, 6)
+                .build(),
+        ),
+    ];
+    for seed in [7u64, 42] {
+        for (sched_label, schedule) in &schedules {
+            for (knob_label, knob) in &knobs {
+                let cfg = knob(SimConfig {
+                    faults: schedule.clone(),
+                    ..base_cfg(seed)
+                });
+                let (lj, lops, lreq) =
+                    run_once(cfg.clone(), ClientModel::Legacy, 1, streams_for(10, seed));
+                let (cj, cops, creq) =
+                    run_once(cfg.clone(), ClientModel::Cohort, 1, streams_for(10, seed));
+                assert_eq!(
+                    lj, cj,
+                    "seed {seed} / {sched_label} / {knob_label}: journals must be byte-identical"
+                );
+                assert_eq!(lops, cops, "seed {seed} / {sched_label} / {knob_label}");
+                assert_eq!(lreq, creq, "seed {seed} / {sched_label} / {knob_label}");
+            }
+        }
+    }
+}
+
+/// The worker count may never change a journal byte, with or without
+/// faults in play.
+#[test]
+fn jobs_one_vs_n_is_byte_identical() {
+    let schedules = [
+        FaultPlan::new().build(),
+        FaultPlan::new().crash(4, MdsRank(0), 4).build(),
+    ];
+    for seed in [7u64, 42] {
+        for schedule in &schedules {
+            let cfg = SimConfig {
+                faults: schedule.clone(),
+                ..base_cfg(seed)
+            };
+            let (j1, ops1, _) =
+                run_once(cfg.clone(), ClientModel::Cohort, 1, streams_for(10, seed));
+            let (j3, ops3, _) =
+                run_once(cfg.clone(), ClientModel::Cohort, 3, streams_for(10, seed));
+            assert_eq!(j1, j3, "seed {seed}: jobs 1 vs 3 journals differ");
+            assert_eq!(ops1, ops3);
+        }
+    }
+}
+
+/// A wide population of read-only clients, every script distinct so no two
+/// cohorts ever merge. Read-only keeps multi-member explosion out of the
+/// way: the point is a *large* per-round resolve batch.
+fn wide_streams(n: usize, seed: u64) -> Vec<Box<dyn OpStream>> {
+    let (_, _, files) = fixture();
+    (0..n)
+        .map(|c| {
+            let mut x = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(((c as u64) << 9) | 1);
+            let ops: Vec<MetaOp> = (0..20)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let d = (x as usize) % DIRS;
+                    let f = REMOVE_POOL + ((x >> 32) as usize) % (FILES - REMOVE_POOL);
+                    MetaOp::Read(files[d][f])
+                })
+                .collect();
+            Box::new(ScriptStream::new(ops)) as Box<dyn OpStream>
+        })
+        .collect()
+}
+
+/// The small-population jobs test above never leaves the engine's serial
+/// fast path (batches under its cutoff resolve inline). This one runs 320
+/// distinct single-member cohorts — past the cutoff — so the sharded
+/// worker-pool fan-out itself is what must reproduce the serial journal,
+/// and the legacy oracle must match both.
+#[test]
+fn wide_population_engages_the_parallel_resolver() {
+    let seed = 13u64;
+    let cfg = base_cfg(seed);
+    let (j1, ops1, req1) = run_once(cfg.clone(), ClientModel::Cohort, 1, wide_streams(320, seed));
+    let (j3, ops3, req3) = run_once(cfg.clone(), ClientModel::Cohort, 3, wide_streams(320, seed));
+    let (lj, lops, lreq) = run_once(cfg, ClientModel::Legacy, 1, wide_streams(320, seed));
+    assert_eq!(j1, j3, "pooled resolve must reproduce the serial journal");
+    assert_eq!(ops1, ops3);
+    assert_eq!(req1, req3);
+    assert_eq!(j1, lj, "wide cohort population must match legacy");
+    assert_eq!(ops1, lops);
+    assert_eq!(req1, lreq);
+}
+
+/// Grouped construction (one shared cloneable stream carrying a member
+/// count) must journal identically to the same population handed over as
+/// per-client streams — in both engines. This pins the cohort model's
+/// aggregation semantics end to end: a group of identical readers is
+/// *exactly* k copies of that reader.
+#[test]
+fn grouped_population_matches_expanded_population() {
+    let (_, _, files) = fixture();
+    let read_list: Vec<InodeId> = files.iter().map(|d| d[REMOVE_POOL]).collect();
+    let second_list: Vec<InodeId> = files[1][REMOVE_POOL..].to_vec();
+    let grouped = || -> Vec<(Box<dyn OpStream>, u64)> {
+        vec![
+            (
+                Box::new(FixedStream::new(read_list.clone())) as Box<dyn OpStream>,
+                5,
+            ),
+            (
+                Box::new(FixedStream::new(second_list.clone())) as Box<dyn OpStream>,
+                3,
+            ),
+        ]
+    };
+    let run_grouped = |model: ClientModel| -> (String, u64) {
+        let (ns, _, _) = fixture();
+        let cfg = SimConfig {
+            client_model: model,
+            telemetry: Telemetry::enabled(),
+            ..base_cfg(7)
+        };
+        let tel = cfg.telemetry.clone();
+        let balancer = make_balancer(BalancerKind::Lunule, cfg.mds_capacity);
+        let mut sim = Simulation::new_grouped(cfg, ns, balancer, grouped());
+        sim.run_until(u64::MAX);
+        let j = events_jsonl(&tel.snapshot().unwrap());
+        (j, sim.finish().total_ops)
+    };
+    // The same population, expanded one stream per client.
+    let expanded: Vec<Box<dyn OpStream>> = (0..8)
+        .map(|c| {
+            let list = if c < 5 {
+                read_list.clone()
+            } else {
+                second_list.clone()
+            };
+            Box::new(FixedStream::new(list)) as Box<dyn OpStream>
+        })
+        .collect();
+    let (ej, eops, _) = run_once(base_cfg(7), ClientModel::Legacy, 1, expanded);
+
+    let (gj_cohort, gops_cohort) = run_grouped(ClientModel::Cohort);
+    let (gj_legacy, gops_legacy) = run_grouped(ClientModel::Legacy);
+    assert_eq!(
+        gj_cohort, ej,
+        "grouped cohort population must journal like the expanded one"
+    );
+    assert_eq!(gj_legacy, ej, "grouped legacy expansion must match too");
+    assert_eq!(gops_cohort, eops);
+    assert_eq!(gops_legacy, eops);
+}
+
+/// Creates force multi-member cohorts apart (created names derive from the
+/// true client id, so members diverge at the moment of creation); the
+/// journal must still match legacy exactly.
+#[test]
+fn grouped_creates_match_legacy() {
+    let (_, dirs, files) = fixture();
+    let script = vec![
+        MetaOp::Read(files[0][REMOVE_POOL]),
+        MetaOp::Create {
+            parent: dirs[2],
+            size: 16,
+        },
+        MetaOp::Read(files[3][REMOVE_POOL + 1]),
+        MetaOp::Create {
+            parent: dirs[4],
+            size: 16,
+        },
+        MetaOp::Read(files[5][REMOVE_POOL + 2]),
+    ];
+    let run_model = |model: ClientModel| -> (String, u64, usize) {
+        let (ns, _, _) = fixture();
+        let cfg = SimConfig {
+            client_model: model,
+            telemetry: Telemetry::enabled(),
+            ..base_cfg(11)
+        };
+        let tel = cfg.telemetry.clone();
+        let balancer = make_balancer(BalancerKind::Lunule, cfg.mds_capacity);
+        let mut sim = Simulation::new_grouped(
+            cfg,
+            ns,
+            balancer,
+            vec![(
+                Box::new(ScriptStream::new(script.clone())) as Box<dyn OpStream>,
+                6,
+            )],
+        );
+        sim.run_until(u64::MAX);
+        let j = events_jsonl(&tel.snapshot().unwrap());
+        let clients = sim.n_clients();
+        (j, sim.finish().total_ops, clients)
+    };
+    let (cj, cops, cclients) = run_model(ClientModel::Cohort);
+    let (lj, lops, lclients) = run_model(ClientModel::Legacy);
+    assert_eq!(
+        cj, lj,
+        "create-heavy grouped run must match legacy byte-for-byte"
+    );
+    assert_eq!(cops, lops);
+    assert_eq!(cclients, 6);
+    assert_eq!(lclients, 6);
+}

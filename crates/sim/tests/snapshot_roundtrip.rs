@@ -228,3 +228,171 @@ fn tampered_sections_are_refused_with_typed_errors() {
         );
     }
 }
+
+// --- Cohort-model snapshot coverage -------------------------------------
+//
+// The default engine aggregates identical clients into cohorts, and its
+// snapshots carry a "cohorts" section instead of per-client "clients"
+// entries. The batteries below pin that section the same three ways the
+// legacy one is pinned: it is present (so the generic tamper loop above
+// provably exercises it), it survives snapshot→restore→snapshot without a
+// byte of drift for multi-member groups, and structurally-wrong restores
+// (wrong stream arity, tampered payload) are refused with typed errors.
+
+fn grouped_streams(files: usize) -> Vec<(Box<dyn OpStream>, u64)> {
+    let (_, ids) = fixture(files);
+    let half = ids.len() / 2;
+    vec![
+        (
+            Box::new(FixedStream::new(ids[..half].to_vec())) as Box<dyn OpStream>,
+            5,
+        ),
+        (
+            Box::new(FixedStream::new(ids[half..].to_vec())) as Box<dyn OpStream>,
+            3,
+        ),
+    ]
+}
+
+fn grouped_build(cfg: SimConfig, files: usize) -> Simulation {
+    let (ns, _) = fixture(files);
+    Simulation::new_grouped(
+        cfg.clone(),
+        ns,
+        make_balancer(BalancerKind::Lunule, cfg.mds_capacity),
+        grouped_streams(files),
+    )
+}
+
+fn grouped_restore_streams(files: usize) -> Vec<Box<dyn OpStream>> {
+    grouped_streams(files).into_iter().map(|(s, _)| s).collect()
+}
+
+/// A grouped population's snapshot carries the "cohorts" section (and no
+/// legacy "clients" section), and its member/stream counts read back
+/// through the sizing accessors the daemon restores with.
+#[test]
+fn grouped_snapshot_carries_the_cohort_section() {
+    let mut sim = grouped_build(base_cfg(), 120);
+    sim.run_until(9);
+    let snap = sim.snapshot();
+    let names: Vec<&str> = snap.sections.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"cohorts"), "roster: {names:?}");
+    assert!(
+        !names.contains(&"clients"),
+        "cohort snapshots must not also carry a legacy clients section"
+    );
+    assert_eq!(lunule_sim::snapshot_client_count(&snap).unwrap(), 8);
+    assert_eq!(lunule_sim::snapshot_stream_count(&snap).unwrap(), 2);
+}
+
+/// Multi-member cohorts survive snapshot→restore→snapshot byte-stably at
+/// random cut points, and the restored run's journal continues
+/// byte-identically — the grouped twin of the per-client property above.
+#[test]
+fn grouped_cohort_restore_is_byte_stable_for_random_cut_points() {
+    propcheck::run(8, |rng| {
+        let files = rng.gen_range(40..200);
+        let seed = rng.gen_range(1..1_000) as u64;
+        let cfg = || SimConfig { seed, ..base_cfg() };
+        let snap_tick = rng.gen_range(1..24) as u64;
+
+        let mut reference = grouped_build(cfg(), files);
+        reference.run_until(24);
+        let full = events_jsonl(&reference.telemetry().snapshot().unwrap());
+
+        let mut first = grouped_build(cfg(), files);
+        first.run_until(snap_tick);
+        let s1 = first.snapshot();
+        let pre = events_jsonl(&first.telemetry().snapshot().unwrap());
+        drop(first);
+
+        let resumed = Simulation::restore(
+            cfg(),
+            make_balancer(BalancerKind::Lunule, cfg().mds_capacity),
+            grouped_restore_streams(files),
+            &s1,
+        )
+        .unwrap();
+        let s2 = resumed.snapshot();
+        assert_eq!(
+            s1.to_bytes(),
+            s2.to_bytes(),
+            "grouped snapshot -> restore -> snapshot must be byte-stable \
+             (seed={seed}, files={files}, tick={snap_tick})"
+        );
+
+        let mut resumed = Simulation::restore(
+            cfg(),
+            make_balancer(BalancerKind::Lunule, cfg().mds_capacity),
+            grouped_restore_streams(files),
+            &s2,
+        )
+        .unwrap();
+        resumed.run_until(24);
+        let post = events_jsonl(&resumed.telemetry().snapshot().unwrap());
+        assert_eq!(
+            format!("{pre}{post}"),
+            full,
+            "grouped journal must continue byte-identically \
+             (seed={seed}, tick={snap_tick})"
+        );
+    });
+}
+
+/// Structurally-wrong grouped restores are refused with typed errors: a
+/// stream arity that doesn't match the snapshot's group count, and the
+/// three standard corruptions of the "cohorts" payload itself.
+#[test]
+fn grouped_cohort_section_tampering_is_refused() {
+    let mut sim = grouped_build(base_cfg(), 120);
+    sim.run_until(9);
+    let snap = sim.snapshot();
+    let restore = |snap: &lunule_snapshot::Snapshot, n_streams: usize| {
+        Simulation::restore(
+            base_cfg(),
+            make_balancer(BalancerKind::Lunule, base_cfg().mds_capacity),
+            grouped_restore_streams(120)
+                .into_iter()
+                .take(n_streams)
+                .collect(),
+            snap,
+        )
+    };
+    assert!(restore(&snap, 2).is_ok(), "pristine snapshot must restore");
+    assert!(
+        restore(&snap, 1).is_err(),
+        "restoring 2 groups with 1 stream must be refused"
+    );
+
+    let i = snap
+        .sections
+        .iter()
+        .position(|s| s.name == "cohorts")
+        .expect("cohorts section present");
+
+    let mut truncated = snap.clone();
+    let keep = truncated.sections[i].payload.len() / 2;
+    truncated.sections[i].payload.truncate(keep);
+    assert!(
+        matches!(restore(&truncated, 2), Err(SnapshotError::Decode { .. })),
+        "truncated cohorts payload must be a decode error"
+    );
+
+    let mut padded = snap.clone();
+    padded.sections[i].payload.extend_from_slice(&[0xAB; 4]);
+    assert!(
+        matches!(restore(&padded, 2), Err(SnapshotError::Decode { .. })),
+        "padded cohorts payload must be a decode error"
+    );
+
+    let mut missing = snap.clone();
+    missing.sections.remove(i);
+    assert!(
+        matches!(
+            restore(&missing, 2),
+            Err(SnapshotError::MissingSection { .. })
+        ),
+        "missing cohorts section must be refused"
+    );
+}

@@ -172,6 +172,13 @@ impl Telemetry {
         Self::lock(inner).metrics.histogram_record(name, value);
     }
 
+    /// Records `value` into the fixed-bucket histogram `name`, `n` times,
+    /// identically to `n` sequential [`Telemetry::histogram_record`] calls.
+    pub fn histogram_record_n(&self, name: &'static str, value: u64, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        Self::lock(inner).metrics.histogram_record_n(name, value, n);
+    }
+
     /// Number of journal events whose [`Event::kind`] equals `kind`.
     /// Used by the invariant checker to reconcile the migration ledger.
     pub fn count_kind(&self, kind: &str) -> u64 {

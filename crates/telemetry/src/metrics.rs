@@ -73,6 +73,22 @@ impl FixedHistogram {
         self.max = self.max.max(value);
     }
 
+    /// Records the same sample `n` times, identically to `n` sequential
+    /// [`FixedHistogram::record`] calls (all state is integer counters).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(value)] += n;
+        self.count += n;
+        // `n` sequential saturating adds equal min(sum + n*value, MAX) in
+        // unbounded arithmetic: exact until the first saturation, pinned at
+        // MAX after. u128 holds the unbounded value.
+        let total = self.sum as u128 + value as u128 * n as u128;
+        self.sum = u64::try_from(total).unwrap_or(u64::MAX);
+        self.max = self.max.max(value);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -194,6 +210,14 @@ impl MetricsRegistry {
     /// Records `value` into the histogram `name`.
     pub fn histogram_record(&mut self, name: &'static str, value: u64) {
         self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Records `value` into the histogram `name`, `n` times.
+    pub fn histogram_record_n(&mut self, name: &'static str, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.histograms.entry(name).or_default().record_n(value, n);
     }
 
     /// Looks up a histogram by name.

@@ -5,6 +5,7 @@ use lunule_core::{IfModelConfig, ImbalanceFactorModel};
 use lunule_namespace::{
     Frag, FragKey, InodeId, MdsRank, Namespace, SubtreeMap, HASH_BITS, HASH_MASK,
 };
+use lunule_util::convert::usize_to_u64;
 
 /// Audits the cross-layer invariants of the balancing stack.
 ///
@@ -324,6 +325,151 @@ impl InvariantChecker {
         self.violations.len() - before
     }
 
+    /// Cohort member conservation: the live cohorts' member counts must
+    /// sum to the attached client total, every live cohort must hold at
+    /// least one member, and — when per-origin totals are supplied — each
+    /// origin's members must sum to its configured group size. Splits and
+    /// merges move members between cohorts; none may mint or drop one.
+    ///
+    /// Takes plain data (counts, not the cohort set itself) so the checker
+    /// stays independent of the simulator's types — the same reason the
+    /// other checks take namespaces and maps rather than simulations.
+    pub fn check_cohort_conservation(
+        &mut self,
+        cohort_counts: &[u64],
+        origin_totals: Option<(&[u64], &[u64])>,
+        n_clients: u64,
+    ) -> usize {
+        let before = self.violations.len();
+        let total: u64 = cohort_counts.iter().sum();
+        if total != n_clients {
+            self.record(
+                InvariantKind::CohortConservation,
+                format!("cohorts hold {total} members, expected {n_clients}"),
+            );
+        }
+        for (i, c) in cohort_counts.iter().enumerate() {
+            if *c == 0 {
+                self.record(
+                    InvariantKind::CohortConservation,
+                    format!("cohort {i} is live but holds no members"),
+                );
+            }
+        }
+        if let Some((observed, expected)) = origin_totals {
+            if observed.len() != expected.len() {
+                self.record(
+                    InvariantKind::CohortConservation,
+                    format!(
+                        "{} origin totals reported, {} groups configured",
+                        observed.len(),
+                        expected.len()
+                    ),
+                );
+            }
+            for (g, (o, e)) in observed.iter().zip(expected).enumerate() {
+                if o != e {
+                    self.record(
+                        InvariantKind::CohortConservation,
+                        format!("origin {g} holds {o} members, expected {e}"),
+                    );
+                }
+            }
+        }
+        self.violations.len() - before
+    }
+
+    /// Cohort id-interval partition: `intervals` are `(start, len,
+    /// cohort)` triples which must be sorted, non-empty, and tile
+    /// `[0, n_clients)` exactly; each cohort's interval lengths must sum
+    /// to its count in `cohort_counts`; and each live cohort's canonical
+    /// id (`canonical_ids`, indexed like the counts) must equal its lowest
+    /// member id.
+    pub fn check_cohort_partition(
+        &mut self,
+        intervals: &[(usize, usize, usize)],
+        cohort_counts: &[u64],
+        canonical_ids: &[usize],
+        n_clients: usize,
+    ) -> usize {
+        let before = self.violations.len();
+        let mut at = 0usize;
+        let mut counted = vec![0u64; cohort_counts.len()];
+        let mut lowest = vec![usize::MAX; cohort_counts.len()];
+        for &(start, len, cohort) in intervals {
+            if len == 0 {
+                self.record(
+                    InvariantKind::CohortPartition,
+                    format!("empty interval at member {start}"),
+                );
+            }
+            if start != at {
+                self.record(
+                    InvariantKind::CohortPartition,
+                    format!("gap/overlap at member {at}: next interval starts at {start}"),
+                );
+            }
+            at = start + len;
+            if cohort >= cohort_counts.len() {
+                self.record(
+                    InvariantKind::CohortPartition,
+                    format!("interval [{start}, {at}) points at unknown cohort {cohort}"),
+                );
+                continue;
+            }
+            counted[cohort] += usize_to_u64(len);
+            lowest[cohort] = lowest[cohort].min(start);
+        }
+        if at != n_clients {
+            self.record(
+                InvariantKind::CohortPartition,
+                format!("partition covers {at} members, expected {n_clients}"),
+            );
+        }
+        for (i, (have, want)) in counted.iter().zip(cohort_counts).enumerate() {
+            if have != want {
+                self.record(
+                    InvariantKind::CohortPartition,
+                    format!("cohort {i}: intervals hold {have} members, count says {want}"),
+                );
+            }
+        }
+        for (i, (&low, &id)) in lowest.iter().zip(canonical_ids).enumerate() {
+            if cohort_counts.get(i).copied().unwrap_or(0) > 0 && low != id {
+                self.record(
+                    InvariantKind::CohortPartition,
+                    format!("cohort {i}: canonical id {id} but lowest member {low}"),
+                );
+            }
+        }
+        self.violations.len() - before
+    }
+
+    /// Shard-plan coverage: `ranges` (as `(start, end)` half-open index
+    /// ranges, in shard order) must tile `[0, arena_len)` contiguously —
+    /// the property that makes a sharded scan equivalent to a sequential
+    /// one.
+    pub fn check_shard_coverage(&mut self, ranges: &[(usize, usize)], arena_len: usize) -> usize {
+        let before = self.violations.len();
+        let mut at = 0usize;
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            if start != at || end < start {
+                self.record(
+                    InvariantKind::ShardCoverage,
+                    format!("shard {i} spans [{start}, {end}), expected to start at {at}"),
+                );
+            }
+            at = end.max(at);
+        }
+        if at != arena_len {
+            self.record(
+                InvariantKind::ShardCoverage,
+                format!("shards cover {at} inodes, arena holds {arena_len}"),
+            );
+        }
+        self.violations.len() - before
+    }
+
     /// The full battery: map well-formedness, fragment partitions,
     /// conservation, and frozen-subtree stability in one call.
     pub fn audit(
@@ -582,5 +728,90 @@ mod tests {
         assert!(!frags_partition(&[l, l]));
         assert!(!frags_partition(&[ll, r]));
         assert!(!frags_partition(&[]));
+    }
+
+    #[test]
+    fn cohort_conservation_accepts_matching_totals() {
+        let mut checker = InvariantChecker::default();
+        let added = checker.check_cohort_conservation(&[3, 1, 4], Some((&[4, 4], &[4, 4])), 8);
+        assert_eq!(added, 0);
+        checker.assert_clean();
+    }
+
+    #[test]
+    fn cohort_conservation_flags_drift_and_empty_cohorts() {
+        let mut checker = InvariantChecker::default();
+        // Sum is 7, not 8; cohort 1 is empty; origin 0 holds 3 not 4.
+        let added = checker.check_cohort_conservation(&[3, 0, 4], Some((&[3, 4], &[4, 4])), 8);
+        assert_eq!(added, 3);
+        assert!(kinds(&checker)
+            .iter()
+            .all(|k| *k == InvariantKind::CohortConservation));
+    }
+
+    #[test]
+    fn cohort_conservation_flags_origin_arity_mismatch() {
+        let mut checker = InvariantChecker::default();
+        let added = checker.check_cohort_conservation(&[8], Some((&[8], &[4, 4])), 8);
+        assert_eq!(added, 2, "arity mismatch plus the 8-vs-4 drift on origin 0");
+    }
+
+    #[test]
+    fn cohort_partition_accepts_exact_tiling() {
+        let mut checker = InvariantChecker::default();
+        // Cohort 1 owns [0,2) and [5,8); cohort 0 owns [2,5).
+        let added =
+            checker.check_cohort_partition(&[(0, 2, 1), (2, 3, 0), (5, 3, 1)], &[3, 5], &[2, 0], 8);
+        assert_eq!(added, 0);
+        checker.assert_clean();
+    }
+
+    #[test]
+    fn cohort_partition_flags_gap_overlap_and_bad_canonical_id() {
+        let mut checker = InvariantChecker::default();
+        // Gap at member 2 (next interval starts at 3), cohort 0's
+        // intervals hold 2 members but its count says 3, and cohort 1's
+        // canonical id is 0 while its lowest member is 3.
+        let added = checker.check_cohort_partition(&[(0, 2, 0), (3, 5, 1)], &[3, 5], &[0, 0], 8);
+        assert_eq!(added, 3, "expected gap+count+id");
+        assert!(kinds(&checker)
+            .iter()
+            .all(|k| *k == InvariantKind::CohortPartition));
+    }
+
+    #[test]
+    fn cohort_partition_flags_unknown_cohort_and_empty_interval() {
+        let mut checker = InvariantChecker::default();
+        let added = checker.check_cohort_partition(&[(0, 0, 0), (0, 4, 7)], &[4], &[0], 4);
+        // Empty interval, unknown cohort 7, and cohort 0's count unmet.
+        assert_eq!(added, 3);
+    }
+
+    #[test]
+    fn shard_coverage_accepts_contiguous_tiles() {
+        let mut checker = InvariantChecker::default();
+        // An empty shard (jobs exceed items) is legal as long as the
+        // tiling stays contiguous.
+        assert_eq!(
+            checker.check_shard_coverage(&[(0, 3), (3, 3), (3, 7)], 7),
+            0
+        );
+        assert_eq!(
+            checker.check_shard_coverage(&[(0, 3), (3, 5), (5, 9)], 9),
+            0
+        );
+        assert_eq!(checker.check_shard_coverage(&[], 0), 0);
+        checker.assert_clean();
+    }
+
+    #[test]
+    fn shard_coverage_flags_gaps_and_short_cover() {
+        let mut checker = InvariantChecker::default();
+        // Gap between shard 0 and shard 1, and the tail stops short.
+        let added = checker.check_shard_coverage(&[(0, 2), (3, 5)], 6);
+        assert_eq!(added, 2);
+        assert!(kinds(&checker)
+            .iter()
+            .all(|k| *k == InvariantKind::ShardCoverage));
     }
 }

@@ -28,6 +28,14 @@ pub enum InvariantKind {
     /// An authority entry (or the root default) targets a rank that is
     /// currently crashed — clients would route metadata ops into a void.
     AuthorityOnDownRank,
+    /// Cohort member counts failed to conserve: the live cohorts' counts
+    /// (or a group's member total) drifted from the attached client count.
+    CohortConservation,
+    /// The cohort id-interval partition has a gap, overlap, or a cohort
+    /// whose canonical id is not its lowest member.
+    CohortPartition,
+    /// A shard plan's ranges fail to tile the inode arena exactly.
+    ShardCoverage,
 }
 
 /// One observed violation: the invariant that broke plus the offending

@@ -45,6 +45,7 @@ impl MdtestWorkload {
 /// The full mdtest cycle the real tool runs per client: create N files,
 /// stat each of them, then remove them all. Exercises the namespace's
 /// delete path and keeps the balancer honest under a shrinking namespace.
+#[derive(Clone)]
 pub struct MdtestFullStream {
     parent: InodeId,
     creates_left: u64,
@@ -96,6 +97,10 @@ impl lunule_sim::OpStream for MdtestFullStream {
     fn len_hint(&self) -> Option<u64> {
         let n = self.creates_left + self.created.len() as u64;
         Some(n * 3 - (self.stat_pos + self.remove_pos) as u64)
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn OpStream>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -18,6 +18,7 @@ pub fn client_seed(master: u64, client: u64) -> u64 {
 /// Sequentially reads a shared list of files once (scan-type workloads:
 /// CNN preprocessing, NLP training) and optionally finishes by creating a
 /// record file (the CNN pipeline's packed output).
+#[derive(Clone)]
 pub struct ScanStream {
     files: Arc<Vec<InodeId>>,
     pos: usize,
@@ -58,6 +59,10 @@ impl OpStream for ScanStream {
         Some(self.files.len() as u64 + u64::from(self.record.is_some()))
     }
 
+    fn try_clone_box(&self) -> Option<Box<dyn OpStream>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
         e.put_usize(self.pos);
         e.put_bool(self.record_done);
@@ -81,6 +86,7 @@ impl OpStream for ScanStream {
 }
 
 /// Replays a shared, pre-generated access trace in order (Web workload).
+#[derive(Clone)]
 pub struct ReplayStream {
     trace: Arc<Vec<InodeId>>,
     pos: usize,
@@ -106,6 +112,10 @@ impl OpStream for ReplayStream {
         Some(self.trace.len() as u64)
     }
 
+    fn try_clone_box(&self) -> Option<Box<dyn OpStream>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
         e.put_usize(self.pos);
     }
@@ -127,6 +137,7 @@ impl OpStream for ReplayStream {
 
 /// Random reads over a private file set under the 80/20 rule
 /// (Filebench-Zipfian workload).
+#[derive(Clone)]
 pub struct HotSetStream {
     files: Vec<InodeId>,
     sampler: HotSetSampler,
@@ -161,6 +172,10 @@ impl OpStream for HotSetStream {
         Some(self.remaining)
     }
 
+    fn try_clone_box(&self) -> Option<Box<dyn OpStream>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
         for word in self.rng.state() {
             e.put_u64(word);
@@ -191,6 +206,7 @@ impl OpStream for HotSetStream {
 }
 
 /// Endless-until-quota creates into a private directory (MDtest-create).
+#[derive(Clone)]
 pub struct CreateStream {
     parent: InodeId,
     remaining: u64,
@@ -222,6 +238,10 @@ impl OpStream for CreateStream {
 
     fn len_hint(&self) -> Option<u64> {
         Some(self.remaining)
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn OpStream>> {
+        Some(Box::new(self.clone()))
     }
 
     fn save_state(&self, e: &mut lunule_util::codec::Encoder) {
