@@ -21,7 +21,7 @@ use lunule_core::{
     LunuleConfig, MigrationPlan, OpKind, SubtreeChoice,
 };
 use lunule_namespace::{
-    dentry_hash, Frag, FragKey, FragSet, InodeId, MdsRank, Namespace, SubtreeMap,
+    dentry_hash, AuthorityCache, Frag, FragKey, FragSet, InodeId, MdsRank, Namespace, SubtreeMap,
 };
 use lunule_sim::{SimConfig, Simulation};
 use lunule_telemetry::Telemetry;
@@ -224,9 +224,10 @@ fn migration_pipeline(p: Protocol) -> BenchResult {
     })
 }
 
-/// Subtree-authority resolution on a deep namespace — the per-op client
-/// cache-hit path this PR optimised (allocation-free parent-link walk).
-fn authority_resolve(p: Protocol) -> BenchResult {
+/// The deep-namespace fixture shared by the authority benchmarks: a
+/// 12-level directory chain with authority boundaries at three depths and
+/// 64 files at the bottom.
+fn authority_fixture() -> (Namespace, SubtreeMap, Vec<InodeId>) {
     let mut ns = Namespace::new();
     let mut dir = InodeId::ROOT;
     let mut levels = Vec::new();
@@ -241,8 +242,36 @@ fn authority_resolve(p: Protocol) -> BenchResult {
     map.set_authority(FragKey::whole(levels[3]), MdsRank(1));
     map.set_authority(FragKey::whole(levels[7]), MdsRank(2));
     map.set_authority(FragKey::whole(levels[10]), MdsRank(3));
+    (ns, map, files)
+}
+
+/// Subtree-authority resolution as the simulator performs it per op: a
+/// tick-scoped [`AuthorityCache`] memoizes the walk, so the steady state is
+/// one paged-map probe instead of a parent-link climb. The cache is rebuilt
+/// every round (`sync` + cold misses) exactly like a tick boundary after a
+/// subtree-map mutation, so the number includes the amortized fill cost.
+fn authority_resolve(p: Protocol) -> BenchResult {
+    let (ns, map, files) = authority_fixture();
     const REPS: u64 = 2_000;
     run_bench("authority_resolve", p, || {
+        let mut auth = AuthorityCache::new();
+        let mut ops = 0u64;
+        for _ in 0..REPS {
+            for ino in &files {
+                std::hint::black_box(auth.authority(&map, &ns, *ino));
+                ops += 1;
+            }
+        }
+        ops
+    })
+}
+
+/// The uncached walk the cache replaced — kept as the reference cell so
+/// the memoization win stays visible (and honest) in BENCH.json.
+fn authority_walk(p: Protocol) -> BenchResult {
+    let (ns, map, files) = authority_fixture();
+    const REPS: u64 = 2_000;
+    run_bench("authority_walk", p, || {
         let mut ops = 0u64;
         for _ in 0..REPS {
             for ino in &files {
@@ -269,6 +298,7 @@ fn main() {
         telemetry_off(protocol),
         telemetry_on(protocol),
         authority_resolve(protocol),
+        authority_walk(protocol),
     ];
 
     println!(

@@ -26,8 +26,10 @@
 //! elsewhere" behaviour the paper credits for the CNN/NLP wins.
 
 use lunule_namespace::{InodeId, Namespace};
-use lunule_util::convert::{u32_to_usize, u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u64};
-use std::collections::BTreeMap;
+use lunule_util::convert::{
+    u32_to_usize, u64_to_f64, u64_to_usize, usize_to_f64, usize_to_u32, usize_to_u64,
+};
+use lunule_util::intern::PagedMap;
 
 /// Number of cutting windows the per-inode visit mask can remember.
 const MASK_BITS: u32 = 64;
@@ -81,57 +83,114 @@ struct WindowCounters {
     sibling_bumps: u32,
 }
 
-/// Sliding per-directory statistics over the last `N` windows.
+/// Sliding per-directory statistics over the last `N` windows, stored as a
+/// struct-of-arrays slab: one flat ring arena (stride `stride` per
+/// directory) plus parallel scalar columns, all indexed by a stable dense
+/// slot resolved through a [`PagedMap`] from the inode index. The hot
+/// per-access path is two O(1) array probes instead of a `BTreeMap` walk,
+/// and the window counters of a directory sit contiguously in one or two
+/// cache lines.
+///
+/// Slots are allocated once per directory and never move — the analyzer
+/// has no eviction — so the slab needs no compaction pass.
 #[derive(Clone, Debug)]
-struct DirWindows {
-    /// Ring buffer, `ring[cursor]` is the current window.
-    ring: Vec<WindowCounters>,
-    cursor: usize,
-    /// Window index the cursor corresponds to.
-    window: u64,
-    /// Direct children the directory had when first observed, plus creates.
-    total_inodes: u64,
-    /// How many of those have ever been visited.
-    visited_ever: u64,
+struct DirSlab {
+    /// Ring length per directory (`cfg.recent_windows`).
+    stride: usize,
+    /// Slot → directory id.
+    ids: Vec<InodeId>,
+    /// Flat ring arena; directory `s` owns `rings[s*stride .. (s+1)*stride]`
+    /// and `rings[s*stride + cursor[s]]` is its current window.
+    rings: Vec<WindowCounters>,
+    /// Slot → position of the current window inside the directory's ring.
+    cursor: Vec<u32>,
+    /// Slot → window index the cursor corresponds to.
+    window: Vec<u64>,
+    /// Slot → direct children when first observed, plus creates.
+    total_inodes: Vec<u64>,
+    /// Slot → how many of those have ever been visited.
+    visited_ever: Vec<u64>,
+    /// Inode index → slot.
+    index: PagedMap,
 }
 
-impl DirWindows {
-    fn new(n: usize, window: u64, total_inodes: u64) -> Self {
-        DirWindows {
-            ring: vec![WindowCounters::default(); n],
-            cursor: 0,
-            window,
-            total_inodes,
-            visited_ever: 0,
+impl DirSlab {
+    fn new(stride: usize) -> Self {
+        DirSlab {
+            stride,
+            ids: Vec::new(),
+            rings: Vec::new(),
+            cursor: Vec::new(),
+            window: Vec::new(),
+            total_inodes: Vec::new(),
+            visited_ever: Vec::new(),
+            index: PagedMap::new(),
         }
     }
 
-    /// Rotates the ring forward to `window`, zeroing skipped slots.
-    fn roll_to(&mut self, window: u64) {
-        let gap = window.saturating_sub(self.window);
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn slot_of(&self, dir: InodeId) -> Option<usize> {
+        self.index.get(dir.index()).map(u32_to_usize)
+    }
+
+    /// The slot for `dir`, allocating one (zeroed ring, `total_inodes` from
+    /// the closure — only evaluated on insertion) on first sight.
+    fn slot_or_insert(
+        &mut self,
+        dir: InodeId,
+        window: u64,
+        total_inodes: impl FnOnce() -> u64,
+    ) -> usize {
+        if let Some(s) = self.index.get(dir.index()) {
+            return u32_to_usize(s);
+        }
+        let slot = self.ids.len();
+        self.ids.push(dir);
+        self.rings
+            .resize(self.rings.len() + self.stride, WindowCounters::default());
+        self.cursor.push(0);
+        self.window.push(window);
+        self.total_inodes.push(total_inodes());
+        self.visited_ever.push(0);
+        self.index.set(dir.index(), usize_to_u32(slot));
+        slot
+    }
+
+    /// Rotates `slot`'s ring forward to `window`, zeroing skipped slots.
+    fn roll_to(&mut self, slot: usize, window: u64) {
+        let gap = window.saturating_sub(self.window[slot]);
         if gap == 0 {
             return;
         }
-        let n = usize_to_u64(self.ring.len());
-        for _ in 0..gap.min(n) {
-            self.cursor = (self.cursor + 1) % self.ring.len();
-            self.ring[self.cursor] = WindowCounters::default();
+        let base = slot * self.stride;
+        let mut c = u32_to_usize(self.cursor[slot]);
+        for _ in 0..gap.min(usize_to_u64(self.stride)) {
+            c = (c + 1) % self.stride;
+            self.rings[base + c] = WindowCounters::default();
         }
-        self.window = window;
+        self.cursor[slot] = usize_to_u32(c);
+        self.window[slot] = window;
     }
 
-    fn current(&mut self) -> &mut WindowCounters {
-        let c = self.cursor;
-        &mut self.ring[c]
+    /// The current-window counters of `slot`.
+    fn current_mut(&mut self, slot: usize) -> &mut WindowCounters {
+        let at = slot * self.stride + u32_to_usize(self.cursor[slot]);
+        &mut self.rings[at]
     }
 
-    /// Sums the counters of slots still inside the window span *as of*
-    /// `current` (the analyzer's window). A directory idle since its last
-    /// touch has `self.window < current`; its older slots age out without
-    /// the ring being rolled, so its statistics decay to zero naturally.
-    fn sums_at(&self, current: u64) -> (u64, u64, u64) {
-        let n = usize_to_u64(self.ring.len());
-        let base_age = current.saturating_sub(self.window);
+    /// Sums the counters of `slot`'s ring positions still inside the window
+    /// span *as of* `current` (the analyzer's window). A directory idle
+    /// since its last touch has `window[slot] < current`; its older
+    /// positions age out without the ring being rolled, so its statistics
+    /// decay to zero naturally.
+    fn sums_at(&self, slot: usize, current: u64) -> (u64, u64, u64) {
+        let n = usize_to_u64(self.stride);
+        let base_age = current.saturating_sub(self.window[slot]);
+        let base = slot * self.stride;
+        let cursor = u32_to_usize(self.cursor[slot]);
         let mut visits = 0u64;
         let mut recurrent = 0u64;
         let mut spatial = 0u64;
@@ -139,8 +198,8 @@ impl DirWindows {
             if base_age + back >= n {
                 break;
             }
-            let idx = (self.cursor + self.ring.len() - u64_to_usize(back)) % self.ring.len();
-            let w = &self.ring[idx];
+            let idx = (cursor + self.stride - u64_to_usize(back)) % self.stride;
+            let w = &self.rings[base + idx];
             visits += u64::from(w.visits);
             recurrent += u64::from(w.recurrent);
             spatial += u64::from(w.first_visits + w.sibling_bumps);
@@ -188,7 +247,7 @@ pub struct PatternAnalyzer {
     cfg: AnalyzerConfig,
     window: u64,
     inodes: Vec<InodeVisits>,
-    dirs: BTreeMap<InodeId, DirWindows>,
+    dirs: DirSlab,
     rng_state: u64,
 }
 
@@ -208,7 +267,7 @@ impl PatternAnalyzer {
             cfg,
             window: 0,
             inodes: Vec::new(),
-            dirs: BTreeMap::new(),
+            dirs: DirSlab::new(cfg.recent_windows),
             rng_state: cfg.seed | 1,
         }
     }
@@ -242,11 +301,12 @@ impl PatternAnalyzer {
         &mut self.inodes[idx]
     }
 
-    fn dir_windows(&mut self, ns: &Namespace, dir: InodeId) -> &mut DirWindows {
-        let (n, window) = (self.cfg.recent_windows, self.window);
-        self.dirs.entry(dir).or_insert_with(|| {
-            DirWindows::new(n, window, usize_to_u64(ns.inode(dir).children().len()))
-        })
+    /// The slab slot of `dir`, allocating on first sight (population
+    /// snapshotted from the namespace at that moment).
+    fn dir_slot(&mut self, ns: &Namespace, dir: InodeId) -> usize {
+        let window = self.window;
+        self.dirs
+            .slot_or_insert(dir, window, || usize_to_u64(ns.inode(dir).children().len()))
     }
 
     /// Records one metadata access to `ino`. `is_create` marks a freshly
@@ -279,9 +339,9 @@ impl PatternAnalyzer {
         );
         let window = self.window;
         let dir = ns.inode(ino).parent().unwrap_or(ino);
-        let dw = self.dir_windows(ns, dir);
-        dw.roll_to(window);
-        let cur = dw.current();
+        let slot = self.dir_slot(ns, dir);
+        self.dirs.roll_to(slot, window);
+        let cur = self.dirs.current_mut(slot);
         // Window counters are u32; a cohort run is bounded by the client
         // count, which the simulator caps far below u32::MAX. Saturate
         // rather than abort if that ever stops holding.
@@ -321,23 +381,27 @@ impl PatternAnalyzer {
 
         // -- per-directory window counters ---------------------------------
         let dir = ns.inode(ino).parent().unwrap_or(ino);
-        // A create grows the directory's population. Note: `dir_windows`
+        // A create grows the directory's population. Note: `dir_slot`
         // snapshots children().len() on first sight, which at that moment
         // already includes this create; only bump for dirs seen before.
-        let known_dir = self.dirs.contains_key(&dir);
-        let dw = self.dir_windows(ns, dir);
-        dw.roll_to(window);
+        let known_dir = self.dirs.slot_of(dir).is_some();
+        let slot = self.dir_slot(ns, dir);
+        self.dirs.roll_to(slot, window);
         if is_create && known_dir {
-            dw.total_inodes += 1;
+            self.dirs.total_inodes[slot] += 1;
         }
-        let cur = dw.current();
-        cur.visits += 1;
-        if recurrent {
-            cur.recurrent += 1;
+        {
+            let cur = self.dirs.current_mut(slot);
+            cur.visits += 1;
+            if recurrent {
+                cur.recurrent += 1;
+            }
+            if first_ever {
+                cur.first_visits += 1;
+            }
         }
         if first_ever {
-            cur.first_visits += 1;
-            dw.visited_ever += 1;
+            self.dirs.visited_ever[slot] += 1;
         }
         let _ = already_this_window; // recurrence is cross-window only
 
@@ -346,9 +410,9 @@ impl PatternAnalyzer {
             let coin = self.next_coin();
             if coin < self.cfg.sibling_probability {
                 if let Some(sib) = next_sibling_dir(ns, dir) {
-                    let dw = self.dir_windows(ns, sib);
-                    dw.roll_to(window);
-                    dw.current().sibling_bumps += 1;
+                    let slot = self.dir_slot(ns, sib);
+                    self.dirs.roll_to(slot, window);
+                    self.dirs.current_mut(slot).sibling_bumps += 1;
                 }
             }
         }
@@ -363,14 +427,14 @@ impl PatternAnalyzer {
     /// amounts Algorithm 1 hands to the subtree selector (one cutting
     /// window per epoch).
     pub fn index_of(&self, dir: InodeId) -> Option<MigrationIndex> {
-        let dw = self.dirs.get(&dir)?;
-        let (visits, recurrent, spatial) = dw.sums_at(self.window);
+        let slot = self.dirs.slot_of(dir)?;
+        let (visits, recurrent, spatial) = self.dirs.sums_at(slot, self.window);
         let alpha = if visits == 0 {
             0.0
         } else {
             u64_to_f64(recurrent) / u64_to_f64(visits)
         };
-        let unvisited = dw.total_inodes.saturating_sub(dw.visited_ever);
+        let unvisited = self.dirs.total_inodes[slot].saturating_sub(self.dirs.visited_ever[slot]);
         let beta = u64_to_f64(unvisited) / u64_to_f64(visits.max(1));
         let n = usize_to_f64(self.cfg.recent_windows);
         Some(MigrationIndex {
@@ -397,10 +461,10 @@ impl PatternAnalyzer {
             .map(|s| s.ever_visited)
             .unwrap_or(false);
         let dir = ns.inode(ino).parent().unwrap_or(ino);
-        if let Some(dw) = self.dirs.get_mut(&dir) {
-            dw.total_inodes = dw.total_inodes.saturating_sub(1);
+        if let Some(slot) = self.dirs.slot_of(dir) {
+            self.dirs.total_inodes[slot] = self.dirs.total_inodes[slot].saturating_sub(1);
             if ever {
-                dw.visited_ever = dw.visited_ever.saturating_sub(1);
+                self.dirs.visited_ever[slot] = self.dirs.visited_ever[slot].saturating_sub(1);
             }
         }
     }
@@ -429,19 +493,25 @@ impl PatternAnalyzer {
             e.put_u64(iv.mask);
             e.put_bool(iv.ever_visited);
         });
-        let dirs: Vec<(&InodeId, &DirWindows)> = self.dirs.iter().collect();
-        e.put_seq(&dirs, |e, (id, dw)| {
-            e.put_u64(id.raw());
-            e.put_seq(&dw.ring, |e, w| {
+        // Slab slots are in first-sight order; snapshots are written in
+        // `InodeId` order so the bytes stay independent of access order
+        // (and identical to the ordered-map layout this replaces).
+        let mut order: Vec<usize> = (0..self.dirs.len()).collect();
+        order.sort_by_key(|&s| self.dirs.ids[s]);
+        let stride = self.dirs.stride;
+        e.put_seq(&order, |e, &slot| {
+            e.put_u64(self.dirs.ids[slot].raw());
+            let ring = &self.dirs.rings[slot * stride..(slot + 1) * stride];
+            e.put_seq(ring, |e, w| {
                 e.put_u32(w.visits);
                 e.put_u32(w.recurrent);
                 e.put_u32(w.first_visits);
                 e.put_u32(w.sibling_bumps);
             });
-            e.put_usize(dw.cursor);
-            e.put_u64(dw.window);
-            e.put_u64(dw.total_inodes);
-            e.put_u64(dw.visited_ever);
+            e.put_usize(u32_to_usize(self.dirs.cursor[slot]));
+            e.put_u64(self.dirs.window[slot]);
+            e.put_u64(self.dirs.total_inodes[slot]);
+            e.put_u64(self.dirs.visited_ever[slot]);
         });
         e.put_u64(self.rng_state);
     }
@@ -461,6 +531,7 @@ impl PatternAnalyzer {
                 ever_visited: d.get_bool("visit ever")?,
             })
         })?;
+        let stride = self.cfg.recent_windows;
         let dirs = d.get_seq("analyzer dirs", |d| {
             let raw = d.get_u64("analyzer dir id")?;
             let idx = u32::try_from(raw).map_err(|_| CodecError::Invalid {
@@ -475,27 +546,37 @@ impl PatternAnalyzer {
                 })
             })?;
             let cursor = d.get_usize("dir cursor")?;
-            if ring.is_empty() || cursor >= ring.len() {
+            // The slab stores rings at a fixed stride, so a snapshot whose
+            // ring length disagrees with this analyzer's configuration is
+            // rejected outright instead of silently re-striding.
+            if ring.len() != stride || cursor >= ring.len() {
                 return Err(CodecError::Invalid {
                     what: "analyzer ring",
                 });
             }
-            let dw = DirWindows {
+            let window = d.get_u64("dir window")?;
+            let total_inodes = d.get_u64("dir total_inodes")?;
+            let visited_ever = d.get_u64("dir visited_ever")?;
+            Ok((
+                InodeId::from_index(u32_to_usize(idx)),
                 ring,
                 cursor,
-                window: d.get_u64("dir window")?,
-                total_inodes: d.get_u64("dir total_inodes")?,
-                visited_ever: d.get_u64("dir visited_ever")?,
-            };
-            Ok((InodeId::from_index(u32_to_usize(idx)), dw))
+                window,
+                total_inodes,
+                visited_ever,
+            ))
         })?;
-        self.dirs.clear();
-        for (id, dw) in dirs {
-            if self.dirs.insert(id, dw).is_some() {
+        self.dirs = DirSlab::new(stride);
+        for (id, ring, cursor, window, total_inodes, visited_ever) in dirs {
+            if self.dirs.slot_of(id).is_some() {
                 return Err(CodecError::Invalid {
                     what: "analyzer dirs",
                 });
             }
+            let slot = self.dirs.slot_or_insert(id, window, || total_inodes);
+            self.dirs.rings[slot * stride..(slot + 1) * stride].copy_from_slice(&ring);
+            self.dirs.cursor[slot] = usize_to_u32(cursor);
+            self.dirs.visited_ever[slot] = visited_ever;
         }
         self.rng_state = d.get_u64("analyzer rng state")?;
         Ok(())

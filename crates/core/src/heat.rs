@@ -5,15 +5,39 @@
 //! and counters decay by a fixed factor every epoch so old activity fades.
 //! Vanilla, GreedySpill and Lunule-Light all select on this metric; full
 //! Lunule replaces it with the migration index (see [`crate::analyzer`]).
+//!
+//! # Layout
+//!
+//! Counters live in a struct-of-arrays slab: parallel `ids`/`heat` vectors
+//! indexed by a stable dense slot, with a paged direct map from inode
+//! index to slot ([`PagedMap`]) — the hot `record` path is two O(1) array
+//! probes instead of a `BTreeMap` walk. Slots are stable between epoch
+//! boundaries; `decay_epoch` compacts evicted entries and rebuilds the
+//! index (once per epoch, O(n)).
+//!
+//! Float addition is not associative, so everything order-sensitive —
+//! [`HeatMap::total`], [`HeatMap::encode`] — iterates via `sorted`, the
+//! slot permutation in `InodeId` order, which is maintained incrementally
+//! on insert. Totals and snapshot bytes are therefore bit-identical across
+//! insertion orders, exactly as with the old ordered-map layout.
 
 use lunule_namespace::{InodeId, Namespace};
-use std::collections::BTreeMap;
+use lunule_util::convert::{u32_to_usize, usize_to_u32};
+use lunule_util::intern::PagedMap;
 
 /// Per-directory decaying heat counters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct HeatMap {
     decay: f64,
-    heat: BTreeMap<InodeId, f64>,
+    /// Slot → directory id.
+    ids: Vec<InodeId>,
+    /// Slot → counter. Parallel to `ids`.
+    heat: Vec<f64>,
+    /// Inode index → slot.
+    index: PagedMap,
+    /// Slots in `InodeId` order — the canonical iteration order for all
+    /// float summation and serialization.
+    sorted: Vec<u32>,
 }
 
 impl HeatMap {
@@ -27,7 +51,7 @@ impl HeatMap {
         assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
         HeatMap {
             decay,
-            heat: BTreeMap::new(),
+            ..HeatMap::default()
         }
     }
 
@@ -37,13 +61,29 @@ impl HeatMap {
         self.decay = decay.clamp(0.0, 0.999);
     }
 
+    /// The slot for `dir`, allocating one (counter 0.0) on first sight.
+    fn slot_or_insert(&mut self, dir: InodeId) -> usize {
+        if let Some(s) = self.index.get(dir.index()) {
+            return u32_to_usize(s);
+        }
+        let slot = self.ids.len();
+        self.ids.push(dir);
+        self.heat.push(0.0);
+        self.index.set(dir.index(), usize_to_u32(slot));
+        let ids = &self.ids;
+        let pos = self.sorted.partition_point(|&s| ids[u32_to_usize(s)] < dir);
+        self.sorted.insert(pos, usize_to_u32(slot));
+        slot
+    }
+
     /// Charges one request against the directory containing `ino`.
     pub fn record(&mut self, ns: &Namespace, ino: InodeId) {
         let dir = match ns.inode(ino).parent() {
             Some(p) => p,
             None => ino, // the root charges itself
         };
-        *self.heat.entry(dir).or_insert(0.0) += 1.0;
+        let slot = self.slot_or_insert(dir);
+        self.heat[slot] += 1.0;
     }
 
     /// Charges `n` identical requests against the directory containing
@@ -62,7 +102,8 @@ impl HeatMap {
             Some(p) => p,
             None => ino,
         };
-        let h = self.heat.entry(dir).or_insert(0.0);
+        let slot = self.slot_or_insert(dir);
+        let h = &mut self.heat[slot];
         const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
         let n_f = lunule_util::convert::u64_to_f64(n);
         // Bit-exact integrality test (heat is never negative, so +0.0 is
@@ -77,43 +118,71 @@ impl HeatMap {
     }
 
     /// Applies one epoch of decay, dropping counters that have become
-    /// negligible so the map does not grow without bound.
+    /// negligible so the map does not grow without bound. Compacts the
+    /// slab and rebuilds the index — the one O(n) moment per epoch.
     pub fn decay_epoch(&mut self) {
         let decay = self.decay;
-        self.heat.retain(|_, h| {
-            *h *= decay;
-            *h > 1e-3
-        });
+        let mut w = 0usize;
+        for r in 0..self.heat.len() {
+            let h = self.heat[r] * decay;
+            if h > 1e-3 {
+                self.heat[w] = h;
+                self.ids[w] = self.ids[r];
+                w += 1;
+            }
+        }
+        self.heat.truncate(w);
+        self.ids.truncate(w);
+        self.index.clear();
+        self.sorted.clear();
+        for (slot, id) in self.ids.iter().enumerate() {
+            self.index.set(id.index(), usize_to_u32(slot));
+            self.sorted.push(usize_to_u32(slot));
+        }
+        let ids = &self.ids;
+        self.sorted.sort_by_key(|&s| ids[u32_to_usize(s)]);
     }
 
     /// Current heat of a directory.
     pub fn heat_of(&self, dir: InodeId) -> f64 {
-        self.heat.get(&dir).copied().unwrap_or(0.0)
+        match self.index.get(dir.index()) {
+            Some(s) => self.heat[u32_to_usize(s)],
+            None => 0.0,
+        }
     }
 
-    /// Total heat across all directories.
+    /// Total heat across all directories. Sums in `InodeId` order, so the
+    /// result is bit-identical regardless of insertion order.
     pub fn total(&self) -> f64 {
-        self.heat.values().sum()
+        self.sorted
+            .iter()
+            .map(|&s| self.heat[u32_to_usize(s)])
+            .sum()
     }
 
     /// Number of directories with live counters.
     pub fn len(&self) -> usize {
-        self.heat.len()
+        self.ids.len()
     }
 
     /// True when no directory carries heat.
     pub fn is_empty(&self) -> bool {
-        self.heat.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Writes the decay factor and every counter (bit-exact) to a
+    /// Writes the decay factor and every counter (bit-exact, in `InodeId`
+    /// order — the same bytes the ordered-map layout produced) to a
     /// snapshot section.
     pub fn encode(&self, e: &mut lunule_util::codec::Encoder) {
         e.put_f64(self.decay);
-        let entries: Vec<(&InodeId, &f64)> = self.heat.iter().collect();
+        let entries: Vec<(InodeId, f64)> = self
+            .sorted
+            .iter()
+            .map(|&s| (self.ids[u32_to_usize(s)], self.heat[u32_to_usize(s)]))
+            .collect();
         e.put_seq(&entries, |e, (id, h)| {
             e.put_u64(id.raw());
-            e.put_f64(**h);
+            e.put_f64(*h);
         });
     }
 
@@ -138,15 +207,20 @@ impl HeatMap {
                 h,
             ))
         })?;
-        let mut heat = BTreeMap::new();
+        let mut hm = HeatMap {
+            decay,
+            ..HeatMap::default()
+        };
         for (id, h) in entries {
-            if heat.insert(id, h).is_some() {
+            if hm.index.get(id.index()).is_some() {
                 return Err(CodecError::Invalid {
                     what: "heat entries",
                 });
             }
+            let slot = hm.slot_or_insert(id);
+            hm.heat[slot] = h;
         }
-        Ok(HeatMap { decay, heat })
+        Ok(hm)
     }
 }
 
@@ -201,10 +275,45 @@ mod tests {
         HeatMap::new(1.0);
     }
 
+    /// Eviction compacts slots; later records must still resolve to the
+    /// right (possibly re-allocated) slots and keep canonical order.
+    #[test]
+    fn compaction_keeps_lookups_and_order_straight() {
+        let mut ns = Namespace::new();
+        let mut files = Vec::new();
+        for d in 0..6 {
+            let dir = ns.mkdir(InodeId::ROOT, &format!("d{d}")).unwrap();
+            files.push((dir, ns.create_file(dir, "f", 1).unwrap()));
+        }
+        let mut hm = HeatMap::new(0.5);
+        // Heat dirs unevenly: after 10 half-life rounds the cold dirs
+        // (1 → ~0.00098) fall under the 1e-3 floor while the hot ones
+        // (100 → ~0.098) survive.
+        for (i, &(_, f)) in files.iter().enumerate() {
+            hm.record_n(&ns, f, if i % 2 == 0 { 100 } else { 1 });
+        }
+        for _ in 0..10 {
+            hm.decay_epoch();
+        }
+        assert_eq!(hm.len(), 3, "cold dirs evicted");
+        for (i, &(dir, _)) in files.iter().enumerate() {
+            let want = if i % 2 == 0 {
+                100.0 * 0.5f64.powi(10)
+            } else {
+                0.0
+            };
+            assert_eq!(hm.heat_of(dir), want);
+        }
+        // Re-heat an evicted dir: fresh slot, correct value.
+        hm.record(&ns, files[1].1);
+        assert_eq!(hm.heat_of(files[1].0), 1.0);
+        assert_eq!(hm.len(), 4);
+    }
+
     /// `total()` sums floats, and float addition is not associative, so the
-    /// sum is only reproducible if the iteration order is. The counters
-    /// live in a `BTreeMap` precisely so that the summation order is the
-    /// key order, independent of the order requests arrived in; this pins
+    /// sum is only reproducible if the iteration order is. The slab keeps a
+    /// sorted slot permutation precisely so that the summation order is the
+    /// id order, independent of the order requests arrived in; this pins
     /// that down to the bit.
     #[test]
     fn total_is_bit_identical_across_insertion_orders() {
@@ -236,5 +345,13 @@ mod tests {
         let c = run(&interleaved);
         assert_eq!(a.total().to_bits(), b.total().to_bits());
         assert_eq!(a.total().to_bits(), c.total().to_bits());
+        // The snapshot bytes are equally order-independent.
+        let bytes = |hm: &HeatMap| {
+            let mut e = lunule_util::codec::Encoder::new();
+            hm.encode(&mut e);
+            e.into_bytes()
+        };
+        assert_eq!(bytes(&a), bytes(&b));
+        assert_eq!(bytes(&a), bytes(&c));
     }
 }

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod authcache;
 pub mod builder;
 pub mod error;
 pub mod frag;
@@ -35,6 +36,7 @@ pub mod stats;
 pub mod subtree;
 pub mod tree;
 
+pub use authcache::AuthorityCache;
 pub use builder::{
     build_deep_tree, build_flat_dataset, build_private_dirs, BuiltDataset, FlatDataset,
 };

@@ -153,8 +153,9 @@ impl SubtreeMap {
     }
 
     /// Authority of the child of `dir` whose dentry hash is `hash`, assuming
-    /// `dir` itself is served by `dir_auth`.
-    fn child_authority(&self, dir: InodeId, hash: u32, dir_auth: MdsRank) -> MdsRank {
+    /// `dir` itself is served by `dir_auth`. Shared with
+    /// [`crate::AuthorityCache`], whose memo replays exactly this recurrence.
+    pub(crate) fn child_authority(&self, dir: InodeId, hash: u32, dir_auth: MdsRank) -> MdsRank {
         match self.entries.get(&dir) {
             None => dir_auth,
             Some(dir_entries) => dir_entries

@@ -8,7 +8,9 @@
 //! inter-MDS forwards they cause — resume right after every migration.
 
 use crate::request::{MetaOp, OpStream};
-use lunule_namespace::{dentry_hash, Frag, FragKey, InodeId, MdsRank, Namespace, SubtreeMap};
+use lunule_namespace::{
+    dentry_hash, AuthorityCache, Frag, FragKey, InodeId, MdsRank, Namespace, SubtreeMap,
+};
 use lunule_util::convert::usize_to_u64;
 use std::collections::BTreeMap;
 
@@ -151,6 +153,20 @@ impl Client {
     ) -> (Route, bool) {
         resolve_route(&self.cache, ns, map, dir, hash)
     }
+
+    /// [`Client::resolve`] through a tick-scoped [`AuthorityCache`]: same
+    /// route, amortized-O(1) authority lookups. The serial issue paths
+    /// thread the simulation's shared cache through here.
+    pub(crate) fn resolve_with(
+        &self,
+        ns: &Namespace,
+        map: &SubtreeMap,
+        auth: &mut AuthorityCache,
+        dir: InodeId,
+        hash: u32,
+    ) -> (Route, bool) {
+        resolve_route_cached(&self.cache, ns, map, auth, dir, hash)
+    }
 }
 
 /// [`Client::resolve`] as a free function over the bare authority cache.
@@ -205,6 +221,130 @@ pub(crate) fn resolve_route(
     auths.push(final_auth);
     // Forwards: each change of authority along the way is one forward,
     // performed by the rank that held the request before the hop.
+    let mut forwards = Vec::new();
+    for w in auths.windows(2) {
+        if w[0] != w[1] {
+            forwards.push(w[0]);
+        }
+    }
+    (
+        Route {
+            target: final_auth,
+            forwards,
+        },
+        false,
+    )
+}
+
+/// [`resolve_route`] with authority lookups memoized in `auth`. Produces
+/// the identical `(Route, hit)` — the memo replays the exact
+/// [`SubtreeMap::authority`] recurrence and invalidates on every map
+/// generation bump — without the per-op root-to-dir walk.
+pub(crate) fn resolve_route_cached(
+    cache: &BTreeMap<InodeId, Vec<(Frag, MdsRank)>>,
+    ns: &Namespace,
+    map: &SubtreeMap,
+    auth: &mut AuthorityCache,
+    dir: InodeId,
+    hash: u32,
+) -> (Route, bool) {
+    let cached = cache.get(&dir).and_then(|entries| {
+        entries
+            .iter()
+            .filter(|(f, _)| f.contains_hash(hash))
+            .max_by_key(|(f, _)| f.bits())
+            .map(|(_, r)| *r)
+    });
+    if let Some(cached_rank) = cached {
+        let dir_auth = auth.authority(map, ns, dir);
+        let true_auth = resolve_child(map, ns, dir, hash, dir_auth);
+        if true_auth == cached_rank {
+            return (
+                Route {
+                    target: cached_rank,
+                    forwards: Vec::new(),
+                },
+                true,
+            );
+        }
+        return (
+            Route {
+                target: true_auth,
+                forwards: vec![cached_rank],
+            },
+            false,
+        );
+    }
+    let auths = auth.chain(map, ns, dir);
+    let dir_auth = auths.last().copied().unwrap_or_else(|| map.root_rank());
+    let final_auth = resolve_child(map, ns, dir, hash, dir_auth);
+    let mut forwards = Vec::new();
+    for w in auths.windows(2) {
+        if w[0] != w[1] {
+            forwards.push(w[0]);
+        }
+    }
+    if dir_auth != final_auth {
+        forwards.push(dir_auth);
+    }
+    (
+        Route {
+            target: final_auth,
+            forwards,
+        },
+        false,
+    )
+}
+
+/// [`resolve_route`] against a *pre-primed* authority cache, `&self` only
+/// — the form the parallel resolve phase uses. The serial prime pass
+/// memoizes every anchor directory's path first, so the probes below are
+/// pure reads; the live-map fallbacks keep the answer correct (and
+/// identical) even if an anchor was somehow skipped.
+pub(crate) fn resolve_route_primed(
+    cache: &BTreeMap<InodeId, Vec<(Frag, MdsRank)>>,
+    ns: &Namespace,
+    map: &SubtreeMap,
+    auth: &AuthorityCache,
+    dir: InodeId,
+    hash: u32,
+) -> (Route, bool) {
+    let cached = cache.get(&dir).and_then(|entries| {
+        entries
+            .iter()
+            .filter(|(f, _)| f.contains_hash(hash))
+            .max_by_key(|(f, _)| f.bits())
+            .map(|(_, r)| *r)
+    });
+    if let Some(cached_rank) = cached {
+        let dir_auth = auth
+            .cached_authority(map, dir)
+            .unwrap_or_else(|| map.authority(ns, dir));
+        let true_auth = resolve_child(map, ns, dir, hash, dir_auth);
+        if true_auth == cached_rank {
+            return (
+                Route {
+                    target: cached_rank,
+                    forwards: Vec::new(),
+                },
+                true,
+            );
+        }
+        return (
+            Route {
+                target: true_auth,
+                forwards: vec![cached_rank],
+            },
+            false,
+        );
+    }
+    let mut auths = Vec::new();
+    if !auth.cached_chain_into(ns, dir, &mut auths) {
+        auths = map.authority_chain(ns, dir);
+    }
+    let dir_auth = auths.last().copied().unwrap_or_else(|| map.root_rank());
+    let final_auth = resolve_child(map, ns, dir, hash, dir_auth);
+    auths.push(final_auth);
     let mut forwards = Vec::new();
     for w in auths.windows(2) {
         if w[0] != w[1] {
@@ -518,6 +658,59 @@ mod tests {
         let f = ns.create_file(d, "f", 1).unwrap();
         let map = SubtreeMap::new(MdsRank(0));
         (ns, map, d, f)
+    }
+
+    /// The three resolve implementations — live walk, tick-cached, and
+    /// pre-primed read-only — must be observationally identical for every
+    /// cache state (miss, fresh hit, stale hit). The cohort engine relies
+    /// on this to keep journals byte-identical across `--jobs` widths.
+    #[test]
+    fn resolve_variants_agree_on_every_cache_state() {
+        let mut ns = Namespace::new();
+        let mut map = SubtreeMap::new(MdsRank(0));
+        let mut files = Vec::new();
+        for i in 0..4 {
+            let d = ns.mkdir(InodeId::ROOT, &format!("d{i}")).unwrap();
+            let sub = ns.mkdir(d, "sub").unwrap();
+            for j in 0..5 {
+                files.push((sub, ns.create_file(sub, &format!("f{j}"), 1).unwrap()));
+            }
+            if i % 2 == 0 {
+                map.set_authority(FragKey::whole(d), MdsRank(1));
+            }
+            if i == 1 {
+                map.set_authority(FragKey::whole(sub), MdsRank(2));
+            }
+        }
+        // Three cache states: empty (miss), correct entry (fresh hit),
+        // wrong entry (stale hit → one forward).
+        let empty = BTreeMap::new();
+        for &(dir, f) in &files {
+            let hash = dentry_hash(f.raw());
+            let mut fresh = BTreeMap::new();
+            fresh.insert(
+                dir,
+                vec![(ns.frag_for_hash(dir, hash), map.authority(&ns, f))],
+            );
+            let mut stale = BTreeMap::new();
+            stale.insert(dir, vec![(ns.frag_for_hash(dir, hash), MdsRank(9))]);
+            for cache in [&empty, &fresh, &stale] {
+                let live = resolve_route(cache, &ns, &map, dir, hash);
+                let mut auth = AuthorityCache::new();
+                let cached = resolve_route_cached(cache, &ns, &map, &mut auth, dir, hash);
+                assert_eq!(live, cached, "cached variant diverged");
+                // Prime a cache the way the parallel phase does, then
+                // resolve through the read-only view.
+                let mut primed = AuthorityCache::new();
+                primed.authority(&map, &ns, dir);
+                let par = resolve_route_primed(cache, &ns, &map, &primed, dir, hash);
+                assert_eq!(live, par, "primed variant diverged");
+                // An unprimed cache must fall back to the live walk.
+                let cold = AuthorityCache::new();
+                let cold_r = resolve_route_primed(cache, &ns, &map, &cold, dir, hash);
+                assert_eq!(live, cold_r, "fallback path diverged");
+            }
+        }
     }
 
     #[test]

@@ -84,6 +84,17 @@ pub struct Simulation {
     /// touches a handful of ranks, and this buffer used to be allocated
     /// once per issued op.
     pub(crate) costs_scratch: Vec<(usize, f64)>,
+    /// Memoized subtree-map authority lookups, shared by every resolve
+    /// site. Self-invalidating on subtree-map generation bumps, so it is
+    /// pure transient state: never serialized, rebuilt on demand after a
+    /// restore, and worker-count-independent (the parallel resolve phase
+    /// only reads a cache primed serially beforehand).
+    pub(crate) auth_cache: lunule_namespace::AuthorityCache,
+    /// Per-tick served-op metric accumulator, flushed to telemetry once
+    /// per tick (see [`crate::tick_ledger`]). Always empty between
+    /// ticks, so it is transient state like the scratch buffers above
+    /// and never appears in snapshots.
+    pub(crate) op_ledger: crate::tick_ledger::TickOpLedger,
     /// Cross-layer invariant auditor (strict builds only): the cheap map
     /// checks run after every tick, the full battery — conservation, frag
     /// partitions, IF-model laws — at every epoch close. Any violation
@@ -238,6 +249,8 @@ impl Simulation {
             journal_base: (0, 0, 0),
             stall_scratch: Vec::new(),
             costs_scratch: Vec::new(),
+            auth_cache: lunule_namespace::AuthorityCache::new(),
+            op_ledger: crate::tick_ledger::TickOpLedger::new(cfg.n_mds),
             #[cfg(feature = "strict-invariants")]
             checker: InvariantChecker::new(lunule_core::IfModelConfig {
                 mds_capacity: cfg.mds_capacity,
@@ -772,8 +785,7 @@ impl Simulation {
         let tick = self.tick;
         // Telemetry timestamps derive from the simulated clock, never wall
         // time, so journals from same-seed runs are byte-identical.
-        self.telemetry.set_clock(tick);
-        self.telemetry.emit(|| Event::TickStart);
+        self.telemetry.begin_tick(tick, || Event::TickStart);
 
         // 0. Fault schedule: inject everything due this tick (scheduled
         // events first, then operator-queued ones), then bring ranks whose
@@ -885,6 +897,10 @@ impl Simulation {
             }
         }
 
+        // The tick's served-op metrics reach telemetry as one batch, so
+        // every between-tick reader sees fully settled totals.
+        self.op_ledger.flush(&self.telemetry);
+
         // 4. Epoch boundary: stats, balancer, plan execution.
         self.tick += 1;
         if self.tick.is_multiple_of(self.cfg.epoch_secs) {
@@ -916,7 +932,8 @@ impl Simulation {
         }
 
         let (dir, hash) = routing_anchor(&self.ns, &op);
-        let (route, _hit) = client.resolve(&self.ns, &self.map, dir, hash);
+        let (route, _hit) =
+            client.resolve_with(&self.ns, &self.map, &mut self.auth_cache, dir, hash);
 
         // Budget check across the whole route, aggregated per rank — a
         // traversal can cross the same rank more than once (e.g. 0→1→0→2),
@@ -982,10 +999,9 @@ impl Simulation {
         };
         let stall_ticks = client.consume_op(tick);
         self.latency.record(stall_ticks);
-        self.telemetry
-            .histogram_record("client.stall_ticks", stall_ticks);
-        self.telemetry
-            .counter_add_labeled("ops.served", u32::from(route.target.0), 1);
+        if self.telemetry.is_enabled() {
+            self.op_ledger.record(route.target.index(), stall_ticks, 1);
+        }
         client.learn_route(&self.ns, dir, hash, route.target);
         if self.datapath.is_some() && data_bytes > 0 {
             client.data_pending += data_bytes;
@@ -1429,6 +1445,8 @@ impl Simulation {
             journal_base,
             stall_scratch: Vec::new(),
             costs_scratch: Vec::new(),
+            auth_cache: lunule_namespace::AuthorityCache::new(),
+            op_ledger: crate::tick_ledger::TickOpLedger::new(cfg.n_mds),
             #[cfg(feature = "strict-invariants")]
             checker: InvariantChecker::new(lunule_core::IfModelConfig {
                 mds_capacity: cfg.mds_capacity,

@@ -37,7 +37,7 @@
 //! decides for every member after it, and (c) every batched recorder
 //! (`record_n`-style) is an exact aggregate of its sequential form.
 
-use crate::client::{resolve_route, routing_anchor, Client, Route};
+use crate::client::{resolve_route_cached, resolve_route_primed, routing_anchor, Client, Route};
 use crate::cluster::Simulation;
 use crate::cohort::{Cohort, CohortSet};
 use crate::request::MetaOp;
@@ -218,15 +218,24 @@ impl Simulation {
         routes.resize(set.cohorts.len(), None);
         if resolve_reqs.len() < PAR_RESOLVE_MIN || self.pool.jobs() == 1 {
             for &(c, dir, hash) in &resolve_reqs {
-                routes[c] = Some(resolve_route(
+                routes[c] = Some(resolve_route_cached(
                     &set.cohorts[c].state.cache,
                     &self.ns,
                     &self.map,
+                    &mut self.auth_cache,
                     dir,
                     hash,
                 ));
             }
         } else {
+            // Prime the authority memo for every anchor directory before
+            // fanning out: "resolve once per directory cohort". Distinct
+            // anchors are few (one per cohort at most) and the memo
+            // deduplicates repeats, so this serial pass is cheap; the
+            // workers below then only do pure reads of the primed cache.
+            for &(_, dir, _) in &resolve_reqs {
+                self.auth_cache.authority(&self.map, &self.ns, dir);
+            }
             let plan = ShardPlan::new(self.ns.len(), self.pool.jobs());
             let mut buckets: Vec<Vec<(usize, CacheRef<'_>, InodeId, u32)>> =
                 (0..plan.n_shards()).map(|_| Vec::new()).collect();
@@ -235,10 +244,13 @@ impl Simulation {
             }
             let ns = &self.ns;
             let map = &self.map;
+            let auth = &self.auth_cache;
             let resolved = self.pool.map(&buckets, |_, bucket| {
                 bucket
                     .iter()
-                    .map(|&(c, cache, dir, hash)| (c, resolve_route(cache, ns, map, dir, hash)))
+                    .map(|&(c, cache, dir, hash)| {
+                        (c, resolve_route_primed(cache, ns, map, auth, dir, hash))
+                    })
                     .collect::<Vec<_>>()
             });
             for shard in resolved {
@@ -388,10 +400,9 @@ impl Simulation {
                     }
                     let stall_ticks = tick.saturating_sub(first_attempt);
                     self.latency.record_n(stall_ticks, m);
-                    self.telemetry
-                        .histogram_record_n("client.stall_ticks", stall_ticks, m);
-                    self.telemetry
-                        .counter_add_labeled("ops.served", u32::from(route.target.0), m);
+                    if self.telemetry.is_enabled() {
+                        self.op_ledger.record(target_idx, stall_ticks, m);
+                    }
                     // Record the access while the inode is still
                     // resolvable, then apply the unlink for removes —
                     // same order as the legacy serve.
@@ -491,7 +502,7 @@ impl Simulation {
             return false;
         };
         let (dir, hash) = routing_anchor(&self.ns, &op);
-        let (route, _hit) = st.resolve(&self.ns, &self.map, dir, hash);
+        let (route, _hit) = st.resolve_with(&self.ns, &self.map, &mut self.auth_cache, dir, hash);
         let target_idx = route.target.index();
         if target_idx >= self.mds.len() {
             return false;
@@ -546,10 +557,9 @@ impl Simulation {
         };
         let stall_ticks = st.consume_op(tick);
         self.latency.record(stall_ticks);
-        self.telemetry
-            .histogram_record("client.stall_ticks", stall_ticks);
-        self.telemetry
-            .counter_add_labeled("ops.served", u32::from(route.target.0), 1);
+        if self.telemetry.is_enabled() {
+            self.op_ledger.record(route.target.index(), stall_ticks, 1);
+        }
         st.learn_route(&self.ns, dir, hash, route.target);
         if self.datapath.is_some() && data_bytes > 0 {
             st.data_pending += data_bytes;

@@ -25,6 +25,7 @@ pub mod mds;
 pub mod migration;
 pub mod request;
 pub mod results;
+mod tick_ledger;
 
 pub use client::{Client, Route};
 pub use cohort::{Cohort, CohortSet, Interval};

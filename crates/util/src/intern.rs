@@ -1,0 +1,154 @@
+//! Paged direct-index maps keyed by dense ids.
+//!
+//! The hot-path slabs (heat statistics, pattern-analyzer windows, the
+//! per-tick authority memo) need an `inode index → small integer` mapping
+//! that is O(1) per lookup without hashing (banned for determinism) and
+//! without allocating one slot per arena entry (the megascale namespaces
+//! hold 10^7 inodes while a heat map tracks a few thousand directories).
+//!
+//! [`PagedMap`] resolves the tension with fixed-size pages allocated only
+//! when a key inside them is first written, and an epoch stamp per entry
+//! so [`PagedMap::clear`] is O(1): bumping the stamp invalidates every
+//! entry without touching (or freeing) the pages. Cleared pages are kept
+//! allocated, which is exactly what a per-tick cache wants — steady-state
+//! clears stop allocating entirely.
+
+/// Log2 of the page size. 4096 entries × 8 bytes = 32 KiB per page.
+const PAGE_BITS: usize = 12;
+/// Entries per page.
+const PAGE_LEN: usize = 1 << PAGE_BITS;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    /// Stamp of the [`PagedMap`] generation this entry was written in;
+    /// entries from older generations read as absent.
+    stamp: u32,
+    val: u32,
+}
+
+/// A sparse `usize → u32` map over a dense key space, with O(1) get/set
+/// and O(1) clear. Memory is proportional to the number of *touched pages*
+/// (4096-key ranges), not to the key universe.
+#[derive(Clone, Debug)]
+pub struct PagedMap {
+    pages: Vec<Option<Box<[Entry]>>>,
+    /// Current generation; entries stamped differently are absent. Starts
+    /// at 1 so zero-initialised pages read as empty.
+    stamp: u32,
+}
+
+impl Default for PagedMap {
+    // Derived `Default` would set `stamp: 0`, making every zeroed page
+    // entry read as present — the stamp must start at 1.
+    fn default() -> PagedMap {
+        PagedMap::new()
+    }
+}
+
+impl PagedMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> PagedMap {
+        PagedMap {
+            pages: Vec::new(),
+            stamp: 1,
+        }
+    }
+
+    /// The value at `key`, if one was set since the last [`clear`].
+    ///
+    /// [`clear`]: PagedMap::clear
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: usize) -> Option<u32> {
+        let page = self.pages.get(key >> PAGE_BITS)?.as_ref()?;
+        let e = page[key & (PAGE_LEN - 1)];
+        (e.stamp == self.stamp).then_some(e.val)
+    }
+
+    /// Sets `key` to `val`, allocating the covering page if needed.
+    pub fn set(&mut self, key: usize, val: u32) {
+        let page_idx = key >> PAGE_BITS;
+        if page_idx >= self.pages.len() {
+            self.pages.resize_with(page_idx + 1, || None);
+        }
+        let page = self.pages[page_idx]
+            .get_or_insert_with(|| vec![Entry::default(); PAGE_LEN].into_boxed_slice());
+        page[key & (PAGE_LEN - 1)] = Entry {
+            stamp: self.stamp,
+            val,
+        };
+    }
+
+    /// Removes every entry in O(1) (pages stay allocated for reuse).
+    pub fn clear(&mut self) {
+        match self.stamp.checked_add(1) {
+            Some(next) => self.stamp = next,
+            None => {
+                // One reset every 2^32 clears: wipe the stamps for real.
+                for page in self.pages.iter_mut().flatten() {
+                    for e in page.iter_mut() {
+                        e.stamp = 0;
+                    }
+                }
+                self.stamp = 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip_within_and_across_pages() {
+        let mut m = PagedMap::new();
+        assert_eq!(m.get(0), None);
+        m.set(0, 7);
+        m.set(PAGE_LEN - 1, 8);
+        m.set(PAGE_LEN, 9); // second page
+        m.set(5 * PAGE_LEN + 123, 10); // far page, holes in between
+        assert_eq!(m.get(0), Some(7));
+        assert_eq!(m.get(PAGE_LEN - 1), Some(8));
+        assert_eq!(m.get(PAGE_LEN), Some(9));
+        assert_eq!(m.get(5 * PAGE_LEN + 123), Some(10));
+        assert_eq!(m.get(1), None, "untouched key in a touched page");
+        assert_eq!(m.get(3 * PAGE_LEN), None, "key in an unallocated page");
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut m = PagedMap::new();
+        m.set(42, 1);
+        m.set(42, 2);
+        assert_eq!(m.get(42), Some(2));
+    }
+
+    #[test]
+    fn clear_empties_without_freeing_pages() {
+        let mut m = PagedMap::new();
+        m.set(3, 1);
+        m.set(PAGE_LEN + 3, 2);
+        let pages_before = m.pages.len();
+        m.clear();
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.get(PAGE_LEN + 3), None);
+        assert_eq!(m.pages.len(), pages_before, "pages retained");
+        m.set(3, 9);
+        assert_eq!(m.get(3), Some(9));
+        assert_eq!(m.get(PAGE_LEN + 3), None, "old entry stays dead");
+    }
+
+    #[test]
+    fn stamp_wrap_resets_cleanly() {
+        let mut m = PagedMap::new();
+        m.set(1, 5);
+        m.stamp = u32::MAX; // force the wrap path on the next clear
+        m.clear();
+        assert_eq!(m.stamp, 1);
+        assert_eq!(m.get(1), None);
+        m.set(1, 6);
+        assert_eq!(m.get(1), Some(6));
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod codec;
 pub mod convert;
+pub mod intern;
 pub mod json;
 pub mod par;
 pub mod propcheck;

@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run -p xtask -- lint
 //! cargo run -p xtask -- analyze
-//! cargo run -p xtask -- bench-diff bench-baseline.json BENCH.json [--threshold 0.40]
+//! cargo run -p xtask -- bench-diff bench-baseline.json BENCH.json [--threshold 0.15]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings/regressions, 2 usage/IO error.
@@ -29,7 +29,7 @@ fn main() -> ExitCode {
         }
         None => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- analyze\n       cargo run -p xtask -- bench-diff <baseline.json> <current.json> [--threshold 0.40]"
+                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- analyze\n       cargo run -p xtask -- bench-diff <baseline.json> <current.json> [--threshold 0.15]"
             );
             ExitCode::from(2)
         }
